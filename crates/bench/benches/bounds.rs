@@ -1,0 +1,48 @@
+//! Criterion bench for the Section 3 machinery: bound computation and the
+//! effect of κ / pruning on `save_one` (the §3.3 ablation's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_bench::suite::auto_constraints;
+use disc_core::bounds::{lower_bound, upper_bound};
+use disc_core::DiscSaver;
+use disc_data::{ClusterSpec, ErrorInjector};
+use disc_distance::{AttrSet, TupleDistance, Value};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut ds = ClusterSpec::new(1000, 8, 4, 3).generate();
+    let log = ErrorInjector::new(10, 0, 7).inject(&mut ds);
+    let dist = TupleDistance::numeric(8);
+    let constraints = auto_constraints(&ds, &dist);
+    let saver = DiscSaver::new(constraints, dist);
+    let outlier_row = log.errors[0].row;
+    let t_o: Vec<Value> = ds.row(outlier_row).to_vec();
+    let inliers: Vec<Vec<Value>> = ds
+        .rows()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| log.error_attrs(*i).is_none())
+        .map(|(_, r)| r.clone())
+        .collect();
+    let r = saver.build_rset(inliers);
+
+    let mut group = c.benchmark_group("bounds");
+    group.bench_function("lower_bound_empty_x", |b| {
+        b.iter(|| lower_bound(&r, &t_o, AttrSet::empty()))
+    });
+    group.bench_function("upper_bound_empty_x", |b| {
+        b.iter(|| upper_bound(&r, &t_o, AttrSet::empty()))
+    });
+    for kappa in [1usize, 2, 4, 8] {
+        let s = saver.clone().with_kappa(kappa);
+        group.bench_with_input(BenchmarkId::new("save_one_kappa", kappa), &kappa, |b, _| {
+            b.iter(|| s.save_one(&r, &t_o))
+        });
+    }
+    // Node budget 1 disables the recursion entirely (pure Lemma 4).
+    let stub = saver.clone().with_node_budget(1);
+    group.bench_function("save_one_no_recursion", |b| b.iter(|| stub.save_one(&r, &t_o)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench of the six clustering methods (Table 3's lineup) on a
+//! shared workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disc_bench::suite::auto_constraints;
+use disc_clustering::{Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Srem};
+use disc_data::ClusterSpec;
+use disc_distance::TupleDistance;
+
+fn bench_clustering(c: &mut Criterion) {
+    let ds = ClusterSpec::new(2000, 4, 4, 21).generate();
+    let dist = TupleDistance::numeric(4);
+    let constraints = auto_constraints(&ds, &dist);
+    let algos: Vec<Box<dyn ClusteringAlgorithm>> = vec![
+        Box::new(Dbscan::new(constraints.eps, constraints.eta)),
+        Box::new(KMeans::new(4, 1)),
+        Box::new(KMeansMinus::new(4, 40, 1)),
+        Box::new(Cckm::new(4, 40, 1)),
+        Box::new(Srem::new(4, 1)),
+        Box::new(Kmc::new(4, 1)),
+    ];
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    for algo in &algos {
+        group.bench_function(algo.name(), |b| b.iter(|| algo.cluster(ds.rows(), &dist)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Table 4's time columns: Poisson (DISC) vs
+//! Normal (DB) parameter determination at several sampling rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_core::{determine_parameters, determine_parameters_db, ParamConfig};
+use disc_data::ClusterSpec;
+use disc_distance::TupleDistance;
+
+fn bench_param_determination(c: &mut Criterion) {
+    let ds = ClusterSpec::new(4000, 4, 4, 5).generate();
+    let dist = TupleDistance::numeric(4);
+    let mut group = c.benchmark_group("param_determination");
+    group.sample_size(10);
+    for rate in [0.01f64, 0.1, 1.0] {
+        let cfg = ParamConfig { sample_rate: rate, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("poisson", rate), &rate, |b, _| {
+            b.iter(|| determine_parameters(ds.rows(), &dist, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("normal_db", rate), &rate, |b, _| {
+            b.iter(|| determine_parameters_db(ds.rows(), &dist, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_param_determination);
+criterion_main!(benches);

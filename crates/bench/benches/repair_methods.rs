@@ -1,0 +1,33 @@
+//! Criterion bench behind Table 2's time column: wall-clock of each
+//! repair method on the same dirty clustered workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use disc_bench::suite::{auto_constraints, repairer_lineup};
+use disc_data::{ClusterSpec, ErrorInjector, SyntheticDataset};
+use disc_distance::TupleDistance;
+
+fn workload() -> SyntheticDataset {
+    let spec = ClusterSpec::new(1500, 6, 4, 7);
+    SyntheticDataset::generate("bench", &spec, ErrorInjector::new(100, 15, 3))
+}
+
+fn bench_repairers(c: &mut Criterion) {
+    let synth = workload();
+    let dist = TupleDistance::numeric(6);
+    let constraints = auto_constraints(&synth.data, &dist);
+    let mut group = c.benchmark_group("repair_methods");
+    group.sample_size(10);
+    for repairer in repairer_lineup(constraints, &dist) {
+        group.bench_function(repairer.name(), |b| {
+            b.iter_batched(
+                || synth.data.clone(),
+                |mut ds| repairer.repair(&mut ds),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repairers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Figure 7(b): approximate DISC vs the Exact
+//! enumeration as the number of attributes grows (Spam-like workload).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use disc_bench::fig7::workload;
+use disc_bench::suite::auto_constraints;
+use disc_core::{DiscSaver, ExactSaver};
+use disc_distance::TupleDistance;
+
+fn bench_scalability_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_m");
+    group.sample_size(10);
+    for m in [3usize, 5, 8] {
+        let synth = workload(300, m, 13);
+        let dist = TupleDistance::numeric(m);
+        let constraints = auto_constraints(&synth.data, &dist);
+        let disc = DiscSaver::new(constraints, dist.clone()).with_kappa(2);
+        group.bench_with_input(BenchmarkId::new("disc", m), &m, |b, _| {
+            b.iter_batched(
+                || synth.data.clone(),
+                |mut ds| disc.save_all(&mut ds),
+                BatchSize::LargeInput,
+            )
+        });
+        // Exact is exponential in m: keep the domain cap tiny so the bench
+        // terminates, and watch the exponential slope across m.
+        let exact = ExactSaver::new(constraints, dist).with_domain_cap(Some(3));
+        group.bench_with_input(BenchmarkId::new("exact", m), &m, |b, _| {
+            b.iter_batched(
+                || synth.data.clone(),
+                |mut ds| exact.save_all(&mut ds),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability_m);
+criterion_main!(benches);

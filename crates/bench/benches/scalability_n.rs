@@ -1,0 +1,30 @@
+//! Criterion bench behind Figure 6(b): DISC repair time as the number of
+//! tuples grows (Flight-like workload, m = 3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use disc_bench::fig6::workload;
+use disc_bench::suite::auto_constraints;
+use disc_core::DiscSaver;
+use disc_distance::TupleDistance;
+
+fn bench_scalability_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_n");
+    group.sample_size(10);
+    for n in [500usize, 1000, 2000, 5000] {
+        let synth = workload(n, 11);
+        let dist = TupleDistance::numeric(3);
+        let constraints = auto_constraints(&synth.data, &dist);
+        let saver = DiscSaver::new(constraints, dist).with_kappa(2);
+        group.bench_with_input(BenchmarkId::new("disc_save_all", n), &n, |b, _| {
+            b.iter_batched(
+                || synth.data.clone(),
+                |mut ds| saver.save_all(&mut ds),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability_n);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--frac F] [--seed S] [--full]
+//!
+//! experiments:
+//!   table2 table3 table4 table5
+//!   fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!   ablation
+//!   all          (everything, at the default scale)
+//! ```
+//!
+//! `--frac` scales the synthetic Table 1 stand-ins (default 0.05 so the
+//! whole suite runs in minutes); `--full` runs Figures 6/7 at paper scale.
+
+use std::env;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all> \
+         [--frac F] [--seed S] [--full]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let mut frac = 0.05f64;
+    let mut seed = 42u64;
+    let mut full = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--frac" => {
+                i += 1;
+                frac = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(f) if f > 0.0 && f <= 1.0 => f,
+                    _ => {
+                        eprintln!("--frac expects a number in (0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let run_one = |name: &str| -> Option<String> {
+        Some(match name {
+            "table2" => disc_bench::table2::run(frac, seed),
+            "table3" => disc_bench::table3::run(frac, seed),
+            "table4" => disc_bench::table4::run(frac, seed),
+            "table5" => disc_bench::table5::run(frac, seed),
+            "fig4" => disc_bench::fig4::run(seed),
+            "fig5" => disc_bench::fig5::run(frac, seed),
+            "fig6" => disc_bench::fig6::run(full, seed),
+            "fig7" => disc_bench::fig7::run(full, seed),
+            "fig8" => disc_bench::fig8::run(1.0_f64.min(frac * 4.0), seed),
+            "fig9" => disc_bench::fig9::run(1.0_f64.min(frac * 2.0), seed),
+            "fig10" => disc_bench::fig10::run(seed),
+            "ablation" => disc_bench::ablation::run(seed),
+            _ => return None,
+        })
+    };
+
+    if cmd == "all" {
+        for name in [
+            "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "ablation",
+        ] {
+            println!("{}\n", run_one(name).expect("known experiment"));
+        }
+        ExitCode::SUCCESS
+    } else {
+        match run_one(cmd) {
+            Some(out) => {
+                println!("{out}");
+                ExitCode::SUCCESS
+            }
+            None => usage(),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 10: accuracy of attribute adjustment/explanation under
+//! controlled error injection on a Letter-like workload (n = 1000,
+//! m = 10) — Jaccard vs η (a) and ε (b), the number of modified
+//! attributes (c,d), and the adjustment magnitude `Δ(t_o, t'_o)` (e,f).
+
+use disc_cleaning::Sse;
+use disc_core::{detect_outliers, DistanceConstraints};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector, SyntheticDataset};
+use disc_distance::{TupleDistance, Value};
+use disc_metrics::jaccard;
+
+use crate::suite::{auto_constraints, repair_dataset, repairer_lineup};
+use crate::table::{f4, Table};
+
+/// The Figure 10 workload: n = 1000, m = 10, randomly injected errors on
+/// 1–2 attributes per dirty tuple.
+pub fn workload(seed: u64) -> SyntheticDataset {
+    let spec = ClusterSpec::new(1000, 10, 6, seed);
+    SyntheticDataset::generate("Letter-like", &spec, ErrorInjector::new(90, 10, seed ^ 0xF10))
+}
+
+struct MethodStats {
+    jaccard: f64,
+    modified_attrs: f64,
+    magnitude: f64,
+}
+
+fn stats_for(
+    synth: &SyntheticDataset,
+    repaired: &Dataset,
+    report: &disc_cleaning::RepairReport,
+    dist: &TupleDistance,
+) -> MethodStats {
+    let ds = &synth.data;
+    let mut jac = Vec::new();
+    let mut sizes = Vec::new();
+    let mut mags = Vec::new();
+    for e in &synth.log.errors {
+        let truth: Vec<usize> = e.attrs.iter().collect();
+        let adjusted: Vec<usize> = report
+            .attrs_of(e.row)
+            .map(|a| a.iter().collect())
+            .unwrap_or_default();
+        jac.push(jaccard(&truth, &adjusted));
+        if !adjusted.is_empty() {
+            sizes.push(adjusted.len() as f64);
+            mags.push(dist.dist(ds.row(e.row), repaired.row(e.row)));
+        }
+    }
+    MethodStats {
+        jaccard: jac.iter().sum::<f64>() / jac.len().max(1) as f64,
+        modified_attrs: sizes.iter().sum::<f64>() / sizes.len().max(1) as f64,
+        magnitude: mags.iter().sum::<f64>() / mags.len().max(1) as f64,
+    }
+}
+
+fn sweep(
+    synth: &SyntheticDataset,
+    dist: &TupleDistance,
+    points: &[DistanceConstraints],
+    label: impl Fn(&DistanceConstraints) -> String,
+) -> (Table, Table, Table) {
+    let header = vec!["Setting", "DISC", "DORC", "ERACER", "HoloClean", "Holistic", "SSE"];
+    let mut jac = Table::new(header.clone());
+    let mut attrs = Table::new(header.clone());
+    let mut mags = Table::new(header);
+    let ds = &synth.data;
+    for c in points {
+        let lineup = repairer_lineup(*c, dist);
+        let mut j_row = vec![label(c)];
+        let mut a_row = vec![label(c)];
+        let mut m_row = vec![label(c)];
+        for repairer in lineup.iter().skip(1) {
+            let (repaired, report, _) = repair_dataset(ds, repairer.as_ref());
+            let s = stats_for(synth, &repaired, &report, dist);
+            j_row.push(f4(s.jaccard));
+            a_row.push(f4(s.modified_attrs));
+            m_row.push(f4(s.magnitude));
+        }
+        // SSE: explanation only (no values adjusted → magnitude 0).
+        let split = detect_outliers(ds.rows(), dist, *c);
+        let inliers: Vec<Vec<Value>> =
+            split.inliers.iter().map(|&i| ds.rows()[i].clone()).collect();
+        let sse = Sse::new();
+        let mut scores = Vec::new();
+        let mut sizes = Vec::new();
+        for e in &synth.log.errors {
+            let truth: Vec<usize> = e.attrs.iter().collect();
+            let p: Vec<usize> = sse.explain(&inliers, ds.row(e.row)).iter().collect();
+            scores.push(jaccard(&truth, &p));
+            if !p.is_empty() {
+                sizes.push(p.len() as f64);
+            }
+        }
+        j_row.push(f4(scores.iter().sum::<f64>() / scores.len().max(1) as f64));
+        a_row.push(f4(sizes.iter().sum::<f64>() / sizes.len().max(1) as f64));
+        m_row.push(f4(0.0));
+        jac.row(j_row);
+        attrs.row(a_row);
+        mags.row(m_row);
+    }
+    (jac, attrs, mags)
+}
+
+/// Runs the Figure 10 reproduction.
+pub fn run(seed: u64) -> String {
+    let synth = workload(seed);
+    let dist = TupleDistance::numeric(synth.data.arity());
+    let base = auto_constraints(&synth.data, &dist);
+
+    let eta_points: Vec<DistanceConstraints> = [0.5, 0.8, 1.0, 1.4, 2.0]
+        .iter()
+        .map(|f| DistanceConstraints::new(base.eps, ((base.eta as f64 * f).round() as usize).max(1)))
+        .collect();
+    let eps_points: Vec<DistanceConstraints> = [0.6, 0.8, 1.0, 1.2, 1.5]
+        .iter()
+        .map(|f| DistanceConstraints::new(base.eps * f, base.eta))
+        .collect();
+
+    let (jac_eta, attrs_eta, mags_eta) = sweep(&synth, &dist, &eta_points, |c| format!("η={}", c.eta));
+    let (jac_eps, attrs_eps, mags_eps) = sweep(&synth, &dist, &eps_points, |c| format!("ε={:.2}", c.eps));
+
+    format!(
+        "Figure 10 — adjustment/explanation accuracy under injected errors\n\
+         (n=1000, m=10, operating point ε={:.2}, η={}, seed={seed})\n\n\
+         (a) Jaccard vs η\n{}\n(b) Jaccard vs ε\n{}\n\
+         (c) #modified attributes vs η\n{}\n(d) #modified attributes vs ε\n{}\n\
+         (e) adjustment magnitude vs η\n{}\n(f) adjustment magnitude vs ε\n{}",
+        base.eps,
+        base.eta,
+        jac_eta.render(),
+        jac_eps.render(),
+        attrs_eta.render(),
+        attrs_eps.render(),
+        mags_eta.render(),
+        mags_eps.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape() {
+        let w = workload(4);
+        assert_eq!(w.data.arity(), 10);
+        assert_eq!(w.log.errors.len(), 90);
+        // Injected errors touch 1–2 attributes, the Section 4.3 setting.
+        assert!(w.log.errors.iter().all(|e| e.attrs.len() <= 2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 5: the empirical distribution of the number of ε-neighbors, its
+//! Poisson fit, and the effect of sampling (rates 1.0 / 0.1 / 0.01) — the
+//! basis of the paper's parameter-determination recipe.
+
+use disc_core::{neighbor_counts, poisson_p_at_least};
+use disc_data::{paper, Dataset, SyntheticDataset};
+use disc_distance::{Norm, TupleDistance};
+
+use crate::table::Table;
+
+fn histogram(counts: &[usize], buckets: usize) -> Vec<(usize, usize, f64)> {
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let width = max.div_ceil(buckets);
+    let mut hist = vec![0usize; buckets];
+    for &c in counts {
+        hist[(c / width.max(1)).min(buckets - 1)] += 1;
+    }
+    hist.iter()
+        .enumerate()
+        .map(|(b, &n)| (b * width, (b + 1) * width, n as f64 / counts.len() as f64))
+        .collect()
+}
+
+fn distribution_block(ds: &Dataset, dist: &TupleDistance, eps_grid: &[f64], seed: u64) -> String {
+    let mut out = String::new();
+    for &rate in &[1.0, 0.1, 0.01] {
+        let k = ((ds.len() as f64 * rate).round() as usize).clamp(20.min(ds.len()), ds.len());
+        let sample = ds.sample_indices(k, seed);
+        let mut table = Table::new(vec![
+            "ε", "mean λε", "P(N≥mean/2)", "bucket:frac (empirical histogram)",
+        ]);
+        for &eps in eps_grid {
+            let counts = neighbor_counts(ds.rows(), dist, eps, &sample);
+            let lambda = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            let hist = histogram(&counts, 6);
+            let hist_str = hist
+                .iter()
+                .map(|(lo, hi, f)| format!("[{lo},{hi}):{f:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            table.row(vec![
+                format!("{eps:.2}"),
+                format!("{lambda:.2}"),
+                format!("{:.3}", poisson_p_at_least(lambda, (lambda / 2.0).round() as usize)),
+                hist_str,
+            ]);
+        }
+        out.push_str(&format!("sampling rate {rate}\n{}\n", table.render()));
+    }
+    out
+}
+
+/// Runs the Figure 5 reproduction at dataset scale `frac`.
+pub fn run(frac: f64, seed: u64) -> String {
+    let letter: SyntheticDataset = paper::letter(frac, seed);
+    let flight: SyntheticDataset = paper::flight(frac, seed + 1);
+    let ldist = letter.data.schema().tuple_distance(Norm::L2);
+    let fdist = flight.data.schema().tuple_distance(Norm::L2);
+    // ε grids spanning "too small / preferred / too large" around the
+    // data's own scale, like the paper's {2.5, 3, 3.5} and {5, 10, 15}.
+    let base_l = crate::suite::auto_constraints(&letter.data, &ldist).eps;
+    let base_f = crate::suite::auto_constraints(&flight.data, &fdist).eps;
+    format!(
+        "Figure 5 — distribution of #ε-neighbors with Poisson fit and sampling\n\
+         (scale frac={frac}, seed={seed})\n\n\
+         (a,c) Letter-like (n={}):\n{}\n(b,d) Flight-like (n={}):\n{}",
+        letter.data.len(),
+        distribution_block(&letter.data, &ldist, &[0.8 * base_l, base_l, 1.2 * base_l], seed),
+        flight.data.len(),
+        distribution_block(&flight.data, &fdist, &[0.5 * base_f, base_f, 1.5 * base_f], seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let counts = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let hist = histogram(&counts, 5);
+        let total: f64 = hist.iter().map(|(_, _, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_both_datasets_and_rates() {
+        let out = run(0.01, 5);
+        assert!(out.contains("Letter-like") || out.contains("Letter"));
+        assert!(out.contains("sampling rate 0.01"));
+        assert!(out.contains("mean λε"));
+    }
+}

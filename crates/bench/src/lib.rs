@@ -1,0 +1,43 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 4).
+//!
+//! Each experiment module produces the same rows/series the paper reports;
+//! the `repro` binary dispatches to them. Absolute numbers differ from the
+//! paper (synthetic stand-in datasets, different hardware), but the shape
+//! of every comparison — who wins, by roughly what factor, where the
+//! crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+//!
+//! Experiment ↔ module map:
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Table 2 (DBSCAN accuracy/time per repair method) | [`table2`] |
+//! | Table 3 (six clustering methods, Raw vs DISC)    | [`table3`] |
+//! | Table 4 (parameter determination, DISC vs DB)    | [`table4`] |
+//! | Table 5 (decision-tree classification)           | [`table5`] |
+//! | Figure 4 (accuracy vs ε and η)                   | [`fig4`]   |
+//! | Figure 5 (ε-neighbor distributions, sampling)    | [`fig5`]   |
+//! | Figure 6 (scalability in n)                      | [`fig6`]   |
+//! | Figure 7 (scalability in m)                      | [`fig7`]   |
+//! | Figure 8 (record matching vs ε and η)            | [`fig8`]   |
+//! | Figure 9 (GPS adjustment accuracy)               | [`fig9`]   |
+//! | Figure 10 (Letter adjustment accuracy)           | [`fig10`]  |
+//! | §3.3/3.4 design-choice ablations                 | [`ablation`] |
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod suite;
+pub mod table;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+pub use suite::{clustering_scores, repair_clone, repairer_lineup, ClusterScores, MethodResult};
+pub use table::Table;

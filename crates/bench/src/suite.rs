@@ -1,0 +1,214 @@
+//! Shared experiment machinery: method lineups, repair-then-cluster runs.
+
+use std::time::{Duration, Instant};
+
+use disc_cleaning::{DiscRepairer, Dorc, Eracer, HoloClean, Holistic, RepairReport, Repairer};
+use disc_clustering::{ClusteringAlgorithm, Dbscan};
+use disc_core::{DiscSaver, DistanceConstraints};
+use disc_data::Dataset;
+use disc_distance::TupleDistance;
+use disc_metrics::{adjusted_rand_index, normalized_mutual_information, pairwise_prf};
+
+/// A no-op repairer, the "Raw" column of the paper's tables.
+pub struct Raw;
+
+impl Repairer for Raw {
+    fn name(&self) -> &'static str {
+        "Raw"
+    }
+
+    fn repair(&self, _ds: &mut Dataset) -> RepairReport {
+        RepairReport::default()
+    }
+}
+
+/// The standard method lineup of Tables 2/5: Raw, DISC, DORC, ERACER,
+/// HoloClean, Holistic. DISC runs with κ = 2 (the 1–2 erroneous attributes
+/// observed in Section 4.3).
+pub fn repairer_lineup(c: DistanceConstraints, dist: &TupleDistance) -> Vec<Box<dyn Repairer>> {
+    vec![
+        Box::new(Raw),
+        Box::new(DiscRepairer(
+            DiscSaver::new(c, dist.clone()).with_kappa(2.min(dist.arity().max(1))),
+        )),
+        Box::new(Dorc::new(c, dist.clone())),
+        Box::new(Eracer::new()),
+        Box::new(HoloClean::new()),
+        Box::new(Holistic::new()),
+    ]
+}
+
+/// Clustering-quality scores of a labeling against the ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterScores {
+    /// Pairwise F1.
+    pub f1: f64,
+    /// Pairwise precision.
+    pub precision: f64,
+    /// Pairwise recall.
+    pub recall: f64,
+    /// Normalized mutual information.
+    pub nmi: f64,
+    /// Adjusted Rand index.
+    pub ari: f64,
+}
+
+/// Scores predicted labels against ground truth on all paper measures.
+pub fn clustering_scores(pred: &[u32], truth: &[u32]) -> ClusterScores {
+    let pc = pairwise_prf(pred, truth);
+    ClusterScores {
+        f1: pc.f1(),
+        precision: pc.precision(),
+        recall: pc.recall(),
+        nmi: normalized_mutual_information(pred, truth),
+        ari: adjusted_rand_index(pred, truth),
+    }
+}
+
+/// Result of repairing a dataset copy and clustering it with DBSCAN.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name.
+    pub method: String,
+    /// Scores of the DBSCAN labeling vs ground truth.
+    pub scores: ClusterScores,
+    /// Repair wall-clock time (clustering excluded, as in Table 2 whose
+    /// time column measures the cleaning step).
+    pub repair_time: Duration,
+    /// The repair report (modified rows/cells).
+    pub report: RepairReport,
+}
+
+/// Clones the dataset, repairs the clone, clusters it with DBSCAN at the
+/// given constraints, and scores against the dataset's labels.
+pub fn repair_clone(
+    ds: &Dataset,
+    repairer: &dyn Repairer,
+    c: DistanceConstraints,
+    dist: &TupleDistance,
+) -> MethodResult {
+    let mut copy = ds.clone();
+    let start = Instant::now();
+    let report = repairer.repair(&mut copy);
+    let repair_time = start.elapsed();
+    let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), dist);
+    let truth = ds.labels().expect("ground-truth labels required");
+    MethodResult {
+        method: repairer.name().to_string(),
+        scores: clustering_scores(&labels, truth),
+        repair_time,
+        report,
+    }
+}
+
+/// Clones, repairs, and returns the repaired dataset together with the
+/// report and elapsed time (for experiments that need the data itself).
+pub fn repair_dataset(
+    ds: &Dataset,
+    repairer: &dyn Repairer,
+) -> (Dataset, RepairReport, Duration) {
+    let mut copy = ds.clone();
+    let start = Instant::now();
+    let report = repairer.repair(&mut copy);
+    (copy, report, start.elapsed())
+}
+
+/// Determines the default `(ε, η)` for a dataset via the paper's Poisson
+/// procedure (Section 2.1.2) with light sampling for large inputs.
+pub fn auto_constraints(ds: &Dataset, dist: &TupleDistance) -> DistanceConstraints {
+    let sample_rate = if ds.len() > 5000 { 2000.0 / ds.len() as f64 } else { 1.0 };
+    let cfg = disc_core::ParamConfig { sample_rate, ..Default::default() };
+    let choice = disc_core::determine_parameters(ds.rows(), dist, &cfg);
+    DistanceConstraints::new(choice.eps.max(1e-9), choice.eta.max(1))
+}
+
+/// The paper's Table 2 protocol: "we search the settings of distance
+/// threshold ε and neighbor threshold η with the best performance for
+/// DORC and DISC". Starting from the Poisson choice, a small ε-multiplier
+/// grid is scored by DISC-repair + DBSCAN F1 (on a label-preserving
+/// subsample for large data) and the best setting is returned. Larger ε
+/// matters on wide schemas, where the Proposition 5 feasibility
+/// certificate needs ε above the concentrated within-cluster distances.
+pub fn best_constraints(ds: &Dataset, dist: &TupleDistance) -> DistanceConstraints {
+    let base = auto_constraints(ds, dist);
+    let probe = if ds.len() > 1500 {
+        ds.select(&ds.sample_indices(1500, 0xBE57))
+    } else {
+        ds.clone()
+    };
+    let sample_rate = (1000.0 / ds.len().max(1) as f64).min(1.0);
+    let mut best = (base, -1.0f64);
+    for mult in [1.0f64, 1.5, 2.0] {
+        let eps = base.eps * mult;
+        // Re-derive η from the Poisson fit at this ε.
+        let sample = ds.sample_indices((ds.len() as f64 * sample_rate) as usize + 1, 7);
+        let counts = disc_core::neighbor_counts(ds.rows(), dist, eps, &sample);
+        let lambda = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+        let eta = disc_core::poisson_eta_for(lambda, 0.99).max(1);
+        let c = DistanceConstraints::new(eps, eta);
+        let saver = DiscSaver::new(c, dist.clone()).with_kappa(2.min(dist.arity().max(1)));
+        let mut copy = probe.clone();
+        saver.save_all(&mut copy);
+        let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), dist);
+        let f1 = disc_metrics::pairwise_f1(&labels, probe.labels().expect("labels"));
+        if f1 > best.1 {
+            best = (c, f1);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_data::ClusterSpec;
+
+    #[test]
+    fn lineup_has_six_methods() {
+        let dist = TupleDistance::numeric(3);
+        let lineup = repairer_lineup(DistanceConstraints::new(1.0, 3), &dist);
+        let names: Vec<_> = lineup.iter().map(|r| r.name()).collect();
+        assert_eq!(names, vec!["Raw", "DISC", "DORC", "ERACER", "HoloClean", "Holistic"]);
+    }
+
+    #[test]
+    fn repair_clone_leaves_original_untouched() {
+        let ds = ClusterSpec::new(90, 2, 2, 3).generate();
+        let before = ds.rows().to_vec();
+        let dist = TupleDistance::numeric(2);
+        let c = auto_constraints(&ds, &dist);
+        let result = repair_clone(&ds, &Raw, c, &dist);
+        assert_eq!(ds.rows(), before.as_slice());
+        // The auto-determined (ε, η) deliberately leaves a small violation
+        // tail even on clean data (the Figure 5 elbow targets ~8%), so the
+        // bar here is "clusters clearly recovered", not perfection.
+        assert!(result.scores.f1 > 0.6, "clean blobs should cluster well: {}", result.scores.f1);
+    }
+
+    #[test]
+    fn auto_constraints_are_sane() {
+        let ds = ClusterSpec::new(200, 3, 2, 7).generate();
+        let dist = TupleDistance::numeric(3);
+        let c = auto_constraints(&ds, &dist);
+        assert!(c.eps > 0.0);
+        assert!(c.eta >= 1);
+    }
+
+    #[test]
+    fn disc_beats_raw_on_dirty_blobs() {
+        // The headline claim on a miniature instance.
+        let mut ds = ClusterSpec::new(160, 3, 2, 5).generate();
+        disc_data::ErrorInjector::new(10, 2, 9).inject(&mut ds);
+        let dist = TupleDistance::numeric(3);
+        let c = auto_constraints(&ds, &dist);
+        let lineup = repairer_lineup(c, &dist);
+        let raw = repair_clone(&ds, lineup[0].as_ref(), c, &dist);
+        let disc = repair_clone(&ds, lineup[1].as_ref(), c, &dist);
+        assert!(
+            disc.scores.f1 >= raw.scores.f1,
+            "DISC {} < Raw {}",
+            disc.scores.f1,
+            raw.scores.f1
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Holistic — denial-constraint data cleaning (compact reimplementation
+//! after Chu et al., ICDE 2013), with constraints discovered from the data
+//! (Chu et al., PVLDB 2013).
+//!
+//! For the fully-numeric single-table setting of the DISC experiments, the
+//! discoverable denial constraints reduce to (1) per-attribute range
+//! constraints `¬(t[A] < lo ∨ t[A] > hi)` and (2) pairwise difference
+//! bounds `¬(|t[A] − t[B] · slope − offset| > tol)` for strongly
+//! correlated attribute pairs. Discovery keeps only constraints satisfied
+//! by ≥ `support` of the data — so constraints are *weak by construction*
+//! (they must hold on the dirty data), and detection is insufficient:
+//! small errors like the longitude slip of `t₁₃` in the paper's Figure 2
+//! violate nothing. Repair follows the holistic principle of minimal
+//! change: each violated cell moves just inside the constraint boundary.
+
+use disc_data::Dataset;
+use disc_distance::{AttrSet, Value};
+
+use crate::{RepairReport, Repairer};
+
+/// A discovered denial constraint over numeric columns.
+#[derive(Debug, Clone)]
+enum Constraint {
+    /// `lo ≤ t[attr] ≤ hi`.
+    Range { attr: usize, lo: f64, hi: f64 },
+    /// `|t[b] − (slope·t[a] + offset)| ≤ tol` for correlated pairs.
+    Linear { a: usize, b: usize, slope: f64, offset: f64, tol: f64 },
+}
+
+/// Denial-constraint repairer with data-driven constraint discovery.
+#[derive(Debug, Clone, Copy)]
+pub struct Holistic {
+    /// Fraction of tuples a discovered constraint must satisfy.
+    pub support: f64,
+    /// Minimum |Pearson correlation| for a pairwise constraint.
+    pub min_correlation: f64,
+}
+
+impl Default for Holistic {
+    fn default() -> Self {
+        Holistic { support: 0.98, min_correlation: 0.9 }
+    }
+}
+
+impl Holistic {
+    /// A Holistic configuration with the default discovery thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn quantile(sorted: &[f64], q: f64) -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    fn discover(&self, data: &[f64], n: usize, m: usize) -> Vec<Constraint> {
+        let mut constraints = Vec::new();
+        let margin = (1.0 - self.support) / 2.0;
+        let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); m];
+        for r in 0..n {
+            for j in 0..m {
+                cols[j].push(data[r * m + j]);
+            }
+        }
+        for j in 0..m {
+            let mut sorted = cols[j].clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let lo = Self::quantile(&sorted, margin);
+            let hi = Self::quantile(&sorted, 1.0 - margin);
+            if hi > lo {
+                constraints.push(Constraint::Range { attr: j, lo, hi });
+            }
+        }
+        // Pairwise linear constraints for strongly correlated columns.
+        let mean: Vec<f64> = cols.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+        let std: Vec<f64> = cols
+            .iter()
+            .enumerate()
+            .map(|(j, c)| {
+                (c.iter().map(|x| (x - mean[j]) * (x - mean[j])).sum::<f64>() / n as f64).sqrt()
+            })
+            .collect();
+        for a in 0..m {
+            for b in (a + 1)..m {
+                if std[a] <= 1e-12 || std[b] <= 1e-12 {
+                    continue;
+                }
+                let cov = (0..n)
+                    .map(|r| (data[r * m + a] - mean[a]) * (data[r * m + b] - mean[b]))
+                    .sum::<f64>()
+                    / n as f64;
+                let corr = cov / (std[a] * std[b]);
+                if corr.abs() >= self.min_correlation {
+                    let slope = cov / (std[a] * std[a]);
+                    let offset = mean[b] - slope * mean[a];
+                    let mut resid: Vec<f64> = (0..n)
+                        .map(|r| (data[r * m + b] - slope * data[r * m + a] - offset).abs())
+                        .collect();
+                    resid.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+                    let tol = Self::quantile(&resid, self.support);
+                    constraints.push(Constraint::Linear { a, b, slope, offset, tol });
+                }
+            }
+        }
+        constraints
+    }
+}
+
+impl Repairer for Holistic {
+    fn name(&self) -> &'static str {
+        "Holistic"
+    }
+
+    fn repair(&self, ds: &mut Dataset) -> RepairReport {
+        let mut report = RepairReport::default();
+        let n = ds.len();
+        let m = ds.arity();
+        let Some(mut data) = ds.to_matrix() else {
+            return report;
+        };
+        if n < 8 {
+            return report;
+        }
+        let constraints = self.discover(&data, n, m);
+        let mut touched: Vec<AttrSet> = vec![AttrSet::empty(); n];
+        for c in &constraints {
+            match *c {
+                Constraint::Range { attr, lo, hi } => {
+                    for r in 0..n {
+                        let v = data[r * m + attr];
+                        // Minimal repair: clamp to the violated bound.
+                        if v < lo {
+                            data[r * m + attr] = lo;
+                            touched[r].insert(attr);
+                        } else if v > hi {
+                            data[r * m + attr] = hi;
+                            touched[r].insert(attr);
+                        }
+                    }
+                }
+                Constraint::Linear { a, b, slope, offset, tol } => {
+                    for r in 0..n {
+                        let pred = slope * data[r * m + a] + offset;
+                        let resid = data[r * m + b] - pred;
+                        if resid.abs() > tol {
+                            // Minimal repair: move t[b] just inside the band.
+                            data[r * m + b] = pred + tol.copysign(resid);
+                            touched[r].insert(b);
+                        }
+                    }
+                }
+            }
+        }
+        for r in 0..n {
+            if !touched[r].is_empty() {
+                let mut row = ds.row(r).to_vec();
+                for a in touched[r].iter() {
+                    row[a] = Value::Num(data[r * m + a]);
+                }
+                ds.set_row(r, row);
+                report.record(r, touched[r]);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::dirty_clusters;
+
+    #[test]
+    fn extreme_values_are_clamped() {
+        let (mut ds, log) = dirty_clusters(7);
+        let report = Holistic::new().repair(&mut ds);
+        assert!(report.rows_modified() > 0);
+        // Injected offset errors leave the data range, so range
+        // constraints catch (some of) them.
+        let dirty: Vec<usize> = log.errors.iter().map(|e| e.row).collect();
+        assert!(report.rows.iter().any(|(r, _)| dirty.contains(r)));
+    }
+
+    #[test]
+    fn subtle_errors_escape_detection() {
+        // A value inside the global range violates no discovered DC —
+        // the insufficient-detection failure mode the paper describes.
+        let mut raw = Vec::new();
+        for i in 0..50 {
+            raw.push(i as f64 * 0.1);
+            raw.push(100.0 + (i % 7) as f64);
+        }
+        // Swap one tuple's first value with a plausible other value.
+        raw[20] = 4.9; // still within [0, 4.9]
+        let mut ds = Dataset::from_matrix(2, &raw);
+        let report = Holistic::new().repair(&mut ds);
+        assert!(report.attrs_of(10).is_none());
+    }
+
+    #[test]
+    fn linear_constraint_discovered_and_enforced() {
+        // b = 2a exactly except one gross violation within the range of b.
+        let mut raw = Vec::new();
+        for i in 0..60 {
+            let a = i as f64;
+            raw.push(a);
+            raw.push(2.0 * a);
+        }
+        raw[2 * 30 + 1] = 0.0; // b of row 30 breaks the correlation
+        let mut ds = Dataset::from_matrix(2, &raw);
+        let report = Holistic::new().repair(&mut ds);
+        assert!(report.attrs_of(30).map(|a| a.contains(1)).unwrap_or(false));
+        let repaired = ds.row(30)[1].expect_num();
+        assert!((repaired - 60.0).abs() < 15.0, "repaired to {repaired}");
+    }
+
+    #[test]
+    fn non_numeric_data_is_skipped() {
+        let mut ds = disc_data::csv::from_str("a,b\nx,1\ny,2\n").unwrap();
+        assert_eq!(Holistic::new().repair(&mut ds).rows_modified(), 0);
+    }
+
+    #[test]
+    fn quantile_helper() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Holistic::quantile(&v, 0.0), 1.0);
+        assert_eq!(Holistic::quantile(&v, 1.0), 5.0);
+        assert_eq!(Holistic::quantile(&v, 0.5), 3.0);
+    }
+}

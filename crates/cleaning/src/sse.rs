@@ -1,0 +1,160 @@
+//! SSE — Subspace Separability Explanation (after Micenková et al., ICDM
+//! 2013).
+//!
+//! Given a detected outlier, SSE identifies the attribute subspace in
+//! which the outlier is separable from the inliers; it explains *why* the
+//! tuple is outlying but — as Section 4.3 of the DISC paper points out —
+//! does not say how the values should be adjusted. The original trains a
+//! classifier between the outlier and reference points; this compact
+//! version scores per-attribute separability directly: attribute `A` is in
+//! the explanation when the outlier's value sits far outside the inlier
+//! distribution of `A` (robust z-score above a threshold).
+
+use disc_distance::{AttrSet, Value};
+
+use crate::RepairReport;
+
+/// Subspace separability explainer.
+#[derive(Debug, Clone, Copy)]
+pub struct Sse {
+    /// Robust z-score above which an attribute is deemed separable.
+    pub z_threshold: f64,
+}
+
+impl Default for Sse {
+    fn default() -> Self {
+        Sse { z_threshold: 2.5 }
+    }
+}
+
+impl Sse {
+    /// An SSE explainer with the default threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explains one outlier against the inlier rows: the set of attributes
+    /// in which it shows separability. Non-numeric attributes use exact
+    /// match against the inlier values (separable iff the value is unseen).
+    pub fn explain(&self, inliers: &[Vec<Value>], t_o: &[Value]) -> AttrSet {
+        let m = t_o.len();
+        let mut attrs = AttrSet::empty();
+        if inliers.is_empty() {
+            return attrs;
+        }
+        for j in 0..m {
+            match t_o[j].as_num() {
+                Some(x) => {
+                    // Robust location/scale: median and MAD of the inlier
+                    // column.
+                    let mut col: Vec<f64> = inliers
+                        .iter()
+                        .filter_map(|row| row[j].as_num())
+                        .collect();
+                    if col.is_empty() {
+                        continue;
+                    }
+                    col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    let median = col[col.len() / 2];
+                    let mut dev: Vec<f64> = col.iter().map(|v| (v - median).abs()).collect();
+                    dev.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    // 1.4826 scales the MAD to the normal σ.
+                    let mad = (dev[dev.len() / 2] * 1.4826).max(1e-9);
+                    if ((x - median) / mad).abs() > self.z_threshold {
+                        attrs.insert(j);
+                    }
+                }
+                None => {
+                    let seen = inliers.iter().any(|row| row[j].same(&t_o[j]));
+                    if !seen {
+                        attrs.insert(j);
+                    }
+                }
+            }
+        }
+        attrs
+    }
+
+    /// Explains a batch of outliers, reporting per-row separable attribute
+    /// sets in the same shape repairers use (for the Figure 9/10 Jaccard
+    /// comparison).
+    pub fn explain_all(
+        &self,
+        inliers: &[Vec<Value>],
+        outliers: &[(usize, &[Value])],
+    ) -> RepairReport {
+        let mut report = RepairReport::default();
+        for &(row, t_o) in outliers {
+            report.record(row, self.explain(inliers, t_o));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inliers_2d() -> Vec<Vec<Value>> {
+        (0..30)
+            .map(|i| {
+                vec![
+                    Value::Num(10.0 + 0.1 * (i % 6) as f64),
+                    Value::Num(-5.0 + 0.1 * (i / 6) as f64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flags_only_the_deviant_attribute() {
+        let inliers = inliers_2d();
+        let t_o = vec![Value::Num(10.2), Value::Num(40.0)];
+        let attrs = Sse::new().explain(&inliers, &t_o);
+        assert_eq!(attrs.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn flags_all_attributes_of_natural_outlier() {
+        let inliers = inliers_2d();
+        let t_o = vec![Value::Num(-90.0), Value::Num(77.0)];
+        let attrs = Sse::new().explain(&inliers, &t_o);
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn inlier_like_tuple_has_empty_explanation() {
+        let inliers = inliers_2d();
+        let t_o = vec![Value::Num(10.3), Value::Num(-4.8)];
+        assert!(Sse::new().explain(&inliers, &t_o).is_empty());
+    }
+
+    #[test]
+    fn textual_attribute_separability() {
+        let inliers: Vec<Vec<Value>> = ["ab", "ac", "ad"]
+            .iter()
+            .map(|s| vec![Value::Text(s.to_string())])
+            .collect();
+        let unseen = vec![Value::Text("zz".into())];
+        let seen = vec![Value::Text("ab".into())];
+        assert_eq!(Sse::new().explain(&inliers, &unseen).len(), 1);
+        assert!(Sse::new().explain(&inliers, &seen).is_empty());
+    }
+
+    #[test]
+    fn empty_inliers_explain_nothing() {
+        let t_o = vec![Value::Num(0.0)];
+        assert!(Sse::new().explain(&[], &t_o).is_empty());
+    }
+
+    #[test]
+    fn batch_explanation() {
+        let inliers = inliers_2d();
+        let o1 = vec![Value::Num(10.2), Value::Num(40.0)];
+        let o2 = vec![Value::Num(10.25), Value::Num(-4.9)];
+        let outliers = vec![(5usize, o1.as_slice()), (9usize, o2.as_slice())];
+        let report = Sse::new().explain_all(&inliers, &outliers);
+        assert_eq!(report.rows_modified(), 1); // o2's explanation is empty
+        assert!(report.attrs_of(5).is_some());
+    }
+}

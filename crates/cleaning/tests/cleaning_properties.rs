@@ -1,0 +1,100 @@
+//! Property tests for the cleaning baselines: reports must be consistent
+//! with the actual mutations, and clean structure must survive.
+
+use disc_cleaning::{Dorc, Eracer, HoloClean, Holistic, Repairer, Sse};
+use disc_core::DistanceConstraints;
+use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_distance::{TupleDistance, Value};
+use proptest::prelude::*;
+
+fn repairers(c: DistanceConstraints, dist: &TupleDistance) -> Vec<Box<dyn Repairer>> {
+    vec![
+        Box::new(Dorc::new(c, dist.clone())),
+        Box::new(Eracer::new()),
+        Box::new(HoloClean::new()),
+        Box::new(Holistic::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every repairer's report matches the cells it actually changed:
+    /// reported attributes differ from the input, unreported cells are
+    /// bitwise identical.
+    #[test]
+    fn reports_match_mutations(seed in 0u64..200, dirty in 2usize..10) {
+        let mut base = ClusterSpec::new(120, 3, 2, seed).generate();
+        ErrorInjector::new(dirty, 1, seed ^ 0x5EED).inject(&mut base);
+        let dist = TupleDistance::numeric(3);
+        let c = DistanceConstraints::new(2.5, 4);
+        for repairer in repairers(c, &dist) {
+            let mut ds = base.clone();
+            let report = repairer.repair(&mut ds);
+            for row in 0..ds.len() {
+                let attrs = report.attrs_of(row);
+                for a in 0..3 {
+                    let changed = !ds.row(row)[a].same(&base.row(row)[a]);
+                    let reported = attrs.map(|s| s.contains(a)).unwrap_or(false);
+                    prop_assert_eq!(
+                        changed, reported,
+                        "{}: row {} attr {} changed={} reported={}",
+                        repairer.name(), row, a, changed, reported
+                    );
+                }
+            }
+        }
+    }
+
+    /// Repairers are deterministic: repeating the repair on the same input
+    /// yields identical data and reports.
+    #[test]
+    fn repairers_are_deterministic(seed in 0u64..100) {
+        let mut base = ClusterSpec::new(100, 3, 2, seed).generate();
+        ErrorInjector::new(5, 1, seed).inject(&mut base);
+        let dist = TupleDistance::numeric(3);
+        let c = DistanceConstraints::new(2.5, 4);
+        for repairer in repairers(c, &dist) {
+            let mut a = base.clone();
+            let mut b = base.clone();
+            let ra = repairer.repair(&mut a);
+            let rb = repairer.repair(&mut b);
+            prop_assert_eq!(a.to_matrix(), b.to_matrix(), "{}", repairer.name());
+            prop_assert_eq!(ra.rows.len(), rb.rows.len());
+        }
+    }
+
+    /// SSE explanations are subsets of the schema and empty for tuples
+    /// drawn from the inlier distribution itself.
+    #[test]
+    fn sse_explanations_are_well_formed(seed in 0u64..100) {
+        let ds = ClusterSpec::new(80, 4, 1, seed).generate();
+        let inliers: Vec<Vec<Value>> = ds.rows().to_vec();
+        let sse = Sse::new();
+        // A member of the data explains (almost) nothing.
+        let member = ds.row(0).to_vec();
+        let attrs = sse.explain(&inliers, &member);
+        prop_assert!(attrs.len() <= 1, "member flagged in {} attrs", attrs.len());
+        // A far-away point is separable in every attribute.
+        let far: Vec<Value> = (0..4).map(|_| Value::Num(1e6)).collect();
+        prop_assert_eq!(sse.explain(&inliers, &far).len(), 4);
+    }
+
+    /// Dorc never invents values: every repaired row equals some row of
+    /// the pre-repair dataset.
+    #[test]
+    fn dorc_substitutes_existing_tuples(seed in 0u64..100) {
+        let mut ds = ClusterSpec::new(100, 2, 2, seed).generate();
+        ErrorInjector::new(6, 1, seed ^ 3).inject(&mut ds);
+        let before: Vec<Vec<Value>> = ds.rows().to_vec();
+        let dist = TupleDistance::numeric(2);
+        let report = Dorc::new(DistanceConstraints::new(2.5, 4), dist).repair(&mut ds);
+        for (row, _) in &report.rows {
+            let repaired = ds.row(*row);
+            let exists = before
+                .iter()
+                .any(|orig| orig.iter().zip(repaired).all(|(a, b)| a.same(b)));
+            prop_assert!(exists, "row {row} is not an existing tuple");
+        }
+    }
+}

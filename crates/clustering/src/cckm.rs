@@ -1,0 +1,165 @@
+//! CCKM — cardinality-constrained K-Means with an auxiliary outlier
+//! cluster (after Rujeerapaiboon et al., SIAM J. Optim. 2019).
+//!
+//! The original formulates clustering with balanced cluster cardinalities
+//! and a dedicated outlier cluster as a conic program; this is the
+//! iterative heuristic counterpart: Lloyd rounds where (1) at most `l`
+//! points with the largest assignment distances are diverted to the
+//! auxiliary outlier cluster and (2) cluster sizes are capped, spilling
+//! excess members to their second-best center.
+
+use disc_distance::{TupleDistance, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kmeans::{kmeanspp_seed, trimmed_seed_pool, update_centers};
+use crate::{numeric_matrix, sqdist, ClusteringAlgorithm, NOISE};
+
+/// Cardinality-constrained K-Means with an outlier cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct Cckm {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Capacity of the auxiliary outlier cluster.
+    pub l: usize,
+    /// Cluster-size cap as a multiple of the balanced size `n/k`
+    /// (1.0 = perfectly balanced; larger relaxes the constraint).
+    pub balance: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Cckm {
+    /// A CCKM configuration with a 1.5× balance slack.
+    pub fn new(k: usize, l: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        Cckm { k, l, balance: 1.5, max_iter: 60, seed }
+    }
+}
+
+impl ClusteringAlgorithm for Cckm {
+    fn name(&self) -> &'static str {
+        "CCKM"
+    }
+
+    fn cluster(&self, rows: &[Vec<Value>], _dist: &TupleDistance) -> Vec<u32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let (data, m) = numeric_matrix(rows, "CCKM");
+        let n = rows.len();
+        let k = self.k.min(n);
+        let l = self.l.min(n.saturating_sub(k));
+        let cap = (((n - l) as f64 / k as f64) * self.balance).ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Seed away from the extremes so initial centers never sit on the
+        // points that should end up excluded.
+        let pool = trimmed_seed_pool(&data, m, l);
+        let mut centers = kmeanspp_seed(&pool, m, k, &mut rng, None);
+        let mut labels = vec![0u32; n];
+        for _ in 0..self.max_iter {
+            // Distances to every center.
+            let point = |i: usize| &data[i * m..(i + 1) * m];
+            let center = |c: usize| &centers[c * m..(c + 1) * m];
+            // Outlier cluster: the l points with the largest best-distance.
+            let mut best: Vec<(usize, f64)> = (0..n)
+                .map(|i| {
+                    let d = (0..k)
+                        .map(|c| sqdist(point(i), center(c)))
+                        .fold(f64::INFINITY, f64::min);
+                    (i, d)
+                })
+                .collect();
+            best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let mut is_outlier = vec![false; n];
+            for &(i, _) in best.iter().take(l) {
+                is_outlier[i] = true;
+            }
+            // Capacity-respecting assignment: process points by best
+            // distance (closest first), spilling to the next-best center
+            // with remaining capacity.
+            let mut sizes = vec![0usize; k];
+            let mut order: Vec<usize> = (0..n).filter(|&i| !is_outlier[i]).collect();
+            order.sort_by(|&a, &b| {
+                let da = (0..k).map(|c| sqdist(point(a), center(c))).fold(f64::INFINITY, f64::min);
+                let db = (0..k).map(|c| sqdist(point(b), center(c))).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &i in &order {
+                let mut prefs: Vec<(usize, f64)> =
+                    (0..k).map(|c| (c, sqdist(point(i), center(c)))).collect();
+                prefs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                let mut placed = false;
+                for &(c, _) in &prefs {
+                    if sizes[c] < cap {
+                        labels[i] = c as u32;
+                        sizes[c] += 1;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    labels[i] = prefs[0].0 as u32; // all full: take closest
+                }
+            }
+            for i in 0..n {
+                if is_outlier[i] {
+                    labels[i] = NOISE;
+                }
+            }
+            let assigned: Vec<u32> = labels.iter().map(|&l| if l == NOISE { 0 } else { l }).collect();
+            let moved = update_centers(&data, m, &assigned, &mut centers, None, |i| is_outlier[i]);
+            if !moved {
+                break;
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::three_blobs;
+    use disc_metrics::pairwise_f1;
+
+    #[test]
+    fn recovers_blobs_with_outlier_cluster() {
+        let (mut rows, mut truth) = three_blobs(25);
+        rows.push(vec![Value::Num(300.0), Value::Num(-300.0)]);
+        truth.push(99);
+        let labels = Cckm::new(3, 1, 11).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(labels[75], NOISE);
+        assert!(pairwise_f1(&labels, &truth) > 0.95);
+    }
+
+    #[test]
+    fn respects_cluster_size_cap() {
+        let (rows, _) = three_blobs(20);
+        let algo = Cckm { k: 3, l: 0, balance: 1.2, max_iter: 60, seed: 3 };
+        let labels = algo.cluster(&rows, &TupleDistance::numeric(2));
+        let cap = (60.0f64 / 3.0 * 1.2).ceil() as usize;
+        for c in 0..3u32 {
+            let size = labels.iter().filter(|&&l| l == c).count();
+            assert!(size <= cap, "cluster {c} has {size} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<Vec<Value>> = Vec::new();
+        assert!(Cckm::new(2, 1, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (rows, _) = three_blobs(15);
+        let d = TupleDistance::numeric(2);
+        assert_eq!(
+            Cckm::new(3, 2, 8).cluster(&rows, &d),
+            Cckm::new(3, 2, 8).cluster(&rows, &d)
+        );
+    }
+}

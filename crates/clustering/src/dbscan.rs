@@ -1,0 +1,154 @@
+//! DBSCAN (Ester et al., KDD 1996): the density-based algorithm the
+//! paper's distance constraints are modeled after.
+
+use disc_distance::{TupleDistance, Value};
+use disc_index::with_auto_index;
+
+use crate::{ClusteringAlgorithm, NOISE};
+
+/// Density-based spatial clustering with noise.
+///
+/// A point with at least `min_pts` ε-neighbors (itself included) is a core
+/// point; clusters grow by density-reachability from core points;
+/// unreachable points are labeled [`NOISE`].
+#[derive(Debug, Clone, Copy)]
+pub struct Dbscan {
+    /// Neighborhood radius ε.
+    pub eps: f64,
+    /// Core-point threshold (MinPts), self-inclusive.
+    pub min_pts: usize,
+}
+
+impl Dbscan {
+    /// Builds a DBSCAN configuration.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0 && min_pts >= 1);
+        Dbscan { eps, min_pts }
+    }
+}
+
+impl ClusteringAlgorithm for Dbscan {
+    fn name(&self) -> &'static str {
+        "DBSCAN"
+    }
+
+    fn cluster(&self, rows: &[Vec<Value>], dist: &TupleDistance) -> Vec<u32> {
+        let n = rows.len();
+        let mut labels = vec![NOISE; n];
+        let mut visited = vec![false; n];
+        with_auto_index(rows, dist, self.eps, |idx| {
+            let mut cluster = 0u32;
+            for p in 0..n {
+                if visited[p] {
+                    continue;
+                }
+                visited[p] = true;
+                let neighbors = idx.range(&rows[p], self.eps);
+                if neighbors.len() < self.min_pts {
+                    continue; // noise (may later become a border point)
+                }
+                // Start a new cluster and expand it with a worklist.
+                labels[p] = cluster;
+                let mut queue: Vec<u32> = neighbors.iter().map(|h| h.0).collect();
+                let mut qi = 0;
+                while qi < queue.len() {
+                    let q = queue[qi] as usize;
+                    qi += 1;
+                    if labels[q] == NOISE {
+                        labels[q] = cluster; // border point
+                    }
+                    if visited[q] {
+                        continue;
+                    }
+                    visited[q] = true;
+                    let nbrs = idx.range(&rows[q], self.eps);
+                    if nbrs.len() >= self.min_pts {
+                        labels[q] = cluster;
+                        queue.extend(nbrs.iter().map(|h| h.0));
+                    }
+                }
+                cluster += 1;
+            }
+        });
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::three_blobs;
+    use disc_metrics::pairwise_f1;
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (rows, truth) = three_blobs(25);
+        let labels = Dbscan::new(1.0, 4).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(pairwise_f1(&labels, &truth), 1.0);
+        assert!(labels.iter().all(|&l| l != NOISE));
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let (mut rows, _) = three_blobs(25);
+        rows.push(vec![
+            disc_distance::Value::Num(500.0),
+            disc_distance::Value::Num(500.0),
+        ]);
+        let labels = Dbscan::new(1.0, 4).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(*labels.last().unwrap(), NOISE);
+    }
+
+    #[test]
+    fn splits_bridged_cluster_without_core_bridge() {
+        // Two dense blobs with one lone midpoint: min_pts = 4 keeps the
+        // blobs apart; the midpoint is a border of neither (too far).
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![
+                disc_distance::Value::Num(0.1 * i as f64),
+                disc_distance::Value::Num(0.0),
+            ]);
+        }
+        for i in 0..10 {
+            rows.push(vec![
+                disc_distance::Value::Num(10.0 + 0.1 * i as f64),
+                disc_distance::Value::Num(0.0),
+            ]);
+        }
+        let labels = Dbscan::new(0.5, 4).cluster(&rows, &TupleDistance::numeric(2));
+        assert_ne!(labels[0], labels[10]);
+        assert_ne!(labels[0], NOISE);
+        assert_ne!(labels[10], NOISE);
+    }
+
+    #[test]
+    fn all_noise_when_min_pts_too_high() {
+        let (rows, _) = three_blobs(5);
+        let labels = Dbscan::new(0.01, 10).cluster(&rows, &TupleDistance::numeric(2));
+        assert!(labels.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<Vec<disc_distance::Value>> = Vec::new();
+        let labels = Dbscan::new(1.0, 2).cluster(&rows, &TupleDistance::numeric(2));
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A dense core plus one point only reachable from it.
+        let mut rows: Vec<Vec<disc_distance::Value>> = (0..6)
+            .map(|i| {
+                vec![
+                    disc_distance::Value::Num(0.1 * i as f64),
+                    disc_distance::Value::Num(0.0),
+                ]
+            })
+            .collect();
+        rows.push(vec![disc_distance::Value::Num(1.2), disc_distance::Value::Num(0.0)]);
+        let labels = Dbscan::new(0.8, 4).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(labels[6], labels[0], "border point must join the cluster");
+    }
+}

@@ -1,0 +1,144 @@
+//! KMC — coreset K-Means (after Chen, SIAM J. Comput. 2009).
+//!
+//! Extracts a small weighted kernel set that approximates the K-Means cost
+//! of the full data, clusters the kernel set, and assigns every point to
+//! the nearest resulting center. The coreset is built by D²-importance
+//! sampling against a k-means++ bicriteria solution, with weights set so
+//! the sampled points represent the mass they were drawn from.
+
+use disc_distance::{TupleDistance, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::kmeans::{assign, kmeanspp_seed, update_centers};
+use crate::{numeric_matrix, sqdist, ClusteringAlgorithm};
+
+/// Coreset K-Means.
+#[derive(Debug, Clone, Copy)]
+pub struct Kmc {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Kernel-set size (clamped to `n`).
+    pub coreset_size: usize,
+    /// Maximum Lloyd iterations on the kernel set.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Kmc {
+    /// A KMC configuration with a `40·k` kernel set.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        Kmc { k, coreset_size: 40 * k, max_iter: 100, seed }
+    }
+}
+
+impl ClusteringAlgorithm for Kmc {
+    fn name(&self) -> &'static str {
+        "KMC"
+    }
+
+    fn cluster(&self, rows: &[Vec<Value>], _dist: &TupleDistance) -> Vec<u32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let (data, m) = numeric_matrix(rows, "KMC");
+        let n = rows.len();
+        let k = self.k.min(n);
+        let size = self.coreset_size.clamp(k, n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Bicriteria solution: k-means++ seeds give an O(log k) cost bound.
+        let seeds = kmeanspp_seed(&data, m, k, &mut rng, None);
+        let d2: Vec<f64> = (0..n)
+            .map(|i| {
+                (0..k)
+                    .map(|c| sqdist(&data[i * m..(i + 1) * m], &seeds[c * m..(c + 1) * m]))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+
+        // Importance sampling: q(i) ∝ 1/(2n) + d²(i)/(2·total); weight 1/q.
+        let q: Vec<f64> = if total <= 0.0 {
+            vec![1.0 / n as f64; n]
+        } else {
+            d2.iter().map(|&d| 0.5 / n as f64 + 0.5 * d / total).collect()
+        };
+        let mut coreset_idx = Vec::with_capacity(size);
+        let mut weights = Vec::with_capacity(size);
+        let qsum: f64 = q.iter().sum();
+        for _ in 0..size {
+            let mut target = rng.random_range(0.0..qsum);
+            let mut pick = n - 1;
+            for (i, &qi) in q.iter().enumerate() {
+                if target < qi {
+                    pick = i;
+                    break;
+                }
+                target -= qi;
+            }
+            coreset_idx.push(pick);
+            weights.push(1.0 / (q[pick] * size as f64));
+        }
+        let mut cdata = Vec::with_capacity(size * m);
+        for &i in &coreset_idx {
+            cdata.extend_from_slice(&data[i * m..(i + 1) * m]);
+        }
+
+        // Weighted Lloyd on the kernel set.
+        let mut centers = kmeanspp_seed(&cdata, m, k, &mut rng, Some(&weights));
+        for _ in 0..self.max_iter {
+            let (labels, _) = assign(&cdata, m, &centers);
+            if !update_centers(&cdata, m, &labels, &mut centers, Some(&weights), |_| false) {
+                break;
+            }
+        }
+
+        // Assign all points to the nearest kernel center.
+        assign(&data, m, &centers).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::three_blobs;
+    use disc_metrics::pairwise_f1;
+
+    #[test]
+    fn recovers_three_blobs() {
+        let (rows, truth) = three_blobs(30);
+        let labels = Kmc::new(3, 21).cluster(&rows, &TupleDistance::numeric(2));
+        assert!(pairwise_f1(&labels, &truth) > 0.95);
+    }
+
+    #[test]
+    fn coreset_smaller_than_k_is_clamped() {
+        let (rows, _) = three_blobs(10);
+        let algo = Kmc { k: 3, coreset_size: 1, max_iter: 50, seed: 5 };
+        let labels = algo.cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(labels.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (rows, _) = three_blobs(15);
+        let d = TupleDistance::numeric(2);
+        assert_eq!(Kmc::new(3, 6).cluster(&rows, &d), Kmc::new(3, 6).cluster(&rows, &d));
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<Vec<Value>> = Vec::new();
+        assert!(Kmc::new(2, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+    }
+
+    #[test]
+    fn labels_cover_expected_range() {
+        let (rows, _) = three_blobs(20);
+        let labels = Kmc::new(3, 2).cluster(&rows, &TupleDistance::numeric(2));
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+}

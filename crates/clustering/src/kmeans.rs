@@ -1,0 +1,243 @@
+//! K-Means (Lloyd's algorithm with k-means++ seeding).
+//!
+//! The paper's baseline that "directly clusters all points including
+//! outliers" — which is exactly why dirty data distorts its centers
+//! (Figure 1) and why outlier saving helps it (Table 3).
+
+use disc_distance::{TupleDistance, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{numeric_matrix, sqdist, ClusteringAlgorithm};
+
+/// Lloyd's K-Means with k-means++ seeding.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// RNG seed for seeding.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// A K-Means configuration with 100 max iterations.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        KMeans { k, max_iter: 100, seed }
+    }
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled
+/// proportionally to squared distance from the nearest chosen center.
+pub(crate) fn kmeanspp_seed(
+    data: &[f64],
+    m: usize,
+    k: usize,
+    rng: &mut StdRng,
+    weights: Option<&[f64]>,
+) -> Vec<f64> {
+    let n = data.len() / m;
+    assert!(n >= 1);
+    let w = |i: usize| weights.map(|w| w[i]).unwrap_or(1.0);
+    let mut centers: Vec<f64> = Vec::with_capacity(k * m);
+    let first = rng.random_range(0..n);
+    centers.extend_from_slice(&data[first * m..(first + 1) * m]);
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sqdist(&data[i * m..(i + 1) * m], &centers[0..m]) * w(i))
+        .collect();
+    while centers.len() < k * m {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        let cbase = centers.len();
+        centers.extend_from_slice(&data[pick * m..(pick + 1) * m]);
+        for i in 0..n {
+            let nd = sqdist(&data[i * m..(i + 1) * m], &centers[cbase..cbase + m]) * w(i);
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+    centers
+}
+
+/// Returns a copy of `data` without the `l` points farthest from the
+/// global mean — a robust seeding pool for the outlier-aware K-Means
+/// variants (D² seeding would otherwise place initial centers *on* the
+/// outliers, which then can never be excluded).
+pub(crate) fn trimmed_seed_pool(data: &[f64], m: usize, l: usize) -> Vec<f64> {
+    let n = data.len() / m;
+    if l == 0 || n <= l {
+        return data.to_vec();
+    }
+    let mut mean = vec![0.0f64; m];
+    for i in 0..n {
+        for j in 0..m {
+            mean[j] += data[i * m + j];
+        }
+    }
+    for v in &mut mean {
+        *v /= n as f64;
+    }
+    let mut order: Vec<(usize, f64)> = (0..n)
+        .map(|i| (i, sqdist(&data[i * m..(i + 1) * m], &mean)))
+        .collect();
+    order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut pool = Vec::with_capacity((n - l) * m);
+    for &(i, _) in order.iter().take(n - l) {
+        pool.extend_from_slice(&data[i * m..(i + 1) * m]);
+    }
+    pool
+}
+
+/// One Lloyd pass: assign to the nearest center. Returns (labels, inertia).
+pub(crate) fn assign(data: &[f64], m: usize, centers: &[f64]) -> (Vec<u32>, f64) {
+    let n = data.len() / m;
+    let k = centers.len() / m;
+    let mut labels = vec![0u32; n];
+    let mut inertia = 0.0;
+    for i in 0..n {
+        let p = &data[i * m..(i + 1) * m];
+        let mut best = f64::INFINITY;
+        let mut arg = 0u32;
+        for c in 0..k {
+            let d = sqdist(p, &centers[c * m..(c + 1) * m]);
+            if d < best {
+                best = d;
+                arg = c as u32;
+            }
+        }
+        labels[i] = arg;
+        inertia += best;
+    }
+    (labels, inertia)
+}
+
+/// Recomputes centers as (weighted) means of their members; empty clusters
+/// keep their previous center. Returns true if any center moved.
+pub(crate) fn update_centers(
+    data: &[f64],
+    m: usize,
+    labels: &[u32],
+    centers: &mut [f64],
+    weights: Option<&[f64]>,
+    skip: impl Fn(usize) -> bool,
+) -> bool {
+    let n = data.len() / m;
+    let k = centers.len() / m;
+    let mut sums = vec![0.0f64; k * m];
+    let mut counts = vec![0.0f64; k];
+    for i in 0..n {
+        if skip(i) {
+            continue;
+        }
+        let c = labels[i] as usize;
+        let w = weights.map(|w| w[i]).unwrap_or(1.0);
+        counts[c] += w;
+        for j in 0..m {
+            sums[c * m + j] += w * data[i * m + j];
+        }
+    }
+    let mut moved = false;
+    for c in 0..k {
+        if counts[c] > 0.0 {
+            for j in 0..m {
+                let v = sums[c * m + j] / counts[c];
+                if (centers[c * m + j] - v).abs() > 1e-12 {
+                    moved = true;
+                }
+                centers[c * m + j] = v;
+            }
+        }
+    }
+    moved
+}
+
+impl ClusteringAlgorithm for KMeans {
+    fn name(&self) -> &'static str {
+        "K-Means"
+    }
+
+    fn cluster(&self, rows: &[Vec<Value>], _dist: &TupleDistance) -> Vec<u32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let (data, m) = numeric_matrix(rows, "K-Means");
+        let k = self.k.min(rows.len());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centers = kmeanspp_seed(&data, m, k, &mut rng, None);
+        let mut labels = Vec::new();
+        for _ in 0..self.max_iter {
+            let (l, _) = assign(&data, m, &centers);
+            labels = l;
+            if !update_centers(&data, m, &labels, &mut centers, None, |_| false) {
+                break;
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::three_blobs;
+    use disc_metrics::pairwise_f1;
+
+    #[test]
+    fn recovers_three_blobs() {
+        let (rows, truth) = three_blobs(25);
+        let labels = KMeans::new(3, 7).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(pairwise_f1(&labels, &truth), 1.0);
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let (rows, _) = three_blobs(10);
+        let labels = KMeans::new(1, 1).cluster(&rows, &TupleDistance::numeric(2));
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let rows: Vec<Vec<Value>> = (0..3).map(|i| vec![Value::Num(i as f64)]).collect();
+        let labels = KMeans::new(10, 2).cluster(&rows, &TupleDistance::numeric(1));
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (rows, _) = three_blobs(20);
+        let d = TupleDistance::numeric(2);
+        let a = KMeans::new(3, 42).cluster(&rows, &d);
+        let b = KMeans::new(3, 42).cluster(&rows, &d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<Vec<Value>> = Vec::new();
+        assert!(KMeans::new(2, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires fully numeric data")]
+    fn text_data_rejected() {
+        let rows = vec![vec![Value::Text("a".into())]];
+        KMeans::new(1, 1).cluster(&rows, &TupleDistance::textual(1));
+    }
+}

@@ -1,0 +1,125 @@
+//! K-Means-- (Chawla & Gionis, SDM 2013): unified clustering and outlier
+//! detection with `k` clusters and `l` outliers.
+//!
+//! Each Lloyd iteration ranks all points by distance to their nearest
+//! center, excludes the `l` farthest as outliers, and updates centers from
+//! the remaining points only.
+
+use disc_distance::{TupleDistance, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kmeans::{assign, kmeanspp_seed, trimmed_seed_pool, update_centers};
+use crate::{numeric_matrix, sqdist, ClusteringAlgorithm, NOISE};
+
+/// K-Means with `l` excluded outliers.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansMinus {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Number of outliers `l` to exclude.
+    pub l: usize,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeansMinus {
+    /// A K-Means-- configuration with 100 max iterations.
+    pub fn new(k: usize, l: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        KMeansMinus { k, l, max_iter: 100, seed }
+    }
+}
+
+impl ClusteringAlgorithm for KMeansMinus {
+    fn name(&self) -> &'static str {
+        "K-Means--"
+    }
+
+    fn cluster(&self, rows: &[Vec<Value>], _dist: &TupleDistance) -> Vec<u32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let (data, m) = numeric_matrix(rows, "K-Means--");
+        let n = rows.len();
+        let k = self.k.min(n);
+        let l = self.l.min(n.saturating_sub(k));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Seed away from the extremes so initial centers never sit on the
+        // points that should end up excluded.
+        let pool = trimmed_seed_pool(&data, m, l);
+        let mut centers = kmeanspp_seed(&pool, m, k, &mut rng, None);
+        let mut labels = vec![0u32; n];
+        for _ in 0..self.max_iter {
+            let (assigned, _) = assign(&data, m, &centers);
+            // Rank points by distance to their assigned center and mark
+            // the l farthest as outliers for this round.
+            let mut order: Vec<(usize, f64)> = (0..n)
+                .map(|i| {
+                    let c = assigned[i] as usize;
+                    (i, sqdist(&data[i * m..(i + 1) * m], &centers[c * m..(c + 1) * m]))
+                })
+                .collect();
+            order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let mut is_outlier = vec![false; n];
+            for &(i, _) in order.iter().take(l) {
+                is_outlier[i] = true;
+            }
+            for i in 0..n {
+                labels[i] = if is_outlier[i] { NOISE } else { assigned[i] };
+            }
+            let moved = update_centers(&data, m, &assigned, &mut centers, None, |i| is_outlier[i]);
+            if !moved {
+                break;
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::three_blobs;
+    use disc_metrics::pairwise_f1;
+
+    #[test]
+    fn excludes_far_outliers_and_recovers_blobs() {
+        let (mut rows, mut truth) = three_blobs(25);
+        rows.push(vec![Value::Num(400.0), Value::Num(400.0)]);
+        rows.push(vec![Value::Num(-350.0), Value::Num(120.0)]);
+        truth.push(900);
+        truth.push(901);
+        let labels = KMeansMinus::new(3, 2, 5).cluster(&rows, &TupleDistance::numeric(2));
+        // The two planted outliers are the excluded ones.
+        assert_eq!(labels[75], NOISE);
+        assert_eq!(labels[76], NOISE);
+        assert_eq!(pairwise_f1(&labels, &truth), 1.0);
+    }
+
+    #[test]
+    fn l_zero_degenerates_to_kmeans() {
+        let (rows, truth) = three_blobs(20);
+        let labels = KMeansMinus::new(3, 0, 9).cluster(&rows, &TupleDistance::numeric(2));
+        assert!(labels.iter().all(|&l| l != NOISE));
+        assert_eq!(pairwise_f1(&labels, &truth), 1.0);
+    }
+
+    #[test]
+    fn l_clamped_to_leave_k_points() {
+        let rows: Vec<Vec<Value>> = (0..4).map(|i| vec![Value::Num(i as f64)]).collect();
+        let labels = KMeansMinus::new(2, 100, 3).cluster(&rows, &TupleDistance::numeric(1));
+        let clustered = labels.iter().filter(|&&l| l != NOISE).count();
+        assert!(clustered >= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<Vec<Value>> = Vec::new();
+        assert!(KMeansMinus::new(2, 1, 1)
+            .cluster(&rows, &TupleDistance::numeric(1))
+            .is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Clustering algorithms used in the paper's evaluation (Section 4.1.1).
+//!
+//! * [`Dbscan`] — the classical density-based algorithm; handles both
+//!   clustering and outliers (noise points get the [`NOISE`] label);
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding; assigns every
+//!   point, including outliers, to the closest cluster;
+//! * [`KMeansMinus`] — K-Means-- (Chawla & Gionis): `k` clusters plus `l`
+//!   excluded outliers per iteration;
+//! * [`Cckm`] — cardinality-constrained K-Means with an auxiliary outlier
+//!   cluster (Rujeerapaiboon et al.), here the iterative heuristic variant;
+//! * [`Srem`] — stability-region EM over spherical Gaussian mixtures
+//!   (Reddy et al.), realized as multi-restart EM keeping the most stable
+//!   (highest-likelihood) solution;
+//! * [`Kmc`] — coreset K-Means (Chen): weighted k-means on a small
+//!   D²-sampled kernel set, then nearest-center assignment;
+//! * [`Optics`] — the density-ordering generalization of DBSCAN (Ankerst
+//!   et al.), cited in the paper's related work.
+//!
+//! Every algorithm implements [`ClusteringAlgorithm`] and returns one label
+//! per row; `u32::MAX` marks noise/outlier points.
+
+pub mod cckm;
+pub mod dbscan;
+pub mod optics;
+pub mod kmeans;
+pub mod kmeans_minus;
+pub mod kmc;
+pub mod srem;
+
+pub use cckm::Cckm;
+pub use dbscan::Dbscan;
+pub use kmeans::KMeans;
+pub use kmeans_minus::KMeansMinus;
+pub use kmc::Kmc;
+pub use optics::{Optics, OpticsOrdering};
+pub use srem::Srem;
+
+use disc_distance::{TupleDistance, Value};
+
+/// Sentinel label for noise / outlier points.
+pub const NOISE: u32 = u32::MAX;
+
+/// A clustering algorithm over a row set with a tuple metric.
+pub trait ClusteringAlgorithm {
+    /// A short display name ("DBSCAN", "K-Means", …).
+    fn name(&self) -> &'static str;
+
+    /// Clusters the rows, returning one label per row ([`NOISE`] for
+    /// unclustered points).
+    fn cluster(&self, rows: &[Vec<Value>], dist: &TupleDistance) -> Vec<u32>;
+}
+
+/// Extracts a row-major numeric matrix, panicking with a clear message on
+/// non-numeric data (the centroid-based methods require numeric attributes).
+pub(crate) fn numeric_matrix(rows: &[Vec<Value>], algo: &str) -> (Vec<f64>, usize) {
+    let m = rows.first().map(|r| r.len()).unwrap_or(0);
+    let mut out = Vec::with_capacity(rows.len() * m);
+    for row in rows {
+        for v in row {
+            match v.as_num() {
+                Some(x) => out.push(x),
+                None => panic!("{algo} requires fully numeric data"),
+            }
+        }
+    }
+    (out, m)
+}
+
+/// Squared Euclidean distance between two points of a flat matrix.
+#[inline]
+pub(crate) fn sqdist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use disc_distance::Value;
+
+    /// Three well-separated 2-D blobs of `per` points each, returning the
+    /// rows and ground-truth labels.
+    pub fn three_blobs(per: usize) -> (Vec<Vec<Value>>, Vec<u32>) {
+        let centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per {
+                // Deterministic jitter on a small grid.
+                let dx = 0.25 * (i % 5) as f64;
+                let dy = 0.25 * (i / 5 % 5) as f64;
+                rows.push(vec![Value::Num(cx + dx), Value::Num(cy + dy)]);
+                labels.push(c as u32);
+            }
+        }
+        (rows, labels)
+    }
+}

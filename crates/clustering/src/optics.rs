@@ -1,0 +1,255 @@
+//! OPTICS (Ankerst et al., SIGMOD 1999): ordering points to identify the
+//! clustering structure — the DBSCAN generalization cited in the DISC
+//! paper's related work.
+//!
+//! OPTICS orders the points by density reachability and annotates each
+//! with a *reachability distance*; flat clusters are then extracted by
+//! cutting the reachability plot at a threshold ε′ ≤ ε (here the same ε,
+//! which recovers DBSCAN's clustering while exposing the full ordering
+//! for inspection).
+
+use disc_distance::{TupleDistance, Value};
+use disc_index::with_auto_index;
+
+use crate::{ClusteringAlgorithm, NOISE};
+
+/// The OPTICS ordering and reachability annotations.
+#[derive(Debug, Clone)]
+pub struct OpticsOrdering {
+    /// Visit order (row ids).
+    pub order: Vec<u32>,
+    /// Reachability distance per row (aligned with row ids, not with the
+    /// order); `f64::INFINITY` for points never density-reached.
+    pub reachability: Vec<f64>,
+    /// Core distance per row; `f64::INFINITY` for non-core points.
+    pub core_distance: Vec<f64>,
+}
+
+impl OpticsOrdering {
+    /// Extracts a flat DBSCAN-style clustering by cutting the
+    /// reachability plot at `eps_cut` (must be ≤ the ε used to build the
+    /// ordering). Points whose reachability and core distance both exceed
+    /// the cut become [`NOISE`].
+    pub fn extract(&self, eps_cut: f64) -> Vec<u32> {
+        let n = self.order.len();
+        let mut labels = vec![NOISE; n];
+        let mut cluster: i64 = -1;
+        for &p in &self.order {
+            let p = p as usize;
+            if self.reachability[p] > eps_cut {
+                if self.core_distance[p] <= eps_cut {
+                    cluster += 1;
+                    labels[p] = cluster as u32;
+                }
+                // else: noise (stays NOISE)
+            } else {
+                debug_assert!(cluster >= 0, "reachable point before any core point");
+                if cluster >= 0 {
+                    labels[p] = cluster as u32;
+                }
+            }
+        }
+        labels
+    }
+}
+
+/// The OPTICS algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Optics {
+    /// Maximum neighborhood radius ε.
+    pub eps: f64,
+    /// Core-point threshold (MinPts), self-inclusive.
+    pub min_pts: usize,
+}
+
+impl Optics {
+    /// Builds an OPTICS configuration.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0 && min_pts >= 1);
+        Optics { eps, min_pts }
+    }
+
+    /// Computes the full ordering with reachability/core distances.
+    pub fn ordering(&self, rows: &[Vec<Value>], dist: &TupleDistance) -> OpticsOrdering {
+        let n = rows.len();
+        let mut reach = vec![f64::INFINITY; n];
+        let mut core = vec![f64::INFINITY; n];
+        let mut processed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        with_auto_index(rows, dist, self.eps, |idx| {
+            for start in 0..n {
+                if processed[start] {
+                    continue;
+                }
+                // Expand a new connected component from `start`.
+                processed[start] = true;
+                order.push(start as u32);
+                let neighbors = idx.range(&rows[start], self.eps);
+                core[start] = self.core_dist(&neighbors);
+                // Seed list: (reachability, id), maintained as a simple
+                // sorted vector (n is small enough in our workloads).
+                let mut seeds: Vec<(f64, u32)> = Vec::new();
+                if core[start].is_finite() {
+                    Self::update_seeds(&neighbors, start, &core, &reach.clone(), &processed, &mut seeds, &mut reach);
+                }
+                while let Some(pos) = Self::pop_min(&mut seeds, &processed) {
+                    let q = pos as usize;
+                    processed[q] = true;
+                    order.push(pos);
+                    let nbrs = idx.range(&rows[q], self.eps);
+                    core[q] = self.core_dist(&nbrs);
+                    if core[q].is_finite() {
+                        Self::update_seeds(&nbrs, q, &core, &reach.clone(), &processed, &mut seeds, &mut reach);
+                    }
+                }
+            }
+        });
+        OpticsOrdering { order, reachability: reach, core_distance: core }
+    }
+
+    fn core_dist(&self, neighbors: &[(u32, f64)]) -> f64 {
+        if neighbors.len() < self.min_pts {
+            return f64::INFINITY;
+        }
+        let mut ds: Vec<f64> = neighbors.iter().map(|h| h.1).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ds[self.min_pts - 1]
+    }
+
+    fn update_seeds(
+        neighbors: &[(u32, f64)],
+        center: usize,
+        core: &[f64],
+        old_reach: &[f64],
+        processed: &[bool],
+        seeds: &mut Vec<(f64, u32)>,
+        reach: &mut [f64],
+    ) {
+        let c = core[center];
+        for &(id, d) in neighbors {
+            let i = id as usize;
+            if processed[i] {
+                continue;
+            }
+            let new_reach = c.max(d);
+            if new_reach < old_reach[i].min(reach[i]) {
+                reach[i] = new_reach;
+                seeds.push((new_reach, id));
+            }
+        }
+    }
+
+    fn pop_min(seeds: &mut Vec<(f64, u32)>, processed: &[bool]) -> Option<u32> {
+        loop {
+            let best = seeds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1 .1.cmp(&b.1 .1))
+                })
+                .map(|(i, _)| i)?;
+            let (_, id) = seeds.swap_remove(best);
+            if !processed[id as usize] {
+                return Some(id);
+            }
+        }
+    }
+}
+
+impl ClusteringAlgorithm for Optics {
+    fn name(&self) -> &'static str {
+        "OPTICS"
+    }
+
+    fn cluster(&self, rows: &[Vec<Value>], dist: &TupleDistance) -> Vec<u32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        self.ordering(rows, dist).extract(self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::three_blobs;
+    use crate::Dbscan;
+    use disc_metrics::pairwise_f1;
+
+    #[test]
+    fn matches_dbscan_at_full_cut() {
+        // Cutting the reachability plot at ε recovers DBSCAN's partition
+        // up to label permutation (pairwise F1 = 1 on core-only data).
+        let (rows, _) = three_blobs(25);
+        let dist = TupleDistance::numeric(2);
+        let optics = Optics::new(1.0, 4).cluster(&rows, &dist);
+        let dbscan = Dbscan::new(1.0, 4).cluster(&rows, &dist);
+        assert_eq!(pairwise_f1(&optics, &dbscan), 1.0);
+    }
+
+    #[test]
+    fn recovers_blobs_and_flags_noise() {
+        let (mut rows, truth) = three_blobs(25);
+        rows.push(vec![
+            disc_distance::Value::Num(900.0),
+            disc_distance::Value::Num(900.0),
+        ]);
+        let labels = Optics::new(1.0, 4).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(*labels.last().unwrap(), NOISE);
+        assert_eq!(pairwise_f1(&labels[..75], &truth), 1.0);
+    }
+
+    #[test]
+    fn tighter_cut_splits_loose_bridges() {
+        // Two dense blobs joined by a sparser bridge: the full-ε cut keeps
+        // them together, a tight cut separates them.
+        let mut rows = Vec::new();
+        for i in 0..12 {
+            rows.push(vec![
+                disc_distance::Value::Num(0.1 * i as f64),
+                disc_distance::Value::Num(0.0),
+            ]);
+        }
+        for i in 0..5 {
+            rows.push(vec![
+                disc_distance::Value::Num(1.1 + 0.6 * i as f64),
+                disc_distance::Value::Num(0.0),
+            ]);
+        }
+        for i in 0..12 {
+            rows.push(vec![
+                disc_distance::Value::Num(4.1 + 0.1 * i as f64),
+                disc_distance::Value::Num(0.0),
+            ]);
+        }
+        let dist = TupleDistance::numeric(2);
+        let ordering = Optics::new(0.8, 3).ordering(&rows, &dist);
+        let loose = ordering.extract(0.8);
+        let tight = ordering.extract(0.25);
+        let clusters = |labels: &[u32]| {
+            let mut ids: Vec<u32> = labels.iter().copied().filter(|&l| l != NOISE).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        assert!(clusters(&tight) > clusters(&loose), "tight cut must split more");
+    }
+
+    #[test]
+    fn ordering_covers_every_point_once() {
+        let (rows, _) = three_blobs(10);
+        let ordering = Optics::new(1.0, 3).ordering(&rows, &TupleDistance::numeric(2));
+        let mut seen = ordering.order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..rows.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<Vec<disc_distance::Value>> = Vec::new();
+        assert!(Optics::new(1.0, 2).cluster(&rows, &TupleDistance::numeric(2)).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the clustering algorithms.
+
+use disc_clustering::{
+    Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Srem, NOISE,
+};
+use disc_distance::{TupleDistance, Value};
+use proptest::prelude::*;
+
+fn to_rows(points: Vec<Vec<f64>>) -> Vec<Vec<Value>> {
+    points
+        .into_iter()
+        .map(|p| p.into_iter().map(Value::Num).collect())
+        .collect()
+}
+
+fn all_algorithms(k: usize, l: usize) -> Vec<Box<dyn ClusteringAlgorithm>> {
+    vec![
+        Box::new(Dbscan::new(1.0, 3)),
+        Box::new(KMeans::new(k, 7)),
+        Box::new(KMeansMinus::new(k, l, 7)),
+        Box::new(Cckm::new(k, l, 7)),
+        Box::new(Srem::new(k, 7)),
+        Box::new(Kmc::new(k, 7)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm returns exactly one label per row, and non-noise
+    /// labels are within the requested cluster range for the k-family.
+    #[test]
+    fn label_shape_invariants(
+        points in prop::collection::vec(prop::collection::vec(-30.0f64..30.0, 2), 8..40),
+        k in 1usize..4,
+    ) {
+        let rows = to_rows(points);
+        let dist = TupleDistance::numeric(2);
+        for algo in all_algorithms(k, 2) {
+            let labels = algo.cluster(&rows, &dist);
+            prop_assert_eq!(labels.len(), rows.len(), "{}", algo.name());
+            if !matches!(algo.name(), "DBSCAN") {
+                for &l in &labels {
+                    prop_assert!(l == NOISE || (l as usize) < k, "{} label {l}", algo.name());
+                }
+            }
+        }
+    }
+
+    /// Determinism: the same input and seed give the same labels.
+    #[test]
+    fn determinism(points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 6..25)) {
+        let rows = to_rows(points);
+        let dist = TupleDistance::numeric(2);
+        for algo in all_algorithms(2, 1) {
+            let a = algo.cluster(&rows, &dist);
+            let b = algo.cluster(&rows, &dist);
+            prop_assert_eq!(a, b, "{} not deterministic", algo.name());
+        }
+    }
+
+    /// K-Means-- excludes exactly min(l, n − k) points as noise.
+    #[test]
+    fn kmeans_minus_outlier_budget(
+        points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 10..30),
+        l in 0usize..6,
+    ) {
+        let rows = to_rows(points);
+        let dist = TupleDistance::numeric(2);
+        let labels = KMeansMinus::new(2, l, 3).cluster(&rows, &dist);
+        let noise = labels.iter().filter(|&&x| x == NOISE).count();
+        prop_assert_eq!(noise, l.min(rows.len().saturating_sub(2)));
+    }
+
+    /// DBSCAN's clusters are ε-connected: every non-noise point has at
+    /// least one same-cluster neighbor within ε (when the cluster has
+    /// more than one member).
+    #[test]
+    fn dbscan_clusters_are_connected(
+        points in prop::collection::vec(prop::collection::vec(-15.0f64..15.0, 2), 5..40),
+    ) {
+        let rows = to_rows(points);
+        let dist = TupleDistance::numeric(2);
+        let eps = 1.5;
+        let labels = Dbscan::new(eps, 3).cluster(&rows, &dist);
+        for i in 0..rows.len() {
+            if labels[i] == NOISE {
+                continue;
+            }
+            let members = labels.iter().filter(|&&l| l == labels[i]).count();
+            if members > 1 {
+                let has_near = (0..rows.len())
+                    .any(|j| j != i && labels[j] == labels[i] && dist.dist(&rows[i], &rows[j]) <= eps);
+                prop_assert!(has_near, "point {i} isolated inside its cluster");
+            }
+        }
+    }
+}

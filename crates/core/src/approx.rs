@@ -1,0 +1,462 @@
+//! Algorithm 1: the DISC approximation (Section 3.3 of the paper).
+//!
+//! The search recursively enumerates *unadjusted* attribute sets `X ⊆ R`,
+//! starting from `X = ∅` (or from every `|X| = m − κ` in the κ-restricted
+//! variant), maintaining the candidate list `r_ε(t_o[X])`:
+//!
+//! * each visited `X` contributes the Proposition 5 upper bound `t_o^u =
+//!   (t_o[X], t₂[R\X])` as a feasible solution, improving the incumbent;
+//! * the Proposition 3 lower bound `Δ(t_o, t₁) − ε` prunes the subtree
+//!   when it already exceeds the incumbent's cost;
+//! * a subtree is also pruned when `|r_ε(t_o[X])| < η`, since candidate
+//!   lists only shrink as `X` grows (monotonicity of `Δ` in `X`);
+//! * every `X` is processed at most once (bitset memoization).
+//!
+//! Candidate lists are narrowed incrementally: the child `X ∪ {A}` filters
+//! the parent's list by accumulating attribute `A`'s distance into the
+//! per-candidate norm accumulator, so no node rescans all of `r`.
+
+use std::collections::HashSet;
+
+use disc_distance::{AttrSet, Norm, Value};
+
+use crate::constraints::DistanceConstraints;
+use crate::rset::RSet;
+
+/// A value adjustment produced by a saver.
+#[derive(Debug, Clone)]
+pub struct Adjustment {
+    /// The adjusted tuple `t'_o`.
+    pub values: Vec<Value>,
+    /// The attributes whose values actually changed.
+    pub adjusted: AttrSet,
+    /// The adjustment cost `Δ(t_o, t'_o)`.
+    pub cost: f64,
+}
+
+/// The DISC approximate saver (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct DiscSaver {
+    constraints: DistanceConstraints,
+    dist: disc_distance::TupleDistance,
+    /// Maximum number of adjusted attributes (κ of Section 3.3); `None`
+    /// runs the unrestricted `O(2^m n)` search.
+    kappa: Option<usize>,
+    /// Hard cap on visited attribute sets per outlier; the search returns
+    /// the incumbent when exhausted. Keeps the unrestricted search usable
+    /// on wide schemas (Spam has m = 57).
+    node_budget: usize,
+}
+
+impl DiscSaver {
+    /// A saver with the unrestricted search and the default node budget.
+    pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
+        DiscSaver { constraints, dist, kappa: None, node_budget: 200_000 }
+    }
+
+    /// Restricts adjustments to at most `kappa` attributes. Outliers that
+    /// cannot be saved within the budget are classified *natural* by the
+    /// pipeline (Section 1.2).
+    pub fn with_kappa(mut self, kappa: usize) -> Self {
+        assert!(kappa >= 1, "κ must be at least 1");
+        self.kappa = Some(kappa);
+        self
+    }
+
+    /// Overrides the node budget.
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        assert!(budget >= 1);
+        self.node_budget = budget;
+        self
+    }
+
+    /// The configured constraints.
+    pub fn constraints(&self) -> DistanceConstraints {
+        self.constraints
+    }
+
+    /// The configured metric.
+    pub fn distance(&self) -> &disc_distance::TupleDistance {
+        &self.dist
+    }
+
+    /// The configured κ, if any.
+    pub fn kappa(&self) -> Option<usize> {
+        self.kappa
+    }
+
+    /// Builds the preprocessed inlier context for this saver's metric and
+    /// constraints.
+    pub fn build_rset(&self, inlier_rows: Vec<Vec<Value>>) -> RSet {
+        RSet::new(inlier_rows, self.dist.clone(), self.constraints)
+    }
+
+    /// Saves one outlier against `r`, returning the near-optimal adjustment
+    /// or `None` when no feasible adjustment exists within κ / the budget.
+    pub fn save_one(&self, r: &RSet, t_o: &[Value]) -> Option<Adjustment> {
+        assert_eq!(t_o.len(), self.dist.arity());
+        if r.is_empty() {
+            return None;
+        }
+        let m = self.dist.arity();
+        let mut search = Search::new(self, r, t_o);
+        let kappa = self.kappa.unwrap_or(m).min(m);
+        if kappa >= m {
+            // Unrestricted: root X = ∅ with all of r as candidates.
+            let cands: Vec<u32> = (0..r.len() as u32).collect();
+            let acc = vec![self.dist.norm().init(); cands.len()];
+            search.recurse(AttrSet::empty(), cands, acc);
+        } else {
+            // κ-restricted: one root per X with |X| = m − κ, seeded from the
+            // smallest single-attribute ε-ball among X.
+            for x0 in AttrSet::subsets_of_size(m, m - kappa) {
+                search.run_root(x0);
+                if search.nodes >= search.budget {
+                    break;
+                }
+            }
+        }
+        search.into_result()
+    }
+}
+
+/// Per-outlier search state.
+struct Search<'a> {
+    r: &'a RSet,
+    t_o: &'a [Value],
+    eps: f64,
+    eta: usize,
+    norm: Norm,
+    m: usize,
+    /// Norm accumulator of the full-space distance from `t_o` to each row
+    /// of `r` (so `Δ(t_o[R\X], t[R\X])` is recovered by subtraction for
+    /// decomposable norms).
+    full_acc: Vec<f64>,
+    /// Finished full-space distances.
+    full_d: Vec<f64>,
+    visited: HashSet<AttrSet>,
+    nodes: usize,
+    budget: usize,
+    best_cost: f64,
+    /// `(row of r, unadjusted X)` of the incumbent upper bound.
+    best: Option<(u32, AttrSet)>,
+}
+
+impl<'a> Search<'a> {
+    fn new(saver: &DiscSaver, r: &'a RSet, t_o: &'a [Value]) -> Self {
+        let dist = r.distance();
+        let norm = dist.norm();
+        let mut full_acc = Vec::with_capacity(r.len());
+        let mut full_d = Vec::with_capacity(r.len());
+        for row in r.rows() {
+            let mut acc = norm.init();
+            for a in 0..dist.arity() {
+                acc = norm.accumulate(acc, dist.attr_dist(a, &t_o[a], &row[a]));
+            }
+            full_acc.push(acc);
+            full_d.push(norm.finish(acc));
+        }
+        Search {
+            r,
+            t_o,
+            eps: saver.constraints.eps,
+            eta: saver.constraints.eta,
+            norm,
+            m: dist.arity(),
+            full_acc,
+            full_d,
+            visited: HashSet::new(),
+            nodes: 0,
+            budget: saver.node_budget,
+            best_cost: f64::INFINITY,
+            best: None,
+        }
+    }
+
+    /// `Δ(t_o[R\X], t[R\X])` for candidate row `c` whose `X`-accumulator is
+    /// `acc_x`. For `L¹`/`L²`/`L^p` the accumulator decomposes; `L^∞` needs
+    /// a direct pass over `R\X`.
+    fn remainder_dist(&self, c: u32, acc_x: f64, x: AttrSet) -> f64 {
+        match self.norm {
+            Norm::LInf => {
+                let dist = self.r.distance();
+                let row = &self.r.rows()[c as usize];
+                let mut acc = self.norm.init();
+                for a in x.complement(self.m).iter() {
+                    acc = self.norm.accumulate(acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
+                }
+                self.norm.finish(acc)
+            }
+            _ => self.norm.finish((self.full_acc[c as usize] - acc_x).max(0.0)),
+        }
+    }
+
+    /// Seeds and runs one κ-restricted root `X₀`.
+    fn run_root(&mut self, x0: AttrSet) {
+        if self.visited.contains(&x0) {
+            return;
+        }
+        // Seed candidates from the smallest single-attribute ball among X₀
+        // (every candidate must be within ε on each attribute of X₀).
+        let seed: Vec<u32> = match x0
+            .iter()
+            .map(|a| (a, self.r.attribute_ball(a, &self.t_o[a], self.eps)))
+            .min_by_key(|(_, ball)| ball.len())
+        {
+            Some((_, ball)) => ball,
+            None => (0..self.r.len() as u32).collect(), // X₀ = ∅
+        };
+        let dist = self.r.distance();
+        let mut cands = Vec::with_capacity(seed.len());
+        let mut acc = Vec::with_capacity(seed.len());
+        let cap = self.norm.to_acc(self.eps);
+        'cand: for c in seed {
+            let row = &self.r.rows()[c as usize];
+            let mut a_acc = self.norm.init();
+            for a in x0.iter() {
+                a_acc = self.norm.accumulate(a_acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
+                if a_acc > cap {
+                    continue 'cand;
+                }
+            }
+            cands.push(c);
+            acc.push(a_acc);
+        }
+        self.recurse(x0, cands, acc);
+    }
+
+    /// One node of Algorithm 1: bounds, incumbent update, recursion.
+    fn recurse(&mut self, x: AttrSet, cands: Vec<u32>, acc: Vec<f64>) {
+        if !self.visited.insert(x) || self.nodes >= self.budget {
+            return;
+        }
+        self.nodes += 1;
+
+        // Fewer than η candidates within ε on X: no feasible adjustment
+        // exists for X or any superset (candidates only shrink).
+        if cands.len() < self.eta {
+            return;
+        }
+
+        // Lower bound (Proposition 3): η-th smallest full-space distance
+        // among the candidates, minus ε.
+        let mut scratch: Vec<f64> = cands.iter().map(|&c| self.full_d[c as usize]).collect();
+        let (_, kth, _) = scratch.select_nth_unstable_by(self.eta - 1, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if *kth - self.eps >= self.best_cost {
+            return; // prune subtree (line 2 of Algorithm 1)
+        }
+
+        // Upper bound (Proposition 5): best qualifying t₂.
+        let mut best_here: Option<(u32, f64)> = None;
+        for (i, &c) in cands.iter().enumerate() {
+            let dx = self.norm.finish(acc[i]);
+            if self.r.delta_eta(c as usize) <= self.eps - dx {
+                let cost = self.remainder_dist(c, acc[i], x);
+                if best_here.map(|(_, bc)| cost < bc).unwrap_or(true) {
+                    best_here = Some((c, cost));
+                }
+            }
+        }
+        if let Some((c, cost)) = best_here {
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best = Some((c, x));
+            }
+        }
+
+        // Recurse on X ∪ {A} for each adjustable attribute A (line 10).
+        let dist = self.r.distance();
+        let cap = self.norm.to_acc(self.eps);
+        for a in x.complement(self.m).iter() {
+            let child = x.with(a);
+            if self.visited.contains(&child) {
+                continue;
+            }
+            let mut c_cands = Vec::new();
+            let mut c_acc = Vec::new();
+            for (i, &c) in cands.iter().enumerate() {
+                let row = &self.r.rows()[c as usize];
+                let na = self.norm.accumulate(acc[i], dist.attr_dist(a, &self.t_o[a], &row[a]));
+                if na <= cap {
+                    c_cands.push(c);
+                    c_acc.push(na);
+                }
+            }
+            self.recurse(child, c_cands, c_acc);
+        }
+    }
+
+    fn into_result(self) -> Option<Adjustment> {
+        let (c, x) = self.best?;
+        let row = &self.r.rows()[c as usize];
+        let mut values = self.t_o.to_vec();
+        let mut adjusted = AttrSet::empty();
+        for a in x.complement(self.m).iter() {
+            if !values[a].same(&row[a]) {
+                values[a] = row[a].clone();
+                adjusted.insert(a);
+            }
+        }
+        let cost = self.r.distance().dist(self.t_o, &values);
+        Some(Adjustment { values, adjusted, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_distance::TupleDistance;
+
+    fn rows(points: &[[f64; 2]]) -> Vec<Vec<Value>> {
+        points
+            .iter()
+            .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
+            .collect()
+    }
+
+    fn cluster_2d() -> Vec<Vec<Value>> {
+        // A 4×4 grid of points spaced 0.2 apart around the origin.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                pts.push([0.2 * i as f64, 0.2 * j as f64]);
+            }
+        }
+        rows(&pts)
+    }
+
+    #[test]
+    fn saves_single_attribute_error() {
+        // Outlier at (0.3, 9.0): only attribute 1 is corrupted.
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let r = saver.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
+        let adj = saver.save_one(&r, &t_o).unwrap();
+        assert!(r.is_feasible(&adj.values), "adjustment must be feasible");
+        // Only attribute 1 should change; attribute 0 stays 0.3.
+        assert_eq!(adj.values[0], Value::Num(0.3));
+        assert_eq!(adj.adjusted.iter().collect::<Vec<_>>(), vec![1]);
+        // The adjusted value lands inside the cluster.
+        let y = adj.values[1].expect_num();
+        assert!((0.0..=0.7).contains(&y), "adjusted y = {y}");
+    }
+
+    #[test]
+    fn cost_never_exceeds_nearest_tuple_substitution() {
+        // DISC's result is at most DORC's (the nearest feasible tuple),
+        // because Lemma 4 is one of the explored upper bounds.
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let r = saver.build_rset(cluster_2d());
+        for t_o in [
+            vec![Value::Num(5.0), Value::Num(5.0)],
+            vec![Value::Num(0.3), Value::Num(-4.0)],
+            vec![Value::Num(-3.0), Value::Num(0.1)],
+        ] {
+            let adj = saver.save_one(&r, &t_o).unwrap();
+            let nearest_feasible = r
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| r.delta_eta(*i) <= 0.5)
+                .map(|(_, row)| r.distance().dist(&t_o, row))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                adj.cost <= nearest_feasible + 1e-9,
+                "cost {} > substitution {}",
+                adj.cost,
+                nearest_feasible
+            );
+        }
+    }
+
+    #[test]
+    fn cost_respects_lower_bound() {
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let r = saver.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(7.0), Value::Num(0.2)];
+        let adj = saver.save_one(&r, &t_o).unwrap();
+        let lb = crate::bounds::lower_bound(&r, &t_o, AttrSet::empty()).unwrap();
+        assert!(adj.cost >= lb - 1e-9, "cost {} < lower bound {lb}", adj.cost);
+    }
+
+    #[test]
+    fn kappa_restriction_blocks_multi_attribute_fixes() {
+        // Outlier corrupted in both attributes: with κ = 1 it cannot be
+        // saved (a natural outlier in the paper's terms).
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .with_kappa(1);
+        let r = saver.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(9.0), Value::Num(-9.0)];
+        assert!(saver.save_one(&r, &t_o).is_none());
+        // A single-attribute error is still saved under κ = 1.
+        let dirty = vec![Value::Num(0.3), Value::Num(9.0)];
+        let adj = saver.save_one(&r, &dirty).unwrap();
+        assert!(adj.adjusted.len() <= 1);
+    }
+
+    #[test]
+    fn kappa_result_matches_unrestricted_on_single_attr_errors() {
+        let base = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let restricted = base.clone().with_kappa(1);
+        let r = base.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(0.45), Value::Num(30.0)];
+        let a = base.save_one(&r, &t_o).unwrap();
+        let b = restricted.save_one(&r, &t_o).unwrap();
+        assert!((a.cost - b.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_r_returns_none() {
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 2), TupleDistance::numeric(2));
+        let r = saver.build_rset(Vec::new());
+        assert!(saver.save_one(&r, &[Value::Num(0.0), Value::Num(0.0)]).is_none());
+    }
+
+    #[test]
+    fn no_core_tuples_returns_none() {
+        // Two distant points, η = 3: nothing in r can host the outlier.
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2));
+        let r = saver.build_rset(rows(&[[0.0, 0.0], [10.0, 10.0]]));
+        assert!(saver.save_one(&r, &[Value::Num(5.0), Value::Num(5.0)]).is_none());
+    }
+
+    #[test]
+    fn node_budget_still_returns_incumbent() {
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .with_node_budget(1);
+        let r = saver.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
+        // Budget 1 only visits X = ∅ — still yields the Lemma 4 solution.
+        let adj = saver.save_one(&r, &t_o).unwrap();
+        assert!(r.is_feasible(&adj.values));
+    }
+
+    #[test]
+    fn saving_textual_outlier() {
+        // Zip-code style strings; the outlier has a confusable typo.
+        let strings = ["RH10-0AG", "RH10-0AB", "RH10-0AC", "RH10-0AD"];
+        let r_rows: Vec<Vec<Value>> = strings
+            .iter()
+            .map(|s| vec![Value::Text(s.to_string())])
+            .collect();
+        let dist = TupleDistance::textual(1);
+        let saver = DiscSaver::new(DistanceConstraints::new(1.0, 3), dist);
+        let r = saver.build_rset(r_rows);
+        let t_o = vec![Value::Text("XY99-ZZZ".into())];
+        let adj = saver.save_one(&r, &t_o).unwrap();
+        assert!(r.is_feasible(&adj.values));
+    }
+
+    #[test]
+    fn already_feasible_outlier_costs_nothing_extra() {
+        // A point adjacent to the cluster: an adjustment of near-zero cost
+        // exists and DISC should find something cheap.
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let r = saver.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(0.3), Value::Num(1.1)];
+        let adj = saver.save_one(&r, &t_o).unwrap();
+        assert!(adj.cost <= 0.8, "cost {} unexpectedly high", adj.cost);
+    }
+}

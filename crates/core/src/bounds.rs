@@ -1,0 +1,235 @@
+//! Lower and upper bounds of the optimal adjustment (Sections 3.1–3.2).
+//!
+//! These standalone functions implement the bound statements the recursive
+//! search in [`crate::approx`] relies on; they are also exercised directly
+//! by the property tests (lower ≤ optimal ≤ upper).
+
+use disc_distance::{AttrSet, Value};
+
+use crate::rset::RSet;
+
+/// Lower bound of Proposition 3: with unadjusted attributes `X`, any
+/// feasible adjustment costs at least `Δ(t_o, t₁) − ε`, where `t₁` is the
+/// η-th nearest neighbor of `t_o` among the tuples within ε of `t_o` on
+/// `X` (`r_ε(t_o[X])`).
+///
+/// Returns `None` when fewer than η tuples lie within ε on `X` — then no
+/// feasible adjustment with unadjusted `X` (or any superset of `X`) exists
+/// at all. With `X = ∅` this is Lemma 2.
+pub fn lower_bound(r: &RSet, t_o: &[Value], x: AttrSet) -> Option<f64> {
+    let eps = r.constraints().eps;
+    let eta = r.constraints().eta;
+    let dist = r.distance();
+    // Full-space distances of the candidates in r_ε(t_o[X]).
+    let mut dists: Vec<f64> = r
+        .rows()
+        .iter()
+        .filter(|row| dist.dist_on(x, t_o, row) <= eps)
+        .map(|row| dist.dist(t_o, row))
+        .collect();
+    if dists.len() < eta {
+        return None;
+    }
+    let (_, kth, _) = dists.select_nth_unstable_by(eta - 1, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some((*kth - eps).max(0.0))
+}
+
+/// Upper bound of Proposition 5: a feasible adjustment `t_o^u` that keeps
+/// `t_o[X]` and copies `t₂[R\X]` from the best qualifying tuple
+/// `t₂ ∈ r_ε(t_o[X])` with `δ_η(t₂) ≤ ε − Δ(t_o[X], t₂[X])`.
+///
+/// Returns the adjusted tuple and its cost, or `None` if no tuple
+/// qualifies. With `X = ∅` this is Lemma 4 (the nearest feasible tuple).
+pub fn upper_bound(r: &RSet, t_o: &[Value], x: AttrSet) -> Option<(Vec<Value>, f64)> {
+    let eps = r.constraints().eps;
+    let dist = r.distance();
+    let m = dist.arity();
+    let rem = x.complement(m);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, row) in r.rows().iter().enumerate() {
+        let dx = dist.dist_on(x, t_o, row);
+        if dx <= eps && r.delta_eta(i) <= eps - dx {
+            let cost = dist.dist_on(rem, t_o, row);
+            if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                best = Some((i, cost));
+            }
+        }
+    }
+    best.map(|(i, cost)| {
+        let mut adjusted = t_o.to_vec();
+        for a in rem.iter() {
+            adjusted[a] = r.rows()[i][a].clone();
+        }
+        (adjusted, cost)
+    })
+}
+
+/// Proposition 6: when the nearest inlier `t₂ = argmin_{t∈r} Δ(t_o, t)`
+/// satisfies `Δ(t_o, t₂) ≥ c·ε` with `c > 1`, the approximation returned
+/// by Algorithm 1 is within a factor `c / (c − 1)` of the optimum.
+///
+/// Returns the factor for this instance, or `None` when the premise does
+/// not hold (`c ≤ 1`, i.e. the outlier is within ε of some inlier, where
+/// the multiplicative guarantee degenerates).
+pub fn approximation_factor(r: &RSet, t_o: &[Value]) -> Option<f64> {
+    let eps = r.constraints().eps;
+    let dist = r.distance();
+    let nearest = r
+        .rows()
+        .iter()
+        .map(|row| dist.dist(t_o, row))
+        .fold(f64::INFINITY, f64::min);
+    let c = nearest / eps;
+    if c > 1.0 && c.is_finite() {
+        Some(c / (c - 1.0))
+    } else {
+        None
+    }
+}
+
+/// Proposition 7: with discrete distance values of unit 1 (e.g. edit
+/// distance) and an integer threshold ε, the approximation factor is
+/// `ε + 1`.
+pub fn discrete_approximation_factor(eps: f64) -> f64 {
+    debug_assert!(eps >= 0.0);
+    eps + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::DistanceConstraints;
+    use disc_distance::TupleDistance;
+
+    fn rset(points: &[[f64; 2]], eps: f64, eta: usize) -> RSet {
+        let rows: Vec<Vec<Value>> = points
+            .iter()
+            .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
+            .collect();
+        RSet::new(rows, TupleDistance::numeric(2), DistanceConstraints::new(eps, eta))
+    }
+
+    fn q(x: f64, y: f64) -> Vec<Value> {
+        vec![Value::Num(x), Value::Num(y)]
+    }
+
+    #[test]
+    fn lemma2_lower_bound() {
+        // Cluster at origin; outlier at distance 10; ε = 1, η = 2.
+        let r = rset(&[[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]], 1.0, 2);
+        let t_o = q(10.0, 0.0);
+        let lb = lower_bound(&r, &t_o, AttrSet::empty()).unwrap();
+        // 2nd NN of t_o is (0.5, 0) at distance 9.5 → lb = 8.5.
+        assert!((lb - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma4_upper_bound_is_feasible() {
+        let r = rset(&[[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]], 1.0, 2);
+        let t_o = q(10.0, 0.0);
+        let (adj, cost) = upper_bound(&r, &t_o, AttrSet::empty()).unwrap();
+        assert!(r.is_feasible(&adj), "upper bound must be feasible");
+        // Nearest feasible tuple is (1, 0) at distance 9.
+        assert!((cost - 9.0).abs() < 1e-9);
+        // Bound ordering.
+        let lb = lower_bound(&r, &t_o, AttrSet::empty()).unwrap();
+        assert!(lb <= cost);
+    }
+
+    #[test]
+    fn restricted_x_bounds() {
+        // Outlier differs from the cluster only in attribute 1.
+        let r = rset(
+            &[[0.0, 0.0], [0.2, 0.1], [0.1, 0.2], [0.3, 0.0]],
+            0.5,
+            3,
+        );
+        let t_o = q(0.1, 8.0);
+        let x = AttrSet::from_indices([0]); // keep attribute 0 unadjusted
+        let lb = lower_bound(&r, &t_o, x).unwrap();
+        let (adj, cost) = upper_bound(&r, &t_o, x).unwrap();
+        assert!(lb <= cost + 1e-12);
+        // The adjustment must keep attribute 0 exactly.
+        assert_eq!(adj[0], t_o[0]);
+        assert!(r.is_feasible(&adj));
+    }
+
+    #[test]
+    fn infeasible_x_returns_none() {
+        // No tuple is within ε of the outlier on attribute 0 → no feasible
+        // adjustment keeps attribute 0.
+        let r = rset(&[[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]], 0.5, 2);
+        let t_o = q(100.0, 0.0);
+        let x = AttrSet::from_indices([0]);
+        assert!(lower_bound(&r, &t_o, x).is_none());
+        assert!(upper_bound(&r, &t_o, x).is_none());
+    }
+
+    #[test]
+    fn upper_bound_none_when_no_core_tuple() {
+        // Two mutually distant tuples: with η = 2 neither has δ_η ≤ ε.
+        let r = rset(&[[0.0, 0.0], [50.0, 0.0]], 1.0, 2);
+        let t_o = q(10.0, 0.0);
+        assert!(upper_bound(&r, &t_o, AttrSet::empty()).is_none());
+    }
+
+    #[test]
+    fn proposition6_factor_holds_empirically() {
+        // Cluster around the origin; distant outlier. The DISC result must
+        // be within c/(c−1) of the exact optimum whenever c > 1.
+        let r = rset(
+            &[[0.0, 0.0], [0.2, 0.1], [0.1, 0.2], [0.3, 0.0], [0.2, 0.3]],
+            0.5,
+            3,
+        );
+        let t_o = q(5.0, 0.1);
+        let factor = approximation_factor(&r, &t_o).expect("c > 1 here");
+        assert!(factor > 1.0);
+        let saver = crate::DiscSaver::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2));
+        let exact = crate::ExactSaver::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2))
+            .with_domain_cap(None);
+        let a = saver.save_one(&r, &t_o).unwrap();
+        let e = exact.save_one(&r, &t_o).unwrap();
+        assert!(
+            a.cost <= factor * e.cost + 1e-9,
+            "approx {} exceeds {} × exact {}",
+            a.cost,
+            factor,
+            e.cost
+        );
+    }
+
+    #[test]
+    fn proposition6_premise_violation_returns_none() {
+        // The outlier is within ε of an inlier: c ≤ 1 → no factor.
+        let r = rset(&[[0.0, 0.0], [0.2, 0.0], [0.4, 0.0]], 1.0, 3);
+        assert!(approximation_factor(&r, &q(0.5, 0.0)).is_none());
+    }
+
+    #[test]
+    fn proposition6_factor_shrinks_with_distance() {
+        // The farther the outlier, the tighter the guarantee (larger c).
+        let r = rset(&[[0.0, 0.0], [0.2, 0.1], [0.1, 0.2]], 0.5, 2);
+        let near = approximation_factor(&r, &q(1.2, 0.0)).unwrap();
+        let far = approximation_factor(&r, &q(20.0, 0.0)).unwrap();
+        assert!(far < near, "factor must shrink: near {near}, far {far}");
+        assert!(far > 1.0);
+    }
+
+    #[test]
+    fn proposition7_discrete_factor() {
+        assert_eq!(discrete_approximation_factor(2.0), 3.0);
+        assert_eq!(discrete_approximation_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn lower_bound_clamped_at_zero() {
+        // The outlier is within ε of its η-th NN on the full space: the raw
+        // bound would be negative; it is clamped to 0.
+        let r = rset(&[[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]], 2.0, 2);
+        let t_o = q(1.5, 0.0);
+        assert_eq!(lower_bound(&r, &t_o, AttrSet::empty()).unwrap(), 0.0);
+    }
+}

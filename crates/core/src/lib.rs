@@ -1,0 +1,43 @@
+//! The DISC outlier-saving algorithm (Song et al., SIGMOD 2021).
+//!
+//! A tuple satisfies the *distance constraints* `(ε, η)` if it has at least
+//! `η` ε-neighbors (Definition 1). Outliers violate the constraints; DISC
+//! *saves* an outlier `t_o` by finding a value adjustment `t'_o` that
+//! satisfies the constraints at minimum adjustment cost `Δ(t_o, t'_o)`
+//! (Definition 2). The decision problem is NP-complete (Theorem 1), so the
+//! crate implements the paper's bound-guided approximation:
+//!
+//! * [`constraints`] — the `(ε, η)` model, violation detection and the
+//!   inlier/outlier split;
+//! * [`rset`] — the preprocessed inlier context (`δ_η` thresholds, sorted
+//!   attribute projections) shared by all savers;
+//! * [`bounds`] — the lower bound of Lemma 2 / Proposition 3 and the upper
+//!   bound of Lemma 4 / Proposition 5;
+//! * [`approx`] — Algorithm 1: recursive enumeration of unadjusted
+//!   attribute sets with lower-bound pruning, upper-bound solutions, the
+//!   κ-restricted variant (`O(m^{κ+1} n)`), and a node budget;
+//! * [`exact`] — the `O(d^m n)` domain-enumeration algorithm of
+//!   Section 2.3, used as the "Exact" baseline of Figures 6 and 7;
+//! * [`params`] — Poisson-process parameter determination for `(ε, η)`
+//!   (Section 2.1.2, Figure 5, Table 4) and the Normal-distribution "DB"
+//!   baseline;
+//! * [`pipeline`] — the end-to-end repair pipeline: detect outliers, split
+//!   `r`/`s`, save each outlier, separate dirty from natural.
+
+pub mod approx;
+pub mod bounds;
+pub mod constraints;
+pub mod exact;
+pub mod params;
+pub mod pipeline;
+pub mod rset;
+
+pub use approx::{Adjustment, DiscSaver};
+pub use constraints::{detect_outliers, DistanceConstraints, OutlierSplit};
+pub use exact::ExactSaver;
+pub use params::{
+    determine_parameters, determine_parameters_db, neighbor_counts, poisson_eta_for,
+    poisson_p_at_least, ParamChoice, ParamConfig,
+};
+pub use pipeline::{SaveReport, SavedOutlier};
+pub use rset::RSet;

@@ -1,0 +1,165 @@
+//! Property tests for the DISC algorithm's core guarantees.
+
+use disc_core::bounds::{lower_bound, upper_bound};
+use disc_core::{detect_outliers, DiscSaver, DistanceConstraints, ExactSaver, RSet};
+use disc_distance::{AttrSet, TupleDistance, Value};
+use proptest::prelude::*;
+
+fn point(m: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-20.0f64..20.0, m)
+}
+
+fn to_rows(points: Vec<Vec<f64>>) -> Vec<Vec<Value>> {
+    points
+        .into_iter()
+        .map(|p| p.into_iter().map(Value::Num).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Proposition 3 / Lemma 2: no feasible adjustment can cost less than
+    /// the lower bound, verified by brute-forcing candidate adjustments
+    /// from the tuple grid.
+    #[test]
+    fn no_feasible_adjustment_below_lower_bound(
+        points in prop::collection::vec(point(2), 8..20),
+        out in point(2),
+    ) {
+        let c = DistanceConstraints::new(1.0, 3);
+        let dist = TupleDistance::numeric(2);
+        let r = RSet::new(to_rows(points), dist.clone(), c);
+        let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
+        if let Some(lb) = lower_bound(&r, &t_o, AttrSet::empty()) {
+            // Candidate adjustments: every existing tuple and every mix of
+            // the outlier's value with a tuple's value per attribute.
+            for row in r.rows() {
+                for mask in 0..4u8 {
+                    let cand: Vec<Value> = (0..2)
+                        .map(|a| if mask & (1 << a) != 0 { row[a].clone() } else { t_o[a].clone() })
+                        .collect();
+                    if r.is_feasible(&cand) {
+                        let cost = dist.dist(&t_o, &cand);
+                        prop_assert!(cost >= lb - 1e-9, "feasible candidate below lower bound");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Proposition 5: the upper bound is itself feasible whenever it
+    /// exists, keeps the unadjusted attributes, and Lemma 4 (X = ∅) gives
+    /// the nearest feasible tuple.
+    #[test]
+    fn upper_bound_feasibility(
+        points in prop::collection::vec(point(3), 8..24),
+        out in point(3),
+        x_bits in 0u64..8,
+    ) {
+        let c = DistanceConstraints::new(1.5, 2);
+        let r = RSet::new(to_rows(points), TupleDistance::numeric(3), c);
+        let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
+        let x = AttrSet(x_bits);
+        if let Some((adj, cost)) = upper_bound(&r, &t_o, x) {
+            prop_assert!(r.is_feasible(&adj));
+            prop_assert!(cost >= 0.0);
+            for a in x.iter() {
+                prop_assert!(adj[a].same(&t_o[a]), "unadjusted attribute {a} changed");
+            }
+        }
+    }
+
+    /// Algorithm 1's result is feasible, respects κ, and its cost is
+    /// bracketed by the bounds.
+    #[test]
+    fn saver_respects_kappa_and_bounds(
+        points in prop::collection::vec(point(3), 10..24),
+        out in point(3),
+        kappa in 1usize..4,
+    ) {
+        let c = DistanceConstraints::new(1.5, 2);
+        let dist = TupleDistance::numeric(3);
+        let saver = DiscSaver::new(c, dist.clone()).with_kappa(kappa);
+        let r = saver.build_rset(to_rows(points));
+        let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
+        if let Some(adj) = saver.save_one(&r, &t_o) {
+            prop_assert!(r.is_feasible(&adj.values));
+            prop_assert!(adj.adjusted.len() <= kappa, "κ violated");
+            prop_assert!((dist.dist(&t_o, &adj.values) - adj.cost).abs() < 1e-9);
+            if let Some(lb) = lower_bound(&r, &t_o, AttrSet::empty()) {
+                prop_assert!(adj.cost >= lb - 1e-9);
+            }
+        }
+    }
+
+    /// Larger κ never yields a worse (higher-cost) adjustment.
+    #[test]
+    fn kappa_monotonicity(
+        points in prop::collection::vec(point(2), 10..20),
+        out in point(2),
+    ) {
+        let c = DistanceConstraints::new(1.2, 2);
+        let dist = TupleDistance::numeric(2);
+        let r = DiscSaver::new(c, dist.clone()).build_rset(to_rows(points));
+        let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
+        let c1 = DiscSaver::new(c, dist.clone()).with_kappa(1).save_one(&r, &t_o);
+        let c2 = DiscSaver::new(c, dist).with_kappa(2).save_one(&r, &t_o);
+        match (c1, c2) {
+            (Some(a1), Some(a2)) => prop_assert!(a2.cost <= a1.cost + 1e-9),
+            (Some(_), None) => prop_assert!(false, "larger κ lost a solution"),
+            _ => {}
+        }
+    }
+
+    /// After `save_all`, every saved row satisfies the constraints against
+    /// the final dataset, and unsaved outliers are bitwise untouched.
+    #[test]
+    fn save_all_postconditions(
+        points in prop::collection::vec(point(2), 20..40),
+        outs in prop::collection::vec(point(2), 1..4),
+    ) {
+        let c = DistanceConstraints::new(1.2, 3);
+        let dist = TupleDistance::numeric(2);
+        let mut rows = to_rows(points);
+        rows.extend(to_rows(outs));
+        let mut ds = disc_data::Dataset::from_rows(vec!["a".into(), "b".into()], rows);
+        let before = ds.rows().to_vec();
+        let saver = DiscSaver::new(c, dist.clone()).with_kappa(2);
+        let report = saver.save_all(&mut ds);
+        let after = detect_outliers(ds.rows(), &dist, c);
+        for s in &report.saved {
+            prop_assert!(!after.outliers.contains(&s.row), "saved row still violates");
+        }
+        for &row in &report.unsaved {
+            prop_assert_eq!(ds.row(row), before[row].as_slice());
+        }
+        // Non-outlier rows are never modified.
+        for i in 0..ds.len() {
+            if !report.outliers.contains(&i) {
+                prop_assert_eq!(ds.row(i), before[i].as_slice());
+            }
+        }
+    }
+
+    /// The exact saver's result is optimal over single-tuple substitutions
+    /// (it explores a superset of those candidates).
+    #[test]
+    fn exact_beats_all_substitutions(
+        points in prop::collection::vec(point(2), 8..16),
+        out in point(2),
+    ) {
+        let c = DistanceConstraints::new(1.5, 2);
+        let dist = TupleDistance::numeric(2);
+        let exact = ExactSaver::new(c, dist.clone()).with_domain_cap(None);
+        let r = exact.build_rset(to_rows(points));
+        let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
+        if let Some(adj) = exact.save_one(&r, &t_o) {
+            for row in r.rows() {
+                if r.is_feasible(row) {
+                    prop_assert!(adj.cost <= dist.dist(&t_o, row) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal CSV import/export for [`Dataset`]s.
+//!
+//! A deliberately small dialect: comma-separated, first line is the header,
+//! double-quote quoting with `""` escapes, values that parse as `f64` become
+//! numeric. Enough to exchange the synthetic datasets with outside tools.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use disc_distance::Value;
+
+use crate::dataset::Dataset;
+use crate::schema::{AttrKind, Attribute, Schema};
+
+/// Parses one CSV line into fields, honoring double-quote quoting.
+fn parse_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Parses CSV text into a dataset. Column types are inferred: a column is
+/// numeric iff every non-empty value parses as `f64`; empty fields become
+/// `Null`.
+pub fn from_str(text: &str) -> Result<Dataset, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty CSV: missing header")?;
+    let names = parse_line(header);
+    let m = names.len();
+    let mut raw_rows: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields = parse_line(line);
+        if fields.len() != m {
+            return Err(format!(
+                "line {}: expected {m} fields, found {}",
+                i + 2,
+                fields.len()
+            ));
+        }
+        raw_rows.push(fields);
+    }
+    let numeric: Vec<bool> = (0..m)
+        .map(|j| {
+            raw_rows
+                .iter()
+                .filter(|r| !r[j].is_empty())
+                .all(|r| r[j].parse::<f64>().is_ok())
+        })
+        .collect();
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&numeric)
+            .map(|(n, &is_num)| {
+                if is_num {
+                    Attribute::numeric(n.clone())
+                } else {
+                    Attribute::text(n.clone())
+                }
+            })
+            .collect(),
+    );
+    let rows = raw_rows
+        .into_iter()
+        .map(|r| {
+            r.into_iter()
+                .enumerate()
+                .map(|(j, f)| {
+                    if f.is_empty() {
+                        Value::Null
+                    } else if numeric[j] {
+                        Value::Num(f.parse().expect("checked numeric"))
+                    } else {
+                        Value::Text(f)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Dataset::new(schema, rows))
+}
+
+/// Serializes a dataset to CSV text.
+pub fn to_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = ds
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote(&a.name))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in ds.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Num(x) => format!("{x}"),
+                Value::Text(s) => quote(s),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Reads a dataset from a CSV file.
+pub fn read_file(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes a dataset to a CSV file.
+pub fn write_file(ds: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_string(ds))
+}
+
+/// True if the schema marks column `j` as textual.
+pub fn is_text_column(ds: &Dataset, j: usize) -> bool {
+    ds.schema().attribute(j).kind == AttrKind::Text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_numeric() {
+        let ds = Dataset::from_matrix(2, &[1.0, 2.5, -3.0, 4.0]);
+        let text = to_string(&ds);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.to_matrix().unwrap(), vec![1.0, 2.5, -3.0, 4.0]);
+        assert!(back.schema().is_numeric());
+    }
+
+    #[test]
+    fn mixed_types_inferred() {
+        let ds = from_str("id,name\n1,alice\n2,bob\n").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0)[0], Value::Num(1.0));
+        assert_eq!(ds.row(1)[1], Value::Text("bob".into()));
+        assert!(is_text_column(&ds, 1));
+        assert!(!is_text_column(&ds, 0));
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let text = "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n";
+        let ds = from_str(text).unwrap();
+        assert_eq!(ds.row(0)[0], Value::Text("x,y".into()));
+        assert_eq!(ds.row(0)[1], Value::Text("say \"hi\"".into()));
+        let back = from_str(&to_string(&ds)).unwrap();
+        assert_eq!(back.row(0)[0], ds.row(0)[0]);
+        assert_eq!(back.row(0)[1], ds.row(0)[1]);
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let ds = from_str("a,b\n1,\n2,3\n").unwrap();
+        assert!(ds.row(0)[1].is_null());
+        assert_eq!(ds.row(1)[1], Value::Num(3.0));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        assert!(from_str("a,b\n1\n").is_err());
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("disc_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let ds = Dataset::from_matrix(1, &[9.0, 8.0]);
+        write_file(&ds, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.to_matrix().unwrap(), vec![9.0, 8.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Relational data substrate for the DISC reproduction.
+//!
+//! The paper evaluates on nine real datasets (Table 1): Iris, Seeds, WIFI,
+//! Yeast, Letter, Flight, Spam, GPS and Restaurant — all with real-world or
+//! injected outliers. Those raw files (UCI/figshare/private GPS traces) are
+//! not available offline, so this crate provides *synthetic generators*
+//! matched to Table 1's shape (tuple count, attribute count, class count,
+//! outlier count, attribute domain) plus the error-injection machinery the
+//! paper uses for its controlled experiments (Figures 9 and 10):
+//!
+//! * [`Schema`]/[`Dataset`] — typed relations with optional class labels and
+//!   ground-truth bookkeeping;
+//! * [`normalize`] — min-max and z-score column scaling;
+//! * [`csv`] — plain CSV import/export for interoperability;
+//! * [`synth`] — cluster-structured generators for every paper dataset;
+//! * [`noise`] — dirty-outlier injection (errors in 1–2 attributes: unit
+//!   mistakes, offsets, digit typos, letter↔digit swaps) and natural-outlier
+//!   injection (far away in *all* attributes), with a ground-truth log.
+
+pub mod csv;
+pub mod dataset;
+pub mod noise;
+pub mod normalize;
+pub mod schema;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use noise::{ErrorInjector, ErrorKind, InjectionLog, OutlierKind};
+pub use normalize::{minmax_normalize, zscore_normalize, ColumnStats};
+pub use schema::{AttrKind, Attribute, Schema};
+pub use synth::{paper, ClusterSpec, SyntheticDataset};

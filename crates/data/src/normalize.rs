@@ -1,0 +1,150 @@
+//! Column normalization.
+//!
+//! The paper normalizes attribute values before clustering (the Iris example
+//! in Figure 1 operates on comparable-scale petal measurements; the GPS
+//! example works on raw values with dataset-specific ε). Both min-max and
+//! z-score scalers are provided; each returns the per-column statistics so
+//! adjustments can be mapped back to the original units.
+
+use crate::dataset::Dataset;
+use disc_distance::Value;
+
+/// Per-column summary statistics gathered during normalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum value observed.
+    pub min: f64,
+    /// Maximum value observed.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl ColumnStats {
+    /// Computes statistics over a numeric column.
+    pub fn from_column(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return ColumnStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / values.len() as f64;
+        let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        ColumnStats { min, max, mean, std: var.sqrt() }
+    }
+
+    /// The column's domain width `max − min` (the "domain" column of
+    /// Table 1 is the widest attribute domain in the dataset).
+    pub fn domain(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+fn map_numeric_columns(ds: &mut Dataset, f: impl Fn(usize, f64) -> f64) {
+    let m = ds.arity();
+    for row in ds.rows_mut() {
+        for (j, cell) in row.iter_mut().enumerate().take(m) {
+            if let Value::Num(x) = cell {
+                *x = f(j, *x);
+            }
+        }
+    }
+}
+
+/// Min-max normalizes every numeric column into `[0, 1]` in place and
+/// returns the original per-column statistics. Constant columns map to 0.
+pub fn minmax_normalize(ds: &mut Dataset) -> Vec<ColumnStats> {
+    let stats: Vec<ColumnStats> = (0..ds.arity())
+        .map(|j| match ds.numeric_column(j) {
+            Some(col) => ColumnStats::from_column(&col),
+            None => ColumnStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 },
+        })
+        .collect();
+    map_numeric_columns(ds, |j, x| {
+        let s = &stats[j];
+        if s.domain() > 0.0 {
+            (x - s.min) / s.domain()
+        } else {
+            0.0
+        }
+    });
+    stats
+}
+
+/// Z-score normalizes every numeric column in place (constant columns map
+/// to 0) and returns the original per-column statistics.
+pub fn zscore_normalize(ds: &mut Dataset) -> Vec<ColumnStats> {
+    let stats: Vec<ColumnStats> = (0..ds.arity())
+        .map(|j| match ds.numeric_column(j) {
+            Some(col) => ColumnStats::from_column(&col),
+            None => ColumnStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 },
+        })
+        .collect();
+    map_numeric_columns(ds, |j, x| {
+        let s = &stats[j];
+        if s.std > 0.0 {
+            (x - s.mean) / s.std
+        } else {
+            0.0
+        }
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_stats_known_values() {
+        let s = ColumnStats::from_column(&[1.0, 3.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.domain(), 4.0);
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let s = ColumnStats::from_column(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.domain(), 0.0);
+    }
+
+    #[test]
+    fn minmax_scales_into_unit_interval() {
+        let mut ds = Dataset::from_matrix(2, &[0.0, 10.0, 5.0, 20.0, 10.0, 30.0]);
+        let stats = minmax_normalize(&mut ds);
+        assert_eq!(stats[0].min, 0.0);
+        assert_eq!(stats[0].max, 10.0);
+        let m = ds.to_matrix().unwrap();
+        assert_eq!(m, vec![0.0, 0.0, 0.5, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn minmax_constant_column() {
+        let mut ds = Dataset::from_matrix(1, &[7.0, 7.0]);
+        minmax_normalize(&mut ds);
+        assert_eq!(ds.to_matrix().unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let mut ds = Dataset::from_matrix(1, &[1.0, 3.0, 5.0]);
+        zscore_normalize(&mut ds);
+        let m = ds.to_matrix().unwrap();
+        let mean: f64 = m.iter().sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = m.iter().map(|v| v * v).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+}

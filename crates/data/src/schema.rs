@@ -1,0 +1,122 @@
+//! Relation schemas: named, typed attributes.
+
+use disc_distance::{Metric, Norm, TupleDistance};
+
+/// The kind of an attribute's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Real-valued attributes compared by absolute difference.
+    Numeric,
+    /// Text attributes compared by (weighted) edit distance.
+    Text,
+}
+
+/// One attribute of a relation scheme.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Column name, e.g. `"Longitude"`.
+    pub name: String,
+    /// Value kind.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// A numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), kind: AttrKind::Numeric }
+    }
+
+    /// A textual attribute.
+    pub fn text(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), kind: AttrKind::Text }
+    }
+}
+
+/// A relation scheme `R`: an ordered list of attributes.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        Schema { attributes }
+    }
+
+    /// An all-numeric schema with generated names `a0 … a{m-1}`.
+    pub fn numeric(m: usize) -> Self {
+        Schema::new((0..m).map(|i| Attribute::numeric(format!("a{i}"))).collect())
+    }
+
+    /// An all-text schema with generated names.
+    pub fn text(m: usize) -> Self {
+        Schema::new((0..m).map(|i| Attribute::text(format!("a{i}"))).collect())
+    }
+
+    /// Number of attributes `m = |R|`.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at position `i`.
+    pub fn attribute(&self, i: usize) -> &Attribute {
+        &self.attributes[i]
+    }
+
+    /// Index of the attribute with the given name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// The natural tuple-level metric for this schema: absolute difference
+    /// for numeric columns, weighted edit distance for text columns, with
+    /// the given aggregation norm.
+    pub fn tuple_distance(&self, norm: Norm) -> TupleDistance {
+        let metrics = self
+            .attributes
+            .iter()
+            .map(|a| match a.kind {
+                AttrKind::Numeric => Metric::Absolute,
+                AttrKind::Text => Metric::Weighted,
+            })
+            .collect();
+        TupleDistance::new(metrics, norm)
+    }
+
+    /// True if every attribute is numeric.
+    pub fn is_numeric(&self) -> bool {
+        self.attributes.iter().all(|a| a.kind == AttrKind::Numeric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_distance::AttributeDistance as _;
+
+    #[test]
+    fn numeric_schema() {
+        let s = Schema::numeric(3);
+        assert_eq!(s.arity(), 3);
+        assert!(s.is_numeric());
+        assert_eq!(s.attribute(1).name, "a1");
+        assert_eq!(s.index_of("a2"), Some(2));
+        assert_eq!(s.index_of("zz"), None);
+    }
+
+    #[test]
+    fn mixed_schema_distance() {
+        let s = Schema::new(vec![Attribute::numeric("x"), Attribute::text("name")]);
+        assert!(!s.is_numeric());
+        let d = s.tuple_distance(Norm::L1);
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.metric(0).name(), "absolute-diff");
+        assert_eq!(d.metric(1).name(), "needleman-wunsch");
+    }
+}

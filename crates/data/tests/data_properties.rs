@@ -1,0 +1,117 @@
+//! Property tests for the data substrate: CSV round-trips, normalization
+//! invariants, and the error-injection ground truth.
+
+use disc_data::{csv, minmax_normalize, zscore_normalize, ClusterSpec, Dataset, ErrorInjector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Numeric CSV round-trips exactly (floats serialize losslessly via
+    /// Rust's shortest-representation formatting).
+    #[test]
+    fn csv_numeric_roundtrip(data in prop::collection::vec(-1e6f64..1e6, 1..40)) {
+        let m = 2usize;
+        let padded: Vec<f64> = data.iter().copied().chain(std::iter::repeat(0.0)).take(data.len().div_ceil(m) * m).collect();
+        let ds = Dataset::from_matrix(m, &padded);
+        let text = csv::to_string(&ds);
+        let back = csv::from_str(&text).unwrap();
+        prop_assert_eq!(back.to_matrix().unwrap(), padded);
+    }
+
+    /// Text CSV round-trips through quoting for arbitrary printable
+    /// content including commas and quotes.
+    #[test]
+    fn csv_text_roundtrip(cells in prop::collection::vec("[ -~]{0,12}", 2..10)) {
+        // Build a 2-column text dataset; avoid fully numeric or empty
+        // strings so type inference keeps them textual.
+        let rows: Vec<Vec<disc_distance::Value>> = cells
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| {
+                c.iter()
+                    .map(|s| disc_distance::Value::Text(format!("s{s}")))
+                    .collect()
+            })
+            .collect();
+        prop_assume!(!rows.is_empty());
+        let ds = Dataset::new(disc_data::Schema::text(2), rows.clone());
+        let back = csv::from_str(&csv::to_string(&ds)).unwrap();
+        for (a, b) in rows.iter().zip(back.rows()) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!(x.same(y), "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    /// Min-max normalization lands every value in [0, 1] and preserves
+    /// the within-column ordering.
+    #[test]
+    fn minmax_properties(data in prop::collection::vec(-1e3f64..1e3, 4..40)) {
+        let mut ds = Dataset::from_matrix(1, &data);
+        minmax_normalize(&mut ds);
+        let out = ds.to_matrix().unwrap();
+        for &v in &out {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                if data[i] < data[j] {
+                    prop_assert!(out[i] <= out[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Z-score normalization yields zero mean and unit variance for
+    /// non-constant columns.
+    #[test]
+    fn zscore_properties(data in prop::collection::vec(-1e3f64..1e3, 4..40)) {
+        prop_assume!(data.iter().any(|&x| (x - data[0]).abs() > 1e-6));
+        let mut ds = Dataset::from_matrix(1, &data);
+        zscore_normalize(&mut ds);
+        let out = ds.to_matrix().unwrap();
+        let n = out.len() as f64;
+        let mean = out.iter().sum::<f64>() / n;
+        let var = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!(mean.abs() < 1e-9);
+        prop_assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    /// Injection ground truth: exactly the requested number of dirty and
+    /// natural outliers, non-overlapping, with originals preserved.
+    #[test]
+    fn injection_ground_truth(dirty in 0usize..8, natural in 0usize..5, seed in 0u64..1000) {
+        let mut ds = ClusterSpec::new(60, 3, 2, seed).generate();
+        let n_before = ds.len();
+        let log = ErrorInjector::new(dirty, natural, seed).inject(&mut ds);
+        prop_assert_eq!(log.errors.len(), dirty);
+        prop_assert_eq!(log.natural_rows.len(), natural);
+        prop_assert_eq!(ds.len(), n_before + natural);
+        // Dirty rows are pre-existing; natural rows are appended.
+        for e in &log.errors {
+            prop_assert!(e.row < n_before);
+            prop_assert_eq!(e.original.len(), ds.arity());
+        }
+        for &r in &log.natural_rows {
+            prop_assert!(r >= n_before);
+        }
+        // Labels stay aligned.
+        prop_assert_eq!(ds.labels().unwrap().len(), ds.len());
+    }
+
+    /// Sampling without replacement is a permutation prefix.
+    #[test]
+    fn sampling_prefix(k in 1usize..50, seed in 0u64..100) {
+        let ds = Dataset::from_matrix(1, &(0..50).map(|i| i as f64).collect::<Vec<_>>());
+        let idx = ds.sample_indices(k, seed);
+        prop_assert_eq!(idx.len(), k.min(50));
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), idx.len());
+        for &i in &idx {
+            prop_assert!(i < 50);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Compact bitsets over attribute indices.
+//!
+//! Algorithm 1 in the paper recursively enumerates *unadjusted* attribute
+//! sets `X ⊆ R`, memoizing each visited `X` so that "the same attribute set
+//! X will be processed at most once" (Section 3.3.1). With at most 64
+//! attributes (the widest paper dataset, Spam, has 57), a `u64` bitset keeps
+//! that memoization table a plain hash set of integers.
+
+/// A set of attribute indices, packed into a `u64` bitmask.
+///
+/// Supports relations with up to 64 attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AttrSet(pub u64);
+
+impl AttrSet {
+    /// Maximum number of attributes representable.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty attribute set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet(0)
+    }
+
+    /// The full attribute set `{0, …, m-1}`.
+    ///
+    /// # Panics
+    /// Panics if `m > 64`.
+    #[inline]
+    pub fn full(m: usize) -> Self {
+        assert!(m <= Self::MAX_ATTRS, "at most 64 attributes supported, got {m}");
+        if m == 64 {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << m) - 1)
+        }
+    }
+
+    /// Builds a set from an iterator of attribute indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = AttrSet::empty();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// True if attribute `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < Self::MAX_ATTRS);
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Adds attribute `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < Self::MAX_ATTRS);
+        self.0 |= 1u64 << i;
+    }
+
+    /// Removes attribute `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < Self::MAX_ATTRS);
+        self.0 &= !(1u64 << i);
+    }
+
+    /// Returns `self ∪ {i}` without mutating.
+    #[inline]
+    pub fn with(&self, i: usize) -> Self {
+        let mut s = *self;
+        s.insert(i);
+        s
+    }
+
+    /// Number of member attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no attribute is a member.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(&self, other: &AttrSet) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(&self, other: &AttrSet) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// The complement within a relation of `m` attributes, i.e. `R \ self`.
+    #[inline]
+    pub fn complement(&self, m: usize) -> Self {
+        AttrSet(Self::full(m).0 & !self.0)
+    }
+
+    /// True if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over member attribute indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Enumerates all subsets of `{0, …, m-1}` of exactly `k` elements.
+    ///
+    /// Used to seed the κ-restricted variant of Algorithm 1, which starts the
+    /// recursion from every `X` with `|X| = m − κ` instead of `X = ∅`.
+    pub fn subsets_of_size(m: usize, k: usize) -> Vec<AttrSet> {
+        assert!(m <= Self::MAX_ATTRS);
+        let mut out = Vec::new();
+        if k > m {
+            return out;
+        }
+        if k == 0 {
+            out.push(AttrSet::empty());
+            return out;
+        }
+        // Gosper's hack: iterate k-subsets of an m-bit universe in order.
+        let full = Self::full(m).0;
+        let mut v: u64 = (1u64 << k) - 1;
+        loop {
+            out.push(AttrSet(v));
+            if k == m {
+                break;
+            }
+            let t = v | (v - 1);
+            if t == u64::MAX {
+                break;
+            }
+            let next = (t + 1) | (((!t & (t + 1)) - 1) >> (v.trailing_zeros() + 1));
+            if next > full {
+                break;
+            }
+            v = next;
+        }
+        out
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        AttrSet::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = AttrSet::empty();
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(0);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let f = AttrSet::full(5);
+        assert_eq!(f.len(), 5);
+        let s = AttrSet::from_indices([1, 3]);
+        let c = s.complement(5);
+        assert_eq!(c, AttrSet::from_indices([0, 2, 4]));
+        assert_eq!(s.union(&c), f);
+        assert!(s.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn full_64_attrs() {
+        let f = AttrSet::full(64);
+        assert_eq!(f.len(), 64);
+        assert!(f.contains(63));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = AttrSet::from_indices([5, 1, 9]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = AttrSet::from_indices([1, 2]);
+        let b = AttrSet::from_indices([0, 1, 2]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(AttrSet::empty().is_subset(&a));
+    }
+
+    #[test]
+    fn subsets_of_size_counts() {
+        // C(5,2) = 10, C(5,0) = 1, C(5,5) = 1.
+        assert_eq!(AttrSet::subsets_of_size(5, 2).len(), 10);
+        assert_eq!(AttrSet::subsets_of_size(5, 0).len(), 1);
+        assert_eq!(AttrSet::subsets_of_size(5, 5).len(), 1);
+        assert_eq!(AttrSet::subsets_of_size(5, 6).len(), 0);
+        // All returned sets have the right cardinality and are distinct.
+        let subs = AttrSet::subsets_of_size(6, 3);
+        assert_eq!(subs.len(), 20);
+        assert!(subs.iter().all(|s| s.len() == 3));
+        let mut sorted = subs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), subs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 attributes")]
+    fn full_rejects_too_many() {
+        AttrSet::full(65);
+    }
+}

@@ -1,0 +1,381 @@
+//! Per-attribute distance functions.
+//!
+//! Section 2.1.1 of the paper: each attribute `A ∈ R` carries a distance
+//! function `Δ(t1[A], t2[A])` that satisfies non-negativity, identity of
+//! indiscernibles, symmetry and the triangle inequality. The paper suggests
+//! absolute difference for numerical values and edit distance (optionally
+//! weighted, Needleman–Wunsch style) for string values.
+
+use crate::value::Value;
+
+/// A per-attribute distance function.
+///
+/// Implementations must be metrics over the values they accept; the
+/// [`Metric`] helper in this module checks the axioms on concrete samples
+/// and is exercised by the property tests.
+pub trait AttributeDistance: Send + Sync {
+    /// Distance between two cell values of this attribute.
+    ///
+    /// By convention `Null` is at distance 0 from `Null` and at the
+    /// attribute's *null penalty* (default 1.0) from any other value; this
+    /// keeps the triangle inequality intact for the values the pipeline
+    /// actually produces.
+    fn dist(&self, a: &Value, b: &Value) -> f64;
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Absolute difference `|a − b|` for numeric attributes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsoluteDiff;
+
+impl AttributeDistance for AbsoluteDiff {
+    #[inline]
+    fn dist(&self, a: &Value, b: &Value) -> f64 {
+        match (a, b) {
+            (Value::Num(x), Value::Num(y)) => (x - y).abs(),
+            (Value::Null, Value::Null) => 0.0,
+            _ => 1.0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "absolute-diff"
+    }
+}
+
+/// The discrete (0/1) metric: 0 iff the values are identical.
+///
+/// Useful for categorical attributes where any two distinct categories are
+/// equally far apart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscreteDistance;
+
+impl AttributeDistance for DiscreteDistance {
+    #[inline]
+    fn dist(&self, a: &Value, b: &Value) -> f64 {
+        if a.same(b) {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "discrete"
+    }
+}
+
+/// Levenshtein edit distance over string attributes.
+///
+/// Unit insert/delete/substitute costs; `Δ(t1,t2) > ε` implies
+/// `Δ(t1,t2) ≥ ε + 1` for integer ε, which is exactly the discrete-distance
+/// setting of Proposition 7 (approximation factor `ε + 1`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EditDistance;
+
+impl EditDistance {
+    /// Plain Levenshtein distance between two strings.
+    pub fn levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let sub = prev[j] + usize::from(ca != cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+}
+
+impl AttributeDistance for EditDistance {
+    fn dist(&self, a: &Value, b: &Value) -> f64 {
+        match (a, b) {
+            (Value::Text(x), Value::Text(y)) => Self::levenshtein(x, y) as f64,
+            (Value::Null, Value::Null) => 0.0,
+            (Value::Text(x), Value::Null) | (Value::Null, Value::Text(x)) => x.chars().count() as f64,
+            // Numbers are compared by their textual rendering so mixed
+            // columns stay well-defined.
+            _ => Self::levenshtein(&a.to_string(), &b.to_string()) as f64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "edit-distance"
+    }
+}
+
+/// Needleman–Wunsch-style weighted edit distance.
+///
+/// The paper motivates the weighting with the zip-code example: the typo
+/// `RH10-OAG` (letter `O`) should be closer to `RH10-0AG` (digit `0`) than
+/// to an arbitrary string, because `O`/`0` are *confusable* symbols. This
+/// metric charges a reduced substitution cost for confusable pairs
+/// (`O↔0`, `I↔1`, `l↔1`, `S↔5`, `B↔8`, `Z↔2`, case changes) and full cost
+/// otherwise. Gap (insert/delete) cost is 1.
+///
+/// All substitution costs are symmetric and satisfy
+/// `cost(a,c) ≤ cost(a,b) + cost(b,c)` because the reduced cost is exactly
+/// half the full cost, so the alignment score remains a metric.
+#[derive(Debug, Clone, Copy)]
+pub struct NeedlemanWunsch {
+    /// Substitution cost for confusable symbol pairs (default 0.5).
+    pub confusable_cost: f64,
+}
+
+impl Default for NeedlemanWunsch {
+    fn default() -> Self {
+        NeedlemanWunsch { confusable_cost: 0.5 }
+    }
+}
+
+impl NeedlemanWunsch {
+    /// True if `a` and `b` are visually confusable symbols (or differ only
+    /// in case).
+    pub fn confusable(a: char, b: char) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.eq_ignore_ascii_case(&b) {
+            return true;
+        }
+        const PAIRS: &[(char, char)] = &[
+            ('O', '0'),
+            ('o', '0'),
+            ('I', '1'),
+            ('l', '1'),
+            ('i', '1'),
+            ('S', '5'),
+            ('s', '5'),
+            ('B', '8'),
+            ('Z', '2'),
+            ('z', '2'),
+            ('G', '6'),
+            ('T', '7'),
+        ];
+        PAIRS
+            .iter()
+            .any(|&(x, y)| (a == x && b == y) || (a == y && b == x))
+    }
+
+    #[inline]
+    fn sub_cost(&self, a: char, b: char) -> f64 {
+        if a == b {
+            0.0
+        } else if Self::confusable(a, b) {
+            self.confusable_cost
+        } else {
+            1.0
+        }
+    }
+
+    /// Weighted global-alignment distance between two strings.
+    pub fn align(&self, a: &str, b: &str) -> f64 {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64).collect();
+        let mut cur = vec![0.0f64; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            cur[0] = (i + 1) as f64;
+            for (j, &cb) in b.iter().enumerate() {
+                let sub = prev[j] + self.sub_cost(ca, cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1.0).min(cur[j] + 1.0);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+}
+
+impl AttributeDistance for NeedlemanWunsch {
+    fn dist(&self, a: &Value, b: &Value) -> f64 {
+        match (a, b) {
+            (Value::Text(x), Value::Text(y)) => self.align(x, y),
+            (Value::Null, Value::Null) => 0.0,
+            _ => self.align(&a.to_string(), &b.to_string()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "needleman-wunsch"
+    }
+}
+
+/// Convenience enum over the concrete per-attribute metrics, so schemas can
+/// be described by plain data (and serialized) instead of trait objects.
+#[derive(Debug, Clone, Copy)]
+pub enum Metric {
+    /// [`AbsoluteDiff`].
+    Absolute,
+    /// [`DiscreteDistance`].
+    Discrete,
+    /// [`EditDistance`].
+    Edit,
+    /// [`NeedlemanWunsch`] with the default confusable cost.
+    Weighted,
+}
+
+impl AttributeDistance for Metric {
+    #[inline]
+    fn dist(&self, a: &Value, b: &Value) -> f64 {
+        match self {
+            Metric::Absolute => AbsoluteDiff.dist(a, b),
+            Metric::Discrete => DiscreteDistance.dist(a, b),
+            Metric::Edit => EditDistance.dist(a, b),
+            Metric::Weighted => NeedlemanWunsch::default().dist(a, b),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Metric::Absolute => "absolute-diff",
+            Metric::Discrete => "discrete",
+            Metric::Edit => "edit-distance",
+            Metric::Weighted => "needleman-wunsch",
+        }
+    }
+}
+
+/// Checks the four metric axioms on a concrete triple of values.
+///
+/// Returns `Err` with the violated axiom's name; used by unit and property
+/// tests across the workspace.
+pub fn check_metric_axioms<D: AttributeDistance + ?Sized>(
+    d: &D,
+    a: &Value,
+    b: &Value,
+    c: &Value,
+) -> Result<(), &'static str> {
+    let dab = d.dist(a, b);
+    let dba = d.dist(b, a);
+    let dac = d.dist(a, c);
+    let dbc = d.dist(b, c);
+    // Relative tolerance: distances can reach 1e9 in the property tests,
+    // where absolute 1e-9 slack is below the f64 rounding error.
+    let tol = 1e-9 * (1.0 + dab.abs() + dbc.abs() + dac.abs());
+    if dab < 0.0 || dac < 0.0 || dbc < 0.0 {
+        return Err("non-negativity");
+    }
+    if a.same(b) && dab != 0.0 {
+        return Err("identity: equal values at nonzero distance");
+    }
+    if !a.same(b) && dab == 0.0 {
+        return Err("identity: distinct values at zero distance");
+    }
+    if (dab - dba).abs() > tol {
+        return Err("symmetry");
+    }
+    if dac > dab + dbc + tol {
+        return Err("triangle inequality");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(x: f64) -> Value {
+        Value::Num(x)
+    }
+    fn t(s: &str) -> Value {
+        Value::Text(s.into())
+    }
+
+    #[test]
+    fn absolute_diff_basics() {
+        assert_eq!(AbsoluteDiff.dist(&n(3.0), &n(1.0)), 2.0);
+        assert_eq!(AbsoluteDiff.dist(&n(-1.0), &n(1.0)), 2.0);
+        assert_eq!(AbsoluteDiff.dist(&n(5.0), &n(5.0)), 0.0);
+        assert_eq!(AbsoluteDiff.dist(&Value::Null, &Value::Null), 0.0);
+    }
+
+    #[test]
+    fn discrete_basics() {
+        assert_eq!(DiscreteDistance.dist(&t("a"), &t("a")), 0.0);
+        assert_eq!(DiscreteDistance.dist(&t("a"), &t("b")), 1.0);
+        assert_eq!(DiscreteDistance.dist(&n(1.0), &t("1")), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(EditDistance::levenshtein("kitten", "sitting"), 3);
+        assert_eq!(EditDistance::levenshtein("", "abc"), 3);
+        assert_eq!(EditDistance::levenshtein("abc", ""), 3);
+        assert_eq!(EditDistance::levenshtein("abc", "abc"), 0);
+        assert_eq!(EditDistance::levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn edit_distance_on_values() {
+        assert_eq!(EditDistance.dist(&t("RH10-OAG"), &t("RH10-0AG")), 1.0);
+        assert_eq!(EditDistance.dist(&t("abc"), &Value::Null), 3.0);
+    }
+
+    #[test]
+    fn needleman_wunsch_prefers_confusables() {
+        let nw = NeedlemanWunsch::default();
+        // The paper's zip-code example: O→0 is cheaper than O→X.
+        let typo_fix = nw.dist(&t("RH10-OAG"), &t("RH10-0AG"));
+        let arbitrary = nw.dist(&t("RH10-OAG"), &t("RH1X-XAG"));
+        assert!(typo_fix < arbitrary, "{typo_fix} !< {arbitrary}");
+        assert_eq!(typo_fix, 0.5);
+    }
+
+    #[test]
+    fn needleman_wunsch_is_symmetric_and_identity() {
+        let nw = NeedlemanWunsch::default();
+        assert_eq!(nw.dist(&t("abc"), &t("abc")), 0.0);
+        assert_eq!(nw.dist(&t("O1"), &t("0I")), nw.dist(&t("0I"), &t("O1")));
+    }
+
+    #[test]
+    fn confusable_pairs() {
+        assert!(NeedlemanWunsch::confusable('O', '0'));
+        assert!(NeedlemanWunsch::confusable('0', 'O'));
+        assert!(NeedlemanWunsch::confusable('a', 'A'));
+        assert!(!NeedlemanWunsch::confusable('a', 'a'));
+        assert!(!NeedlemanWunsch::confusable('X', '9'));
+    }
+
+    #[test]
+    fn metric_enum_dispatch() {
+        assert_eq!(Metric::Absolute.dist(&n(1.0), &n(4.0)), 3.0);
+        assert_eq!(Metric::Edit.dist(&t("ab"), &t("b")), 1.0);
+        assert_eq!(Metric::Discrete.name(), "discrete");
+    }
+
+    #[test]
+    fn axioms_hold_on_samples() {
+        let vals = [n(0.0), n(1.5), n(-3.0)];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    check_metric_axioms(&AbsoluteDiff, a, b, c).unwrap();
+                }
+            }
+        }
+        let strs = [t("abc"), t("RH10-OAG"), t(""), t("0AG")];
+        for a in &strs {
+            for b in &strs {
+                for c in &strs {
+                    check_metric_axioms(&EditDistance, a, b, c).unwrap();
+                    check_metric_axioms(&NeedlemanWunsch::default(), a, b, c).unwrap();
+                    check_metric_axioms(&DiscreteDistance, a, b, c).unwrap();
+                }
+            }
+        }
+    }
+}

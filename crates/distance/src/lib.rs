@@ -1,0 +1,44 @@
+//! Distance substrate for the DISC outlier-saving system.
+//!
+//! The paper (Song et al., SIGMOD 2021) associates every attribute `A` of a
+//! relation scheme `R` with a per-attribute distance `Δ(t1[A], t2[A])` that
+//! must satisfy the four metric axioms (non-negativity, identity of
+//! indiscernibles, symmetry, triangle inequality), and aggregates the
+//! per-attribute distances over an attribute set `X ⊆ R` with an `L^p` norm
+//! (by default `L²`, Formula 1 in the paper).
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — the typed cell values tuples are made of (numeric or text);
+//! * [`AttributeDistance`] — the per-attribute metric trait, with
+//!   [`AbsoluteDiff`], [`EditDistance`], [`NeedlemanWunsch`] and
+//!   [`DiscreteDistance`] implementations;
+//! * [`Norm`] — `L¹`/`L²`/`L^p`/`L^∞` aggregation over attribute subsets;
+//! * [`AttrSet`] — a compact bitset over attribute indices, used by the DISC
+//!   recursion to enumerate *unadjusted* attribute sets `X`;
+//! * [`TupleDistance`] — the combination of per-attribute metrics and a norm
+//!   into the tuple-level metric `Δ(t1[X], t2[X])`;
+//! * [`ngram`] — normalized n-gram similarity used by the record-matching
+//!   application (Section 4.1.3 of the paper).
+//!
+//! All aggregated distances inherit the metric axioms from the per-attribute
+//! metrics (the `L^p` composition of metrics is a metric), plus the
+//! monotonicity property `Δ(t1[X], t2[X]) ≤ Δ(t1[X ∪ {A}], t2[X ∪ {A}])`
+//! that the DISC bounds rely on.
+
+pub mod attr_set;
+pub mod attribute;
+pub mod ngram;
+pub mod norm;
+pub mod tuple;
+pub mod value;
+
+pub use attr_set::AttrSet;
+pub use attribute::{
+    check_metric_axioms, AbsoluteDiff, AttributeDistance, DiscreteDistance, EditDistance, Metric,
+    NeedlemanWunsch,
+};
+pub use ngram::{ngram_similarity, NGram};
+pub use norm::Norm;
+pub use tuple::TupleDistance;
+pub use value::Value;

@@ -1,0 +1,139 @@
+//! Typed cell values.
+//!
+//! The DISC paper supports "not only numeric data but also textual /
+//! categorical data" (Section 1.1). A [`Value`] is either a 64-bit float or
+//! an owned string; `Null` models missing cells produced by some cleaning
+//! baselines.
+
+use std::fmt;
+
+/// A single cell value of a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing value.
+    Null,
+    /// A numeric value (both integers and reals are stored as `f64`).
+    Num(f64),
+    /// A textual / categorical value.
+    Text(String),
+}
+
+impl Value {
+    /// Returns the numeric content, if this is a [`Value::Num`].
+    #[inline]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric content, panicking on non-numeric values.
+    ///
+    /// Most of the pipeline works on fully numeric datasets where this is
+    /// statically guaranteed; the panic message names the offending variant.
+    #[inline]
+    pub fn expect_num(&self) -> f64 {
+        match self {
+            Value::Num(x) => *x,
+            other => panic!("expected numeric value, found {other:?}"),
+        }
+    }
+
+    /// Returns the textual content, if this is a [`Value::Text`].
+    #[inline]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Structural equality that treats two NaNs as equal, so that the
+    /// "identity of indiscernibles" axiom can be checked mechanically.
+    pub fn same(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Num(a), Value::Num(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Num(x as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("∅"),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Num(3.5).as_num(), Some(3.5));
+        assert_eq!(Value::Text("a".into()).as_num(), None);
+        assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(Value::Num(1.0).as_text(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Num(0.0).is_null());
+    }
+
+    #[test]
+    fn same_handles_nan() {
+        assert!(Value::Num(f64::NAN).same(&Value::Num(f64::NAN)));
+        assert!(!Value::Num(f64::NAN).same(&Value::Num(0.0)));
+        assert!(Value::Num(2.0).same(&Value::Num(2.0)));
+        assert!(!Value::Num(2.0).same(&Value::Text("2".into())));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2i64), Value::Num(2.0));
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(format!("{}", Value::Num(1.5)), "1.5");
+        assert_eq!(format!("{}", Value::Null), "∅");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numeric value")]
+    fn expect_num_panics_on_text() {
+        Value::Text("oops".into()).expect_num();
+    }
+}

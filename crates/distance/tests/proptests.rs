@@ -1,0 +1,111 @@
+//! Property tests for the distance substrate.
+
+use disc_distance::{
+    check_metric_axioms, ngram_similarity, AbsoluteDiff, AttrSet, AttributeDistance,
+    DiscreteDistance, EditDistance, Metric, NeedlemanWunsch, Norm, TupleDistance, Value,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All four per-attribute metrics satisfy the metric axioms on mixed
+    /// numeric values.
+    #[test]
+    fn numeric_metric_axioms(a in -1e9f64..1e9, b in -1e9f64..1e9, c in -1e9f64..1e9) {
+        {
+            let (va, vb, vc) = (Value::Num(a), Value::Num(b), Value::Num(c));
+            check_metric_axioms(&AbsoluteDiff, &va, &vb, &vc).unwrap();
+            check_metric_axioms(&DiscreteDistance, &va, &vb, &vc).unwrap();
+        }
+    }
+
+    /// Edit distance equals the length difference for prefix strings and
+    /// is bounded by the longer length.
+    #[test]
+    fn edit_distance_bounds(s in "[a-z]{0,12}", t in "[a-z]{0,12}") {
+        let d = EditDistance::levenshtein(&s, &t);
+        let (ls, lt) = (s.chars().count(), t.chars().count());
+        prop_assert!(d >= ls.abs_diff(lt));
+        prop_assert!(d <= ls.max(lt));
+        // Prefix property.
+        let mut st = s.clone();
+        st.push_str(&t);
+        prop_assert_eq!(EditDistance::levenshtein(&s, &st), lt);
+    }
+
+    /// Needleman–Wunsch alignment never exceeds plain Levenshtein (the
+    /// confusable discount only reduces cost) and stays a metric.
+    #[test]
+    fn nw_discounts_levenshtein(s in "[a-zA-Z0-9]{0,10}", t in "[a-zA-Z0-9]{0,10}") {
+        let nw = NeedlemanWunsch::default();
+        let aligned = nw.align(&s, &t);
+        let lev = EditDistance::levenshtein(&s, &t) as f64;
+        prop_assert!(aligned <= lev + 1e-9);
+        prop_assert!(aligned >= 0.0);
+        prop_assert!((nw.align(&t, &s) - aligned).abs() < 1e-9);
+    }
+
+    /// N-gram similarity is symmetric, bounded and 1 exactly on equality.
+    #[test]
+    fn ngram_properties(s in "[a-z ]{0,15}", t in "[a-z ]{0,15}") {
+        let st = ngram_similarity(&s, &t);
+        prop_assert!((0.0..=1.0).contains(&st));
+        prop_assert!((st - ngram_similarity(&t, &s)).abs() < 1e-12);
+        prop_assert!((ngram_similarity(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    /// Norm streaming accumulation equals batch aggregation.
+    #[test]
+    fn norm_streaming_consistency(components in prop::collection::vec(0.0f64..100.0, 0..10)) {
+        for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)] {
+            let mut acc = norm.init();
+            for &d in &components {
+                acc = norm.accumulate(acc, d);
+            }
+            let streamed = norm.finish(acc);
+            let batch = norm.aggregate(&components);
+            prop_assert!((streamed - batch).abs() < 1e-9 * (1.0 + batch), "{norm:?}");
+        }
+    }
+
+    /// `dist_on` over the full set equals `dist`, and the complement
+    /// decomposition holds for L2 (squared accumulators add up).
+    #[test]
+    fn dist_on_full_set(a in prop::collection::vec(-10.0f64..10.0, 5), b in prop::collection::vec(-10.0f64..10.0, 5)) {
+        let dist = TupleDistance::numeric(5);
+        let ra: Vec<Value> = a.iter().map(|&x| Value::Num(x)).collect();
+        let rb: Vec<Value> = b.iter().map(|&x| Value::Num(x)).collect();
+        let full = dist.dist(&ra, &rb);
+        prop_assert!((dist.dist_on(AttrSet::full(5), &ra, &rb) - full).abs() < 1e-9);
+        let x = AttrSet::from_indices([0, 2]);
+        let y = x.complement(5);
+        let dx = dist.dist_on(x, &ra, &rb);
+        let dy = dist.dist_on(y, &ra, &rb);
+        prop_assert!(((dx * dx + dy * dy).sqrt() - full).abs() < 1e-9);
+    }
+
+    /// AttrSet set algebra behaves like the reference operations.
+    #[test]
+    fn attr_set_algebra(xs in prop::collection::vec(0usize..16, 0..10), ys in prop::collection::vec(0usize..16, 0..10)) {
+        let a = AttrSet::from_indices(xs.iter().copied());
+        let b = AttrSet::from_indices(ys.iter().copied());
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        for i in 0..16 {
+            prop_assert_eq!(union.contains(i), a.contains(i) || b.contains(i));
+            prop_assert_eq!(inter.contains(i), a.contains(i) && b.contains(i));
+            prop_assert_eq!(a.complement(16).contains(i), !a.contains(i));
+        }
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert!(inter.is_subset(&a) && inter.is_subset(&union));
+    }
+
+    /// Metric enum dispatch agrees with the concrete implementations.
+    #[test]
+    fn metric_enum_agrees(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let (va, vb) = (Value::Num(a), Value::Num(b));
+        prop_assert_eq!(Metric::Absolute.dist(&va, &vb), AbsoluteDiff.dist(&va, &vb));
+        prop_assert_eq!(Metric::Discrete.dist(&va, &vb), DiscreteDistance.dist(&va, &vb));
+    }
+}

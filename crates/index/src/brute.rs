@@ -1,0 +1,172 @@
+//! Linear-scan reference index.
+
+use disc_distance::{TupleDistance, Value};
+
+use crate::{sort_hits, NeighborIndex};
+
+/// Exhaustive linear scan over the rows, with per-attribute early exit in
+/// the distance accumulation (`TupleDistance::dist_within`).
+///
+/// Correct for every metric; the reference backend the others are tested
+/// against, and the fastest choice for small `n`.
+pub struct BruteForceIndex<'a> {
+    rows: &'a [Vec<Value>],
+    dist: TupleDistance,
+}
+
+impl<'a> BruteForceIndex<'a> {
+    /// Builds the index (O(1): just borrows the rows).
+    pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance) -> Self {
+        BruteForceIndex { rows, dist }
+    }
+
+    /// The tuple metric in use.
+    pub fn distance(&self) -> &TupleDistance {
+        &self.dist
+    }
+}
+
+impl NeighborIndex for BruteForceIndex<'_> {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
+        let mut hits = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(d) = self.dist.dist_within(query, row, eps) {
+                hits.push((i as u32, d));
+            }
+        }
+        hits
+    }
+
+    fn count_within(&self, query: &[Value], eps: f64) -> usize {
+        self.rows
+            .iter()
+            .filter(|row| self.dist.dist_within(query, row, eps).is_some())
+            .count()
+    }
+
+    fn satisfies(&self, query: &[Value], eps: f64, eta: usize) -> bool {
+        let mut count = 0usize;
+        for row in self.rows {
+            if self.dist.dist_within(query, row, eps).is_some() {
+                count += 1;
+                if count >= eta {
+                    return true;
+                }
+            }
+        }
+        count >= eta
+    }
+
+    fn knn(&self, query: &[Value], k: usize) -> Vec<(u32, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Bounded insertion into a sorted buffer; k is small (η ≤ a few
+        // dozen) in every caller, so this beats a heap in practice.
+        let mut best: Vec<(u32, f64)> = Vec::with_capacity(k + 1);
+        for (i, row) in self.rows.iter().enumerate() {
+            let worst = if best.len() == k {
+                best[k - 1].1
+            } else {
+                f64::INFINITY
+            };
+            if let Some(d) = self.dist.dist_within(query, row, worst) {
+                let pos = best
+                    .binary_search_by(|p| {
+                        p.1.partial_cmp(&d)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(p.0.cmp(&(i as u32)))
+                    })
+                    .unwrap_or_else(|e| e);
+                best.insert(pos, (i as u32, d));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        sort_hits(&mut best);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(points: &[[f64; 2]]) -> Vec<Vec<Value>> {
+        points
+            .iter()
+            .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
+            .collect()
+    }
+
+    fn q(x: f64, y: f64) -> Vec<Value> {
+        vec![Value::Num(x), Value::Num(y)]
+    }
+
+    #[test]
+    fn range_query() {
+        let data = rows(&[[0.0, 0.0], [1.0, 0.0], [3.0, 4.0], [10.0, 10.0]]);
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        let mut hits = idx.range(&q(0.0, 0.0), 5.0);
+        sort_hits(&mut hits);
+        assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(hits[2].1, 5.0); // boundary is inclusive
+    }
+
+    #[test]
+    fn count_and_satisfies() {
+        let data = rows(&[[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [9.0, 9.0]]);
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        assert_eq!(idx.count_within(&q(0.0, 0.0), 2.0), 3);
+        assert!(idx.satisfies(&q(0.0, 0.0), 2.0, 3));
+        assert!(!idx.satisfies(&q(0.0, 0.0), 2.0, 4));
+        assert!(idx.satisfies(&q(0.0, 0.0), 2.0, 0));
+    }
+
+    #[test]
+    fn knn_sorted_ascending() {
+        let data = rows(&[[5.0, 0.0], [1.0, 0.0], [3.0, 0.0], [2.0, 0.0]]);
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        let nn = idx.knn(&q(0.0, 0.0), 3);
+        assert_eq!(nn.iter().map(|h| h.0).collect::<Vec<_>>(), vec![1, 3, 2]);
+        assert_eq!(nn.iter().map(|h| h.1).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn knn_more_than_n() {
+        let data = rows(&[[1.0, 0.0]]);
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        assert_eq!(idx.knn(&q(0.0, 0.0), 5).len(), 1);
+        assert!(idx.kth_distance(&q(0.0, 0.0), 5).is_none());
+        assert_eq!(idx.kth_distance(&q(0.0, 0.0), 1), Some(1.0));
+        assert_eq!(idx.kth_distance(&q(0.0, 0.0), 0), Some(0.0));
+    }
+
+    #[test]
+    fn knn_zero() {
+        let data = rows(&[[1.0, 0.0]]);
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        assert!(idx.knn(&q(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn empty_index() {
+        let data: Vec<Vec<Value>> = Vec::new();
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        assert!(idx.is_empty());
+        assert!(idx.range(&q(0.0, 0.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn knn_tie_break_by_id() {
+        let data = rows(&[[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0]]);
+        let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
+        let nn = idx.knn(&q(0.0, 0.0), 2);
+        assert_eq!(nn.iter().map(|h| h.0).collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

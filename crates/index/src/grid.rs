@@ -1,0 +1,260 @@
+//! Uniform grid index over numeric data.
+//!
+//! Cells have side `cell_width`; a range query with radius `eps` only needs
+//! cells whose coordinates differ by at most `ceil(eps / cell_width)` in
+//! every dimension, because for any `L^p` norm (p ≥ 1) the per-coordinate
+//! difference lower-bounds the tuple distance. The workhorse backend for
+//! the paper's low-dimensional large datasets (GPS and Flight, m = 3).
+
+use std::collections::HashMap;
+
+use disc_distance::{TupleDistance, Value};
+
+use crate::{NeighborIndex};
+
+/// Grid cell coordinates (one `i64` per dimension).
+type CellKey = Vec<i64>;
+
+/// A uniform grid over fully numeric rows.
+pub struct GridIndex<'a> {
+    rows: &'a [Vec<Value>],
+    dist: TupleDistance,
+    cell_width: f64,
+    cells: HashMap<CellKey, Vec<u32>>,
+    m: usize,
+    /// Upper bound on any point-to-point distance (diameter of the
+    /// occupied bounding box plus slack), precomputed so the expanding
+    /// k-NN search can detect exhaustion in O(1).
+    max_dist: f64,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Builds the grid. `cell_width` is typically the expected query radius
+    /// ε; any positive value is correct.
+    ///
+    /// # Panics
+    /// Panics if `cell_width ≤ 0` or any row contains a non-numeric value.
+    pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance, cell_width: f64) -> Self {
+        assert!(cell_width > 0.0, "cell width must be positive");
+        let m = dist.arity();
+        let mut cells: HashMap<CellKey, Vec<u32>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            let key = Self::key_of(row, cell_width);
+            cells.entry(key).or_default().push(i as u32);
+        }
+        let max_dist = {
+            let mut span = 0.0f64;
+            for d in 0..m {
+                let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+                for key in cells.keys() {
+                    lo = lo.min(key[d]);
+                    hi = hi.max(key[d]);
+                }
+                if lo <= hi {
+                    span = span.max((hi - lo + 2) as f64 * cell_width);
+                }
+            }
+            (span * span * m as f64).sqrt() + cell_width
+        };
+        GridIndex { rows, dist, cell_width, cells, m, max_dist }
+    }
+
+    fn key_of(row: &[Value], w: f64) -> CellKey {
+        row.iter()
+            .map(|v| (v.expect_num() / w).floor() as i64)
+            .collect()
+    }
+
+    /// Number of occupied cells (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Visits every row whose cell lies within `radius_cells` of the
+    /// query's cell in Chebyshev distance. Chooses between enumerating the
+    /// cell neighborhood and scanning the occupied-cell map, whichever is
+    /// smaller.
+    fn for_candidates(&self, query: &[Value], radius_cells: i64, mut visit: impl FnMut(u32)) {
+        let qkey = Self::key_of(query, self.cell_width);
+        let span = (2 * radius_cells + 1) as f64;
+        let enumerate_cost = span.powi(self.m as i32);
+        if enumerate_cost <= 4.0 * self.cells.len() as f64 {
+            // Enumerate the (2r+1)^m neighborhood via an odometer.
+            let mut offsets = vec![-radius_cells; self.m];
+            'outer: loop {
+                let key: CellKey = qkey.iter().zip(&offsets).map(|(q, o)| q + o).collect();
+                if let Some(ids) = self.cells.get(&key) {
+                    for &id in ids {
+                        visit(id);
+                    }
+                }
+                // Advance the odometer.
+                for d in 0..self.m {
+                    offsets[d] += 1;
+                    if offsets[d] <= radius_cells {
+                        continue 'outer;
+                    }
+                    offsets[d] = -radius_cells;
+                }
+                break;
+            }
+        } else {
+            for (key, ids) in &self.cells {
+                let near = key
+                    .iter()
+                    .zip(&qkey)
+                    .all(|(c, q)| (c - q).abs() <= radius_cells);
+                if near {
+                    for &id in ids {
+                        visit(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NeighborIndex for GridIndex<'_> {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
+        let radius_cells = (eps / self.cell_width).ceil() as i64 + 1;
+        let mut hits = Vec::new();
+        self.for_candidates(query, radius_cells, |id| {
+            if let Some(d) = self.dist.dist_within(query, &self.rows[id as usize], eps) {
+                hits.push((id, d));
+            }
+        });
+        hits
+    }
+
+    fn knn(&self, query: &[Value], k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.rows.is_empty() {
+            return Vec::new();
+        }
+        // Expanding-radius search: grow the ball until at least k hits are
+        // found *and* the k-th distance is covered by the scanned radius
+        // (so nothing closer can hide in an unscanned cell).
+        let mut eps = self.cell_width;
+        loop {
+            let mut hits = self.range(query, eps);
+            if hits.len() >= k {
+                crate::sort_hits(&mut hits);
+                if hits[k - 1].1 <= eps {
+                    hits.truncate(k);
+                    return hits;
+                }
+            }
+            if eps > self.max_dist {
+                // The data's diameter is exhausted but the query may lie
+                // far outside the indexed box: a radius of (distance to
+                // any anchor point) + diameter covers every row by the
+                // triangle inequality.
+                let anchor = self.dist.dist(query, &self.rows[0]);
+                let mut hits = self.range(query, anchor + self.max_dist);
+                crate::sort_hits(&mut hits);
+                hits.truncate(k);
+                return hits;
+            }
+            eps *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+    use crate::sort_hits;
+
+    fn rows(points: &[[f64; 2]]) -> Vec<Vec<Value>> {
+        points
+            .iter()
+            .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
+            .collect()
+    }
+
+    fn q(x: f64, y: f64) -> Vec<Value> {
+        vec![Value::Num(x), Value::Num(y)]
+    }
+
+    fn grid_points(n: usize) -> Vec<Vec<Value>> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| q(0.37 * (i % side) as f64, 0.73 * (i / side) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let data = grid_points(200);
+        let dist = TupleDistance::numeric(2);
+        let grid = GridIndex::new(&data, dist.clone(), 1.0);
+        let brute = BruteForceIndex::new(&data, dist);
+        for eps in [0.3, 1.0, 2.5] {
+            for query in [q(1.0, 1.0), q(0.0, 0.0), q(100.0, -5.0)] {
+                let mut a = grid.range(&query, eps);
+                let mut b = brute.range(&query, eps);
+                sort_hits(&mut a);
+                sort_hits(&mut b);
+                assert_eq!(a, b, "eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let data = grid_points(150);
+        let dist = TupleDistance::numeric(2);
+        let grid = GridIndex::new(&data, dist.clone(), 0.5);
+        let brute = BruteForceIndex::new(&data, dist);
+        for k in [1, 5, 17] {
+            for query in [q(2.0, 3.0), q(-10.0, -10.0)] {
+                let a = grid.knn(&query, k);
+                let b = brute.knn(&query, k);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x.1 - y.1).abs() < 1e-12, "k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_larger_than_dataset() {
+        let data = rows(&[[0.0, 0.0], [1.0, 1.0]]);
+        let grid = GridIndex::new(&data, TupleDistance::numeric(2), 1.0);
+        assert_eq!(grid.knn(&q(0.0, 0.0), 10).len(), 2);
+    }
+
+    #[test]
+    fn occupied_cells_counted() {
+        let data = rows(&[[0.1, 0.1], [0.2, 0.2], [5.0, 5.0]]);
+        let grid = GridIndex::new(&data, TupleDistance::numeric(2), 1.0);
+        assert_eq!(grid.occupied_cells(), 2);
+        assert_eq!(grid.len(), 3);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let data = rows(&[[-1.5, -1.5], [-1.4, -1.4], [1.0, 1.0]]);
+        let dist = TupleDistance::numeric(2);
+        let grid = GridIndex::new(&data, dist.clone(), 1.0);
+        let brute = BruteForceIndex::new(&data, dist);
+        let mut a = grid.range(&q(-1.45, -1.45), 0.2);
+        let mut b = brute.range(&q(-1.45, -1.45), 0.2);
+        sort_hits(&mut a);
+        sort_hits(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell width must be positive")]
+    fn zero_cell_width_panics() {
+        let data = rows(&[[0.0, 0.0]]);
+        GridIndex::new(&data, TupleDistance::numeric(2), 0.0);
+    }
+}

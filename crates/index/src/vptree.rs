@@ -1,0 +1,248 @@
+//! Vantage-point tree: metric-space index for arbitrary tuple metrics.
+//!
+//! Works for text attributes under (weighted) edit distance, where the grid
+//! index does not apply, using only the triangle inequality for pruning —
+//! the same property the DISC bounds rely on.
+
+use disc_distance::{TupleDistance, Value};
+
+use crate::{sort_hits, NeighborIndex};
+
+struct Node {
+    /// Row id of the vantage point.
+    vantage: u32,
+    /// Median distance from the vantage point to the points in its subtree.
+    radius: f64,
+    /// Points with distance ≤ radius.
+    inside: Option<Box<Node>>,
+    /// Points with distance > radius.
+    outside: Option<Box<Node>>,
+}
+
+/// A vantage-point tree over a fixed row set.
+pub struct VpTree<'a> {
+    rows: &'a [Vec<Value>],
+    dist: TupleDistance,
+    root: Option<Box<Node>>,
+}
+
+impl<'a> VpTree<'a> {
+    /// Builds the tree in `O(n log n)` expected distance evaluations.
+    ///
+    /// Construction is deterministic: the first point of each partition is
+    /// the vantage point and the median split uses a stable order.
+    pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance) -> Self {
+        let mut ids: Vec<u32> = (0..rows.len() as u32).collect();
+        let root = Self::build(rows, &dist, &mut ids);
+        VpTree { rows, dist, root }
+    }
+
+    fn build(rows: &[Vec<Value>], dist: &TupleDistance, ids: &mut [u32]) -> Option<Box<Node>> {
+        let (&vantage, rest) = ids.split_first()?;
+        if rest.is_empty() {
+            return Some(Box::new(Node { vantage, radius: 0.0, inside: None, outside: None }));
+        }
+        let vrow = &rows[vantage as usize];
+        let mut with_d: Vec<(u32, f64)> = rest
+            .iter()
+            .map(|&id| (id, dist.dist(vrow, &rows[id as usize])))
+            .collect();
+        with_d.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mid = with_d.len() / 2;
+        let radius = with_d[mid].1;
+        // inside: d ≤ radius (indices 0..=mid), outside: d > radius.
+        let split = with_d.iter().position(|p| p.1 > radius).unwrap_or(with_d.len());
+        let mut inside_ids: Vec<u32> = with_d[..split].iter().map(|p| p.0).collect();
+        let mut outside_ids: Vec<u32> = with_d[split..].iter().map(|p| p.0).collect();
+        Some(Box::new(Node {
+            vantage,
+            radius,
+            inside: Self::build(rows, dist, &mut inside_ids),
+            outside: Self::build(rows, dist, &mut outside_ids),
+        }))
+    }
+
+    fn range_rec(&self, node: &Node, query: &[Value], eps: f64, out: &mut Vec<(u32, f64)>) {
+        let d = self.dist.dist(query, &self.rows[node.vantage as usize]);
+        if d <= eps {
+            out.push((node.vantage, d));
+        }
+        if let Some(inside) = &node.inside {
+            // A point p inside has Δ(v,p) ≤ radius; by triangle inequality
+            // Δ(q,p) ≥ d − radius, so skip if d − radius > eps.
+            if d - node.radius <= eps {
+                self.range_rec(inside, query, eps, out);
+            }
+        }
+        if let Some(outside) = &node.outside {
+            // A point p outside has Δ(v,p) > radius; Δ(q,p) ≥ radius − d.
+            if node.radius - d <= eps {
+                self.range_rec(outside, query, eps, out);
+            }
+        }
+    }
+
+    fn knn_rec(&self, node: &Node, query: &[Value], k: usize, best: &mut Vec<(u32, f64)>) {
+        let d = self.dist.dist(query, &self.rows[node.vantage as usize]);
+        let tau = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
+        if d <= tau {
+            let pos = best
+                .binary_search_by(|p| {
+                    p.1.partial_cmp(&d)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(p.0.cmp(&node.vantage))
+                })
+                .unwrap_or_else(|e| e);
+            best.insert(pos, (node.vantage, d));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+        // Visit the nearer side first for better pruning.
+        let first_inside = d <= node.radius;
+        for go_inside in [first_inside, !first_inside] {
+            let child = if go_inside { &node.inside } else { &node.outside };
+            if let Some(child) = child {
+                let tau = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
+                let reachable = if go_inside {
+                    d - node.radius <= tau
+                } else {
+                    node.radius - d <= tau
+                };
+                if reachable {
+                    self.knn_rec(child, query, k, best);
+                }
+            }
+        }
+    }
+}
+
+impl NeighborIndex for VpTree<'_> {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.range_rec(root, query, eps, &mut out);
+        }
+        out
+    }
+
+    fn knn(&self, query: &[Value], k: usize) -> Vec<(u32, f64)> {
+        let mut best = Vec::with_capacity(k + 1);
+        if k > 0 {
+            if let Some(root) = &self.root {
+                self.knn_rec(root, query, k, &mut best);
+            }
+        }
+        sort_hits(&mut best);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+
+    fn rows_2d(n: usize) -> Vec<Vec<Value>> {
+        // Deterministic scatter via a small LCG.
+        let mut state = 12345u64;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((state >> 33) % 1000) as f64 / 100.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((state >> 33) % 1000) as f64 / 100.0;
+                vec![Value::Num(x), Value::Num(y)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let data = rows_2d(300);
+        let dist = TupleDistance::numeric(2);
+        let tree = VpTree::new(&data, dist.clone());
+        let brute = BruteForceIndex::new(&data, dist);
+        for eps in [0.5, 2.0, 8.0] {
+            let query = vec![Value::Num(5.0), Value::Num(5.0)];
+            let mut a = tree.range(&query, eps);
+            let mut b = brute.range(&query, eps);
+            sort_hits(&mut a);
+            sort_hits(&mut b);
+            assert_eq!(a, b, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let data = rows_2d(200);
+        let dist = TupleDistance::numeric(2);
+        let tree = VpTree::new(&data, dist.clone());
+        let brute = BruteForceIndex::new(&data, dist);
+        for k in [1, 7, 25] {
+            let query = vec![Value::Num(3.3), Value::Num(7.7)];
+            let a = tree.knn(&query, k);
+            let b = brute.knn(&query, k);
+            assert_eq!(a.len(), b.len(), "k={k}");
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.1 - y.1).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_text_data() {
+        let data: Vec<Vec<Value>> = ["cat", "cart", "dog", "dot", "zebra"]
+            .iter()
+            .map(|s| vec![Value::Text(s.to_string())])
+            .collect();
+        let dist = TupleDistance::textual(1);
+        let tree = VpTree::new(&data, dist.clone());
+        let brute = BruteForceIndex::new(&data, dist);
+        let query = vec![Value::Text("cot".into())];
+        let mut a = tree.range(&query, 1.0);
+        let mut b = brute.range(&query, 1.0);
+        sort_hits(&mut a);
+        sort_hits(&mut b);
+        assert_eq!(a, b);
+        // "cat" and "dot" are both 1 edit from "cot".
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<Vec<Value>> = Vec::new();
+        let t = VpTree::new(&empty, TupleDistance::numeric(1));
+        assert!(t.is_empty());
+        assert!(t.range(&[Value::Num(0.0)], 10.0).is_empty());
+        assert!(t.knn(&[Value::Num(0.0)], 3).is_empty());
+
+        let one = vec![vec![Value::Num(1.0)]];
+        let t = VpTree::new(&one, TupleDistance::numeric(1));
+        assert_eq!(t.knn(&[Value::Num(0.0)], 3), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let data = vec![
+            vec![Value::Num(1.0)],
+            vec![Value::Num(1.0)],
+            vec![Value::Num(1.0)],
+            vec![Value::Num(5.0)],
+        ];
+        let t = VpTree::new(&data, TupleDistance::numeric(1));
+        let hits = t.range(&[Value::Num(1.0)], 0.0);
+        assert_eq!(hits.len(), 3);
+        let nn = t.knn(&[Value::Num(1.0)], 4);
+        assert_eq!(nn.len(), 4);
+        assert_eq!(nn[3].1, 4.0);
+    }
+}

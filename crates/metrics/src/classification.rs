@@ -1,0 +1,146 @@
+//! Classification metrics (Section 4.1.2 of the paper).
+
+use std::collections::HashMap;
+
+/// A multi-class confusion matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ConfusionMatrix {
+    /// `(predicted, truth) → count`.
+    cells: HashMap<(u32, u32), u64>,
+    classes: Vec<u32>,
+    n: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned prediction / truth vectors.
+    pub fn new(pred: &[u32], truth: &[u32]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "label vectors must align");
+        let mut cells: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut classes: Vec<u32> = Vec::new();
+        for (&p, &t) in pred.iter().zip(truth) {
+            *cells.entry((p, t)).or_insert(0) += 1;
+            if !classes.contains(&p) {
+                classes.push(p);
+            }
+            if !classes.contains(&t) {
+                classes.push(t);
+            }
+        }
+        classes.sort_unstable();
+        ConfusionMatrix { cells, classes, n: pred.len() as u64 }
+    }
+
+    /// Per-class precision, recall and F1.
+    pub fn class_prf(&self, class: u32) -> (f64, f64, f64) {
+        let tp = *self.cells.get(&(class, class)).unwrap_or(&0) as f64;
+        let pred_total: f64 = self
+            .cells
+            .iter()
+            .filter(|((p, _), _)| *p == class)
+            .map(|(_, &c)| c as f64)
+            .sum();
+        let truth_total: f64 = self
+            .cells
+            .iter()
+            .filter(|((_, t), _)| *t == class)
+            .map(|(_, &c)| c as f64)
+            .sum();
+        let precision = if pred_total == 0.0 { 0.0 } else { tp / pred_total };
+        let recall = if truth_total == 0.0 { 0.0 } else { tp / truth_total };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        (precision, recall, f1)
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        if self.classes.is_empty() {
+            return 1.0;
+        }
+        self.classes.iter().map(|&c| self.class_prf(c).2).sum::<f64>() / self.classes.len() as f64
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        let correct: u64 = self
+            .cells
+            .iter()
+            .filter(|((p, t), _)| p == t)
+            .map(|(_, &c)| c)
+            .sum();
+        correct as f64 / self.n as f64
+    }
+
+    /// The observed classes in ascending order.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+}
+
+/// Macro-averaged F1 between predictions and truth.
+pub fn macro_f1(pred: &[u32], truth: &[u32]) -> f64 {
+    ConfusionMatrix::new(pred, truth).macro_f1()
+}
+
+/// Plain accuracy between predictions and truth.
+pub fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+    ConfusionMatrix::new(pred, truth).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [0, 1, 2, 1, 0];
+        assert_eq!(macro_f1(&y, &y), 1.0);
+        assert_eq!(accuracy(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_binary_case() {
+        // truth:  [1, 1, 1, 0, 0, 0]
+        // pred:   [1, 1, 0, 0, 0, 1]
+        let truth = [1, 1, 1, 0, 0, 0];
+        let pred = [1, 1, 0, 0, 0, 1];
+        let cm = ConfusionMatrix::new(&pred, &truth);
+        // class 1: tp=2, pred=3, truth=3 → P=R=F1=2/3.
+        let (p, r, f) = cm.class_prf(1);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.macro_f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_class_in_prediction() {
+        let truth = [0, 1, 2];
+        let pred = [0, 1, 1];
+        let cm = ConfusionMatrix::new(&pred, &truth);
+        let (_, _, f2) = cm.class_prf(2);
+        assert_eq!(f2, 0.0);
+        assert_eq!(cm.classes(), &[0, 1, 2]);
+        assert!(cm.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_trivially_perfect() {
+        let e: [u32; 0] = [];
+        assert_eq!(macro_f1(&e, &e), 1.0);
+        assert_eq!(accuracy(&e, &e), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label vectors must align")]
+    fn mismatched_lengths_panic() {
+        macro_f1(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Clustering-quality metrics from the contingency table.
+
+use std::collections::HashMap;
+
+use crate::NOISE;
+
+/// Pair counts underlying the pairwise precision/recall/F1 measures.
+///
+/// `tp` counts point pairs clustered together in both the prediction and
+/// the ground truth; `fp` pairs together only in the prediction; `fn_`
+/// pairs together only in the ground truth (Section 4.1.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs together in both partitions.
+    pub tp: u64,
+    /// Pairs together only in the predicted partition.
+    pub fp: u64,
+    /// Pairs together only in the ground-truth partition.
+    pub fn_: u64,
+}
+
+impl PairCounts {
+    /// Pairwise precision `TP / (TP + FP)` (1.0 when no predicted pairs).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Pairwise recall `TP / (TP + FN)` (1.0 when no ground-truth pairs).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn choose2(x: u64) -> u64 {
+    x * x.saturating_sub(1) / 2
+}
+
+/// Remaps noise labels (`u32::MAX`) to fresh singleton cluster ids so the
+/// contingency table treats each noise point as its own cluster.
+fn desingle(labels: &[u32]) -> Vec<u64> {
+    let mut next = labels
+        .iter()
+        .copied()
+        .filter(|&l| l != NOISE)
+        .max()
+        .map(|m| m as u64 + 1)
+        .unwrap_or(0);
+    labels
+        .iter()
+        .map(|&l| {
+            if l == NOISE {
+                let id = next;
+                next += 1;
+                id
+            } else {
+                l as u64
+            }
+        })
+        .collect()
+}
+
+/// The contingency table `n_ij = |pred cluster i ∩ truth class j|` plus the
+/// marginals, computed in one pass.
+struct Contingency {
+    cells: HashMap<(u64, u64), u64>,
+    pred_sizes: HashMap<u64, u64>,
+    truth_sizes: HashMap<u64, u64>,
+    n: u64,
+}
+
+impl Contingency {
+    fn new(pred: &[u32], truth: &[u32]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "label vectors must align");
+        let pred = desingle(pred);
+        let truth = desingle(truth);
+        let mut cells: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut pred_sizes: HashMap<u64, u64> = HashMap::new();
+        let mut truth_sizes: HashMap<u64, u64> = HashMap::new();
+        for (&p, &t) in pred.iter().zip(&truth) {
+            *cells.entry((p, t)).or_insert(0) += 1;
+            *pred_sizes.entry(p).or_insert(0) += 1;
+            *truth_sizes.entry(t).or_insert(0) += 1;
+        }
+        Contingency { cells, pred_sizes, truth_sizes, n: pred.len() as u64 }
+    }
+}
+
+/// Pairwise precision, recall and F1 between a predicted clustering and the
+/// ground truth.
+pub fn pairwise_prf(pred: &[u32], truth: &[u32]) -> PairCounts {
+    let c = Contingency::new(pred, truth);
+    let tp: u64 = c.cells.values().map(|&x| choose2(x)).sum();
+    let pred_pairs: u64 = c.pred_sizes.values().map(|&x| choose2(x)).sum();
+    let truth_pairs: u64 = c.truth_sizes.values().map(|&x| choose2(x)).sum();
+    PairCounts { tp, fp: pred_pairs - tp, fn_: truth_pairs - tp }
+}
+
+/// Pairwise F1 (the paper's primary clustering measure).
+pub fn pairwise_f1(pred: &[u32], truth: &[u32]) -> f64 {
+    pairwise_prf(pred, truth).f1()
+}
+
+/// Normalized mutual information with arithmetic-mean normalization
+/// (`NMI = 2·I(P;T) / (H(P) + H(T))`), in `[0, 1]`.
+pub fn normalized_mutual_information(pred: &[u32], truth: &[u32]) -> f64 {
+    let c = Contingency::new(pred, truth);
+    if c.n == 0 {
+        return 1.0;
+    }
+    let n = c.n as f64;
+    let mut mi = 0.0;
+    for (&(p, t), &n_ij) in &c.cells {
+        let n_ij = n_ij as f64;
+        let a = c.pred_sizes[&p] as f64;
+        let b = c.truth_sizes[&t] as f64;
+        if n_ij > 0.0 {
+            mi += (n_ij / n) * ((n * n_ij) / (a * b)).ln();
+        }
+    }
+    let h = |sizes: &HashMap<u64, u64>| -> f64 {
+        sizes
+            .values()
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hp = h(&c.pred_sizes);
+    let ht = h(&c.truth_sizes);
+    if hp + ht == 0.0 {
+        // Both partitions are single clusters: identical by construction.
+        1.0
+    } else {
+        (2.0 * mi / (hp + ht)).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index, in `[-1, 1]` with expectation 0 under random
+/// labelings.
+pub fn adjusted_rand_index(pred: &[u32], truth: &[u32]) -> f64 {
+    let c = Contingency::new(pred, truth);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = c.cells.values().map(|&x| choose2(x) as f64).sum();
+    let sum_a: f64 = c.pred_sizes.values().map(|&x| choose2(x) as f64).sum();
+    let sum_b: f64 = c.truth_sizes.values().map(|&x| choose2(x) as f64).sum();
+    let total = choose2(c.n) as f64;
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        1.0
+    } else {
+        (sum_ij - expected) / (max - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert_eq!(pairwise_f1(&labels, &labels), 1.0);
+        assert_eq!(normalized_mutual_information(&labels, &labels), 1.0);
+        assert_eq!(adjusted_rand_index(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn permuted_label_ids_are_still_perfect() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [5, 5, 9, 9, 7, 7];
+        assert_eq!(pairwise_f1(&pred, &truth), 1.0);
+        assert_eq!(normalized_mutual_information(&pred, &truth), 1.0);
+        assert_eq!(adjusted_rand_index(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn split_cluster_reduces_recall_not_precision() {
+        let truth = [0, 0, 0, 0, 1, 1];
+        let pred = [0, 0, 2, 2, 1, 1]; // class 0 split in two
+        let pc = pairwise_prf(&pred, &truth);
+        assert_eq!(pc.precision(), 1.0);
+        assert!(pc.recall() < 1.0);
+        assert!(pc.f1() < 1.0);
+    }
+
+    #[test]
+    fn merged_clusters_reduce_precision_not_recall() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 0, 0];
+        let pc = pairwise_prf(&pred, &truth);
+        assert!(pc.precision() < 1.0);
+        assert_eq!(pc.recall(), 1.0);
+    }
+
+    #[test]
+    fn known_pair_counts() {
+        // truth: {a,b,c} {d,e}; pred: {a,b} {c,d,e}.
+        let truth = [0, 0, 0, 1, 1];
+        let pred = [0, 0, 1, 1, 1];
+        let pc = pairwise_prf(&pred, &truth);
+        // together in both: (a,b), (d,e) → TP=2.
+        assert_eq!(pc.tp, 2);
+        // pred pairs: C(2,2)+C(3,2)=1+3=4 → FP=2; truth pairs: 3+1=4 → FN=2.
+        assert_eq!(pc.fp, 2);
+        assert_eq!(pc.fn_, 2);
+        assert!((pc.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_points_are_singletons() {
+        let truth = [0, 0, 1, 1];
+        // Second point marked noise: pairs (0,1) lost from prediction.
+        let pred = [0, NOISE, 1, 1];
+        let pc = pairwise_prf(&pred, &truth);
+        assert_eq!(pc.tp, 1);
+        assert_eq!(pc.fp, 0);
+        assert_eq!(pc.fn_, 1);
+        // Two noise points never pair with each other.
+        let all_noise = [NOISE, NOISE, NOISE, NOISE];
+        let pc = pairwise_prf(&all_noise, &truth);
+        assert_eq!(pc.tp, 0);
+        assert_eq!(pc.fp, 0);
+    }
+
+    #[test]
+    fn random_vs_structured_ari_near_zero() {
+        // Alternating prediction against block truth: ARI ≈ 0 (≤ small).
+        let truth: Vec<u32> = (0..100).map(|i| (i / 50) as u32).collect();
+        let pred: Vec<u32> = (0..100).map(|i| (i % 2) as u32).collect();
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari.abs() < 0.1, "ari={ari}");
+    }
+
+    #[test]
+    fn nmi_independent_partitions_near_zero() {
+        let truth: Vec<u32> = (0..64).map(|i| (i / 32) as u32).collect();
+        let pred: Vec<u32> = (0..64).map(|i| (i % 2) as u32).collect();
+        let nmi = normalized_mutual_information(&pred, &truth);
+        assert!(nmi < 0.05, "nmi={nmi}");
+    }
+
+    #[test]
+    fn degenerate_single_cluster_both() {
+        let labels = [3, 3, 3];
+        assert_eq!(normalized_mutual_information(&labels, &labels), 1.0);
+        assert_eq!(adjusted_rand_index(&labels, &labels), 1.0);
+        assert_eq!(pairwise_f1(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: [u32; 0] = [];
+        assert_eq!(pairwise_f1(&empty, &empty), 1.0);
+        assert_eq!(normalized_mutual_information(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label vectors must align")]
+    fn mismatched_lengths_panic() {
+        pairwise_f1(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn f1_symmetry_under_swap() {
+        // Swapping pred and truth swaps precision/recall, F1 is symmetric.
+        let a = [0, 0, 0, 1, 1, 2];
+        let b = [0, 0, 1, 1, 2, 2];
+        assert!((pairwise_f1(&a, &b) - pairwise_f1(&b, &a)).abs() < 1e-12);
+        assert!(
+            (normalized_mutual_information(&a, &b) - normalized_mutual_information(&b, &a)).abs()
+                < 1e-12
+        );
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Set-overlap measures.
+//!
+//! Section 4.3 of the paper scores cleaning accuracy as
+//! `Jaccard(T, P) = |T ∩ P| / |T ∪ P|`, where `T` is the set of attributes
+//! with injected errors and `P` the set of attributes a method adjusted
+//! (or an explainer flagged).
+
+/// Jaccard index of two sets given as sorted-or-unsorted slices of indices.
+/// Two empty sets are fully similar (1.0).
+pub fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut sa: Vec<usize> = a.to_vec();
+    let mut sb: Vec<usize> = b.to_vec();
+    sa.sort_unstable();
+    sa.dedup();
+    sb.sort_unstable();
+    sb.dedup();
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // |{1,2} ∩ {2,3}| / |{1,2,3}| = 1/3.
+        assert!((jaccard(&[1, 2], &[2, 3]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+        assert_eq!(jaccard(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        assert_eq!(jaccard(&[1, 1, 2, 2], &[1, 2]), 1.0);
+    }
+}

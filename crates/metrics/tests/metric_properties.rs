@@ -1,0 +1,93 @@
+//! Property tests for the evaluation metrics.
+
+use disc_metrics::{
+    accuracy, adjusted_rand_index, jaccard, macro_f1, normalized_mutual_information,
+    pairwise_f1, pairwise_prf, NOISE,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All clustering metrics are bounded and symmetric, and perfect on
+    /// identical partitions.
+    #[test]
+    fn clustering_metric_bounds(
+        pred in prop::collection::vec(0u32..5, 2..60),
+        truth_perm in 0u32..5,
+    ) {
+        let truth: Vec<u32> = pred.iter().map(|&l| (l + truth_perm) % 5).collect();
+        let f1 = pairwise_f1(&pred, &truth);
+        let nmi = normalized_mutual_information(&pred, &truth);
+        let ari = adjusted_rand_index(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&nmi));
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&ari));
+        // Bijective relabeling: identical partitions → all metrics 1.
+        prop_assert!((f1 - 1.0).abs() < 1e-9);
+        prop_assert!((nmi - 1.0).abs() < 1e-9);
+        prop_assert!((ari - 1.0).abs() < 1e-9);
+    }
+
+    /// Symmetry of pairwise F1 / NMI / ARI in the two labelings.
+    #[test]
+    fn clustering_metric_symmetry(
+        a in prop::collection::vec(0u32..4, 2..40),
+        b_seed in prop::collection::vec(0u32..4, 2..40),
+    ) {
+        let n = a.len().min(b_seed.len());
+        let (a, b) = (&a[..n], &b_seed[..n]);
+        prop_assert!((pairwise_f1(a, b) - pairwise_f1(b, a)).abs() < 1e-12);
+        prop_assert!((normalized_mutual_information(a, b) - normalized_mutual_information(b, a)).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(a, b) - adjusted_rand_index(b, a)).abs() < 1e-12);
+    }
+
+    /// Pair counts are consistent: tp + fp = predicted pairs, and marking
+    /// points as noise can only remove predicted pairs.
+    #[test]
+    fn noise_monotonicity(labels in prop::collection::vec(0u32..3, 3..30), noise_at in 0usize..30) {
+        let truth: Vec<u32> = (0..labels.len() as u32).map(|i| i % 2).collect();
+        let base = pairwise_prf(&labels, &truth);
+        let mut with_noise = labels.clone();
+        if noise_at < with_noise.len() {
+            with_noise[noise_at] = NOISE;
+        }
+        let noised = pairwise_prf(&with_noise, &truth);
+        prop_assert!(noised.tp + noised.fp <= base.tp + base.fp);
+    }
+
+    /// Accuracy and macro-F1 are 1 exactly on perfect predictions and
+    /// bounded otherwise.
+    #[test]
+    fn classification_bounds(truth in prop::collection::vec(0u32..4, 1..40), flip in 0usize..40) {
+        prop_assert_eq!(accuracy(&truth, &truth), 1.0);
+        prop_assert_eq!(macro_f1(&truth, &truth), 1.0);
+        let mut pred = truth.clone();
+        if flip < pred.len() {
+            pred[flip] = (pred[flip] + 1) % 4;
+        }
+        let acc = accuracy(&pred, &truth);
+        let f1 = macro_f1(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&f1));
+        if flip < truth.len() {
+            prop_assert!(acc < 1.0);
+        }
+    }
+
+    /// Jaccard: bounded, symmetric, 1 on equal sets, and monotone under
+    /// adding a shared element.
+    #[test]
+    fn jaccard_properties(a in prop::collection::vec(0usize..12, 0..8), b in prop::collection::vec(0usize..12, 0..8)) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard(&b, &a)).abs() < 1e-12);
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        // Adding a common fresh element (id 99) cannot decrease Jaccard.
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.push(99);
+        b2.push(99);
+        prop_assert!(jaccard(&a2, &b2) >= j - 1e-12);
+    }
+}

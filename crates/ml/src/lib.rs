@@ -1,0 +1,15 @@
+//! Downstream applications used in the paper's evaluation: classification
+//! (Section 4.1.2) and record matching (Section 4.1.3).
+//!
+//! * [`DecisionTree`] — a CART-style decision tree (Gini impurity, greedy
+//!   binary splits on numeric attributes), standing in for the paper's
+//!   scikit-learn tree; [`cross_validate`] runs the 5-fold protocol;
+//! * [`RecordMatcher`] — the rule-based matcher of Hernández & Stolfo:
+//!   two tuples match when the normalized n-gram similarity of *every*
+//!   attribute pair exceeds a threshold (0.7 in the paper).
+
+pub mod matching;
+pub mod tree;
+
+pub use matching::{MatchReport, RecordMatcher};
+pub use tree::{cross_validate, DecisionTree, TreeConfig};

@@ -1,0 +1,209 @@
+//! Rule-based record matching (Section 4.1.3 of the paper, after the
+//! merge/purge method of Hernández & Stolfo).
+//!
+//! Two tuples are matched when the normalized n-gram similarity of their
+//! values is above a threshold on *all* attributes (the paper uses 0.7).
+//! The matcher compares every pair and returns the matched pairs; accuracy
+//! is scored against the duplicate groups encoded in the dataset labels.
+
+use disc_data::Dataset;
+use disc_distance::{ngram_similarity, Value};
+
+/// Rule-based all-attribute similarity matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordMatcher {
+    /// Per-attribute similarity threshold (the paper uses 0.7).
+    pub threshold: f64,
+}
+
+impl Default for RecordMatcher {
+    fn default() -> Self {
+        RecordMatcher { threshold: 0.7 }
+    }
+}
+
+/// Matching outcome with ground-truth-based precision/recall/F1.
+#[derive(Debug, Clone)]
+pub struct MatchReport {
+    /// Matched row pairs `(i, j)` with `i < j`.
+    pub pairs: Vec<(usize, usize)>,
+    /// True-positive pair count.
+    pub tp: usize,
+    /// False-positive pair count.
+    pub fp: usize,
+    /// False-negative pair count.
+    pub fn_: usize,
+}
+
+impl MatchReport {
+    /// Pair precision.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Pair recall.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Pair F1.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Text(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+impl RecordMatcher {
+    /// A matcher with the paper's 0.7 threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the two rows match (all attributes similar enough).
+    pub fn matches(&self, a: &[Value], b: &[Value]) -> bool {
+        a.iter()
+            .zip(b)
+            .all(|(x, y)| ngram_similarity(&value_text(x), &value_text(y)) > self.threshold)
+    }
+
+    /// Runs all-pairs matching and scores it against the dataset labels
+    /// (two rows are true duplicates iff they share a label).
+    ///
+    /// # Panics
+    /// Panics if the dataset has no labels.
+    pub fn run(&self, ds: &Dataset) -> MatchReport {
+        let labels = ds.labels().expect("record matching needs duplicate-group labels");
+        let n = ds.len();
+        let mut pairs = Vec::new();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let truth = labels[i] == labels[j] && labels[i] != u32::MAX;
+                let predicted = self.matches(ds.row(i), ds.row(j));
+                if predicted {
+                    pairs.push((i, j));
+                }
+                match (predicted, truth) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fn_ += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+        MatchReport { pairs, tp, fp, fn_ }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_data::Schema;
+
+    fn text_ds(rows: &[[&str; 2]], labels: Vec<u32>) -> Dataset {
+        let rows: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|r| r.iter().map(|s| Value::Text(s.to_string())).collect())
+            .collect();
+        Dataset::new(Schema::text(2), rows).with_labels(labels)
+    }
+
+    #[test]
+    fn near_duplicates_match() {
+        let m = RecordMatcher::new();
+        let a = vec![Value::Text("thai palace".into()), Value::Text("RH10-0AG".into())];
+        let b = vec![Value::Text("thai palace".into()), Value::Text("RH10-OAG".into())];
+        assert!(m.matches(&a, &b));
+    }
+
+    #[test]
+    fn different_records_do_not_match() {
+        let m = RecordMatcher::new();
+        let a = vec![Value::Text("thai palace".into()), Value::Text("RH10-0AG".into())];
+        let b = vec![Value::Text("sushi corner".into()), Value::Text("ZZ99-XYZ".into())];
+        assert!(!m.matches(&a, &b));
+    }
+
+    #[test]
+    fn one_bad_attribute_blocks_a_match() {
+        // All-attribute rule: a single dissimilar attribute rejects.
+        let m = RecordMatcher::new();
+        let a = vec![Value::Text("thai palace".into()), Value::Text("RH10-0AG".into())];
+        let b = vec![Value::Text("thai palace".into()), Value::Text("COMPLETELYELSE".into())];
+        assert!(!m.matches(&a, &b));
+    }
+
+    #[test]
+    fn scoring_against_labels() {
+        let ds = text_ds(
+            &[
+                ["thai palace", "london"],
+                ["thai palace ", "london"], // dup of 0
+                ["sushi corner", "leeds"],
+                ["pizza house", "york"],
+            ],
+            vec![0, 0, 1, 2],
+        );
+        let report = RecordMatcher::new().run(&ds);
+        assert_eq!(report.tp, 1);
+        assert_eq!(report.fp, 0);
+        assert_eq!(report.fn_, 0);
+        assert_eq!(report.f1(), 1.0);
+        assert_eq!(report.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn typo_in_key_attribute_causes_false_negative() {
+        let ds = text_ds(
+            &[
+                ["thai palace", "RH10-0AG"],
+                ["thai palace", "XX99-111"], // dup of 0 but zip destroyed
+                ["sushi corner", "leeds"],
+            ],
+            vec![0, 0, 1],
+        );
+        let report = RecordMatcher::new().run(&ds);
+        assert_eq!(report.tp, 0);
+        assert_eq!(report.fn_, 1);
+        assert!(report.f1() < 1.0);
+    }
+
+    #[test]
+    fn numeric_values_compared_textually() {
+        let ds = Dataset::from_matrix(1, &[12345.0, 12345.0]).with_labels(vec![0, 0]);
+        let report = RecordMatcher::new().run(&ds);
+        assert_eq!(report.tp, 1);
+    }
+
+    #[test]
+    fn stricter_threshold_reduces_matches() {
+        let loose = RecordMatcher { threshold: 0.5 };
+        let strict = RecordMatcher { threshold: 0.95 };
+        let a = vec![Value::Text("thai palace".into())];
+        let b = vec![Value::Text("thai qalace".into())];
+        assert!(loose.matches(&a, &b));
+        assert!(!strict.matches(&a, &b));
+    }
+}

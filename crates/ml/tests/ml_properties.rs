@@ -1,0 +1,87 @@
+//! Property tests for the decision tree and record matcher.
+
+use disc_data::Dataset;
+use disc_distance::Value;
+use disc_ml::{DecisionTree, RecordMatcher, TreeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fully grown tree memorizes any consistent training set (same
+    /// features → same label) perfectly.
+    #[test]
+    fn tree_memorizes_consistent_data(
+        xs in prop::collection::vec(-100.0f64..100.0, 4..40),
+    ) {
+        // Label = sign of the feature: consistent by construction.
+        let labels: Vec<u32> = xs.iter().map(|&x| u32::from(x >= 0.0)).collect();
+        let ds = Dataset::from_matrix(1, &xs).with_labels(labels.clone());
+        let cfg = TreeConfig { max_depth: 32, min_samples_split: 2 };
+        let tree = DecisionTree::fit(&ds, cfg);
+        prop_assert_eq!(tree.predict(&ds), labels);
+    }
+
+    /// Predictions are always among the training classes.
+    #[test]
+    fn tree_predicts_known_classes(
+        xs in prop::collection::vec(-10.0f64..10.0, 6..30),
+        probes in prop::collection::vec(-20.0f64..20.0, 1..10),
+    ) {
+        let labels: Vec<u32> = xs.iter().enumerate().map(|(i, _)| (i % 3) as u32).collect();
+        let ds = Dataset::from_matrix(1, &xs).with_labels(labels.clone());
+        let tree = DecisionTree::fit(&ds, TreeConfig::default());
+        for p in probes {
+            let c = tree.predict_row(&[p]);
+            prop_assert!(labels.contains(&c));
+        }
+    }
+
+    /// Matching is reflexive and symmetric at any threshold.
+    #[test]
+    fn matcher_reflexive_symmetric(s in "[a-z]{1,10}", t in "[a-z]{1,10}", th in 0.1f64..0.95) {
+        let m = RecordMatcher { threshold: th };
+        let a = vec![Value::Text(s.clone())];
+        let b = vec![Value::Text(t)];
+        prop_assert!(m.matches(&a, &a));
+        prop_assert_eq!(m.matches(&a, &b), m.matches(&b, &a));
+    }
+
+    /// A stricter threshold never produces more matches.
+    #[test]
+    fn matcher_threshold_monotone(s in "[a-z]{1,8}", t in "[a-z]{1,8}") {
+        let loose = RecordMatcher { threshold: 0.3 };
+        let strict = RecordMatcher { threshold: 0.8 };
+        let a = vec![Value::Text(s)];
+        let b = vec![Value::Text(t)];
+        if strict.matches(&a, &b) {
+            prop_assert!(loose.matches(&a, &b));
+        }
+    }
+
+    /// MatchReport's precision/recall/F1 are consistent with its counts.
+    #[test]
+    fn match_report_consistency(dup_pairs in 0usize..4) {
+        // dup_pairs duplicate groups of two + singletons.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for g in 0..dup_pairs {
+            let name = format!("shop number {g}");
+            rows.push(vec![Value::Text(name.clone())]);
+            rows.push(vec![Value::Text(name)]);
+            labels.push(g as u32);
+            labels.push(g as u32);
+        }
+        rows.push(vec![Value::Text("completely unique zanzibar".into())]);
+        labels.push(900);
+        let ds = Dataset::new(disc_data::Schema::text(1), rows).with_labels(labels);
+        let report = RecordMatcher::new().run(&ds);
+        prop_assert_eq!(report.tp, dup_pairs);
+        prop_assert_eq!(report.fn_, 0);
+        let f1 = report.f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        if report.fp == 0 {
+            prop_assert_eq!(f1, 1.0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Parameter determination in practice (Section 2.1.2, Figure 5, Table 4).
+//!
+//! Shows how the distance constraints `(ε, η)` fall out of the Poisson
+//! model of ε-neighbor counts, how sampling accelerates the fit, and how
+//! the Normal-distribution "DB" baseline miscalibrates on clustered data.
+//!
+//! ```sh
+//! cargo run --example parameter_tuning
+//! ```
+
+use disc::core::{
+    determine_parameters, determine_parameters_db, neighbor_counts, poisson_eta_for,
+    poisson_p_at_least, ParamConfig,
+};
+use disc::data::ClusterSpec;
+use disc::prelude::*;
+
+fn main() {
+    let ds = ClusterSpec::new(2000, 5, 4, 3).generate();
+    let dist = TupleDistance::numeric(5);
+
+    // Fit at three sampling rates, like Table 4.
+    for rate in [1.0, 0.1, 0.01] {
+        let cfg = ParamConfig { sample_rate: rate, ..Default::default() };
+        let choice = determine_parameters(ds.rows(), &dist, &cfg);
+        println!(
+            "sample {:>5.1}%: ε = {:.3}, η = {:>2}, λε = {:6.2}, violations {:.2}%, {:.1} ms",
+            rate * 100.0,
+            choice.eps,
+            choice.eta,
+            choice.lambda,
+            choice.outlier_rate * 100.0,
+            choice.elapsed.as_secs_f64() * 1000.0,
+        );
+    }
+
+    // The Poisson reasoning made explicit: with the fitted λε, how likely
+    // is a clustered tuple to have at least η neighbors?
+    let cfg = ParamConfig::default();
+    let choice = determine_parameters(ds.rows(), &dist, &cfg);
+    let p = poisson_p_at_least(choice.lambda, choice.eta);
+    println!(
+        "\nPoisson check: P(N(ε) ≥ {}) = {:.4} at λε = {:.2} (target ≥ {})",
+        choice.eta, p, choice.lambda, cfg.target_probability
+    );
+    assert!(p >= cfg.target_probability);
+    assert_eq!(choice.eta, poisson_eta_for(choice.lambda, cfg.target_probability));
+
+    // The empirical neighbor-count distribution at the chosen ε.
+    let sample: Vec<usize> = (0..200).collect();
+    let counts = neighbor_counts(ds.rows(), &dist, choice.eps, &sample);
+    let below = counts.iter().filter(|&&c| c < choice.eta).count();
+    println!(
+        "empirical: {below}/200 sampled tuples below η — these would be flagged outlying"
+    );
+
+    // The DB (Normal-fit) baseline lands far from the Poisson choice.
+    let db = determine_parameters_db(ds.rows(), &dist, &cfg);
+    println!(
+        "\nDB baseline: ε = {:.3}, η = {} (vs DISC ε = {:.3}, η = {})",
+        db.eps, db.eta, choice.eps, choice.eta
+    );
+    let ratio = db.eps / choice.eps;
+    println!("ε ratio DB/DISC = {ratio:.2} — miscalibrated on multi-modal distances");
+}

@@ -1,0 +1,145 @@
+//! Integration tests for the `disc` command-line binary: the full
+//! generate → params → detect → repair → cluster → evaluate workflow over
+//! real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn disc_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_disc"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("disc_cli_tests");
+    std::fs::create_dir_all(&dir).expect("mk tempdir");
+    dir.join(name)
+}
+
+#[test]
+fn full_workflow_roundtrip() {
+    let data = tmp("wf.csv");
+    let repaired = tmp("wf_repaired.csv");
+    let labels = tmp("wf_labels.csv");
+    let truth = PathBuf::from(format!("{}.labels.csv", data.display()));
+
+    // generate
+    let out = disc_bin()
+        .args(["generate", "--out", data.to_str().unwrap()])
+        .args(["--n", "300", "--m", "3", "--classes", "2"])
+        .args(["--dirty", "15", "--natural", "4", "--seed", "7"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists() && truth.exists());
+
+    // params
+    let out = disc_bin()
+        .args(["params", "--data", data.to_str().unwrap()])
+        .output()
+        .expect("run params");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ε =") && text.contains("η ="), "{text}");
+
+    // detect
+    let out = disc_bin()
+        .args(["detect", "--data", data.to_str().unwrap()])
+        .output()
+        .expect("run detect");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("violate"));
+
+    // repair
+    let out = disc_bin()
+        .args(["repair", "--data", data.to_str().unwrap()])
+        .args(["--out", repaired.to_str().unwrap(), "--kappa", "2"])
+        .output()
+        .expect("run repair");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(repaired.exists());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DISC: modified"), "{text}");
+
+    // cluster
+    let out = disc_bin()
+        .args(["cluster", "--data", repaired.to_str().unwrap()])
+        .args(["--algo", "dbscan", "--out", labels.to_str().unwrap()])
+        .output()
+        .expect("run cluster");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(labels.exists());
+
+    // evaluate: repaired clustering should align well with the truth.
+    let out = disc_bin()
+        .args(["evaluate", "--labels", labels.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let f1_line = text.lines().find(|l| l.contains("pairwise F1")).expect("F1 line");
+    let f1: f64 = f1_line.split('=').nth(1).unwrap().trim().parse().unwrap();
+    assert!(f1 > 0.8, "end-to-end F1 too low: {f1}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = disc_bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = disc_bin().arg("repair").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data is required"));
+}
+
+#[test]
+fn explicit_constraints_are_used_verbatim() {
+    let data = tmp("explicit.csv");
+    disc_bin()
+        .args(["generate", "--out", data.to_str().unwrap()])
+        .args(["--n", "100", "--m", "2", "--classes", "2", "--dirty", "5", "--natural", "2"])
+        .output()
+        .expect("generate");
+    let out = disc_bin()
+        .args(["detect", "--data", data.to_str().unwrap()])
+        .args(["--eps", "2.5", "--eta", "4"])
+        .output()
+        .expect("detect");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ε = 2.5") && text.contains("η = 4"), "{text}");
+}
+
+#[test]
+fn repair_methods_are_selectable() {
+    let data = tmp("methods.csv");
+    disc_bin()
+        .args(["generate", "--out", data.to_str().unwrap()])
+        .args(["--n", "150", "--m", "3", "--classes", "2", "--dirty", "8", "--natural", "2"])
+        .output()
+        .expect("generate");
+    for method in ["dorc", "eracer", "holoclean", "holistic"] {
+        let out_path = tmp(&format!("methods_{method}.csv"));
+        let out = disc_bin()
+            .args(["repair", "--data", data.to_str().unwrap()])
+            .args(["--out", out_path.to_str().unwrap(), "--method", method])
+            .output()
+            .expect("repair");
+        assert!(
+            out.status.success(),
+            "{method}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(out_path.exists(), "{method} produced no output");
+    }
+    let out = disc_bin()
+        .args(["repair", "--data", data.to_str().unwrap()])
+        .args(["--out", "/tmp/never.csv", "--method", "bogus"])
+        .output()
+        .expect("repair");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,161 @@
+//! End-to-end integration tests spanning the whole workspace: generate a
+//! paper-style dataset, save outliers, cluster, classify, and match.
+
+use disc::cleaning::{Dorc, Repairer};
+use disc::core::detect_outliers;
+use disc::data::{paper, ClusterSpec, ErrorInjector, OutlierKind};
+use disc::ml::{cross_validate, TreeConfig};
+use disc::prelude::*;
+use disc_distance::Norm;
+
+/// The headline claim (Table 2): on a dirty clustered dataset, DBSCAN
+/// after DISC outlier saving beats DBSCAN on the raw data, and DISC also
+/// beats DORC's tuple substitution.
+#[test]
+fn disc_improves_dbscan_over_raw_and_dorc() {
+    let mut ds = ClusterSpec::new(400, 4, 3, 11).generate();
+    ErrorInjector::new(30, 6, 5).inject(&mut ds);
+    let truth = ds.labels().unwrap().to_vec();
+    let dist = TupleDistance::numeric(4);
+    let choice = determine_parameters(ds.rows(), &dist, &Default::default());
+    let c = DistanceConstraints::new(choice.eps, choice.eta);
+
+    let raw_f1 = {
+        let labels = Dbscan::new(c.eps, c.eta).cluster(ds.rows(), &dist);
+        pairwise_f1(&labels, &truth)
+    };
+    let disc_f1 = {
+        let mut copy = ds.clone();
+        DiscSaver::new(c, dist.clone()).with_kappa(2).save_all(&mut copy);
+        let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), &dist);
+        pairwise_f1(&labels, &truth)
+    };
+    let dorc_f1 = {
+        let mut copy = ds.clone();
+        Dorc::new(c, dist.clone()).repair(&mut copy);
+        let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), &dist);
+        pairwise_f1(&labels, &truth)
+    };
+    assert!(disc_f1 > raw_f1, "DISC {disc_f1} must beat Raw {raw_f1}");
+    assert!(disc_f1 >= dorc_f1 - 0.02, "DISC {disc_f1} must not lose to DORC {dorc_f1}");
+}
+
+/// After saving, the saved rows satisfy the distance constraints (they
+/// are no longer outlying) — Definition 2's feasibility requirement.
+#[test]
+fn saved_rows_are_no_longer_outlying() {
+    let mut ds = ClusterSpec::new(300, 3, 2, 3).generate();
+    ErrorInjector::new(20, 0, 9).inject(&mut ds);
+    let dist = TupleDistance::numeric(3);
+    let choice = determine_parameters(ds.rows(), &dist, &Default::default());
+    let c = DistanceConstraints::new(choice.eps, choice.eta);
+    let saver = DiscSaver::new(c, dist.clone());
+    let report = saver.save_all(&mut ds);
+    assert!(!report.saved.is_empty());
+    let split = detect_outliers(ds.rows(), &dist, c);
+    for s in &report.saved {
+        assert!(
+            !split.outliers.contains(&s.row),
+            "saved row {} is still outlying",
+            s.row
+        );
+    }
+}
+
+/// Dirty outliers (1–2 corrupted attributes) get saved; natural outliers
+/// (all attributes shifted) stay untouched under κ — Section 1.2.
+#[test]
+fn dirty_vs_natural_separation() {
+    let mut ds = ClusterSpec::new(300, 6, 2, 17).generate();
+    let log = ErrorInjector::new(20, 8, 23).inject(&mut ds);
+    let kinds = log.kinds(ds.len());
+    let dist = TupleDistance::numeric(6);
+    let choice = determine_parameters(ds.rows(), &dist, &Default::default());
+    let c = DistanceConstraints::new(choice.eps, choice.eta);
+    let before = ds.clone();
+    let report = DiscSaver::new(c, dist).with_kappa(2).save_all(&mut ds);
+
+    let mut natural_touched = 0;
+    let mut dirty_saved = 0;
+    for s in &report.saved {
+        match kinds[s.row] {
+            OutlierKind::Natural => natural_touched += 1,
+            OutlierKind::Dirty => dirty_saved += 1,
+            OutlierKind::Clean => {}
+        }
+    }
+    assert!(dirty_saved >= 10, "only {dirty_saved}/20 dirty outliers saved");
+    assert!(natural_touched <= 2, "{natural_touched} natural outliers were rewritten");
+    // Natural outliers' values are identical before/after.
+    for &row in &log.natural_rows {
+        if report.adjustment_of(row).is_none() {
+            assert_eq!(ds.row(row), before.row(row));
+        }
+    }
+}
+
+/// Classification improves (or at least does not degrade) after saving —
+/// the Table 5 protocol on a miniature instance.
+#[test]
+fn classification_not_hurt_by_saving() {
+    let mut ds = ClusterSpec::new(300, 4, 3, 29).generate();
+    ErrorInjector::new(25, 5, 31).inject(&mut ds);
+    let dist = TupleDistance::numeric(4);
+    let choice = determine_parameters(ds.rows(), &dist, &Default::default());
+    let c = DistanceConstraints::new(choice.eps, choice.eta);
+    let raw_f1 = cross_validate(&ds, 5, TreeConfig::default(), 1);
+    let mut saved = ds.clone();
+    DiscSaver::new(c, dist).with_kappa(2).save_all(&mut saved);
+    let disc_f1 = cross_validate(&saved, 5, TreeConfig::default(), 1);
+    assert!(
+        disc_f1 >= raw_f1 - 0.03,
+        "classification degraded: {disc_f1} vs {raw_f1}"
+    );
+}
+
+/// The GPS generator reproduces Example 1's structure and DISC repairs
+/// single-attribute trajectory errors.
+#[test]
+fn gps_standin_end_to_end() {
+    let synth = paper::gps(0.05, 13);
+    let mut ds = synth.data.clone();
+    let dist = ds.schema().tuple_distance(Norm::L2);
+    let choice = determine_parameters(ds.rows(), &dist, &Default::default());
+    let c = DistanceConstraints::new(choice.eps, choice.eta);
+    let report = DiscSaver::new(c, dist).with_kappa(1).save_all(&mut ds);
+    // Some trajectory glitches get saved by adjusting exactly one value.
+    assert!(report.saved.iter().all(|s| s.adjustment.adjusted.len() <= 1));
+}
+
+/// The record-matching pipeline on the Restaurant stand-in: saving typo'd
+/// records does not lose existing matches.
+#[test]
+fn restaurant_matching_not_degraded() {
+    let synth = paper::restaurant(0.15, 5);
+    let ds = synth.data.clone();
+    let matcher = RecordMatcher::new();
+    let before = matcher.run(&ds).f1();
+    let mut saved = ds.clone();
+    let dist = ds.schema().tuple_distance(Norm::L1);
+    DiscSaver::new(DistanceConstraints::new(3.0, 2), dist).with_kappa(2).save_all(&mut saved);
+    let after = matcher.run(&saved).f1();
+    assert!(after >= before - 0.05, "matching degraded: {after} vs {before}");
+}
+
+/// The full prelude quickstart from the README compiles and behaves.
+#[test]
+fn readme_quickstart() {
+    let mut dataset = Dataset::from_rows(
+        vec!["x".into(), "y".into()],
+        (0..20)
+            .map(|i| vec![Value::Num(0.1 * (i % 5) as f64), Value::Num(0.1 * (i / 5) as f64)])
+            .collect::<Vec<_>>(),
+    );
+    dataset.push(vec![Value::Num(0.2), Value::Num(25.4)]);
+    let constraints = DistanceConstraints::new(0.5, 3);
+    let saver = DiscSaver::new(constraints, TupleDistance::numeric(2));
+    let report = saver.save_all(&mut dataset);
+    assert_eq!(report.saved.len(), 1);
+    assert!(dataset.rows()[20][1].expect_num() < 1.0);
+    assert_eq!(dataset.rows()[20][0].expect_num(), 0.2);
+}
