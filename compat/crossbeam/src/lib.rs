@@ -1,0 +1,34 @@
+//! Offline stand-in for the parts of `crossbeam` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace resolves
+//! `crossbeam` to this shim. Only scoped threads are needed; since Rust
+//! 1.63 the standard library provides them natively, so [`thread::scope`]
+//! is a direct re-export of [`std::thread::scope`] (same structured-
+//! concurrency guarantee: every spawned thread joins before `scope`
+//! returns, so borrows of stack data are sound).
+//!
+//! API difference from real `crossbeam`: `std`'s closures receive
+//! `&Scope` and `scope` returns the closure's value directly instead of a
+//! `Result` (panics propagate on join, matching `crossbeam`'s `.unwrap()`
+//! idiom at every call site in this workspace).
+
+pub mod thread {
+    //! Scoped threads.
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+}

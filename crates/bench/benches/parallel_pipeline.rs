@@ -1,0 +1,66 @@
+//! Criterion bench for the parallel save pipeline: `DiscSaver::save_all`
+//! at 1 / 2 / 4 / 8 workers on a synthetic cluster workload (the
+//! reports are bit-identical across worker counts; only wall-clock
+//! changes). Also benches the parallel `RSet` construction (`δ_η`
+//! preprocessing), the other hot loop the workers accelerate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use disc_core::{DiscSaver, DistanceConstraints, Parallelism};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_distance::TupleDistance;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn workload() -> Dataset {
+    let mut ds = ClusterSpec::new(3000, 3, 4, 17).generate();
+    ErrorInjector::new(150, 30, 23).inject(&mut ds);
+    ds
+}
+
+fn saver(c: DistanceConstraints, workers: usize) -> DiscSaver {
+    DiscSaver::new(c, TupleDistance::numeric(3))
+        .with_kappa(2)
+        .with_parallelism(Parallelism(workers))
+}
+
+fn bench_save_all(c: &mut Criterion) {
+    let ds = workload();
+    let constraints = DistanceConstraints::new(2.5, 5);
+    let mut group = c.benchmark_group("parallel_pipeline");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let s = saver(constraints, workers);
+        group.bench_with_input(BenchmarkId::new("disc_save_all", workers), &workers, |b, _| {
+            b.iter_batched(|| ds.clone(), |mut d| s.save_all(&mut d), BatchSize::LargeInput)
+        });
+    }
+    group.finish();
+}
+
+fn bench_rset_build(c: &mut Criterion) {
+    let ds = workload();
+    let constraints = DistanceConstraints::new(2.5, 5);
+    let dist = TupleDistance::numeric(3);
+    let mut group = c.benchmark_group("parallel_rset");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("delta_eta", workers), &workers, |b, _| {
+            b.iter_batched(
+                || ds.rows().to_vec(),
+                |rows| {
+                    disc_core::RSet::with_parallelism(
+                        rows,
+                        dist.clone(),
+                        constraints,
+                        Parallelism(workers),
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_save_all, bench_rset_build);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <experiment> [--frac F] [--seed S] [--full]
+//! repro <experiment> [--frac F] [--seed S] [--full] [--workers N]
 //!
 //! experiments:
 //!   table2 table3 table4 table5
@@ -11,7 +11,9 @@
 //! ```
 //!
 //! `--frac` scales the synthetic Table 1 stand-ins (default 0.05 so the
-//! whole suite runs in minutes); `--full` runs Figures 6/7 at paper scale.
+//! whole suite runs in minutes); `--full` runs Figures 6/7 at paper scale;
+//! `--workers N` pins the parallel save pipeline to N threads (default:
+//! one per core; results are identical for every worker count).
 
 use std::env;
 use std::process::ExitCode;
@@ -19,7 +21,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all> \
-         [--frac F] [--seed S] [--full]"
+         [--frac F] [--seed S] [--full] [--workers N]"
     );
     ExitCode::FAILURE
 }
@@ -56,6 +58,16 @@ fn main() -> ExitCode {
                 };
             }
             "--full" => full = true,
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => disc_core::parallel::set_global_workers(n),
+                    _ => {
+                        eprintln!("--workers expects an integer >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return usage();

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use disc_cleaning::{DiscRepairer, Dorc, Eracer, HoloClean, Holistic, RepairReport, Repairer};
 use disc_clustering::{ClusteringAlgorithm, Dbscan};
-use disc_core::{DiscSaver, DistanceConstraints};
+use disc_core::{DiscSaver, DistanceConstraints, Parallelism};
 use disc_data::Dataset;
 use disc_distance::TupleDistance;
 use disc_metrics::{adjusted_rand_index, normalized_mutual_information, pairwise_prf};
@@ -24,12 +24,26 @@ impl Repairer for Raw {
 
 /// The standard method lineup of Tables 2/5: Raw, DISC, DORC, ERACER,
 /// HoloClean, Holistic. DISC runs with κ = 2 (the 1–2 erroneous attributes
-/// observed in Section 4.3).
+/// observed in Section 4.3) and the default worker count (all cores, or
+/// the process-wide override set via `repro --workers`).
 pub fn repairer_lineup(c: DistanceConstraints, dist: &TupleDistance) -> Vec<Box<dyn Repairer>> {
+    repairer_lineup_parallel(c, dist, Parallelism::auto())
+}
+
+/// [`repairer_lineup`] with an explicit worker count for DISC's save
+/// pipeline. Reports and repaired datasets are identical for every
+/// worker count (see `disc_core::parallel`); only wall-clock changes.
+pub fn repairer_lineup_parallel(
+    c: DistanceConstraints,
+    dist: &TupleDistance,
+    parallelism: Parallelism,
+) -> Vec<Box<dyn Repairer>> {
     vec![
         Box::new(Raw),
         Box::new(DiscRepairer(
-            DiscSaver::new(c, dist.clone()).with_kappa(2.min(dist.arity().max(1))),
+            DiscSaver::new(c, dist.clone())
+                .with_kappa(2.min(dist.arity().max(1)))
+                .with_parallelism(parallelism),
         )),
         Box::new(Dorc::new(c, dist.clone())),
         Box::new(Eracer::new()),

@@ -59,8 +59,8 @@ impl Repairer for Dorc {
             if let Some((i, _)) = best {
                 let replacement = r.rows()[i].clone();
                 let mut attrs = AttrSet::empty();
-                for a in 0..ds.arity() {
-                    if !replacement[a].same(&ds.row(row)[a]) {
+                for (a, new_value) in replacement.iter().enumerate() {
+                    if !new_value.same(&ds.row(row)[a]) {
                         attrs.insert(a);
                     }
                 }

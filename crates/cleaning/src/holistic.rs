@@ -62,8 +62,8 @@ impl Holistic {
                 cols[j].push(data[r * m + j]);
             }
         }
-        for j in 0..m {
-            let mut sorted = cols[j].clone();
+        for (j, col) in cols.iter().enumerate() {
+            let mut sorted = col.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let lo = Self::quantile(&sorted, margin);
             let hi = Self::quantile(&sorted, 1.0 - margin);

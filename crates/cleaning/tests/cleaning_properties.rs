@@ -3,7 +3,7 @@
 
 use disc_cleaning::{Dorc, Eracer, HoloClean, Holistic, Repairer, Sse};
 use disc_core::DistanceConstraints;
-use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_data::{ClusterSpec, ErrorInjector};
 use disc_distance::{TupleDistance, Value};
 use proptest::prelude::*;
 

@@ -68,10 +68,10 @@ fn em_run(data: &[f64], m: usize, k: usize, max_iter: usize, rng: &mut StdRng) -
         for i in 0..n {
             let p = &data[i * m..(i + 1) * m];
             let mut logp = vec![0.0f64; k];
-            for c in 0..k {
+            for (c, lp) in logp.iter_mut().enumerate() {
                 let v = model.vars[c].max(1e-9);
                 let d2 = sqdist(p, &model.means[c * m..(c + 1) * m]);
-                logp[c] = model.weights[c].max(1e-300).ln()
+                *lp = model.weights[c].max(1e-300).ln()
                     - 0.5 * (m as f64) * (2.0 * std::f64::consts::PI * v).ln()
                     - 0.5 * d2 / v;
             }

@@ -21,10 +21,11 @@ use std::collections::HashSet;
 use disc_distance::{AttrSet, Norm, Value};
 
 use crate::constraints::DistanceConstraints;
+use crate::parallel::Parallelism;
 use crate::rset::RSet;
 
 /// A value adjustment produced by a saver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Adjustment {
     /// The adjusted tuple `t'_o`.
     pub values: Vec<Value>,
@@ -46,12 +47,22 @@ pub struct DiscSaver {
     /// the incumbent when exhausted. Keeps the unrestricted search usable
     /// on wide schemas (Spam has m = 57).
     node_budget: usize,
+    /// Worker count for the batch entry points ([`DiscSaver::save_all`]
+    /// and `RSet` construction); `save_one` itself is single-threaded.
+    parallelism: Parallelism,
 }
 
 impl DiscSaver {
-    /// A saver with the unrestricted search and the default node budget.
+    /// A saver with the unrestricted search, the default node budget, and
+    /// one pipeline worker per available core.
     pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
-        DiscSaver { constraints, dist, kappa: None, node_budget: 200_000 }
+        DiscSaver {
+            constraints,
+            dist,
+            kappa: None,
+            node_budget: 200_000,
+            parallelism: Parallelism::auto(),
+        }
     }
 
     /// Restricts adjustments to at most `kappa` attributes. Outliers that
@@ -70,6 +81,18 @@ impl DiscSaver {
         self
     }
 
+    /// Overrides the pipeline worker count. `Parallelism(1)` forces the
+    /// exact sequential code path; the result is identical either way.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured pipeline worker count.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// The configured constraints.
     pub fn constraints(&self) -> DistanceConstraints {
         self.constraints
@@ -85,10 +108,10 @@ impl DiscSaver {
         self.kappa
     }
 
-    /// Builds the preprocessed inlier context for this saver's metric and
-    /// constraints.
+    /// Builds the preprocessed inlier context for this saver's metric,
+    /// constraints, and worker count.
     pub fn build_rset(&self, inlier_rows: Vec<Vec<Value>>) -> RSet {
-        RSet::new(inlier_rows, self.dist.clone(), self.constraints)
+        RSet::with_parallelism(inlier_rows, self.dist.clone(), self.constraints, self.parallelism)
     }
 
     /// Saves one outlier against `r`, returning the near-optimal adjustment

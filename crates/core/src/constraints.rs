@@ -48,11 +48,23 @@ pub fn detect_outliers(
     dist: &TupleDistance,
     constraints: DistanceConstraints,
 ) -> OutlierSplit {
-    let counts: Vec<usize> = with_index(rows, dist, constraints.eps, |idx| {
-        rows.iter()
-            .map(|row| idx.count_within(row, constraints.eps))
-            .collect()
-    });
+    detect_outliers_parallel(rows, dist, constraints, 1)
+}
+
+/// [`detect_outliers`] with the per-row neighbor counting fanned out over
+/// `workers` scoped threads. The split is identical for every worker
+/// count (counts are collected in row order against a shared read-only
+/// index).
+pub fn detect_outliers_parallel(
+    rows: &[Vec<Value>],
+    dist: &TupleDistance,
+    constraints: DistanceConstraints,
+    workers: usize,
+) -> OutlierSplit {
+    let counts: Vec<usize> =
+        disc_index::with_auto_index_sync(rows, dist, constraints.eps, |idx| {
+            disc_index::count_within_batch(idx, rows, constraints.eps, workers)
+        });
     let mut inliers = Vec::new();
     let mut outliers = Vec::new();
     for (i, &c) in counts.iter().enumerate() {

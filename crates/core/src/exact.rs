@@ -11,6 +11,7 @@ use disc_distance::{AttrSet, Value};
 
 use crate::approx::Adjustment;
 use crate::constraints::DistanceConstraints;
+use crate::parallel::Parallelism;
 use crate::rset::RSet;
 
 /// The exact (exponential) saver.
@@ -23,13 +24,22 @@ pub struct ExactSaver {
     domain_cap: Option<usize>,
     /// Hard cap on the number of enumerated combinations.
     max_combinations: u64,
+    /// Worker count for the batch entry points ([`ExactSaver::save_all`]
+    /// and `RSet` construction); `save_one` itself is single-threaded.
+    parallelism: Parallelism,
 }
 
 impl ExactSaver {
-    /// An exact saver with a 16-value domain cap per attribute and a
-    /// 10⁷-combination budget.
+    /// An exact saver with a 16-value domain cap per attribute, a
+    /// 10⁷-combination budget, and one pipeline worker per available core.
     pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
-        ExactSaver { constraints, dist, domain_cap: Some(16), max_combinations: 10_000_000 }
+        ExactSaver {
+            constraints,
+            dist,
+            domain_cap: Some(16),
+            max_combinations: 10_000_000,
+            parallelism: Parallelism::auto(),
+        }
     }
 
     /// Overrides the per-attribute domain cap (`None` = full active domain).
@@ -44,9 +54,21 @@ impl ExactSaver {
         self
     }
 
+    /// Overrides the pipeline worker count. `Parallelism(1)` forces the
+    /// exact sequential code path; the result is identical either way.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured pipeline worker count.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Builds the inlier context.
     pub fn build_rset(&self, inlier_rows: Vec<Vec<Value>>) -> RSet {
-        RSet::new(inlier_rows, self.dist.clone(), self.constraints)
+        RSet::with_parallelism(inlier_rows, self.dist.clone(), self.constraints, self.parallelism)
     }
 
     /// The configured constraints.

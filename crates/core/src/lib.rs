@@ -22,19 +22,25 @@
 //!   (Section 2.1.2, Figure 5, Table 4) and the Normal-distribution "DB"
 //!   baseline;
 //! * [`pipeline`] — the end-to-end repair pipeline: detect outliers, split
-//!   `r`/`s`, save each outlier, separate dirty from natural.
+//!   `r`/`s`, save each outlier, separate dirty from natural;
+//! * [`parallel`] — the [`Parallelism`] worker-count knob; the pipeline's
+//!   save loop, outlier detection, and `δ_η` preprocessing fan out over
+//!   scoped threads with results guaranteed bit-identical to the
+//!   sequential run.
 
 pub mod approx;
 pub mod bounds;
 pub mod constraints;
 pub mod exact;
+pub mod parallel;
 pub mod params;
 pub mod pipeline;
 pub mod rset;
 
 pub use approx::{Adjustment, DiscSaver};
-pub use constraints::{detect_outliers, DistanceConstraints, OutlierSplit};
+pub use constraints::{detect_outliers, detect_outliers_parallel, DistanceConstraints, OutlierSplit};
 pub use exact::ExactSaver;
+pub use parallel::Parallelism;
 pub use params::{
     determine_parameters, determine_parameters_db, neighbor_counts, poisson_eta_for,
     poisson_p_at_least, ParamChoice, ParamConfig,

@@ -1,0 +1,96 @@
+//! Shared-memory parallelism for the saving pipeline.
+//!
+//! DISC saves every outlier against the *original* inlier set `r` (saved
+//! tuples never become neighbors within a pass — see [`crate::pipeline`]),
+//! so per-outlier work is order-independent and embarrassingly parallel.
+//! [`Parallelism`] is the worker-count knob carried by
+//! [`DiscSaver`](crate::DiscSaver) and [`ExactSaver`](crate::ExactSaver);
+//! the actual fan-out lives in [`disc_index::batch`], whose helpers tag
+//! results with their input index and reassemble them in order, keeping
+//! every parallel result **bit-identical** to the sequential run.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count, settable by binaries (the `repro`
+/// harness exposes it as `--workers`). `0` means "no override".
+static GLOBAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count [`Parallelism::auto`] resolves to. Pass
+/// `0` to clear the override and fall back to the hardware core count.
+pub fn set_global_workers(n: usize) {
+    GLOBAL_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The current global override, if any.
+pub fn global_workers() -> Option<usize> {
+    match GLOBAL_WORKERS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Worker count for the parallel pipeline stages.
+///
+/// `Parallelism(1)` runs the exact sequential code path (no threads are
+/// spawned); any higher count fans work out over that many scoped
+/// threads. `Parallelism(0)` is clamped to 1. The result is guaranteed
+/// identical for every worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism(pub usize);
+
+impl Parallelism {
+    /// The default: the process-wide override if one was set (see
+    /// [`set_global_workers`]), else the number of available cores.
+    pub fn auto() -> Self {
+        let n = global_workers().unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        });
+        Parallelism(n)
+    }
+
+    /// The sequential path: no threads, identical to the pre-parallel
+    /// implementation instruction for instruction.
+    pub fn sequential() -> Self {
+        Parallelism(1)
+    }
+
+    /// The effective worker count (at least 1).
+    pub fn workers(self) -> usize {
+        self.0.max(1)
+    }
+
+    /// True when no worker threads will be spawned.
+    pub fn is_sequential(self) -> bool {
+        self.workers() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clamps_to_one() {
+        assert_eq!(Parallelism(0).workers(), 1);
+        assert!(Parallelism(0).is_sequential());
+    }
+
+    #[test]
+    fn sequential_is_one_worker() {
+        assert_eq!(Parallelism::sequential().workers(), 1);
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(!Parallelism(3).is_sequential());
+    }
+
+    #[test]
+    fn auto_is_positive() {
+        assert!(Parallelism::auto().workers() >= 1);
+    }
+}

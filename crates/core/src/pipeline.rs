@@ -13,16 +13,25 @@
 //! inlier set `r` — saved tuples do not become neighbors for later
 //! outliers within the same pass, which keeps the result independent of
 //! the processing order.
+//!
+//! That order independence is what makes the save loop embarrassingly
+//! parallel: with [`Parallelism`] above 1 the per-outlier searches fan
+//! out over scoped worker threads against the shared read-only [`RSet`],
+//! results are collected **in outlier order**, and the adjustments are
+//! applied in one serial pass — so the [`SaveReport`] and the final
+//! dataset are bit-identical to the sequential run for every worker
+//! count.
 
 use disc_data::Dataset;
 use disc_distance::Value;
 
 use crate::approx::{Adjustment, DiscSaver};
-use crate::constraints::detect_outliers;
+use crate::constraints::detect_outliers_parallel;
 use crate::exact::ExactSaver;
+use crate::parallel::Parallelism;
 
 /// A saved (adjusted) outlier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavedOutlier {
     /// Row index in the dataset.
     pub row: usize,
@@ -31,7 +40,7 @@ pub struct SavedOutlier {
 }
 
 /// The outcome of saving every outlier in a dataset.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SaveReport {
     /// Outliers saved by value adjustment (dirty outliers).
     pub saved: Vec<SavedOutlier>,
@@ -69,10 +78,12 @@ fn run_pipeline(
     ds: &mut Dataset,
     detect_dist: &disc_distance::TupleDistance,
     constraints: crate::DistanceConstraints,
-    mut save: impl FnMut(&crate::RSet, &[Value]) -> Option<Adjustment>,
+    parallelism: Parallelism,
+    save: impl Fn(&crate::RSet, &[Value]) -> Option<Adjustment> + Sync,
     build_rset: impl FnOnce(Vec<Vec<Value>>) -> crate::RSet,
 ) -> SaveReport {
-    let split = detect_outliers(ds.rows(), detect_dist, constraints);
+    let workers = parallelism.workers();
+    let split = detect_outliers_parallel(ds.rows(), detect_dist, constraints, workers);
     let inlier_rows: Vec<Vec<Value>> = split
         .inliers
         .iter()
@@ -84,8 +95,24 @@ fn run_pipeline(
         unsaved: Vec::new(),
         outliers: split.outliers.clone(),
     };
-    for &row in &split.outliers {
-        match save(&r, ds.row(row)) {
+    // Phase 1 (parallel-safe): save every outlier against the immutable
+    // r, collecting results in outlier order. The sequential arm is the
+    // exact pre-parallel code path, not a 1-thread fan-out.
+    let results: Vec<(usize, Option<Adjustment>)> = if workers == 1 {
+        split
+            .outliers
+            .iter()
+            .map(|&row| (row, save(&r, ds.row(row))))
+            .collect()
+    } else {
+        let frozen: &Dataset = ds;
+        disc_index::parallel_map(&split.outliers, workers, |_, &row| {
+            (row, save(&r, frozen.row(row)))
+        })
+    };
+    // Phase 2 (serial): apply the adjustments in place.
+    for (row, outcome) in results {
+        match outcome {
             Some(adjustment) => {
                 ds.set_row(row, adjustment.values.clone());
                 report.saved.push(SavedOutlier { row, adjustment });
@@ -107,6 +134,7 @@ impl DiscSaver {
             ds,
             self.distance(),
             self.constraints(),
+            self.parallelism(),
             move |r, t_o| saver.save_one(r, t_o),
             |rows| self.build_rset(rows),
         )
@@ -121,6 +149,7 @@ impl ExactSaver {
             ds,
             self.distance(),
             self.constraints(),
+            self.parallelism(),
             move |r, t_o| saver.save_one(r, t_o),
             |rows| self.build_rset(rows),
         )
@@ -130,6 +159,7 @@ impl ExactSaver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::constraints::detect_outliers;
     use crate::DistanceConstraints;
     use disc_data::{ClusterSpec, ErrorInjector};
     use disc_distance::TupleDistance;
@@ -223,6 +253,55 @@ mod tests {
             near * 2 >= with_truth,
             "only {near}/{with_truth} saved rows near their clean originals"
         );
+    }
+
+    fn report_with(saved: Vec<(usize, f64)>, unsaved: Vec<usize>) -> SaveReport {
+        let mut outliers: Vec<usize> = saved.iter().map(|&(r, _)| r).collect();
+        outliers.extend(&unsaved);
+        outliers.sort_unstable();
+        SaveReport {
+            saved: saved
+                .into_iter()
+                .map(|(row, cost)| SavedOutlier {
+                    row,
+                    adjustment: Adjustment {
+                        values: vec![Value::Num(0.0)],
+                        adjusted: disc_distance::AttrSet::from_indices([0]),
+                        cost,
+                    },
+                })
+                .collect(),
+            unsaved,
+            outliers,
+        }
+    }
+
+    #[test]
+    fn save_rate_is_one_without_outliers() {
+        // No outliers means nothing needed saving: rate 1, not 0/0.
+        let report = SaveReport::default();
+        assert_eq!(report.save_rate(), 1.0);
+        assert_eq!(report.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn save_rate_counts_saved_over_outliers() {
+        let report = report_with(vec![(3, 1.0)], vec![7, 9]);
+        assert_eq!(report.save_rate(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn total_cost_sums_saved_adjustments() {
+        let report = report_with(vec![(1, 2.5), (4, 0.25), (6, 10.0)], vec![]);
+        assert_eq!(report.total_cost(), 12.75);
+    }
+
+    #[test]
+    fn adjustment_of_hits_saved_rows_only() {
+        let report = report_with(vec![(3, 1.5)], vec![7]);
+        assert_eq!(report.adjustment_of(3).map(|a| a.cost), Some(1.5));
+        assert!(report.adjustment_of(7).is_none(), "unsaved row has no adjustment");
+        assert!(report.adjustment_of(42).is_none(), "non-outlier row has no adjustment");
     }
 
     #[test]

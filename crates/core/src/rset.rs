@@ -3,7 +3,8 @@
 use disc_distance::{TupleDistance, Value};
 use disc_index::SortedColumn;
 
-use crate::constraints::{with_index, DistanceConstraints};
+use crate::constraints::DistanceConstraints;
+use crate::parallel::Parallelism;
 
 /// The set `r` of non-outlying tuples, preprocessed for repeated outlier
 /// saving:
@@ -22,16 +23,30 @@ pub struct RSet {
 }
 
 impl RSet {
-    /// Builds the context from the inlier rows.
+    /// Builds the context from the inlier rows, parallelizing the
+    /// `δ_η` pass over all available cores.
     pub fn new(rows: Vec<Vec<Value>>, dist: TupleDistance, constraints: DistanceConstraints) -> Self {
-        let delta_eta: Vec<f64> = with_index(&rows, &dist, constraints.eps, |idx| {
-            rows.iter()
-                .map(|row| {
-                    idx.kth_distance(row, constraints.eta)
-                        .unwrap_or(f64::INFINITY)
-                })
-                .collect()
-        });
+        Self::with_parallelism(rows, dist, constraints, Parallelism::auto())
+    }
+
+    /// Builds the context with an explicit worker count for the `δ_η`
+    /// preprocessing pass (one η-NN query per inlier — the hottest loop of
+    /// construction). Results are identical for every worker count; see
+    /// [`Parallelism`].
+    pub fn with_parallelism(
+        rows: Vec<Vec<Value>>,
+        dist: TupleDistance,
+        constraints: DistanceConstraints,
+        parallelism: Parallelism,
+    ) -> Self {
+        let workers = parallelism.workers();
+        let delta_eta: Vec<f64> =
+            disc_index::with_auto_index_sync(&rows, &dist, constraints.eps, |idx| {
+                disc_index::kth_distance_batch(idx, &rows, constraints.eta, workers)
+            })
+            .into_iter()
+            .map(|d| d.unwrap_or(f64::INFINITY))
+            .collect();
         let columns = (0..dist.arity())
             .map(|j| SortedColumn::new(&rows, j))
             .collect();

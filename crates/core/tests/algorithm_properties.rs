@@ -135,9 +135,9 @@ proptest! {
             prop_assert_eq!(ds.row(row), before[row].as_slice());
         }
         // Non-outlier rows are never modified.
-        for i in 0..ds.len() {
+        for (i, original) in before.iter().enumerate() {
             if !report.outliers.contains(&i) {
-                prop_assert_eq!(ds.row(i), before[i].as_slice());
+                prop_assert_eq!(ds.row(i), original.as_slice());
             }
         }
     }

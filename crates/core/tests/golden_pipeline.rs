@@ -1,0 +1,85 @@
+//! Golden end-to-end regression test for the save pipeline.
+//!
+//! Loads a small CSV fixture (a 6×6 unit grid plus one dirty and one
+//! natural outlier) and pins the *exact* pipeline output: which rows
+//! are detected as outliers, which are saved versus left natural, the
+//! per-row adjusted values, the changed-attribute sets, and the exact
+//! adjustment costs. Any behavioral drift in detection, the candidate
+//! search, or cost computation shows up here as a concrete value diff.
+//!
+//! The same golden values are asserted for the sequential and a
+//! 4-worker run, pinning the determinism guarantee of the parallel
+//! pipeline to a fixed fixture as well.
+
+use std::path::Path;
+
+use disc_core::{DiscSaver, DistanceConstraints, Parallelism, SaveReport};
+use disc_data::Dataset;
+use disc_distance::{AttrSet, TupleDistance, Value};
+
+fn fixture() -> Dataset {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/grid_outliers.csv");
+    disc_data::csv::read_file(&path).expect("fixture parses")
+}
+
+fn saver(parallelism: Parallelism) -> DiscSaver {
+    DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .with_kappa(1)
+        .with_parallelism(parallelism)
+}
+
+/// Row 36 is the dirty outlier `(0.5, 30)`: a single corrupted attribute,
+/// saved under κ = 1 by snapping y to the nearest feasible grid value.
+/// Row 37 is the natural outlier `(40, −40)`: both attributes are far
+/// out, so no single-attribute adjustment can save it.
+fn assert_golden(ds: &Dataset, report: &SaveReport) {
+    assert_eq!(report.outliers, vec![36, 37]);
+    assert_eq!(report.unsaved, vec![37]);
+    assert_eq!(report.saved.len(), 1);
+
+    let saved = &report.saved[0];
+    assert_eq!(saved.row, 36);
+    assert_eq!(saved.adjustment.values, vec![Value::Num(0.5), Value::Num(1.0)]);
+    assert_eq!(saved.adjustment.adjusted, AttrSet::from_indices([1]));
+    assert_eq!(saved.adjustment.cost, 29.0); // |30 − 1| exactly, in f64
+    assert_eq!(report.total_cost(), 29.0);
+    assert_eq!(report.save_rate(), 0.5);
+
+    // The dataset reflects exactly one adjusted row.
+    assert_eq!(ds.row(36), &[Value::Num(0.5), Value::Num(1.0)]);
+    assert_eq!(ds.row(37), &[Value::Num(40.0), Value::Num(-40.0)]);
+    // The 36 grid rows are untouched.
+    for (i, row) in ds.rows().iter().take(36).enumerate() {
+        let x = Value::Num(0.2 * (i / 6) as f64);
+        let y = Value::Num(0.2 * (i % 6) as f64);
+        // CSV stores one decimal place, so compare numerically.
+        assert!(
+            (row[0].expect_num() - x.expect_num()).abs() < 1e-12
+                && (row[1].expect_num() - y.expect_num()).abs() < 1e-12,
+            "grid row {i} changed: {row:?}"
+        );
+    }
+
+    // After saving, only the natural outlier still violates.
+    let split = disc_core::detect_outliers(
+        ds.rows(),
+        &TupleDistance::numeric(2),
+        DistanceConstraints::new(0.5, 4),
+    );
+    assert_eq!(split.outliers, vec![37]);
+}
+
+#[test]
+fn golden_sequential() {
+    let mut ds = fixture();
+    let report = saver(Parallelism::sequential()).save_all(&mut ds);
+    assert_golden(&ds, &report);
+}
+
+#[test]
+fn golden_four_workers() {
+    let mut ds = fixture();
+    let report = saver(Parallelism(4)).save_all(&mut ds);
+    assert_golden(&ds, &report);
+}

@@ -1,0 +1,115 @@
+//! Sequential-equivalence properties of the parallel save pipeline.
+//!
+//! The save loop runs every outlier against the *original* inlier set
+//! `r` (saved tuples never become neighbors within a pass), so the
+//! result is independent of the processing order. The parallel
+//! implementation exploits this, and the guarantee it documents is
+//! *bit-identical* output: for any worker count, `save_all` must return
+//! the same [`SaveReport`] — same saved rows, adjustments, costs,
+//! unsaved and outlier lists — and leave the dataset with identical
+//! final rows as the sequential run.
+
+use disc_core::{DiscSaver, DistanceConstraints, ExactSaver, Parallelism, RSet};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_distance::TupleDistance;
+use proptest::prelude::*;
+
+/// Clustered data with injected dirty and natural errors.
+fn dirty_dataset(n: usize, seed: u64, dirty: usize, natural: usize) -> Dataset {
+    let mut ds = ClusterSpec::new(n, 3, 2, seed).generate();
+    ErrorInjector::new(dirty, natural, seed ^ 0x9E37_79B9).inject(&mut ds);
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn disc_parallel_save_matches_sequential(
+        n in 40usize..90,
+        seed in 0u64..1000,
+        dirty in 2usize..10,
+        natural in 0usize..3,
+    ) {
+        let base = dirty_dataset(n, seed, dirty, natural);
+        let dist = TupleDistance::numeric(3);
+        let c = DistanceConstraints::new(2.5, 4);
+        let mut seq_ds = base.clone();
+        let seq_report = DiscSaver::new(c, dist.clone())
+            .with_kappa(2)
+            .with_parallelism(Parallelism::sequential())
+            .save_all(&mut seq_ds);
+        for k in [2usize, 4, 7] {
+            let mut par_ds = base.clone();
+            let par_report = DiscSaver::new(c, dist.clone())
+                .with_kappa(2)
+                .with_parallelism(Parallelism(k))
+                .save_all(&mut par_ds);
+            prop_assert_eq!(&seq_report, &par_report);
+            prop_assert_eq!(seq_ds.rows(), par_ds.rows());
+        }
+    }
+
+    #[test]
+    fn exact_parallel_save_matches_sequential(
+        n in 40usize..70,
+        seed in 0u64..1000,
+        dirty in 1usize..6,
+    ) {
+        let base = dirty_dataset(n, seed, dirty, 1);
+        let dist = TupleDistance::numeric(3);
+        let c = DistanceConstraints::new(2.5, 4);
+        let mut seq_ds = base.clone();
+        let seq_report = ExactSaver::new(c, dist.clone())
+            .with_parallelism(Parallelism::sequential())
+            .save_all(&mut seq_ds);
+        for k in [2usize, 4, 7] {
+            let mut par_ds = base.clone();
+            let par_report = ExactSaver::new(c, dist.clone())
+                .with_parallelism(Parallelism(k))
+                .save_all(&mut par_ds);
+            prop_assert_eq!(&seq_report, &par_report);
+            prop_assert_eq!(seq_ds.rows(), par_ds.rows());
+        }
+    }
+
+    #[test]
+    fn rset_delta_eta_matches_sequential(
+        n in 30usize..80,
+        seed in 0u64..1000,
+    ) {
+        let ds = ClusterSpec::new(n, 3, 2, seed).generate();
+        let dist = TupleDistance::numeric(3);
+        let c = DistanceConstraints::new(2.0, 4);
+        let seq = RSet::with_parallelism(
+            ds.rows().to_vec(), dist.clone(), c, Parallelism::sequential());
+        for k in [2usize, 4, 7] {
+            let par = RSet::with_parallelism(
+                ds.rows().to_vec(), dist.clone(), c, Parallelism(k));
+            for i in 0..seq.len() {
+                // Bit-identical, so exact float equality is the contract.
+                prop_assert_eq!(seq.delta_eta(i), par.delta_eta(i));
+            }
+        }
+    }
+}
+
+/// More workers than outliers must still agree with sequential (workers
+/// beyond the item count simply find the cursor exhausted).
+#[test]
+fn more_workers_than_outliers_matches_sequential() {
+    let base = dirty_dataset(50, 99, 3, 1);
+    let dist = TupleDistance::numeric(3);
+    let c = DistanceConstraints::new(2.5, 4);
+    let mut seq_ds = base.clone();
+    let seq_report = DiscSaver::new(c, dist.clone())
+        .with_kappa(2)
+        .with_parallelism(Parallelism::sequential())
+        .save_all(&mut seq_ds);
+    let mut par_ds = base.clone();
+    let par_report = DiscSaver::new(c, dist)
+        .with_kappa(2)
+        .with_parallelism(Parallelism(64))
+        .save_all(&mut par_ds);
+    assert_eq!(seq_report, par_report);
+    assert_eq!(seq_ds.rows(), par_ds.rows());
+}

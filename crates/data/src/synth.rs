@@ -267,7 +267,7 @@ pub mod paper {
             let name = format!(
                 "{} {} {}",
                 foods[rng.random_range(0..foods.len())],
-                ["house", "garden", "corner", "palace"][rng.random_range(0..4)],
+                ["house", "garden", "corner", "palace"][rng.random_range(0..4usize)],
                 c
             );
             let addr = format!(

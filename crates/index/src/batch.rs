@@ -1,0 +1,139 @@
+//! Parallel batch queries over a shared read-only index.
+//!
+//! Every [`NeighborIndex`](crate::NeighborIndex) backend is plain data —
+//! borrowed rows, a metric, and precomputed structure — so a built index
+//! is `Sync` and can serve queries from many threads at once. The helpers
+//! here fan a batch of queries out over `workers` scoped threads
+//! (`crossbeam::thread::scope`) and return results **in query order**, so
+//! callers observe results bit-identical to a sequential loop no matter
+//! the worker count.
+//!
+//! Work is distributed by an atomic cursor (one query at a time), which
+//! keeps workers busy even when per-query cost is skewed — range queries
+//! in dense regions can be orders of magnitude more expensive than in
+//! sparse ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use disc_distance::Value;
+
+use crate::NeighborIndex;
+
+/// Applies `f` to every item, fanning out over `workers` threads, and
+/// returns the results in item order. `workers <= 1` (or a single item)
+/// runs the plain sequential loop on the calling thread.
+///
+/// The parallel path is deterministic: results are tagged with their item
+/// index and reassembled in order, so the output is identical to the
+/// sequential path for any pure `f`.
+pub fn parallel_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (cursor, f) = (&cursor, &f);
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return local;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Batch [`NeighborIndex::range`]: all rows within `eps` of each query,
+/// in query order.
+pub fn range_batch(
+    idx: &(dyn NeighborIndex + Sync),
+    queries: &[Vec<Value>],
+    eps: f64,
+    workers: usize,
+) -> Vec<Vec<(u32, f64)>> {
+    parallel_map(queries, workers, |_, q| idx.range(q, eps))
+}
+
+/// Batch [`NeighborIndex::count_within`], in query order.
+pub fn count_within_batch(
+    idx: &(dyn NeighborIndex + Sync),
+    queries: &[Vec<Value>],
+    eps: f64,
+    workers: usize,
+) -> Vec<usize> {
+    parallel_map(queries, workers, |_, q| idx.count_within(q, eps))
+}
+
+/// Batch [`NeighborIndex::kth_distance`] (the `δ_k(t)` of Algorithm 1),
+/// in query order.
+pub fn kth_distance_batch(
+    idx: &(dyn NeighborIndex + Sync),
+    queries: &[Vec<Value>],
+    k: usize,
+    workers: usize,
+) -> Vec<Option<f64>> {
+    parallel_map(queries, workers, |_, q| idx.kth_distance(q, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForceIndex;
+    use disc_distance::TupleDistance;
+
+    fn grid_rows(n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::Num((i % 25) as f64), Value::Num((i / 25) as f64)])
+            .collect()
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_for_any_worker_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let seq = parallel_map(&items, 1, |i, &x| x * 3 + i as u64);
+        for workers in [2, 3, 4, 7, 16, 200] {
+            let par = parallel_map(&items, workers, |i, &x| x * 3 + i as u64);
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn batch_queries_match_sequential_loops() {
+        let rows = grid_rows(200);
+        let dist = TupleDistance::numeric(2);
+        let idx = BruteForceIndex::new(&rows, dist);
+        let queries: Vec<Vec<Value>> = rows.iter().step_by(7).cloned().collect();
+
+        let counts = count_within_batch(&idx, &queries, 1.5, 4);
+        let kth = kth_distance_batch(&idx, &queries, 3, 4);
+        let ranges = range_batch(&idx, &queries, 1.5, 4);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(counts[i], idx.count_within(q, 1.5));
+            assert_eq!(kth[i], idx.kth_distance(q, 3));
+            assert_eq!(ranges[i], idx.range(q, 1.5));
+        }
+    }
+}

@@ -89,12 +89,12 @@ impl<'a> GridIndex<'a> {
                     }
                 }
                 // Advance the odometer.
-                for d in 0..self.m {
-                    offsets[d] += 1;
-                    if offsets[d] <= radius_cells {
+                for digit in offsets.iter_mut() {
+                    *digit += 1;
+                    if *digit <= radius_cells {
                         continue 'outer;
                     }
-                    offsets[d] = -radius_cells;
+                    *digit = -radius_cells;
                 }
                 break;
             }

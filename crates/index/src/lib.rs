@@ -20,11 +20,13 @@
 //! tuples is immutable while outliers are being saved, so no backend needs
 //! interior mutability.
 
+pub mod batch;
 pub mod brute;
 pub mod grid;
 pub mod sorted;
 pub mod vptree;
 
+pub use batch::{count_within_batch, kth_distance_batch, parallel_map, range_batch};
 pub use brute::BruteForceIndex;
 pub use grid::GridIndex;
 pub use sorted::SortedColumn;
@@ -91,6 +93,19 @@ pub fn with_auto_index<T>(
     dist: &disc_distance::TupleDistance,
     eps_hint: f64,
     f: impl FnOnce(&dyn NeighborIndex) -> T,
+) -> T {
+    with_auto_index_sync(rows, dist, eps_hint, |idx| f(idx))
+}
+
+/// [`with_auto_index`] with a `Sync` bound on the passed index, for
+/// callers that fan queries out across threads (see [`batch`]). Every
+/// backend is plain data over borrowed rows, so this is the same set of
+/// backends — the bound only surfaces the guarantee in the type.
+pub fn with_auto_index_sync<T>(
+    rows: &[Vec<Value>],
+    dist: &disc_distance::TupleDistance,
+    eps_hint: f64,
+    f: impl FnOnce(&(dyn NeighborIndex + Sync)) -> T,
 ) -> T {
     let n = rows.len();
     let m = dist.arity();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full workspace test suite, and
+# clippy with warnings promoted to errors. Run from the repo root.
+#
+# The container has no crates.io access; every external dependency is an
+# API-subset shim under compat/, so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -63,7 +63,8 @@ pub mod prelude {
         Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Optics, Srem,
     };
     pub use disc_core::{
-        determine_parameters, DiscSaver, DistanceConstraints, ExactSaver, SaveReport,
+        determine_parameters, DiscSaver, DistanceConstraints, ExactSaver, Parallelism,
+        SaveReport,
     };
     pub use disc_data::{Dataset, Schema};
     pub use disc_distance::{AttrSet, Metric, Norm, TupleDistance, Value};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_properties-030a56242c1d72a4.d: crates/core/tests/algorithm_properties.rs
+
+/root/repo/target/debug/deps/algorithm_properties-030a56242c1d72a4: crates/core/tests/algorithm_properties.rs
+
+crates/core/tests/algorithm_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_properties-347510024dcd1f95.d: crates/core/tests/algorithm_properties.rs
+
+/root/repo/target/debug/deps/algorithm_properties-347510024dcd1f95: crates/core/tests/algorithm_properties.rs
+
+crates/core/tests/algorithm_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cleaning_properties-e3147896bbce3e0c.d: crates/cleaning/tests/cleaning_properties.rs
+
+/root/repo/target/debug/deps/cleaning_properties-e3147896bbce3e0c: crates/cleaning/tests/cleaning_properties.rs
+
+crates/cleaning/tests/cleaning_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cleaning_properties-f65ba6731dc3b3ff.d: crates/cleaning/tests/cleaning_properties.rs
+
+/root/repo/target/debug/deps/cleaning_properties-f65ba6731dc3b3ff: crates/cleaning/tests/cleaning_properties.rs
+
+crates/cleaning/tests/cleaning_properties.rs:

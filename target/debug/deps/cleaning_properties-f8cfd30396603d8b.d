@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cleaning_properties-f8cfd30396603d8b.d: crates/cleaning/tests/cleaning_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcleaning_properties-f8cfd30396603d8b.rmeta: crates/cleaning/tests/cleaning_properties.rs Cargo.toml
+
+crates/cleaning/tests/cleaning_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-0ef6f0dfed559d85.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-0ef6f0dfed559d85.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_disc=placeholder:disc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-55055be05119657a.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-55055be05119657a: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_disc=/root/repo/target/debug/disc

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-708ef4ee393e1da0.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-708ef4ee393e1da0: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_disc=/root/repo/target/debug/disc

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clustering_properties-54abb4be7b23c558.d: crates/clustering/tests/clustering_properties.rs
+
+/root/repo/target/debug/deps/clustering_properties-54abb4be7b23c558: crates/clustering/tests/clustering_properties.rs
+
+crates/clustering/tests/clustering_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clustering_properties-62cb7e5f8d446990.d: crates/clustering/tests/clustering_properties.rs
+
+/root/repo/target/debug/deps/clustering_properties-62cb7e5f8d446990: crates/clustering/tests/clustering_properties.rs
+
+crates/clustering/tests/clustering_properties.rs:

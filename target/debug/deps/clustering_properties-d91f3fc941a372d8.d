@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clustering_properties-d91f3fc941a372d8.d: crates/clustering/tests/clustering_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclustering_properties-d91f3fc941a372d8.rmeta: crates/clustering/tests/clustering_properties.rs Cargo.toml
+
+crates/clustering/tests/clustering_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

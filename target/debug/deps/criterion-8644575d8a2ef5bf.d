@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-8644575d8a2ef5bf.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8644575d8a2ef5bf.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8644575d8a2ef5bf.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f77b615f7c395d92.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-f77b615f7c395d92: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

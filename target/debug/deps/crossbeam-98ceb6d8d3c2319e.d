@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-98ceb6d8d3c2319e.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-98ceb6d8d3c2319e: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-bef4816763697e0a.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bef4816763697e0a.rlib: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bef4816763697e0a.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

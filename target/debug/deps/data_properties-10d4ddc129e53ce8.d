@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_properties-10d4ddc129e53ce8.d: crates/data/tests/data_properties.rs
+
+/root/repo/target/debug/deps/data_properties-10d4ddc129e53ce8: crates/data/tests/data_properties.rs
+
+crates/data/tests/data_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/data_properties-92d5a526bd950cb4.d: crates/data/tests/data_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdata_properties-92d5a526bd950cb4.rmeta: crates/data/tests/data_properties.rs Cargo.toml
+
+crates/data/tests/data_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

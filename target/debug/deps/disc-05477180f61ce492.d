@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disc-05477180f61ce492.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisc-05477180f61ce492.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisc-05477180f61ce492.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disc-0e1b043afb1f9543.d: src/bin/disc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc-0e1b043afb1f9543.rmeta: src/bin/disc.rs Cargo.toml
+
+src/bin/disc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

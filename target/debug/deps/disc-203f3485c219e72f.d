@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-203f3485c219e72f.d: src/bin/disc.rs
+
+/root/repo/target/debug/deps/disc-203f3485c219e72f: src/bin/disc.rs
+
+src/bin/disc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-30038ebef1f29067.d: src/bin/disc.rs
+
+/root/repo/target/debug/deps/disc-30038ebef1f29067: src/bin/disc.rs
+
+src/bin/disc.rs:

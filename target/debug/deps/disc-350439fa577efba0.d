@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disc-350439fa577efba0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisc-350439fa577efba0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisc-350439fa577efba0.rmeta: src/lib.rs
+
+src/lib.rs:

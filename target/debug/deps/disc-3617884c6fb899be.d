@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-3617884c6fb899be.d: src/bin/disc.rs
+
+/root/repo/target/debug/deps/disc-3617884c6fb899be: src/bin/disc.rs
+
+src/bin/disc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-71ad90c48562466b.d: src/lib.rs
+
+/root/repo/target/debug/deps/disc-71ad90c48562466b: src/lib.rs
+
+src/lib.rs:

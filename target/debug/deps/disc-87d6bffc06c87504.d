@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-87d6bffc06c87504.d: src/bin/disc.rs
+
+/root/repo/target/debug/deps/disc-87d6bffc06c87504: src/bin/disc.rs
+
+src/bin/disc.rs:

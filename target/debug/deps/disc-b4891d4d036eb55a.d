@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-b4891d4d036eb55a.d: src/lib.rs
+
+/root/repo/target/debug/deps/disc-b4891d4d036eb55a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/disc_cleaning-474a93ee8582f3dd.d: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/debug/deps/disc_cleaning-474a93ee8582f3dd: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+crates/cleaning/src/lib.rs:
+crates/cleaning/src/dorc.rs:
+crates/cleaning/src/eracer.rs:
+crates/cleaning/src/holistic.rs:
+crates/cleaning/src/holoclean.rs:
+crates/cleaning/src/sse.rs:

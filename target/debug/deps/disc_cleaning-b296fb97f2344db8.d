@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_cleaning-b296fb97f2344db8.d: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/debug/deps/libdisc_cleaning-b296fb97f2344db8.rlib: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/debug/deps/libdisc_cleaning-b296fb97f2344db8.rmeta: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+crates/cleaning/src/lib.rs:
+crates/cleaning/src/dorc.rs:
+crates/cleaning/src/eracer.rs:
+crates/cleaning/src/holistic.rs:
+crates/cleaning/src/holoclean.rs:
+crates/cleaning/src/sse.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/disc_core-26f2da132d472bc6.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+/root/repo/target/debug/deps/libdisc_core-26f2da132d472bc6.rlib: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+/root/repo/target/debug/deps/libdisc_core-26f2da132d472bc6.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+crates/core/src/lib.rs:
+crates/core/src/approx.rs:
+crates/core/src/bounds.rs:
+crates/core/src/constraints.rs:
+crates/core/src/exact.rs:
+crates/core/src/params.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rset.rs:

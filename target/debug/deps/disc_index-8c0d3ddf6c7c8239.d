@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/disc_index-8c0d3ddf6c7c8239.d: crates/index/src/lib.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libdisc_index-8c0d3ddf6c7c8239.rlib: crates/index/src/lib.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libdisc_index-8c0d3ddf6c7c8239.rmeta: crates/index/src/lib.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/brute.rs:
+crates/index/src/grid.rs:
+crates/index/src/sorted.rs:
+crates/index/src/vptree.rs:

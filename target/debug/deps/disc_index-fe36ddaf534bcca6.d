@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_index-fe36ddaf534bcca6.d: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libdisc_index-fe36ddaf534bcca6.rlib: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libdisc_index-fe36ddaf534bcca6.rmeta: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/batch.rs:
+crates/index/src/brute.rs:
+crates/index/src/grid.rs:
+crates/index/src/sorted.rs:
+crates/index/src/vptree.rs:

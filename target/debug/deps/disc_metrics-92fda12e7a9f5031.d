@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/disc_metrics-92fda12e7a9f5031.d: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/debug/deps/disc_metrics-92fda12e7a9f5031: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/sets.rs:

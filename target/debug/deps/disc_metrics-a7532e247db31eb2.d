@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/disc_metrics-a7532e247db31eb2.d: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/debug/deps/libdisc_metrics-a7532e247db31eb2.rlib: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/debug/deps/libdisc_metrics-a7532e247db31eb2.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/sets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disc_ml-66303860413c398a.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdisc_ml-66303860413c398a.rlib: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdisc_ml-66303860413c398a.rmeta: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:

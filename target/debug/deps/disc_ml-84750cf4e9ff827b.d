@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disc_ml-84750cf4e9ff827b.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/disc_ml-84750cf4e9ff827b: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-772e8ca2201c75ee.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-772e8ca2201c75ee: tests/end_to_end.rs
+
+tests/end_to_end.rs:

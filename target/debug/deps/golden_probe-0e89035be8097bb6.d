@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_probe-0e89035be8097bb6.d: crates/bench/src/bin/golden_probe.rs
+
+/root/repo/target/debug/deps/golden_probe-0e89035be8097bb6: crates/bench/src/bin/golden_probe.rs
+
+crates/bench/src/bin/golden_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_properties-b036e764ad891ecc.d: crates/index/tests/index_properties.rs
+
+/root/repo/target/debug/deps/index_properties-b036e764ad891ecc: crates/index/tests/index_properties.rs
+
+crates/index/tests/index_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_properties-ccb3619c9c5910f0.d: crates/index/tests/index_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_properties-ccb3619c9c5910f0.rmeta: crates/index/tests/index_properties.rs Cargo.toml
+
+crates/index/tests/index_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

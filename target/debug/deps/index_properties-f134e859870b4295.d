@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_properties-f134e859870b4295.d: crates/index/tests/index_properties.rs
+
+/root/repo/target/debug/deps/index_properties-f134e859870b4295: crates/index/tests/index_properties.rs
+
+crates/index/tests/index_properties.rs:

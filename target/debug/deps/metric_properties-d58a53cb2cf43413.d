@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metric_properties-d58a53cb2cf43413.d: crates/metrics/tests/metric_properties.rs
+
+/root/repo/target/debug/deps/metric_properties-d58a53cb2cf43413: crates/metrics/tests/metric_properties.rs
+
+crates/metrics/tests/metric_properties.rs:

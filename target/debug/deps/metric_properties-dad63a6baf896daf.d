@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metric_properties-dad63a6baf896daf.d: crates/metrics/tests/metric_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetric_properties-dad63a6baf896daf.rmeta: crates/metrics/tests/metric_properties.rs Cargo.toml
+
+crates/metrics/tests/metric_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

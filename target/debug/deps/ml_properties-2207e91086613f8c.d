@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml_properties-2207e91086613f8c.d: crates/ml/tests/ml_properties.rs
+
+/root/repo/target/debug/deps/ml_properties-2207e91086613f8c: crates/ml/tests/ml_properties.rs
+
+crates/ml/tests/ml_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equivalence-c0b6cbe9cee0d618.d: crates/core/tests/pipeline_equivalence.rs
+
+/root/repo/target/debug/deps/pipeline_equivalence-c0b6cbe9cee0d618: crates/core/tests/pipeline_equivalence.rs
+
+crates/core/tests/pipeline_equivalence.rs:

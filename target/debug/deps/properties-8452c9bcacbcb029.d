@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8452c9bcacbcb029.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8452c9bcacbcb029: tests/properties.rs
+
+tests/properties.rs:

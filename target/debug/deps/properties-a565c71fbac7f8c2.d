@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a565c71fbac7f8c2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a565c71fbac7f8c2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4b6dce2fe24f4444.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4b6dce2fe24f4444: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

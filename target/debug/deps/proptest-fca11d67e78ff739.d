@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-fca11d67e78ff739.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fca11d67e78ff739.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fca11d67e78ff739.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-118a9262432739b6.d: crates/distance/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-118a9262432739b6: crates/distance/tests/proptests.rs
+
+crates/distance/tests/proptests.rs:

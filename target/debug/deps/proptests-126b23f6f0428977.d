@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-126b23f6f0428977.d: crates/distance/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-126b23f6f0428977.rmeta: crates/distance/tests/proptests.rs Cargo.toml
+
+crates/distance/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

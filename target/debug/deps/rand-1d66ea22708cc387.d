@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-1d66ea22708cc387.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-1d66ea22708cc387: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a05f1cd75a0fe9e5.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a05f1cd75a0fe9e5.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a05f1cd75a0fe9e5.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repair_methods-b8be7c2f9a9eb5b4.d: crates/bench/benches/repair_methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepair_methods-b8be7c2f9a9eb5b4.rmeta: crates/bench/benches/repair_methods.rs Cargo.toml
+
+crates/bench/benches/repair_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3f8c57ed9c1a1c96.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-3f8c57ed9c1a1c96: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

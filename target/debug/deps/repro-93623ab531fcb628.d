@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-93623ab531fcb628.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-93623ab531fcb628: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

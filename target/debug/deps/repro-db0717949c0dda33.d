@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-db0717949c0dda33.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-db0717949c0dda33: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

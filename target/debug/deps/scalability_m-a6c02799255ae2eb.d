@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability_m-a6c02799255ae2eb.d: crates/bench/benches/scalability_m.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability_m-a6c02799255ae2eb.rmeta: crates/bench/benches/scalability_m.rs Cargo.toml
+
+crates/bench/benches/scalability_m.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

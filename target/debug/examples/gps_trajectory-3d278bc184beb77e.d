@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gps_trajectory-3d278bc184beb77e.d: examples/gps_trajectory.rs
+
+/root/repo/target/debug/examples/gps_trajectory-3d278bc184beb77e: examples/gps_trajectory.rs
+
+examples/gps_trajectory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gps_trajectory-e84cbc212e2911cc.d: examples/gps_trajectory.rs
+
+/root/repo/target/debug/examples/gps_trajectory-e84cbc212e2911cc: examples/gps_trajectory.rs
+
+examples/gps_trajectory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-198899dccddcea08.d: examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-198899dccddcea08: examples/parameter_tuning.rs
+
+examples/parameter_tuning.rs:

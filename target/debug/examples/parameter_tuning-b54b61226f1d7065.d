@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-b54b61226f1d7065.d: examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-b54b61226f1d7065: examples/parameter_tuning.rs
+
+examples/parameter_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parameter_tuning-d7a2b7d333c584c1.d: examples/parameter_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparameter_tuning-d7a2b7d333c584c1.rmeta: examples/parameter_tuning.rs Cargo.toml
+
+examples/parameter_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-10502a569dc0bcee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-10502a569dc0bcee: examples/quickstart.rs
+
+examples/quickstart.rs:

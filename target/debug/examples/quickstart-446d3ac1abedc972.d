@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-446d3ac1abedc972.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-446d3ac1abedc972: examples/quickstart.rs
+
+examples/quickstart.rs:

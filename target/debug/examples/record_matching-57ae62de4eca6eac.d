@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/record_matching-57ae62de4eca6eac.d: examples/record_matching.rs
+
+/root/repo/target/debug/examples/record_matching-57ae62de4eca6eac: examples/record_matching.rs
+
+examples/record_matching.rs:

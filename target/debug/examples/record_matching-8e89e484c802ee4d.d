@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/record_matching-8e89e484c802ee4d.d: examples/record_matching.rs
+
+/root/repo/target/debug/examples/record_matching-8e89e484c802ee4d: examples/record_matching.rs
+
+examples/record_matching.rs:

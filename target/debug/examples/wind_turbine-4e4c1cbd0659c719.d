@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wind_turbine-4e4c1cbd0659c719.d: examples/wind_turbine.rs
+
+/root/repo/target/debug/examples/wind_turbine-4e4c1cbd0659c719: examples/wind_turbine.rs
+
+examples/wind_turbine.rs:

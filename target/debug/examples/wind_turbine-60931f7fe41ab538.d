@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wind_turbine-60931f7fe41ab538.d: examples/wind_turbine.rs
+
+/root/repo/target/debug/examples/wind_turbine-60931f7fe41ab538: examples/wind_turbine.rs
+
+examples/wind_turbine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6267bdf05f52c7ee.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6267bdf05f52c7ee.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6267bdf05f52c7ee.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

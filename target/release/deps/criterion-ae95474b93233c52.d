@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ae95474b93233c52.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ae95474b93233c52.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ae95474b93233c52.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-71cbceb00f553051.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-71cbceb00f553051.rlib: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-71cbceb00f553051.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

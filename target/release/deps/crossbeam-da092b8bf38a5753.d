@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-da092b8bf38a5753.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-da092b8bf38a5753.rlib: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-da092b8bf38a5753.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disc-1a7fec32ae8df227.d: src/bin/disc.rs
+
+/root/repo/target/release/deps/disc-1a7fec32ae8df227: src/bin/disc.rs
+
+src/bin/disc.rs:

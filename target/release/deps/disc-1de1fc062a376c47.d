@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/disc-1de1fc062a376c47.d: src/lib.rs
+
+/root/repo/target/release/deps/libdisc-1de1fc062a376c47.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdisc-1de1fc062a376c47.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/disc_bench-79db9a8788c1175a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/release/deps/libdisc_bench-79db9a8788c1175a.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/release/deps/libdisc_bench-79db9a8788c1175a.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/suite.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:
+crates/bench/src/table5.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/disc_cleaning-d39741e3b92e4a89.d: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/release/deps/libdisc_cleaning-d39741e3b92e4a89.rlib: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/release/deps/libdisc_cleaning-d39741e3b92e4a89.rmeta: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+crates/cleaning/src/lib.rs:
+crates/cleaning/src/dorc.rs:
+crates/cleaning/src/eracer.rs:
+crates/cleaning/src/holistic.rs:
+crates/cleaning/src/holoclean.rs:
+crates/cleaning/src/sse.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/disc_clustering-c7db2bfdb0e90bdd.d: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+/root/repo/target/release/deps/libdisc_clustering-c7db2bfdb0e90bdd.rlib: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+/root/repo/target/release/deps/libdisc_clustering-c7db2bfdb0e90bdd.rmeta: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/cckm.rs:
+crates/clustering/src/dbscan.rs:
+crates/clustering/src/optics.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/kmeans_minus.rs:
+crates/clustering/src/kmc.rs:
+crates/clustering/src/srem.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/disc_core-7a7410296e165b90.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+/root/repo/target/release/deps/libdisc_core-7a7410296e165b90.rlib: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+/root/repo/target/release/deps/libdisc_core-7a7410296e165b90.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+crates/core/src/lib.rs:
+crates/core/src/approx.rs:
+crates/core/src/bounds.rs:
+crates/core/src/constraints.rs:
+crates/core/src/exact.rs:
+crates/core/src/parallel.rs:
+crates/core/src/params.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rset.rs:

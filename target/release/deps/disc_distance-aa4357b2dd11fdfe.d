@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/disc_distance-aa4357b2dd11fdfe.d: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+/root/repo/target/release/deps/libdisc_distance-aa4357b2dd11fdfe.rlib: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+/root/repo/target/release/deps/libdisc_distance-aa4357b2dd11fdfe.rmeta: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+crates/distance/src/lib.rs:
+crates/distance/src/attr_set.rs:
+crates/distance/src/attribute.rs:
+crates/distance/src/ngram.rs:
+crates/distance/src/norm.rs:
+crates/distance/src/tuple.rs:
+crates/distance/src/value.rs:

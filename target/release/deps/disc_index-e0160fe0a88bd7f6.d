@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/disc_index-e0160fe0a88bd7f6.d: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/release/deps/libdisc_index-e0160fe0a88bd7f6.rlib: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/release/deps/libdisc_index-e0160fe0a88bd7f6.rmeta: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/batch.rs:
+crates/index/src/brute.rs:
+crates/index/src/grid.rs:
+crates/index/src/sorted.rs:
+crates/index/src/vptree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/disc_metrics-fdba8e695024a47f.d: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/release/deps/libdisc_metrics-fdba8e695024a47f.rlib: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/release/deps/libdisc_metrics-fdba8e695024a47f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/sets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/disc_ml-1a36c633a7f955df.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libdisc_ml-1a36c633a7f955df.rlib: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libdisc_ml-1a36c633a7f955df.rmeta: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:

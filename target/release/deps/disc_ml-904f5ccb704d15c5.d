@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/disc_ml-904f5ccb704d15c5.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libdisc_ml-904f5ccb704d15c5.rlib: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libdisc_ml-904f5ccb704d15c5.rmeta: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_pipeline-06e26dbbf46e56dd.d: crates/bench/benches/parallel_pipeline.rs
+
+/root/repo/target/release/deps/parallel_pipeline-06e26dbbf46e56dd: crates/bench/benches/parallel_pipeline.rs
+
+crates/bench/benches/parallel_pipeline.rs:

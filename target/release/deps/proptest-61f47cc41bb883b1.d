@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-61f47cc41bb883b1.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-61f47cc41bb883b1.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-61f47cc41bb883b1.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

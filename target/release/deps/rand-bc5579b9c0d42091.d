@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-bc5579b9c0d42091.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-bc5579b9c0d42091.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-bc5579b9c0d42091.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

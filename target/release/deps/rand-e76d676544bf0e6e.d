@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e76d676544bf0e6e.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e76d676544bf0e6e.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e76d676544bf0e6e.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-84105c088ed81064.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-84105c088ed81064: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-92d65ff8329301fd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-92d65ff8329301fd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:
