@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <experiment> [--frac F] [--seed S] [--full] [--workers N]
+//! repro <experiment> [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS]
 //!
 //! experiments:
 //!   table2 table3 table4 table5
@@ -12,8 +12,12 @@
 //!
 //! `--frac` scales the synthetic Table 1 stand-ins (default 0.05 so the
 //! whole suite runs in minutes); `--full` runs Figures 6/7 at paper scale;
-//! `--workers N` pins the parallel save pipeline to N threads (default:
-//! one per core; results are identical for every worker count).
+//! `--workers N` pins the parallel save pipeline to N threads (`0` means
+//! auto: one per core; results are identical for every worker count);
+//! `--deadline-ms MS` budgets each `save_all` run to MS milliseconds of
+//! wall clock — on expiry the pipeline degrades gracefully, reporting
+//! untried outliers as skipped instead of running to completion (`0`
+//! clears the budget).
 
 use std::env;
 use std::process::ExitCode;
@@ -21,7 +25,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all> \
-         [--frac F] [--seed S] [--full] [--workers N]"
+         [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS]\n\
+         --workers 0 means auto (one per core); --deadline-ms 0 clears the deadline"
     );
     ExitCode::FAILURE
 }
@@ -61,9 +66,22 @@ fn main() -> ExitCode {
             "--workers" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
-                    Some(n) if n >= 1 => disc_core::parallel::set_global_workers(n),
-                    _ => {
-                        eprintln!("--workers expects an integer >= 1");
+                    // 0 = auto: clear any override, use one worker per core.
+                    Some(n) => disc_core::parallel::set_global_workers(n),
+                    None => {
+                        eprintln!("--workers expects an integer >= 0 (0 = auto)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    // 0 clears the deadline; savers pick this up via
+                    // Budget::auto() at construction time.
+                    Some(ms) => disc_core::set_global_deadline_ms(ms),
+                    None => {
+                        eprintln!("--deadline-ms expects an integer >= 0 (0 = no deadline)");
                         return ExitCode::FAILURE;
                     }
                 }

@@ -20,6 +20,7 @@ use std::collections::HashSet;
 
 use disc_distance::{AttrSet, Norm, Value};
 
+use crate::budget::{Budget, CancelToken, Cancelled};
 use crate::constraints::DistanceConstraints;
 use crate::parallel::Parallelism;
 use crate::rset::RSet;
@@ -50,6 +51,9 @@ pub struct DiscSaver {
     /// Worker count for the batch entry points ([`DiscSaver::save_all`]
     /// and `RSet` construction); `save_one` itself is single-threaded.
     parallelism: Parallelism,
+    /// Execution budget: wall-clock deadline for whole `save_all` runs and
+    /// candidate-evaluation cap per outlier (see [`Budget`]).
+    budget: Budget,
 }
 
 impl DiscSaver {
@@ -62,6 +66,7 @@ impl DiscSaver {
             kappa: None,
             node_budget: 200_000,
             parallelism: Parallelism::auto(),
+            budget: Budget::auto(),
         }
     }
 
@@ -93,6 +98,20 @@ impl DiscSaver {
         self.parallelism
     }
 
+    /// Overrides the execution budget. The deadline half applies to whole
+    /// `save_all` runs (enforced through a shared [`CancelToken`]); the
+    /// per-outlier candidate cap also bounds direct `save_one` calls and is
+    /// fully deterministic.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured execution budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
     /// The configured constraints.
     pub fn constraints(&self) -> DistanceConstraints {
         self.constraints
@@ -116,13 +135,36 @@ impl DiscSaver {
 
     /// Saves one outlier against `r`, returning the near-optimal adjustment
     /// or `None` when no feasible adjustment exists within κ / the budget.
+    /// Honors the per-outlier candidate cap of [`DiscSaver::with_budget`]
+    /// but not the deadline (which only applies to `save_all` runs).
     pub fn save_one(&self, r: &RSet, t_o: &[Value]) -> Option<Adjustment> {
+        match self.save_one_budgeted(r, t_o, &CancelToken::unlimited()) {
+            Ok(result) => result,
+            Err(Cancelled) => unreachable!("an unlimited token never cancels"),
+        }
+    }
+
+    /// [`DiscSaver::save_one`] under cooperative cancellation: the search
+    /// polls `token` once per node and returns [`Cancelled`] when the
+    /// pipeline's deadline expires mid-save (the incumbent is discarded —
+    /// an interrupted search has no trustworthy answer). Exhausting the
+    /// deterministic per-outlier candidate cap is *not* a cancellation:
+    /// the search stops refining and returns its incumbent.
+    pub fn save_one_budgeted(
+        &self,
+        r: &RSet,
+        t_o: &[Value],
+        token: &CancelToken,
+    ) -> Result<Option<Adjustment>, Cancelled> {
         assert_eq!(t_o.len(), self.dist.arity());
         if r.is_empty() {
-            return None;
+            return Ok(None);
+        }
+        if token.is_cancelled() {
+            return Err(Cancelled);
         }
         let m = self.dist.arity();
-        let mut search = Search::new(self, r, t_o);
+        let mut search = Search::new(self, r, t_o, token);
         let kappa = self.kappa.unwrap_or(m).min(m);
         if kappa >= m {
             // Unrestricted: root X = ∅ with all of r as candidates.
@@ -134,12 +176,15 @@ impl DiscSaver {
             // smallest single-attribute ε-ball among X.
             for x0 in AttrSet::subsets_of_size(m, m - kappa) {
                 search.run_root(x0);
-                if search.nodes >= search.budget {
+                if search.exhausted() || search.nodes >= search.budget {
                     break;
                 }
             }
         }
-        search.into_result()
+        if search.cancelled {
+            return Err(Cancelled);
+        }
+        Ok(search.into_result())
     }
 }
 
@@ -163,10 +208,19 @@ struct Search<'a> {
     best_cost: f64,
     /// `(row of r, unadjusted X)` of the incumbent upper bound.
     best: Option<(u32, AttrSet)>,
+    /// Shared cancellation flag, polled once per node.
+    token: &'a CancelToken,
+    /// Set once the token fires: the incumbent is no longer trustworthy.
+    cancelled: bool,
+    /// Candidate evaluations charged so far against `work_cap`.
+    work: usize,
+    /// Per-outlier candidate-evaluation cap ([`Budget`]); `usize::MAX`
+    /// when unlimited.
+    work_cap: usize,
 }
 
 impl<'a> Search<'a> {
-    fn new(saver: &DiscSaver, r: &'a RSet, t_o: &'a [Value]) -> Self {
+    fn new(saver: &DiscSaver, r: &'a RSet, t_o: &'a [Value], token: &'a CancelToken) -> Self {
         let dist = r.distance();
         let norm = dist.norm();
         let mut full_acc = Vec::with_capacity(r.len());
@@ -193,7 +247,18 @@ impl<'a> Search<'a> {
             budget: saver.node_budget,
             best_cost: f64::INFINITY,
             best: None,
+            token,
+            cancelled: false,
+            work: 0,
+            work_cap: saver.budget.max_candidates_per_outlier.unwrap_or(usize::MAX),
         }
+    }
+
+    /// True once the search must stop expanding (cancellation or the
+    /// per-outlier candidate cap). The node budget is checked separately —
+    /// it predates [`Budget`] and bounds memoized nodes, not candidates.
+    fn exhausted(&self) -> bool {
+        self.cancelled || self.work >= self.work_cap
     }
 
     /// `Δ(t_o[R\X], t[R\X])` for candidate row `c` whose `X`-accumulator is
@@ -216,7 +281,7 @@ impl<'a> Search<'a> {
 
     /// Seeds and runs one κ-restricted root `X₀`.
     fn run_root(&mut self, x0: AttrSet) {
-        if self.visited.contains(&x0) {
+        if self.exhausted() || self.visited.contains(&x0) {
             return;
         }
         // Seed candidates from the smallest single-attribute ball among X₀
@@ -250,10 +315,21 @@ impl<'a> Search<'a> {
 
     /// One node of Algorithm 1: bounds, incumbent update, recursion.
     fn recurse(&mut self, x: AttrSet, cands: Vec<u32>, acc: Vec<f64>) {
+        // Budget exhaustion keeps the incumbent found so far; the work cap
+        // is checked *before* processing, so at least the root node always
+        // runs and small caps still yield a (suboptimal) answer.
+        if self.exhausted() {
+            return;
+        }
+        if self.token.is_cancelled() {
+            self.cancelled = true;
+            return;
+        }
         if !self.visited.insert(x) || self.nodes >= self.budget {
             return;
         }
         self.nodes += 1;
+        self.work += cands.len().max(1);
 
         // Fewer than η candidates within ε on X: no feasible adjustment
         // exists for X or any superset (candidates only shrink).
@@ -470,6 +546,36 @@ mod tests {
         let t_o = vec![Value::Text("XY99-ZZZ".into())];
         let adj = saver.save_one(&r, &t_o).unwrap();
         assert!(r.is_feasible(&adj.values));
+    }
+
+    #[test]
+    fn candidate_cap_still_returns_incumbent_deterministically() {
+        let base = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let capped = base.clone().with_budget(Budget::unlimited().with_max_candidates(1));
+        let r = base.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
+        // Cap 1 processes only the root node — still a feasible answer.
+        let adj = capped.save_one(&r, &t_o).unwrap();
+        assert!(r.is_feasible(&adj.values));
+        // And never cheaper than the unrestricted search.
+        let full = base.save_one(&r, &t_o).unwrap();
+        assert!(full.cost <= adj.cost + 1e-9);
+        // Deterministic: same result every time.
+        assert_eq!(capped.save_one(&r, &t_o), Some(adj));
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_save() {
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let r = saver.build_rset(cluster_2d());
+        let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
+        let token = CancelToken::unlimited();
+        token.cancel();
+        assert_eq!(saver.save_one_budgeted(&r, &t_o, &token), Err(Cancelled));
+        // A live token leaves the result untouched.
+        let live = CancelToken::unlimited();
+        let ok = saver.save_one_budgeted(&r, &t_o, &live).unwrap().unwrap();
+        assert_eq!(Some(ok), saver.save_one(&r, &t_o));
     }
 
     #[test]

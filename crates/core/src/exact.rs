@@ -10,6 +10,7 @@
 use disc_distance::{AttrSet, Value};
 
 use crate::approx::Adjustment;
+use crate::budget::{Budget, CancelToken, Cancelled};
 use crate::constraints::DistanceConstraints;
 use crate::parallel::Parallelism;
 use crate::rset::RSet;
@@ -27,6 +28,9 @@ pub struct ExactSaver {
     /// Worker count for the batch entry points ([`ExactSaver::save_all`]
     /// and `RSet` construction); `save_one` itself is single-threaded.
     parallelism: Parallelism,
+    /// Execution budget: wall-clock deadline for whole `save_all` runs and
+    /// candidate-combination cap per outlier (see [`Budget`]).
+    budget: Budget,
 }
 
 impl ExactSaver {
@@ -39,6 +43,7 @@ impl ExactSaver {
             domain_cap: Some(16),
             max_combinations: 10_000_000,
             parallelism: Parallelism::auto(),
+            budget: Budget::auto(),
         }
     }
 
@@ -64,6 +69,20 @@ impl ExactSaver {
     /// The configured pipeline worker count.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Overrides the execution budget. With a per-outlier candidate cap
+    /// set, an over-budget cross-product no longer panics: enumeration
+    /// stops at the cap and the incumbent is returned (graceful
+    /// degradation instead of the hard `max_combinations` assert).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured execution budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// Builds the inlier context.
@@ -121,30 +140,67 @@ impl ExactSaver {
     }
 
     /// Finds the optimal adjustment over the candidate domains, or `None`
-    /// when no combination is feasible.
+    /// when no combination is feasible. Honors the per-outlier candidate
+    /// cap of [`ExactSaver::with_budget`] but not the deadline (which only
+    /// applies to `save_all` runs).
     ///
     /// # Panics
-    /// Panics if the cross-product size exceeds the combination budget —
-    /// the caller should shrink `domain_cap` or the schema (this mirrors
-    /// the paper's observation that Exact is only runnable for small `m`).
+    /// Panics if the cross-product size exceeds the combination budget and
+    /// no per-outlier candidate cap is configured — the caller should
+    /// shrink `domain_cap` or the schema (this mirrors the paper's
+    /// observation that Exact is only runnable for small `m`). Inside the
+    /// pipeline this panic is isolated and reported as a failed save.
     pub fn save_one(&self, r: &RSet, t_o: &[Value]) -> Option<Adjustment> {
+        match self.save_one_budgeted(r, t_o, &CancelToken::unlimited()) {
+            Ok(result) => result,
+            Err(Cancelled) => unreachable!("an unlimited token never cancels"),
+        }
+    }
+
+    /// [`ExactSaver::save_one`] under cooperative cancellation: the
+    /// enumeration polls `token` every 1024 combinations and returns
+    /// [`Cancelled`] when the pipeline's deadline expires mid-save.
+    /// Exhausting the deterministic per-outlier candidate cap instead
+    /// stops the enumeration and returns the incumbent.
+    pub fn save_one_budgeted(
+        &self,
+        r: &RSet,
+        t_o: &[Value],
+        token: &CancelToken,
+    ) -> Result<Option<Adjustment>, Cancelled> {
         let m = self.dist.arity();
         assert_eq!(t_o.len(), m);
         if r.is_empty() {
-            return None;
+            return Ok(None);
+        }
+        if token.is_cancelled() {
+            return Err(Cancelled);
         }
         let domains: Vec<Vec<Value>> = (0..m).map(|a| self.domain(r, a, &t_o[a])).collect();
-        let combos = domains
-            .iter()
-            .map(|d| d.len() as u64)
-            .try_fold(1u64, u64::checked_mul)
-            .unwrap_or(u64::MAX);
-        assert!(
-            combos <= self.max_combinations,
-            "exact enumeration would visit {combos} combinations (budget {}); \
-             reduce domain_cap or the number of attributes",
-            self.max_combinations
-        );
+        let cap = self.budget.max_candidates_per_outlier.map(|c| c as u64);
+        if cap.is_none() {
+            let combos = domains
+                .iter()
+                .map(|d| d.len() as u64)
+                .try_fold(1u64, u64::checked_mul)
+                .unwrap_or(u64::MAX);
+            assert!(
+                combos <= self.max_combinations,
+                "exact enumeration would visit {combos} combinations (budget {}); \
+                 reduce domain_cap or the number of attributes",
+                self.max_combinations
+            );
+        }
+        let finish = |best: Option<(Vec<Value>, f64)>| -> Option<Adjustment> {
+            let (values, cost) = best?;
+            let mut adjusted = AttrSet::empty();
+            for b in 0..m {
+                if !values[b].same(&t_o[b]) {
+                    adjusted.insert(b);
+                }
+            }
+            Some(Adjustment { values, adjusted, cost })
+        };
 
         let mut best: Option<(Vec<Value>, f64)> = None;
         let mut idx = vec![0usize; m];
@@ -153,7 +209,16 @@ impl ExactSaver {
             .enumerate()
             .map(|(a, &i)| domains[a][i].clone())
             .collect();
+        let mut tried: u64 = 0;
         loop {
+            if tried > 0 && tried.is_multiple_of(1024) && token.is_cancelled() {
+                return Err(Cancelled);
+            }
+            if cap.is_some_and(|cap| tried >= cap) {
+                // Candidate cap exhausted: return the incumbent.
+                return Ok(finish(best));
+            }
+            tried += 1;
             let cost = self.dist.dist(t_o, &cand);
             let beats = best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true);
             // Feasibility is the expensive check: skip when not improving.
@@ -164,14 +229,7 @@ impl ExactSaver {
             let mut a = 0;
             loop {
                 if a == m {
-                    let (values, cost) = best?;
-                    let mut adjusted = AttrSet::empty();
-                    for b in 0..m {
-                        if !values[b].same(&t_o[b]) {
-                            adjusted.insert(b);
-                        }
-                    }
-                    return Some(Adjustment { values, adjusted, cost });
+                    return Ok(finish(best));
                 }
                 idx[a] += 1;
                 if idx[a] < domains[a].len() {
@@ -255,6 +313,40 @@ mod tests {
         let r = exact.build_rset(rows);
         let d = exact.domain(&r, 0, &Value::Num(50.0));
         assert_eq!(d.len(), 5); // 4 quantiles + the outlier's own value
+    }
+
+    #[test]
+    fn candidate_cap_degrades_instead_of_panicking() {
+        // Same oversized setup as `budget_overflow_panics`, but with a
+        // per-outlier cap: enumeration is bounded and returns an incumbent
+        // (or a clean None) instead of asserting.
+        let c = DistanceConstraints::new(0.5, 2);
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Num(i as f64), Value::Num(i as f64)])
+            .collect();
+        let exact = ExactSaver::new(c, TupleDistance::numeric(2))
+            .with_domain_cap(None)
+            .with_max_combinations(4)
+            .with_budget(Budget::unlimited().with_max_candidates(50));
+        let r = exact.build_rset(rows);
+        let t_o = [Value::Num(0.0), Value::Num(0.0)];
+        let adj = exact.save_one(&r, &t_o);
+        if let Some(adj) = &adj {
+            assert!(r.is_feasible(&adj.values));
+        }
+        // Deterministic under the cap.
+        assert_eq!(exact.save_one(&r, &t_o), adj);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_exact_save() {
+        let c = DistanceConstraints::new(0.5, 4);
+        let exact = ExactSaver::new(c, TupleDistance::numeric(2));
+        let r = exact.build_rset(cluster_2d());
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let got = exact.save_one_budgeted(&r, &[Value::Num(0.3), Value::Num(9.0)], &token);
+        assert_eq!(got, Err(Cancelled));
     }
 
     #[test]

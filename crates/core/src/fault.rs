@@ -1,0 +1,99 @@
+//! Deterministic fault injection for the save pipeline (test-only).
+//!
+//! Compiled only under `--cfg disc_fault` (CI runs the whole workspace a
+//! second time with `RUSTFLAGS="--cfg disc_fault"`). The pipeline calls
+//! [`hit`] with each outlier's row index right before saving it; an active
+//! [`FaultPlan`] can make that call panic (exercising the pipeline's panic
+//! isolation) or sleep (exercising deadline cutoff) at chosen rows.
+//!
+//! The plan is process-global so the hook needs no plumbing through the
+//! saver APIs, and [`scoped`] serializes access with a lock so concurrent
+//! tests cannot observe each other's faults. While a plan is active the
+//! default panic hook is silenced: injected panics are *expected* and
+//! caught, and their reports would otherwise spam the test output.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// What to inject when the pipeline reaches a chosen row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic with the deterministic message `injected fault at row {row}`.
+    Panic,
+    /// Sleep for the given number of milliseconds before saving.
+    DelayMs(u64),
+}
+
+/// A per-row schedule of faults to inject.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    by_row: HashMap<usize, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Panics when the pipeline is about to save dataset row `row`.
+    pub fn panic_at(mut self, row: usize) -> Self {
+        self.by_row.insert(row, Fault::Panic);
+        self
+    }
+
+    /// Sleeps `ms` milliseconds when about to save dataset row `row`.
+    pub fn delay_at(mut self, row: usize, ms: u64) -> Self {
+        self.by_row.insert(row, Fault::DelayMs(ms));
+        self
+    }
+}
+
+/// The active plan, if a [`scoped`] call is in flight.
+static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Serializes [`scoped`] calls across test threads.
+static SCOPE: Mutex<()> = Mutex::new(());
+
+fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+    // A panicking fault can never poison these locks (payloads are copied
+    // out before firing), but recover defensively anyway.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with `plan` active, restoring the previous (fault-free) state
+/// afterwards even if `f` panics. Calls are serialized process-wide.
+pub fn scoped<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    let _serial = lock(&SCOPE);
+    // Silence the default panic hook for the duration: injected panics are
+    // expected and caught by the pipeline.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    *lock(&ACTIVE) = Some(plan);
+
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct Restore(Option<PanicHook>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            *lock(&ACTIVE) = None;
+            if let Some(hook) = self.0.take() {
+                let _ = std::panic::take_hook();
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+    let _restore = Restore(Some(prev_hook));
+    f()
+}
+
+/// The pipeline-side hook: fires the fault scheduled for `row`, if any.
+/// No-op when no plan is active.
+pub fn hit(row: usize) {
+    let fault = lock(&ACTIVE).as_ref().and_then(|p| p.by_row.get(&row).copied());
+    match fault {
+        Some(Fault::Panic) => panic!("injected fault at row {row}"),
+        Some(Fault::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        None => {}
+    }
+}

@@ -26,18 +26,29 @@
 //! * [`parallel`] — the [`Parallelism`] worker-count knob; the pipeline's
 //!   save loop, outlier detection, and `δ_η` preprocessing fan out over
 //!   scoped threads with results guaranteed bit-identical to the
-//!   sequential run.
+//!   sequential run;
+//! * [`budget`] — execution budgets ([`Budget`]) with cooperative
+//!   cancellation: a wall-clock deadline for whole `save_all` runs and a
+//!   deterministic per-outlier candidate cap, both degrading gracefully
+//!   into [`SaveReport::skipped`] instead of hanging or aborting;
+//! * `fault` (only under `--cfg disc_fault`) — deterministic test-only
+//!   fault injection into the save pipeline, used to exercise the panic
+//!   isolation and deadline paths.
 
 pub mod approx;
 pub mod bounds;
+pub mod budget;
 pub mod constraints;
 pub mod exact;
+#[cfg(disc_fault)]
+pub mod fault;
 pub mod parallel;
 pub mod params;
 pub mod pipeline;
 pub mod rset;
 
 pub use approx::{Adjustment, DiscSaver};
+pub use budget::{set_global_deadline_ms, Budget, CancelToken, Cancelled};
 pub use constraints::{detect_outliers, detect_outliers_parallel, DistanceConstraints, OutlierSplit};
 pub use exact::ExactSaver;
 pub use parallel::Parallelism;
@@ -45,5 +56,5 @@ pub use params::{
     determine_parameters, determine_parameters_db, neighbor_counts, poisson_eta_for,
     poisson_p_at_least, ParamChoice, ParamConfig,
 };
-pub use pipeline::{SaveReport, SavedOutlier};
+pub use pipeline::{FailedSave, PipelineError, SaveReport, SavedOutlier};
 pub use rset::RSet;

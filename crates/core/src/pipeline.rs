@@ -21,11 +21,27 @@
 //! applied in one serial pass — so the [`SaveReport`] and the final
 //! dataset are bit-identical to the sequential run for every worker
 //! count.
+//!
+//! The pipeline is additionally *fault tolerant*:
+//!
+//! * every per-outlier save runs under `catch_unwind` (sequential arm
+//!   included), so one panicking save becomes a [`FailedSave`] entry in
+//!   [`SaveReport::failed`] instead of aborting the whole run;
+//! * the saver's [`Budget`](crate::Budget) is materialized into a shared
+//!   [`CancelToken`](crate::CancelToken): when the deadline expires,
+//!   in-flight searches bail out cooperatively and the affected rows are
+//!   reported in [`SaveReport::skipped`];
+//! * adjustments are only applied for saves that *completed* (serial
+//!   phase 2), so neither a panic nor a cancellation can leave a torn
+//!   write in the dataset;
+//! * any failure or skip sets [`SaveReport::degraded`], making partial
+//!   results explicit rather than silent.
 
 use disc_data::Dataset;
 use disc_distance::Value;
 
 use crate::approx::{Adjustment, DiscSaver};
+use crate::budget::{Budget, CancelToken, Cancelled};
 use crate::constraints::detect_outliers_parallel;
 use crate::exact::ExactSaver;
 use crate::parallel::Parallelism;
@@ -39,6 +55,33 @@ pub struct SavedOutlier {
     pub adjustment: Adjustment,
 }
 
+/// Why a per-outlier save produced no answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The save panicked; the payload is the panic message. The panic was
+    /// isolated to this row — every other outlier was processed normally.
+    Panicked(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Panicked(msg) => write!(f, "save panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// An outlier whose save failed (was not merely infeasible).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedSave {
+    /// Row index in the dataset.
+    pub row: usize,
+    /// What went wrong.
+    pub error: PipelineError,
+}
+
 /// The outcome of saving every outlier in a dataset.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SaveReport {
@@ -48,6 +91,14 @@ pub struct SaveReport {
     pub unsaved: Vec<usize>,
     /// All rows initially violating the constraints.
     pub outliers: Vec<usize>,
+    /// Outliers whose save failed (e.g. panicked); left unchanged.
+    pub failed: Vec<FailedSave>,
+    /// Outliers not tried or interrupted by the budget; left unchanged.
+    pub skipped: Vec<usize>,
+    /// True when the run was incomplete — any failed or skipped outlier.
+    /// A degraded report is still safe to use: `saved` adjustments were
+    /// fully applied, everything else is untouched.
+    pub degraded: bool,
 }
 
 impl SaveReport {
@@ -79,47 +130,58 @@ fn run_pipeline(
     detect_dist: &disc_distance::TupleDistance,
     constraints: crate::DistanceConstraints,
     parallelism: Parallelism,
-    save: impl Fn(&crate::RSet, &[Value]) -> Option<Adjustment> + Sync,
+    budget: Budget,
+    save: impl Fn(&crate::RSet, &[Value], &CancelToken) -> Result<Option<Adjustment>, Cancelled> + Sync,
     build_rset: impl FnOnce(Vec<Vec<Value>>) -> crate::RSet,
 ) -> SaveReport {
     let workers = parallelism.workers();
     let split = detect_outliers_parallel(ds.rows(), detect_dist, constraints, workers);
+    let mut report = SaveReport {
+        outliers: split.outliers.clone(),
+        ..SaveReport::default()
+    };
+    // The deadline clock starts here and is shared by every worker.
+    let token = budget.start();
+    if token.is_cancelled() {
+        // Already past the deadline: skip even the RSet construction so
+        // the pipeline returns within the budget window.
+        report.skipped = split.outliers.clone();
+        report.degraded = !report.skipped.is_empty();
+        return report;
+    }
     let inlier_rows: Vec<Vec<Value>> = split
         .inliers
         .iter()
         .map(|&i| ds.rows()[i].clone())
         .collect();
     let r = build_rset(inlier_rows);
-    let mut report = SaveReport {
-        saved: Vec::new(),
-        unsaved: Vec::new(),
-        outliers: split.outliers.clone(),
-    };
-    // Phase 1 (parallel-safe): save every outlier against the immutable
-    // r, collecting results in outlier order. The sequential arm is the
-    // exact pre-parallel code path, not a 1-thread fan-out.
-    let results: Vec<(usize, Option<Adjustment>)> = if workers == 1 {
-        split
-            .outliers
-            .iter()
-            .map(|&row| (row, save(&r, ds.row(row))))
-            .collect()
-    } else {
-        let frozen: &Dataset = ds;
-        disc_index::parallel_map(&split.outliers, workers, |_, &row| {
-            (row, save(&r, frozen.row(row)))
-        })
-    };
-    // Phase 2 (serial): apply the adjustments in place.
-    for (row, outcome) in results {
+    // Phase 1 (parallel-safe): save every outlier against the immutable r,
+    // collecting results in outlier order. `workers == 1` runs the same
+    // loop sequentially on the calling thread. Each save is isolated under
+    // catch_unwind, so one panicking outlier cannot abort the batch.
+    let frozen: &Dataset = ds;
+    let results = disc_index::parallel_map_catch(&split.outliers, workers, |_, &row| {
+        #[cfg(disc_fault)]
+        crate::fault::hit(row);
+        save(&r, frozen.row(row), &token)
+    });
+    // Phase 2 (serial): apply the adjustments in place. Only *completed*
+    // saves are applied — panicked or cancelled rows stay untouched.
+    for (&row, outcome) in split.outliers.iter().zip(results) {
         match outcome {
-            Some(adjustment) => {
+            Ok(Ok(Some(adjustment))) => {
                 ds.set_row(row, adjustment.values.clone());
                 report.saved.push(SavedOutlier { row, adjustment });
             }
-            None => report.unsaved.push(row),
+            Ok(Ok(None)) => report.unsaved.push(row),
+            Ok(Err(Cancelled)) => report.skipped.push(row),
+            Err(message) => report.failed.push(FailedSave {
+                row,
+                error: PipelineError::Panicked(message),
+            }),
         }
     }
+    report.degraded = !report.failed.is_empty() || !report.skipped.is_empty();
     report
 }
 
@@ -127,7 +189,9 @@ impl DiscSaver {
     /// Detects all constraint violations in `ds`, saves each one against
     /// the inliers, applies the adjustments in place, and reports what
     /// happened. Outliers without a feasible ≤ κ-attribute adjustment are
-    /// left untouched (natural outliers).
+    /// left untouched (natural outliers). Panicking saves and budget
+    /// exhaustion degrade the report instead of aborting the run (see
+    /// [`SaveReport::degraded`]).
     pub fn save_all(&self, ds: &mut Dataset) -> SaveReport {
         let saver = self.clone();
         run_pipeline(
@@ -135,7 +199,8 @@ impl DiscSaver {
             self.distance(),
             self.constraints(),
             self.parallelism(),
-            move |r, t_o| saver.save_one(r, t_o),
+            self.budget(),
+            move |r, t_o, token| saver.save_one_budgeted(r, t_o, token),
             |rows| self.build_rset(rows),
         )
     }
@@ -150,7 +215,8 @@ impl ExactSaver {
             self.distance(),
             self.constraints(),
             self.parallelism(),
-            move |r, t_o| saver.save_one(r, t_o),
+            self.budget(),
+            move |r, t_o, token| saver.save_one_budgeted(r, t_o, token),
             |rows| self.build_rset(rows),
         )
     }
@@ -273,6 +339,7 @@ mod tests {
                 .collect(),
             unsaved,
             outliers,
+            ..SaveReport::default()
         }
     }
 

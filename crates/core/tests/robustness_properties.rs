@@ -1,0 +1,178 @@
+//! Robustness of the save pipeline: graceful degradation under budgets,
+//! panic isolation for real (ungated) failure modes, and no-panic /
+//! finite-cost guarantees on datasets containing `Null` and sanitized
+//! non-finite cells.
+//!
+//! The deterministic fault-injection tests live in `fault_tolerance.rs`
+//! and only compile under `--cfg disc_fault`; everything here runs in the
+//! plain configuration.
+
+use std::time::Duration;
+
+use disc_core::{
+    Budget, DiscSaver, DistanceConstraints, ExactSaver, Parallelism, PipelineError,
+};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector, NonFinitePolicy};
+use disc_distance::{TupleDistance, Value};
+use proptest::prelude::*;
+
+/// A 6×6 grid of inliers spaced 0.2 apart plus three dirty outliers at
+/// rows 36–38.
+fn dataset_with_outliers() -> Dataset {
+    let mut rows = Vec::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            rows.push(vec![Value::Num(0.2 * i as f64), Value::Num(0.2 * j as f64)]);
+        }
+    }
+    let mut ds = Dataset::from_rows(vec!["x".into(), "y".into()], rows);
+    ds.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+    ds.push(vec![Value::Num(-20.0), Value::Num(0.4)]);
+    ds.push(vec![Value::Num(0.1), Value::Num(-15.0)]);
+    ds
+}
+
+#[test]
+fn expired_deadline_skips_everything_without_touching_data() {
+    let mut reports = Vec::new();
+    for workers in [1usize, 4] {
+        let mut ds = dataset_with_outliers();
+        let before = ds.rows().to_vec();
+        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .with_parallelism(Parallelism(workers))
+            .with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let report = saver.save_all(&mut ds);
+        assert!(report.degraded, "workers {workers}: an expired deadline must degrade");
+        assert!(!report.outliers.is_empty());
+        assert_eq!(report.skipped, report.outliers, "every outlier is skipped");
+        assert!(report.saved.is_empty());
+        assert!(report.unsaved.is_empty());
+        assert!(report.failed.is_empty());
+        assert_eq!(ds.rows(), &before[..], "no torn writes under cancellation");
+        reports.push(report);
+    }
+    assert_eq!(reports[0], reports[1], "degraded report identical across worker counts");
+}
+
+#[test]
+fn expired_deadline_report_is_safe_to_consume() {
+    let mut ds = dataset_with_outliers();
+    let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+    let report = saver.save_all(&mut ds);
+    // The accessors still behave on a degraded report.
+    assert_eq!(report.save_rate(), 0.0);
+    assert_eq!(report.total_cost(), 0.0);
+    assert!(report.adjustment_of(36).is_none());
+}
+
+#[test]
+fn unlimited_budget_report_is_not_degraded() {
+    let mut ds = dataset_with_outliers();
+    let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .with_budget(Budget::unlimited());
+    let report = saver.save_all(&mut ds);
+    assert!(!report.degraded);
+    assert!(report.failed.is_empty() && report.skipped.is_empty());
+    assert_eq!(report.saved.len() + report.unsaved.len(), report.outliers.len());
+}
+
+#[test]
+fn exact_combination_overflow_is_captured_as_failed_save() {
+    // One outlier against a spread-out r whose full active domain blows
+    // the tiny combination budget: save_one panics, the pipeline isolates
+    // it and reports the row as failed instead of aborting.
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for i in 0..8 {
+        for j in 0..8 {
+            rows.push(vec![Value::Num(0.1 * i as f64), Value::Num(0.1 * j as f64)]);
+        }
+    }
+    let mut ds = Dataset::from_rows(vec!["x".into(), "y".into()], rows);
+    ds.push(vec![Value::Num(50.0), Value::Num(50.0)]);
+    let exact = ExactSaver::new(DistanceConstraints::new(0.25, 4), TupleDistance::numeric(2))
+        .with_domain_cap(None)
+        .with_max_combinations(4)
+        .with_parallelism(Parallelism(1));
+    let before = ds.rows().to_vec();
+    let report = exact.save_all(&mut ds);
+    assert!(report.degraded);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].row, 64);
+    let PipelineError::Panicked(msg) = &report.failed[0].error;
+    assert!(msg.contains("combinations"), "unexpected panic message: {msg}");
+    assert!(report.saved.is_empty());
+    assert_eq!(ds.rows(), &before[..], "failed row left untouched");
+}
+
+/// Builds a clustered dataset, then degrades it: some cells become `Null`,
+/// some become non-finite and are routed through
+/// [`Dataset::sanitize_non_finite`] with the given policy.
+fn degraded_dataset(
+    n: usize,
+    seed: u64,
+    nulls: usize,
+    non_finite: usize,
+    policy: NonFinitePolicy,
+) -> Dataset {
+    let mut ds = ClusterSpec::new(n, 3, 2, seed).generate();
+    ErrorInjector::new(4, 1, seed ^ 0x5bd1_e995).inject(&mut ds);
+    let len = ds.len();
+    let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+    for k in 0..nulls {
+        let row = (seed as usize).wrapping_mul(31).wrapping_add(k * 7) % len;
+        ds.rows_mut()[row][k % 3] = Value::Null;
+    }
+    for k in 0..non_finite {
+        let row = (seed as usize).wrapping_mul(17).wrapping_add(k * 11) % len;
+        ds.rows_mut()[row][(k + 1) % 3] = Value::Num(bad[k % bad.len()]);
+    }
+    ds.sanitize_non_finite(policy).expect("AsNull/DropRow never error");
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn save_all_never_panics_and_costs_stay_finite(
+        n in 40usize..80,
+        seed in 0u64..1000,
+        nulls in 0usize..6,
+        non_finite in 0usize..6,
+        drop_rows in 0usize..2,
+    ) {
+        let policy = if drop_rows == 1 {
+            NonFinitePolicy::DropRow
+        } else {
+            NonFinitePolicy::AsNull
+        };
+        let base = degraded_dataset(n, seed, nulls, non_finite, policy);
+        let c = DistanceConstraints::new(2.5, 4);
+        let mut reports = Vec::new();
+        for workers in [1usize, 4] {
+            let mut ds = base.clone();
+            let saver = DiscSaver::new(c, TupleDistance::numeric(3))
+                .with_kappa(2)
+                .with_parallelism(Parallelism(workers));
+            let report = saver.save_all(&mut ds);
+            prop_assert!(report.failed.is_empty(), "no save may panic: {:?}", report.failed);
+            for saved in &report.saved {
+                prop_assert!(
+                    saved.adjustment.cost.is_finite(),
+                    "non-finite adjustment cost at row {}",
+                    saved.row
+                );
+            }
+            // Sanitized data stays sanitized after repair.
+            for row in ds.rows() {
+                for v in row {
+                    if let Value::Num(x) = v {
+                        prop_assert!(x.is_finite());
+                    }
+                }
+            }
+            reports.push(report);
+        }
+        prop_assert_eq!(&reports[0], &reports[1]);
+    }
+}

@@ -3,6 +3,12 @@
 //! A deliberately small dialect: comma-separated, first line is the header,
 //! double-quote quoting with `""` escapes, values that parse as `f64` become
 //! numeric. Enough to exchange the synthetic datasets with outside tools.
+//!
+//! Hardening: non-finite numeric tokens (`nan`/`inf`/`-inf`) go through a
+//! [`NonFinitePolicy`] (default: reject with the offending line and column)
+//! instead of silently becoming `Value::Num(NaN)`, and an unterminated
+//! quote at end-of-line is a parse error rather than a silently closed
+//! field.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -13,9 +19,12 @@ use disc_distance::Value;
 
 use crate::dataset::Dataset;
 use crate::schema::{AttrKind, Attribute, Schema};
+use crate::validate::NonFinitePolicy;
 
-/// Parses one CSV line into fields, honoring double-quote quoting.
-fn parse_line(line: &str) -> Vec<String> {
+/// Parses one CSV line into fields, honoring double-quote quoting. A quote
+/// opened but never closed before end-of-line is an error (silently closing
+/// the field would mask truncated or corrupted input).
+fn parse_line(line: &str) -> Result<Vec<String>, String> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut in_quotes = false;
@@ -37,8 +46,14 @@ fn parse_line(line: &str) -> Vec<String> {
             _ => cur.push(c),
         }
     }
+    if in_quotes {
+        return Err(format!(
+            "unterminated quoted field at end of line (near {:?})",
+            cur.chars().take(24).collect::<String>()
+        ));
+    }
     fields.push(cur);
-    fields
+    Ok(fields)
 }
 
 fn quote(field: &str) -> String {
@@ -49,17 +64,26 @@ fn quote(field: &str) -> String {
     }
 }
 
+/// Parses CSV text into a dataset under the default
+/// [`NonFinitePolicy::Reject`]: non-finite numeric tokens (`nan`, `inf`,
+/// `-inf`, overflow like `1e999`, …) are an error naming the offending line
+/// and column, never a silent `Value::Num(NaN)`.
+pub fn from_str(text: &str) -> Result<Dataset, String> {
+    from_str_with(text, NonFinitePolicy::default())
+}
+
 /// Parses CSV text into a dataset. Column types are inferred: a column is
 /// numeric iff every non-empty value parses as `f64`; empty fields become
-/// `Null`.
-pub fn from_str(text: &str) -> Result<Dataset, String> {
+/// `Null`. Non-finite parses are routed through `policy` — rejected with a
+/// line/column error, demoted to `Null`, or the whole row dropped.
+pub fn from_str_with(text: &str, policy: NonFinitePolicy) -> Result<Dataset, String> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or("empty CSV: missing header")?;
-    let names = parse_line(header);
+    let names = parse_line(header).map_err(|e| format!("line 1: {e}"))?;
     let m = names.len();
     let mut raw_rows: Vec<Vec<String>> = Vec::new();
     for (i, line) in lines.enumerate() {
-        let fields = parse_line(line);
+        let fields = parse_line(line).map_err(|e| format!("line {}: {e}", i + 2))?;
         if fields.len() != m {
             return Err(format!(
                 "line {}: expected {m} fields, found {}",
@@ -90,23 +114,36 @@ pub fn from_str(text: &str) -> Result<Dataset, String> {
             })
             .collect(),
     );
-    let rows = raw_rows
-        .into_iter()
-        .map(|r| {
-            r.into_iter()
-                .enumerate()
-                .map(|(j, f)| {
-                    if f.is_empty() {
-                        Value::Null
-                    } else if numeric[j] {
-                        Value::Num(f.parse().expect("checked numeric"))
-                    } else {
-                        Value::Text(f)
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(raw_rows.len());
+    'row: for (i, raw) in raw_rows.into_iter().enumerate() {
+        let mut row = Vec::with_capacity(m);
+        for (j, f) in raw.into_iter().enumerate() {
+            if f.is_empty() {
+                row.push(Value::Null);
+            } else if numeric[j] {
+                let x: f64 = f.parse().expect("checked numeric");
+                if x.is_finite() {
+                    row.push(Value::Num(x));
+                } else {
+                    match policy {
+                        NonFinitePolicy::Reject => {
+                            return Err(format!(
+                                "line {}: non-finite value {f:?} in numeric column {:?} \
+                                 (pass a NonFinitePolicy of AsNull or DropRow to sanitize)",
+                                i + 2,
+                                names[j]
+                            ));
+                        }
+                        NonFinitePolicy::AsNull => row.push(Value::Null),
+                        NonFinitePolicy::DropRow => continue 'row,
                     }
-                })
-                .collect()
-        })
-        .collect();
+                }
+            } else {
+                row.push(Value::Text(f));
+            }
+        }
+        rows.push(row);
+    }
     Ok(Dataset::new(schema, rows))
 }
 
@@ -134,10 +171,16 @@ pub fn to_string(ds: &Dataset) -> String {
     out
 }
 
-/// Reads a dataset from a CSV file.
+/// Reads a dataset from a CSV file under the default
+/// [`NonFinitePolicy::Reject`].
 pub fn read_file(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    read_file_with(path, NonFinitePolicy::default())
+}
+
+/// Reads a dataset from a CSV file under an explicit [`NonFinitePolicy`].
+pub fn read_file_with(path: impl AsRef<Path>, policy: NonFinitePolicy) -> io::Result<Dataset> {
     let text = fs::read_to_string(path)?;
-    from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    from_str_with(&text, policy).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Writes a dataset to a CSV file.
@@ -195,6 +238,76 @@ mod tests {
     fn field_count_mismatch_is_error() {
         assert!(from_str("a,b\n1\n").is_err());
         assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn non_finite_tokens_rejected_by_default() {
+        // Every spelling Rust's f64 parser accepts must be caught.
+        for token in ["nan", "NaN", "NAN", "inf", "-inf", "Infinity", "1e999"] {
+            let text = format!("x,y\n1.0,2.0\n{token},3.0\n");
+            let err = from_str(&text).unwrap_err();
+            assert!(
+                err.contains("line 3") && err.contains("\"x\"") && err.contains("non-finite"),
+                "token {token:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_as_null_keeps_column_numeric() {
+        let ds = from_str_with("x,y\n1.0,2.0\nnan,3.0\n", NonFinitePolicy::AsNull).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(ds.row(1)[0].is_null());
+        assert_eq!(ds.row(1)[1], Value::Num(3.0));
+        assert!(!is_text_column(&ds, 0), "column stays numeric under AsNull");
+    }
+
+    #[test]
+    fn non_finite_drop_row_removes_the_row() {
+        let ds = from_str_with(
+            "x,y\n1.0,2.0\ninf,3.0\n4.0,5.0\n",
+            NonFinitePolicy::DropRow,
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0)[0], Value::Num(1.0));
+        assert_eq!(ds.row(1)[0], Value::Num(4.0));
+    }
+
+    #[test]
+    fn nan_in_text_column_stays_text() {
+        // A column that is not inferred numeric keeps "nan" as a string.
+        let ds = from_str("x,tag\n1.0,nan\n2.0,abc\n").unwrap();
+        assert_eq!(ds.row(0)[1], Value::Text("nan".into()));
+        assert!(is_text_column(&ds, 1));
+    }
+
+    #[test]
+    fn no_row_ever_carries_a_non_finite_num() {
+        for policy in [NonFinitePolicy::AsNull, NonFinitePolicy::DropRow] {
+            let ds = from_str_with("x\nnan\ninf\n-inf\n2.5\n", policy).unwrap();
+            for row in ds.rows() {
+                for v in row {
+                    if let Value::Num(x) = v {
+                        assert!(x.is_finite(), "{policy:?} leaked {x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = from_str("a,b\n\"open,2\n").unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("unterminated"),
+            "unexpected error: {err}"
+        );
+        // Same check on the header line.
+        let err = from_str("\"a,b\n1,2\n").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("unterminated"), "{err}");
+        // A properly closed quote is still fine.
+        assert!(from_str("a,b\n\"x,y\",2\n").is_ok());
     }
 
     #[test]

@@ -116,6 +116,26 @@ impl Dataset {
         }
     }
 
+    /// Removes the rows at the given indices (labels follow). Indices out
+    /// of range are ignored; duplicates are harmless.
+    pub fn remove_rows(&mut self, indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        let mut keep = vec![true; self.rows.len()];
+        for &i in indices {
+            if i < keep.len() {
+                keep[i] = false;
+            }
+        }
+        let mut it = keep.iter();
+        self.rows.retain(|_| *it.next().unwrap());
+        if let Some(labels) = &mut self.labels {
+            let mut it = keep.iter();
+            labels.retain(|_| *it.next().unwrap());
+        }
+    }
+
     /// Ground-truth class labels, if attached.
     pub fn labels(&self) -> Option<&[u32]> {
         self.labels.as_deref()

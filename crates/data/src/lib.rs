@@ -15,7 +15,11 @@
 //! * [`synth`] — cluster-structured generators for every paper dataset;
 //! * [`noise`] — dirty-outlier injection (errors in 1–2 attributes: unit
 //!   mistakes, offsets, digit typos, letter↔digit swaps) and natural-outlier
-//!   injection (far away in *all* attributes), with a ground-truth log.
+//!   injection (far away in *all* attributes), with a ground-truth log;
+//! * [`validate`] — non-finite input hardening: a configurable
+//!   [`NonFinitePolicy`] (reject / null out / drop row) applied by
+//!   [`Dataset::sanitize_non_finite`] and by the CSV importer, so `NaN`
+//!   never silently reaches an ε-comparison.
 
 pub mod csv;
 pub mod dataset;
@@ -23,9 +27,11 @@ pub mod noise;
 pub mod normalize;
 pub mod schema;
 pub mod synth;
+pub mod validate;
 
 pub use dataset::Dataset;
 pub use noise::{ErrorInjector, ErrorKind, InjectionLog, OutlierKind};
 pub use normalize::{minmax_normalize, zscore_normalize, ColumnStats};
 pub use schema::{AttrKind, Attribute, Schema};
 pub use synth::{paper, ClusterSpec, SyntheticDataset};
+pub use validate::{NonFiniteError, NonFinitePolicy, SanitizeReport};

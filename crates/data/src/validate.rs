@@ -1,0 +1,243 @@
+//! Non-finite input hardening.
+//!
+//! Real-world noisy data does not only contain *wrong* values — it contains
+//! values the rest of the pipeline cannot reason about at all. A single
+//! `NaN` cell poisons every ε-comparison it touches (all comparisons with
+//! NaN are false), silently corrupting outlier detection rather than
+//! failing loudly. This module makes the handling of non-finite numerics an
+//! explicit, configurable decision:
+//!
+//! * [`NonFinitePolicy::Reject`] (the default) — fail fast with an error
+//!   naming the offending row and column;
+//! * [`NonFinitePolicy::AsNull`] — demote non-finite cells to
+//!   [`Value::Null`], which every attribute metric handles with a bounded
+//!   penalty;
+//! * [`NonFinitePolicy::DropRow`] — remove the affected tuples entirely
+//!   (class labels stay aligned).
+//!
+//! [`Dataset::sanitize_non_finite`] applies a policy in place and reports
+//! what changed; `disc_data::csv` applies the same policies at parse time
+//! so non-finite tokens (`nan`, `inf`, `-inf`, …) never become
+//! `Value::Num(NaN)` silently.
+
+use std::fmt;
+
+use disc_distance::Value;
+
+use crate::dataset::Dataset;
+
+/// What to do with a non-finite numeric cell (NaN or ±∞).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// Fail with an error naming the offending row and column.
+    #[default]
+    Reject,
+    /// Replace the cell with [`Value::Null`].
+    AsNull,
+    /// Remove the whole row (labels follow).
+    DropRow,
+}
+
+impl NonFinitePolicy {
+    /// Parses a policy from its CLI spelling.
+    pub fn parse(s: &str) -> Option<NonFinitePolicy> {
+        match s {
+            "reject" => Some(NonFinitePolicy::Reject),
+            "null" | "as-null" => Some(NonFinitePolicy::AsNull),
+            "drop" | "drop-row" => Some(NonFinitePolicy::DropRow),
+            _ => None,
+        }
+    }
+}
+
+/// A rejected non-finite cell: where it was and what it contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteError {
+    /// Row index (0-based) in the dataset.
+    pub row: usize,
+    /// Column name from the schema.
+    pub column: String,
+    /// The offending value, rendered (`NaN`, `inf`, `-inf`).
+    pub value: String,
+}
+
+impl fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite value {} at row {}, column {:?} (policy Reject; \
+             sanitize with AsNull or DropRow)",
+            self.value, self.row, self.column
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
+
+/// What [`Dataset::sanitize_non_finite`] changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// `(row, column)` cells replaced with `Null` (under
+    /// [`NonFinitePolicy::AsNull`]).
+    pub nulled: Vec<(usize, usize)>,
+    /// Original indices of rows removed (under
+    /// [`NonFinitePolicy::DropRow`]).
+    pub dropped_rows: Vec<usize>,
+}
+
+impl SanitizeReport {
+    /// True if the dataset contained no non-finite cells.
+    pub fn is_clean(&self) -> bool {
+        self.nulled.is_empty() && self.dropped_rows.is_empty()
+    }
+}
+
+impl Dataset {
+    /// Checks that every numeric cell is finite; on the first violation
+    /// returns an error naming its row and column.
+    pub fn validate_finite(&self) -> Result<(), NonFiniteError> {
+        for (i, row) in self.rows().iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if let Value::Num(x) = v {
+                    if !x.is_finite() {
+                        return Err(NonFiniteError {
+                            row: i,
+                            column: self.schema().attribute(j).name.clone(),
+                            value: x.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `policy` to every non-finite numeric cell, in place.
+    ///
+    /// Under [`NonFinitePolicy::Reject`] the dataset is left untouched and
+    /// the first offending cell is reported as an error. The other two
+    /// policies always succeed and report what changed.
+    pub fn sanitize_non_finite(
+        &mut self,
+        policy: NonFinitePolicy,
+    ) -> Result<SanitizeReport, NonFiniteError> {
+        let mut report = SanitizeReport::default();
+        match policy {
+            NonFinitePolicy::Reject => {
+                self.validate_finite()?;
+            }
+            NonFinitePolicy::AsNull => {
+                for (i, row) in self.rows_mut().iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        if matches!(v, Value::Num(x) if !x.is_finite()) {
+                            *v = Value::Null;
+                            report.nulled.push((i, j));
+                        }
+                    }
+                }
+            }
+            NonFinitePolicy::DropRow => {
+                for (i, row) in self.rows().iter().enumerate() {
+                    if row.iter().any(|v| matches!(v, Value::Num(x) if !x.is_finite())) {
+                        report.dropped_rows.push(i);
+                    }
+                }
+                self.remove_rows(&report.dropped_rows);
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn dirty_dataset() -> Dataset {
+        Dataset::new(
+            Schema::numeric(2),
+            vec![
+                vec![Value::Num(1.0), Value::Num(2.0)],
+                vec![Value::Num(f64::NAN), Value::Num(3.0)],
+                vec![Value::Num(4.0), Value::Num(f64::INFINITY)],
+                vec![Value::Num(5.0), Value::Num(6.0)],
+            ],
+        )
+        .with_labels(vec![0, 1, 2, 3])
+    }
+
+    #[test]
+    fn reject_names_row_and_column() {
+        let mut ds = dirty_dataset();
+        let err = ds.sanitize_non_finite(NonFinitePolicy::Reject).unwrap_err();
+        assert_eq!(err.row, 1);
+        assert_eq!(err.column, "a0");
+        assert_eq!(err.value, "NaN");
+        let msg = err.to_string();
+        assert!(msg.contains("row 1") && msg.contains("a0"), "{msg}");
+        // Reject leaves the data untouched.
+        assert_eq!(ds.len(), 4);
+        assert!(ds.row(1)[0].as_num().unwrap().is_nan());
+    }
+
+    #[test]
+    fn as_null_replaces_and_reports_cells() {
+        let mut ds = dirty_dataset();
+        let report = ds.sanitize_non_finite(NonFinitePolicy::AsNull).unwrap();
+        assert_eq!(report.nulled, vec![(1, 0), (2, 1)]);
+        assert!(report.dropped_rows.is_empty());
+        assert!(!report.is_clean());
+        assert!(ds.row(1)[0].is_null());
+        assert!(ds.row(2)[1].is_null());
+        assert_eq!(ds.len(), 4);
+        ds.validate_finite().unwrap();
+    }
+
+    #[test]
+    fn drop_row_removes_rows_and_keeps_labels_aligned() {
+        let mut ds = dirty_dataset();
+        let report = ds.sanitize_non_finite(NonFinitePolicy::DropRow).unwrap();
+        assert_eq!(report.dropped_rows, vec![1, 2]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0)[0], Value::Num(1.0));
+        assert_eq!(ds.row(1)[0], Value::Num(5.0));
+        assert_eq!(ds.labels().unwrap(), &[0, 3]);
+        ds.validate_finite().unwrap();
+    }
+
+    #[test]
+    fn clean_dataset_is_untouched_under_every_policy() {
+        for policy in [
+            NonFinitePolicy::Reject,
+            NonFinitePolicy::AsNull,
+            NonFinitePolicy::DropRow,
+        ] {
+            let mut ds = Dataset::from_matrix(2, &[1.0, 2.0, 3.0, 4.0]);
+            let report = ds.sanitize_non_finite(policy).unwrap();
+            assert!(report.is_clean());
+            assert_eq!(ds.to_matrix().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(NonFinitePolicy::parse("reject"), Some(NonFinitePolicy::Reject));
+        assert_eq!(NonFinitePolicy::parse("null"), Some(NonFinitePolicy::AsNull));
+        assert_eq!(NonFinitePolicy::parse("as-null"), Some(NonFinitePolicy::AsNull));
+        assert_eq!(NonFinitePolicy::parse("drop"), Some(NonFinitePolicy::DropRow));
+        assert_eq!(NonFinitePolicy::parse("drop-row"), Some(NonFinitePolicy::DropRow));
+        assert_eq!(NonFinitePolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn text_and_null_cells_are_never_flagged() {
+        let mut ds = Dataset::new(
+            Schema::text(1),
+            vec![vec![Value::Text("inf".into())], vec![Value::Null]],
+        );
+        let report = ds.sanitize_non_finite(NonFinitePolicy::DropRow).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(ds.len(), 2);
+    }
+}

@@ -27,6 +27,12 @@ pub trait AttributeDistance: Send + Sync {
 }
 
 /// Absolute difference `|a − b|` for numeric attributes.
+///
+/// Non-finite operands (NaN, ±∞) never produce a NaN distance: identical
+/// non-finite values (per [`Value::same`], which treats two NaNs as equal)
+/// are at distance 0, and a non-finite value is infinitely far from
+/// everything else. This keeps every ε-comparison downstream well-defined
+/// even when unsanitized data reaches the metric.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AbsoluteDiff;
 
@@ -34,7 +40,15 @@ impl AttributeDistance for AbsoluteDiff {
     #[inline]
     fn dist(&self, a: &Value, b: &Value) -> f64 {
         match (a, b) {
-            (Value::Num(x), Value::Num(y)) => (x - y).abs(),
+            (Value::Num(x), Value::Num(y)) => {
+                if x.is_finite() && y.is_finite() {
+                    (x - y).abs()
+                } else if x == y || (x.is_nan() && y.is_nan()) {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
             (Value::Null, Value::Null) => 0.0,
             _ => 1.0,
         }
@@ -300,6 +314,24 @@ mod tests {
         assert_eq!(AbsoluteDiff.dist(&n(-1.0), &n(1.0)), 2.0);
         assert_eq!(AbsoluteDiff.dist(&n(5.0), &n(5.0)), 0.0);
         assert_eq!(AbsoluteDiff.dist(&Value::Null, &Value::Null), 0.0);
+    }
+
+    #[test]
+    fn absolute_diff_never_returns_nan_on_non_finite_operands() {
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -7.5];
+        for &x in &specials {
+            for &y in &specials {
+                let d = AbsoluteDiff.dist(&n(x), &n(y));
+                assert!(!d.is_nan(), "dist({x}, {y}) is NaN");
+            }
+        }
+        // Identical non-finite values coincide; mismatched ones are
+        // infinitely far apart (so they can never be ε-neighbors).
+        assert_eq!(AbsoluteDiff.dist(&n(f64::NAN), &n(f64::NAN)), 0.0);
+        assert_eq!(AbsoluteDiff.dist(&n(f64::INFINITY), &n(f64::INFINITY)), 0.0);
+        assert_eq!(AbsoluteDiff.dist(&n(f64::INFINITY), &n(f64::NEG_INFINITY)), f64::INFINITY);
+        assert_eq!(AbsoluteDiff.dist(&n(f64::NAN), &n(1.0)), f64::INFINITY);
+        assert_eq!(AbsoluteDiff.dist(&n(2.0), &n(f64::INFINITY)), f64::INFINITY);
     }
 
     #[test]

@@ -13,11 +13,25 @@
 //! in dense regions can be orders of magnitude more expensive than in
 //! sparse ones.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use disc_distance::Value;
 
 use crate::NeighborIndex;
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as a
+/// human-readable message. `panic!` with a literal yields `&str`, with a
+/// format string yields `String`; anything else gets a generic label.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Applies `f` to every item, fanning out over `workers` threads, and
 /// returns the results in item order. `workers <= 1` (or a single item)
@@ -57,6 +71,26 @@ where
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// [`parallel_map`] with per-item panic isolation: each invocation of `f`
+/// runs under `catch_unwind`, so one panicking item becomes an
+/// `Err(message)` in its slot instead of aborting the whole batch (in the
+/// parallel case, tearing down every worker thread with it).
+///
+/// Results are returned in item order for any worker count, and `workers
+/// <= 1` runs the same catching loop sequentially on the calling thread —
+/// so failure *reporting* is deterministic and sequential/parallel
+/// equivalent as long as `f` fails deterministically.
+pub fn parallel_map_catch<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map(items, workers, |i, t| {
+        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(panic_message)
+    })
 }
 
 /// Batch [`NeighborIndex::range`]: all rows within `eps` of each query,
@@ -118,6 +152,49 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parallel_map_catch_isolates_panics_in_item_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let f = |_: usize, &x: &u32| {
+            if x % 10 == 3 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        };
+        let seq = parallel_map_catch(&items, 1, f);
+        for workers in [1usize, 2, 4, 9] {
+            let got = parallel_map_catch(&items, workers, f);
+            assert_eq!(got.len(), items.len());
+            for (i, r) in got.iter().enumerate() {
+                if i % 10 == 3 {
+                    assert_eq!(r.as_ref().unwrap_err(), &format!("boom at {i}"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u32 * 2));
+                }
+            }
+            // Failure reporting is identical to the sequential run.
+            assert_eq!(got, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_catch_without_panics_matches_parallel_map() {
+        let items: Vec<u64> = (0..50).collect();
+        let plain = parallel_map(&items, 4, |i, &x| x + i as u64);
+        let caught = parallel_map_catch(&items, 4, |i, &x| x + i as u64);
+        let unwrapped: Vec<u64> = caught.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(unwrapped, plain);
+    }
+
+    #[test]
+    fn parallel_map_catch_reports_non_string_payloads() {
+        let items = [1u8];
+        let got = parallel_map_catch(&items, 1, |_, _| -> u8 {
+            std::panic::panic_any(42i32);
+        });
+        assert_eq!(got[0].as_ref().unwrap_err(), "non-string panic payload");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod grid;
 pub mod sorted;
 pub mod vptree;
 
-pub use batch::{count_within_batch, kth_distance_batch, parallel_map, range_batch};
+pub use batch::{count_within_batch, kth_distance_batch, parallel_map, parallel_map_catch, range_batch};
 pub use brute::BruteForceIndex;
 pub use grid::GridIndex;
 pub use sorted::SortedColumn;

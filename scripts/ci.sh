@@ -16,4 +16,12 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Second configuration: the deterministic fault-injection hook compiled
+# in (disc_core::fault + the gated fault_tolerance tests).
+echo "==> cargo test -q (--cfg disc_fault)"
+RUSTFLAGS="--cfg disc_fault" cargo test -q --offline --workspace
+
+echo "==> cargo clippy -- -D warnings (--cfg disc_fault)"
+RUSTFLAGS="--cfg disc_fault" cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> ci.sh: all green"

@@ -15,6 +15,11 @@
 //! Labels for `evaluate` come from a single-column CSV aligned with the
 //! data rows. When `--eps/--eta` are omitted, the Poisson procedure of the
 //! paper (Section 2.1.2) determines them from the data.
+//!
+//! Every `--data` loader accepts `--non-finite reject|null|drop` for
+//! `nan`/`inf` tokens in numeric columns: `reject` (default) fails the
+//! load naming the offending line and column, `null` demotes them to
+//! missing values, `drop` discards the affected rows.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -22,7 +27,7 @@ use std::process::ExitCode;
 use disc::cleaning::{DiscRepairer, Dorc, Eracer, HoloClean, Holistic, Repairer};
 use disc::clustering::Optics;
 use disc::core::ParamConfig;
-use disc::data::{csv, ClusterSpec, ErrorInjector};
+use disc::data::{csv, ClusterSpec, ErrorInjector, NonFinitePolicy};
 use disc::prelude::*;
 use disc_distance::Norm;
 
@@ -65,8 +70,16 @@ impl Args {
     }
 }
 
-fn load(path: &str) -> Result<Dataset, String> {
-    csv::read_file(path).map_err(|e| format!("reading {path}: {e}"))
+/// Loads a CSV under the `--non-finite` policy: `reject` (default) makes
+/// `nan`/`inf` tokens in numeric columns a load error; `null` demotes them
+/// to missing values; `drop` discards the whole row.
+fn load(path: &str, args: &Args) -> Result<Dataset, String> {
+    let policy = match args.get("non-finite") {
+        None => NonFinitePolicy::default(),
+        Some(s) => NonFinitePolicy::parse(s)
+            .ok_or_else(|| format!("--non-finite: expected reject|null|drop, got {s:?}"))?,
+    };
+    csv::read_file_with(path, policy).map_err(|e| format!("reading {path}: {e}"))
 }
 
 fn constraints_for(ds: &Dataset, args: &Args) -> Result<DistanceConstraints, String> {
@@ -124,7 +137,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_params(args: &Args) -> Result<(), String> {
-    let ds = load(args.required("data")?)?;
+    let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let sample: f64 = args.num("sample", 1.0f64.min(2000.0 / ds.len().max(1) as f64))?;
     let cfg = ParamConfig { sample_rate: sample, ..Default::default() };
@@ -141,7 +154,7 @@ fn cmd_params(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
-    let ds = load(args.required("data")?)?;
+    let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
     let split = disc::core::detect_outliers(ds.rows(), &dist, c);
@@ -159,7 +172,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_repair(args: &Args) -> Result<(), String> {
-    let mut ds = load(args.required("data")?)?;
+    let mut ds = load(args.required("data")?, args)?;
     let out = args.required("out")?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
@@ -193,7 +206,7 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_cluster(args: &Args) -> Result<(), String> {
-    let ds = load(args.required("data")?)?;
+    let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
     let k: usize = args.num("k", 3)?;

@@ -63,10 +63,10 @@ pub mod prelude {
         Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Optics, Srem,
     };
     pub use disc_core::{
-        determine_parameters, DiscSaver, DistanceConstraints, ExactSaver, Parallelism,
+        determine_parameters, Budget, DiscSaver, DistanceConstraints, ExactSaver, Parallelism,
         SaveReport,
     };
-    pub use disc_data::{Dataset, Schema};
+    pub use disc_data::{Dataset, NonFinitePolicy, Schema};
     pub use disc_distance::{AttrSet, Metric, Norm, TupleDistance, Value};
     pub use disc_index::{BruteForceIndex, GridIndex, NeighborIndex, VpTree};
     pub use disc_metrics::{adjusted_rand_index, normalized_mutual_information, pairwise_f1};

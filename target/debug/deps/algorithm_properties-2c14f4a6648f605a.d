@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_properties-2c14f4a6648f605a.d: crates/core/tests/algorithm_properties.rs
+
+/root/repo/target/debug/deps/algorithm_properties-2c14f4a6648f605a: crates/core/tests/algorithm_properties.rs
+
+crates/core/tests/algorithm_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithm_properties-3ba8d58b8bbfb3b3.d: crates/core/tests/algorithm_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithm_properties-3ba8d58b8bbfb3b3.rmeta: crates/core/tests/algorithm_properties.rs Cargo.toml
+
+crates/core/tests/algorithm_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bounds-a16d40606d224ac2.d: crates/bench/benches/bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounds-a16d40606d224ac2.rmeta: crates/bench/benches/bounds.rs Cargo.toml
+
+crates/bench/benches/bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cleaning_properties-19367c8ad4335dae.d: crates/cleaning/tests/cleaning_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcleaning_properties-19367c8ad4335dae.rmeta: crates/cleaning/tests/cleaning_properties.rs Cargo.toml
+
+crates/cleaning/tests/cleaning_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cleaning_properties-aaa4849cca9b9957.d: crates/cleaning/tests/cleaning_properties.rs
+
+/root/repo/target/debug/deps/cleaning_properties-aaa4849cca9b9957: crates/cleaning/tests/cleaning_properties.rs
+
+crates/cleaning/tests/cleaning_properties.rs:

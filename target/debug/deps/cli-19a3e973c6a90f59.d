@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-19a3e973c6a90f59.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-19a3e973c6a90f59: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_disc=/root/repo/target/debug/disc

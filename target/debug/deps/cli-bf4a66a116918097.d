@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-bf4a66a116918097.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-bf4a66a116918097.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_disc=placeholder:disc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

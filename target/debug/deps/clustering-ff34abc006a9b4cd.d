@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clustering-ff34abc006a9b4cd.d: crates/bench/benches/clustering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclustering-ff34abc006a9b4cd.rmeta: crates/bench/benches/clustering.rs Cargo.toml
+
+crates/bench/benches/clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

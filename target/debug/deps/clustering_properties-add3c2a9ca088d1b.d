@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clustering_properties-add3c2a9ca088d1b.d: crates/clustering/tests/clustering_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclustering_properties-add3c2a9ca088d1b.rmeta: crates/clustering/tests/clustering_properties.rs Cargo.toml
+
+crates/clustering/tests/clustering_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clustering_properties-dd036d5cdbd11aed.d: crates/clustering/tests/clustering_properties.rs
+
+/root/repo/target/debug/deps/clustering_properties-dd036d5cdbd11aed: crates/clustering/tests/clustering_properties.rs
+
+crates/clustering/tests/clustering_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-be9b86bc0aba2667.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-be9b86bc0aba2667: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

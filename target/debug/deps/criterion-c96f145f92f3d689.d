@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c96f145f92f3d689.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c96f145f92f3d689.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c96f145f92f3d689.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

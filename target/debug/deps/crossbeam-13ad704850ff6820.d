@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-13ad704850ff6820.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-13ad704850ff6820.rlib: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-13ad704850ff6820.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-4ec81f86d491b62e.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-4ec81f86d491b62e: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/data_properties-7d6d83b27b6cc3fb.d: crates/data/tests/data_properties.rs
+
+/root/repo/target/debug/deps/data_properties-7d6d83b27b6cc3fb: crates/data/tests/data_properties.rs
+
+crates/data/tests/data_properties.rs:

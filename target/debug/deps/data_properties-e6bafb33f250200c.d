@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/data_properties-e6bafb33f250200c.d: crates/data/tests/data_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdata_properties-e6bafb33f250200c.rmeta: crates/data/tests/data_properties.rs Cargo.toml
+
+crates/data/tests/data_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

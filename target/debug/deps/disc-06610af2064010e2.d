@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-06610af2064010e2.d: src/bin/disc.rs
+
+/root/repo/target/debug/deps/disc-06610af2064010e2: src/bin/disc.rs
+
+src/bin/disc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disc-1ee040ac0836370a.d: src/bin/disc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc-1ee040ac0836370a.rmeta: src/bin/disc.rs Cargo.toml
+
+src/bin/disc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

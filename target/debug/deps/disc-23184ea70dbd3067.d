@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-23184ea70dbd3067.d: src/bin/disc.rs
+
+/root/repo/target/debug/deps/disc-23184ea70dbd3067: src/bin/disc.rs
+
+src/bin/disc.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disc-412d975210d29f5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisc-412d975210d29f5a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisc-412d975210d29f5a.rmeta: src/lib.rs
+
+src/lib.rs:

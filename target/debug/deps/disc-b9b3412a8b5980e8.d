@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disc-b9b3412a8b5980e8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc-b9b3412a8b5980e8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disc-d198b84e814fe129.d: src/bin/disc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc-d198b84e814fe129.rmeta: src/bin/disc.rs Cargo.toml
+
+src/bin/disc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

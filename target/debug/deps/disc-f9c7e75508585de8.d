@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disc-f9c7e75508585de8.d: src/lib.rs
+
+/root/repo/target/debug/deps/disc-f9c7e75508585de8: src/lib.rs
+
+src/lib.rs:

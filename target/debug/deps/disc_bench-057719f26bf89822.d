@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/disc_bench-057719f26bf89822.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/debug/deps/libdisc_bench-057719f26bf89822.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/debug/deps/libdisc_bench-057719f26bf89822.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/suite.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:
+crates/bench/src/table5.rs:

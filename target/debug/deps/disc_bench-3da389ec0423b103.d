@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/disc_bench-3da389ec0423b103.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_bench-3da389ec0423b103.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/suite.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:
+crates/bench/src/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

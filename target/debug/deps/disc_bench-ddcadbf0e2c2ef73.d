@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/disc_bench-ddcadbf0e2c2ef73.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+/root/repo/target/debug/deps/disc_bench-ddcadbf0e2c2ef73: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/suite.rs crates/bench/src/table.rs crates/bench/src/table2.rs crates/bench/src/table3.rs crates/bench/src/table4.rs crates/bench/src/table5.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/suite.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:
+crates/bench/src/table5.rs:

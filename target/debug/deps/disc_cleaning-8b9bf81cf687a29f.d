@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/disc_cleaning-8b9bf81cf687a29f.d: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/debug/deps/disc_cleaning-8b9bf81cf687a29f: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+crates/cleaning/src/lib.rs:
+crates/cleaning/src/dorc.rs:
+crates/cleaning/src/eracer.rs:
+crates/cleaning/src/holistic.rs:
+crates/cleaning/src/holoclean.rs:
+crates/cleaning/src/sse.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_cleaning-cd9ad510f671fb90.d: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/debug/deps/libdisc_cleaning-cd9ad510f671fb90.rlib: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+/root/repo/target/debug/deps/libdisc_cleaning-cd9ad510f671fb90.rmeta: crates/cleaning/src/lib.rs crates/cleaning/src/dorc.rs crates/cleaning/src/eracer.rs crates/cleaning/src/holistic.rs crates/cleaning/src/holoclean.rs crates/cleaning/src/sse.rs
+
+crates/cleaning/src/lib.rs:
+crates/cleaning/src/dorc.rs:
+crates/cleaning/src/eracer.rs:
+crates/cleaning/src/holistic.rs:
+crates/cleaning/src/holoclean.rs:
+crates/cleaning/src/sse.rs:

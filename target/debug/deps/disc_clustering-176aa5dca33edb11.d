@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/disc_clustering-176aa5dca33edb11.d: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_clustering-176aa5dca33edb11.rmeta: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs Cargo.toml
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/cckm.rs:
+crates/clustering/src/dbscan.rs:
+crates/clustering/src/optics.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/kmeans_minus.rs:
+crates/clustering/src/kmc.rs:
+crates/clustering/src/srem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/disc_clustering-5142173d7b01b288.d: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+/root/repo/target/debug/deps/libdisc_clustering-5142173d7b01b288.rlib: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+/root/repo/target/debug/deps/libdisc_clustering-5142173d7b01b288.rmeta: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/cckm.rs:
+crates/clustering/src/dbscan.rs:
+crates/clustering/src/optics.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/kmeans_minus.rs:
+crates/clustering/src/kmc.rs:
+crates/clustering/src/srem.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_clustering-bb0f425e7c2e473e.d: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+/root/repo/target/debug/deps/disc_clustering-bb0f425e7c2e473e: crates/clustering/src/lib.rs crates/clustering/src/cckm.rs crates/clustering/src/dbscan.rs crates/clustering/src/optics.rs crates/clustering/src/kmeans.rs crates/clustering/src/kmeans_minus.rs crates/clustering/src/kmc.rs crates/clustering/src/srem.rs
+
+crates/clustering/src/lib.rs:
+crates/clustering/src/cckm.rs:
+crates/clustering/src/dbscan.rs:
+crates/clustering/src/optics.rs:
+crates/clustering/src/kmeans.rs:
+crates/clustering/src/kmeans_minus.rs:
+crates/clustering/src/kmc.rs:
+crates/clustering/src/srem.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/disc_core-0fa52c64e8e53b95.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
+/root/repo/target/debug/deps/disc_core-0fa52c64e8e53b95.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdisc_core-0fa52c64e8e53b95.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
+/root/repo/target/debug/deps/libdisc_core-0fa52c64e8e53b95.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/approx.rs:
 crates/core/src/bounds.rs:
+crates/core/src/budget.rs:
 crates/core/src/constraints.rs:
 crates/core/src/exact.rs:
 crates/core/src/parallel.rs:

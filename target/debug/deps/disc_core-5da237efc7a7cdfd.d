@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/disc_core-5da237efc7a7cdfd.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+/root/repo/target/debug/deps/disc_core-5da237efc7a7cdfd.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
 
-/root/repo/target/debug/deps/disc_core-5da237efc7a7cdfd: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+/root/repo/target/debug/deps/disc_core-5da237efc7a7cdfd: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
 
 crates/core/src/lib.rs:
 crates/core/src/approx.rs:
 crates/core/src/bounds.rs:
+crates/core/src/budget.rs:
 crates/core/src/constraints.rs:
 crates/core/src/exact.rs:
 crates/core/src/parallel.rs:

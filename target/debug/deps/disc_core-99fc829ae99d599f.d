@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/disc_core-99fc829ae99d599f.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+/root/repo/target/debug/deps/disc_core-99fc829ae99d599f.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
 
-/root/repo/target/debug/deps/libdisc_core-99fc829ae99d599f.rlib: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+/root/repo/target/debug/deps/libdisc_core-99fc829ae99d599f.rlib: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
 
-/root/repo/target/debug/deps/libdisc_core-99fc829ae99d599f.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+/root/repo/target/debug/deps/libdisc_core-99fc829ae99d599f.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
 
 crates/core/src/lib.rs:
 crates/core/src/approx.rs:
 crates/core/src/bounds.rs:
+crates/core/src/budget.rs:
 crates/core/src/constraints.rs:
 crates/core/src/exact.rs:
 crates/core/src/parallel.rs:

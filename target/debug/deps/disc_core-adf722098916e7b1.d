@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/disc_core-adf722098916e7b1.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/fault.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_core-adf722098916e7b1.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/fault.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/approx.rs:
+crates/core/src/bounds.rs:
+crates/core/src/budget.rs:
+crates/core/src/constraints.rs:
+crates/core/src/exact.rs:
+crates/core/src/fault.rs:
+crates/core/src/parallel.rs:
+crates/core/src/params.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/disc_core-bc192d1ec5c2bb53.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
+/root/repo/target/debug/deps/disc_core-bc192d1ec5c2bb53.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdisc_core-bc192d1ec5c2bb53.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
+/root/repo/target/debug/deps/libdisc_core-bc192d1ec5c2bb53.rmeta: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/approx.rs:
 crates/core/src/bounds.rs:
+crates/core/src/budget.rs:
 crates/core/src/constraints.rs:
 crates/core/src/exact.rs:
 crates/core/src/parallel.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/disc_core-ed699fa8e10333a7.d: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/fault.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+/root/repo/target/debug/deps/disc_core-ed699fa8e10333a7: crates/core/src/lib.rs crates/core/src/approx.rs crates/core/src/bounds.rs crates/core/src/budget.rs crates/core/src/constraints.rs crates/core/src/exact.rs crates/core/src/fault.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/pipeline.rs crates/core/src/rset.rs
+
+crates/core/src/lib.rs:
+crates/core/src/approx.rs:
+crates/core/src/bounds.rs:
+crates/core/src/budget.rs:
+crates/core/src/constraints.rs:
+crates/core/src/exact.rs:
+crates/core/src/fault.rs:
+crates/core/src/parallel.rs:
+crates/core/src/params.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rset.rs:

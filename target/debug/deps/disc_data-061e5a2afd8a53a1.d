@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_data-061e5a2afd8a53a1.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
+
+/root/repo/target/debug/deps/disc_data-061e5a2afd8a53a1: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/noise.rs:
+crates/data/src/normalize.rs:
+crates/data/src/schema.rs:
+crates/data/src/synth.rs:
+crates/data/src/validate.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/disc_data-2da12e4f5858ff1b.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs Cargo.toml
+/root/repo/target/debug/deps/disc_data-2da12e4f5858ff1b.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdisc_data-2da12e4f5858ff1b.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs Cargo.toml
+/root/repo/target/debug/deps/libdisc_data-2da12e4f5858ff1b.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs Cargo.toml
 
 crates/data/src/lib.rs:
 crates/data/src/csv.rs:
@@ -9,6 +9,7 @@ crates/data/src/noise.rs:
 crates/data/src/normalize.rs:
 crates/data/src/schema.rs:
 crates/data/src/synth.rs:
+crates/data/src/validate.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/disc_data-305f9f8d1756026a.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
+
+/root/repo/target/debug/deps/libdisc_data-305f9f8d1756026a.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
+
+/root/repo/target/debug/deps/libdisc_data-305f9f8d1756026a.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/noise.rs:
+crates/data/src/normalize.rs:
+crates/data/src/schema.rs:
+crates/data/src/synth.rs:
+crates/data/src/validate.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/disc_data-acb4c93921963722.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs
+/root/repo/target/debug/deps/disc_data-acb4c93921963722.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
 
-/root/repo/target/debug/deps/disc_data-acb4c93921963722: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs
+/root/repo/target/debug/deps/disc_data-acb4c93921963722: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
 
 crates/data/src/lib.rs:
 crates/data/src/csv.rs:
@@ -9,3 +9,4 @@ crates/data/src/noise.rs:
 crates/data/src/normalize.rs:
 crates/data/src/schema.rs:
 crates/data/src/synth.rs:
+crates/data/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/disc_data-d6704990e46926cc.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_data-d6704990e46926cc.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/noise.rs:
+crates/data/src/normalize.rs:
+crates/data/src/schema.rs:
+crates/data/src/synth.rs:
+crates/data/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/disc_distance-70df952e323cc499.d: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+/root/repo/target/debug/deps/disc_distance-70df952e323cc499: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+crates/distance/src/lib.rs:
+crates/distance/src/attr_set.rs:
+crates/distance/src/attribute.rs:
+crates/distance/src/ngram.rs:
+crates/distance/src/norm.rs:
+crates/distance/src/tuple.rs:
+crates/distance/src/value.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/disc_distance-8db47bbb3f2d89cf.d: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_distance-8db47bbb3f2d89cf.rmeta: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs Cargo.toml
+
+crates/distance/src/lib.rs:
+crates/distance/src/attr_set.rs:
+crates/distance/src/attribute.rs:
+crates/distance/src/ngram.rs:
+crates/distance/src/norm.rs:
+crates/distance/src/tuple.rs:
+crates/distance/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

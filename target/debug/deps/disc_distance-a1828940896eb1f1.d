@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/disc_distance-a1828940896eb1f1.d: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+/root/repo/target/debug/deps/libdisc_distance-a1828940896eb1f1.rlib: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+/root/repo/target/debug/deps/libdisc_distance-a1828940896eb1f1.rmeta: crates/distance/src/lib.rs crates/distance/src/attr_set.rs crates/distance/src/attribute.rs crates/distance/src/ngram.rs crates/distance/src/norm.rs crates/distance/src/tuple.rs crates/distance/src/value.rs
+
+crates/distance/src/lib.rs:
+crates/distance/src/attr_set.rs:
+crates/distance/src/attribute.rs:
+crates/distance/src/ngram.rs:
+crates/distance/src/norm.rs:
+crates/distance/src/tuple.rs:
+crates/distance/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/disc_index-5fbb492fccdbf12b.d: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/disc_index-5fbb492fccdbf12b: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/batch.rs:
+crates/index/src/brute.rs:
+crates/index/src/grid.rs:
+crates/index/src/sorted.rs:
+crates/index/src/vptree.rs:

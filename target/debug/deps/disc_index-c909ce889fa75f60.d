@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/disc_index-c909ce889fa75f60.d: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_index-c909ce889fa75f60.rmeta: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs Cargo.toml
+
+crates/index/src/lib.rs:
+crates/index/src/batch.rs:
+crates/index/src/brute.rs:
+crates/index/src/grid.rs:
+crates/index/src/sorted.rs:
+crates/index/src/vptree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_index-c9d007d8bf0b9959.d: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libdisc_index-c9d007d8bf0b9959.rlib: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+/root/repo/target/debug/deps/libdisc_index-c9d007d8bf0b9959.rmeta: crates/index/src/lib.rs crates/index/src/batch.rs crates/index/src/brute.rs crates/index/src/grid.rs crates/index/src/sorted.rs crates/index/src/vptree.rs
+
+crates/index/src/lib.rs:
+crates/index/src/batch.rs:
+crates/index/src/brute.rs:
+crates/index/src/grid.rs:
+crates/index/src/sorted.rs:
+crates/index/src/vptree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/disc_metrics-0fe34fdf06a40643.d: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/debug/deps/libdisc_metrics-0fe34fdf06a40643.rlib: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/debug/deps/libdisc_metrics-0fe34fdf06a40643.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/sets.rs:

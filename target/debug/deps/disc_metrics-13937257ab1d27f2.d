@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/disc_metrics-13937257ab1d27f2.d: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_metrics-13937257ab1d27f2.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/sets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/disc_metrics-9ee0f51281d9e40b.d: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+/root/repo/target/debug/deps/disc_metrics-9ee0f51281d9e40b: crates/metrics/src/lib.rs crates/metrics/src/classification.rs crates/metrics/src/clustering.rs crates/metrics/src/sets.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classification.rs:
+crates/metrics/src/clustering.rs:
+crates/metrics/src/sets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disc_ml-4456b9ce104e20e5.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdisc_ml-4456b9ce104e20e5.rlib: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdisc_ml-4456b9ce104e20e5.rmeta: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:

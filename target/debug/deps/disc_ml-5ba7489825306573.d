@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/disc_ml-5ba7489825306573.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_ml-5ba7489825306573.rmeta: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disc_ml-dbc5d20442366877.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/disc_ml-dbc5d20442366877: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/disc_ml-f6b5450c425a497e.d: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisc_ml-f6b5450c425a497e.rmeta: crates/ml/src/lib.rs crates/ml/src/matching.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/matching.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

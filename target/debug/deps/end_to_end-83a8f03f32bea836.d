@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-83a8f03f32bea836.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-83a8f03f32bea836: tests/end_to_end.rs
+
+tests/end_to_end.rs:

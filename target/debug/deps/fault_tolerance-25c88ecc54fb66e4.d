@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-25c88ecc54fb66e4.d: crates/core/tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-25c88ecc54fb66e4.rmeta: crates/core/tests/fault_tolerance.rs Cargo.toml
+
+crates/core/tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-7ac31f0f16fa7d66.d: crates/core/tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-7ac31f0f16fa7d66: crates/core/tests/fault_tolerance.rs
+
+crates/core/tests/fault_tolerance.rs:

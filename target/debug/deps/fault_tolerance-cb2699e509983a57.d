@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-cb2699e509983a57.d: crates/core/tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-cb2699e509983a57: crates/core/tests/fault_tolerance.rs
+
+crates/core/tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-ddd0166a39c5bf49.d: crates/core/tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-ddd0166a39c5bf49.rmeta: crates/core/tests/fault_tolerance.rs Cargo.toml
+
+crates/core/tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_pipeline-374fa3fcb6d38152.d: crates/core/tests/golden_pipeline.rs
+
+/root/repo/target/debug/deps/golden_pipeline-374fa3fcb6d38152: crates/core/tests/golden_pipeline.rs
+
+crates/core/tests/golden_pipeline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_pipeline-e26a43e8b59fd85a.d: crates/core/tests/golden_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_pipeline-e26a43e8b59fd85a.rmeta: crates/core/tests/golden_pipeline.rs Cargo.toml
+
+crates/core/tests/golden_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

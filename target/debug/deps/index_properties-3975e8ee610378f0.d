@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_properties-3975e8ee610378f0.d: crates/index/tests/index_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_properties-3975e8ee610378f0.rmeta: crates/index/tests/index_properties.rs Cargo.toml
+
+crates/index/tests/index_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_properties-83ae9ab23ca8e9d0.d: crates/index/tests/index_properties.rs
+
+/root/repo/target/debug/deps/index_properties-83ae9ab23ca8e9d0: crates/index/tests/index_properties.rs
+
+crates/index/tests/index_properties.rs:

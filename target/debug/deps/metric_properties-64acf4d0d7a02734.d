@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metric_properties-64acf4d0d7a02734.d: crates/metrics/tests/metric_properties.rs
+
+/root/repo/target/debug/deps/metric_properties-64acf4d0d7a02734: crates/metrics/tests/metric_properties.rs
+
+crates/metrics/tests/metric_properties.rs:

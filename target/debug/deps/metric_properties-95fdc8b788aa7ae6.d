@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metric_properties-95fdc8b788aa7ae6.d: crates/metrics/tests/metric_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetric_properties-95fdc8b788aa7ae6.rmeta: crates/metrics/tests/metric_properties.rs Cargo.toml
+
+crates/metrics/tests/metric_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

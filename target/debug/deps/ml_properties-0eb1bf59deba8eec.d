@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml_properties-0eb1bf59deba8eec.d: crates/ml/tests/ml_properties.rs
+
+/root/repo/target/debug/deps/ml_properties-0eb1bf59deba8eec: crates/ml/tests/ml_properties.rs
+
+crates/ml/tests/ml_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ml_properties-d28ab7ec55771f57.d: crates/ml/tests/ml_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libml_properties-d28ab7ec55771f57.rmeta: crates/ml/tests/ml_properties.rs Cargo.toml
+
+crates/ml/tests/ml_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

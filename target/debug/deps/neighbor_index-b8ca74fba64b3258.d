@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neighbor_index-b8ca74fba64b3258.d: crates/bench/benches/neighbor_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneighbor_index-b8ca74fba64b3258.rmeta: crates/bench/benches/neighbor_index.rs Cargo.toml
+
+crates/bench/benches/neighbor_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_pipeline-01faae59b8c6cb26.d: crates/bench/benches/parallel_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_pipeline-01faae59b8c6cb26.rmeta: crates/bench/benches/parallel_pipeline.rs Cargo.toml
+
+crates/bench/benches/parallel_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

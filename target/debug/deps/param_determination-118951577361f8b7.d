@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/param_determination-118951577361f8b7.d: crates/bench/benches/param_determination.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparam_determination-118951577361f8b7.rmeta: crates/bench/benches/param_determination.rs Cargo.toml
+
+crates/bench/benches/param_determination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

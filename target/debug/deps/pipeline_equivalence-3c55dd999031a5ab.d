@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_equivalence-3c55dd999031a5ab.d: crates/core/tests/pipeline_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_equivalence-3c55dd999031a5ab.rmeta: crates/core/tests/pipeline_equivalence.rs Cargo.toml
+
+crates/core/tests/pipeline_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

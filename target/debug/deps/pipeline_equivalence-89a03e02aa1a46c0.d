@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_equivalence-89a03e02aa1a46c0.d: crates/core/tests/pipeline_equivalence.rs
+
+/root/repo/target/debug/deps/pipeline_equivalence-89a03e02aa1a46c0: crates/core/tests/pipeline_equivalence.rs
+
+crates/core/tests/pipeline_equivalence.rs:

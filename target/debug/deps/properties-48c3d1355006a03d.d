@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-48c3d1355006a03d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-48c3d1355006a03d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a51a2a66f77eaa34.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a51a2a66f77eaa34.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a51a2a66f77eaa34.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f0b552a00af8573b.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-f0b552a00af8573b: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a8a29a1082a116cf.d: crates/distance/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a8a29a1082a116cf: crates/distance/tests/proptests.rs
+
+crates/distance/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e48b5d832938b6b0.d: crates/distance/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e48b5d832938b6b0.rmeta: crates/distance/tests/proptests.rs Cargo.toml
+
+crates/distance/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

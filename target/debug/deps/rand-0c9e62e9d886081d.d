@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0c9e62e9d886081d.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0c9e62e9d886081d.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0c9e62e9d886081d.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

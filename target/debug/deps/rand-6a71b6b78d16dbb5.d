@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6a71b6b78d16dbb5.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-6a71b6b78d16dbb5: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

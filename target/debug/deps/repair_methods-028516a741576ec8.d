@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repair_methods-028516a741576ec8.d: crates/bench/benches/repair_methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepair_methods-028516a741576ec8.rmeta: crates/bench/benches/repair_methods.rs Cargo.toml
+
+crates/bench/benches/repair_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-82709123a9c371fb.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-82709123a9c371fb: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_properties-06bcfc29c13f56d4.d: crates/core/tests/robustness_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_properties-06bcfc29c13f56d4.rmeta: crates/core/tests/robustness_properties.rs Cargo.toml
+
+crates/core/tests/robustness_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

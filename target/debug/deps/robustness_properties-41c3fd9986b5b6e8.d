@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_properties-41c3fd9986b5b6e8.d: crates/core/tests/robustness_properties.rs
+
+/root/repo/target/debug/deps/robustness_properties-41c3fd9986b5b6e8: crates/core/tests/robustness_properties.rs
+
+crates/core/tests/robustness_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_properties-aa5d1cbd37c73d54.d: crates/core/tests/robustness_properties.rs
+
+/root/repo/target/debug/deps/robustness_properties-aa5d1cbd37c73d54: crates/core/tests/robustness_properties.rs
+
+crates/core/tests/robustness_properties.rs:

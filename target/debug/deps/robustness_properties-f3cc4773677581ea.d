@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_properties-f3cc4773677581ea.d: crates/core/tests/robustness_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_properties-f3cc4773677581ea.rmeta: crates/core/tests/robustness_properties.rs Cargo.toml
+
+crates/core/tests/robustness_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability_m-04091320d6ee2a45.d: crates/bench/benches/scalability_m.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability_m-04091320d6ee2a45.rmeta: crates/bench/benches/scalability_m.rs Cargo.toml
+
+crates/bench/benches/scalability_m.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability_n-78c832d284e44431.d: crates/bench/benches/scalability_n.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability_n-78c832d284e44431.rmeta: crates/bench/benches/scalability_n.rs Cargo.toml
+
+crates/bench/benches/scalability_n.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gps_trajectory-14b405f194dec091.d: examples/gps_trajectory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgps_trajectory-14b405f194dec091.rmeta: examples/gps_trajectory.rs Cargo.toml
+
+examples/gps_trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gps_trajectory-efa3b3710ba60149.d: examples/gps_trajectory.rs
+
+/root/repo/target/debug/examples/gps_trajectory-efa3b3710ba60149: examples/gps_trajectory.rs
+
+examples/gps_trajectory.rs:

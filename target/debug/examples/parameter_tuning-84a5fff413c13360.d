@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-84a5fff413c13360.d: examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-84a5fff413c13360: examples/parameter_tuning.rs
+
+examples/parameter_tuning.rs:

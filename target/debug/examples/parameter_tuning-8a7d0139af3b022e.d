@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parameter_tuning-8a7d0139af3b022e.d: examples/parameter_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparameter_tuning-8a7d0139af3b022e.rmeta: examples/parameter_tuning.rs Cargo.toml
+
+examples/parameter_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

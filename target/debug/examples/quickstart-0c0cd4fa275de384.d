@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0c0cd4fa275de384.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0c0cd4fa275de384: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/record_matching-1b521a5225de8346.d: examples/record_matching.rs
+
+/root/repo/target/debug/examples/record_matching-1b521a5225de8346: examples/record_matching.rs
+
+examples/record_matching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/record_matching-a7f0426679fbf018.d: examples/record_matching.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecord_matching-a7f0426679fbf018.rmeta: examples/record_matching.rs Cargo.toml
+
+examples/record_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wind_turbine-170bfe04272169da.d: examples/wind_turbine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwind_turbine-170bfe04272169da.rmeta: examples/wind_turbine.rs Cargo.toml
+
+examples/wind_turbine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

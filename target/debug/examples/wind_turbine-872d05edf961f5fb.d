@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wind_turbine-872d05edf961f5fb.d: examples/wind_turbine.rs
+
+/root/repo/target/debug/examples/wind_turbine-872d05edf961f5fb: examples/wind_turbine.rs
+
+examples/wind_turbine.rs:

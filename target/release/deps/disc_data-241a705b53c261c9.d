@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/disc_data-241a705b53c261c9.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs
+/root/repo/target/release/deps/disc_data-241a705b53c261c9.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
 
-/root/repo/target/release/deps/libdisc_data-241a705b53c261c9.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs
+/root/repo/target/release/deps/libdisc_data-241a705b53c261c9.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
 
-/root/repo/target/release/deps/libdisc_data-241a705b53c261c9.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs
+/root/repo/target/release/deps/libdisc_data-241a705b53c261c9.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/noise.rs crates/data/src/normalize.rs crates/data/src/schema.rs crates/data/src/synth.rs crates/data/src/validate.rs
 
 crates/data/src/lib.rs:
 crates/data/src/csv.rs:
@@ -11,3 +11,4 @@ crates/data/src/noise.rs:
 crates/data/src/normalize.rs:
 crates/data/src/schema.rs:
 crates/data/src/synth.rs:
+crates/data/src/validate.rs:

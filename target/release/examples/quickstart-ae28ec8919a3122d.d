@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ae28ec8919a3122d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ae28ec8919a3122d: examples/quickstart.rs
+
+examples/quickstart.rs:
