@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS]
+//!                    [--stats PATH]
 //!
 //! experiments:
 //!   table2 table3 table4 table5
@@ -17,7 +18,11 @@
 //! `--deadline-ms MS` budgets each `save_all` run to MS milliseconds of
 //! wall clock — on expiry the pipeline degrades gracefully, reporting
 //! untried outliers as skipped instead of running to completion (`0`
-//! clears the budget).
+//! clears the budget); `--stats PATH` writes the process-wide
+//! observability counters (index queries, search nodes, bound prunes, …)
+//! as a `disc-stats/1` JSON document after the experiments finish — the
+//! counters are deterministic, so two runs with the same seed and any
+//! worker counts produce identical documents.
 
 use std::env;
 use std::process::ExitCode;
@@ -25,8 +30,9 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all> \
-         [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS]\n\
-         --workers 0 means auto (one per core); --deadline-ms 0 clears the deadline"
+         [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS] [--stats PATH]\n\
+         --workers 0 means auto (one per core); --deadline-ms 0 clears the deadline;\n\
+         --stats PATH writes the observability counters as JSON after the run"
     );
     ExitCode::FAILURE
 }
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
     let mut frac = 0.05f64;
     let mut seed = 42u64;
     let mut full = false;
+    let mut stats_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +93,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--stats" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => stats_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--stats expects an output path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return usage();
@@ -112,7 +129,7 @@ fn main() -> ExitCode {
         })
     };
 
-    if cmd == "all" {
+    let code = if cmd == "all" {
         for name in [
             "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9", "fig10", "ablation",
@@ -126,7 +143,21 @@ fn main() -> ExitCode {
                 println!("{out}");
                 ExitCode::SUCCESS
             }
-            None => usage(),
+            None => return usage(),
+        }
+    };
+    if let Some(path) = stats_path {
+        let seed_s = seed.to_string();
+        let frac_s = frac.to_string();
+        let json = disc_obs::global_json(&[
+            ("command", cmd.as_str()),
+            ("seed", &seed_s),
+            ("frac", &frac_s),
+        ]);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write stats to {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
+    code
 }

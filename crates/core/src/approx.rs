@@ -19,6 +19,7 @@
 use std::collections::HashSet;
 
 use disc_distance::{AttrSet, Norm, Value};
+use disc_obs::SaveEffort;
 
 use crate::budget::{Budget, CancelToken, Cancelled};
 use crate::constraints::DistanceConstraints;
@@ -156,12 +157,26 @@ impl DiscSaver {
         t_o: &[Value],
         token: &CancelToken,
     ) -> Result<Option<Adjustment>, Cancelled> {
+        self.save_one_with_effort(r, t_o, token).0
+    }
+
+    /// [`DiscSaver::save_one_budgeted`] that additionally reports the
+    /// search work performed ([`SaveEffort`]: nodes expanded, candidates
+    /// evaluated, bound prunes). The effort is a pure function of the
+    /// inputs — identical across worker counts and retries — and is also
+    /// flushed into the process-global [`disc_obs::counters`].
+    pub fn save_one_with_effort(
+        &self,
+        r: &RSet,
+        t_o: &[Value],
+        token: &CancelToken,
+    ) -> (Result<Option<Adjustment>, Cancelled>, SaveEffort) {
         assert_eq!(t_o.len(), self.dist.arity());
         if r.is_empty() {
-            return Ok(None);
+            return (Ok(None), SaveEffort::default());
         }
         if token.is_cancelled() {
-            return Err(Cancelled);
+            return (Err(Cancelled), SaveEffort::default());
         }
         let m = self.dist.arity();
         let mut search = Search::new(self, r, t_o, token);
@@ -181,10 +196,12 @@ impl DiscSaver {
                 }
             }
         }
+        let effort = search.effort();
+        effort.flush_global();
         if search.cancelled {
-            return Err(Cancelled);
+            return (Err(Cancelled), effort);
         }
-        Ok(search.into_result())
+        (Ok(search.into_result()), effort)
     }
 }
 
@@ -217,6 +234,12 @@ struct Search<'a> {
     /// Per-outlier candidate-evaluation cap ([`Budget`]); `usize::MAX`
     /// when unlimited.
     work_cap: usize,
+    /// Subtrees cut by the Proposition 3 lower bound.
+    lb_prunes: u64,
+    /// Nodes cut because fewer than η candidates remained.
+    eta_prunes: u64,
+    /// Proposition 5 incumbent improvements.
+    ub_updates: u64,
 }
 
 impl<'a> Search<'a> {
@@ -251,6 +274,21 @@ impl<'a> Search<'a> {
             cancelled: false,
             work: 0,
             work_cap: saver.budget.max_candidates_per_outlier.unwrap_or(usize::MAX),
+            lb_prunes: 0,
+            eta_prunes: 0,
+            ub_updates: 0,
+        }
+    }
+
+    /// The work performed so far, as reported to the caller and the
+    /// global counters.
+    fn effort(&self) -> SaveEffort {
+        SaveEffort {
+            nodes: self.nodes as u64,
+            candidates: self.work as u64,
+            lb_prunes: self.lb_prunes,
+            eta_prunes: self.eta_prunes,
+            ub_updates: self.ub_updates,
         }
     }
 
@@ -334,6 +372,7 @@ impl<'a> Search<'a> {
         // Fewer than η candidates within ε on X: no feasible adjustment
         // exists for X or any superset (candidates only shrink).
         if cands.len() < self.eta {
+            self.eta_prunes += 1;
             return;
         }
 
@@ -344,6 +383,7 @@ impl<'a> Search<'a> {
             a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
         });
         if *kth - self.eps >= self.best_cost {
+            self.lb_prunes += 1;
             return; // prune subtree (line 2 of Algorithm 1)
         }
 
@@ -362,6 +402,7 @@ impl<'a> Search<'a> {
             if cost < self.best_cost {
                 self.best_cost = cost;
                 self.best = Some((c, x));
+                self.ub_updates += 1;
             }
         }
 

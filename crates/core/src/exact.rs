@@ -8,6 +8,7 @@
 //! Figures 6/7 scalability studies.
 
 use disc_distance::{AttrSet, Value};
+use disc_obs::{counters, SaveEffort};
 
 use crate::approx::Adjustment;
 use crate::budget::{Budget, CancelToken, Cancelled};
@@ -168,6 +169,35 @@ impl ExactSaver {
         t_o: &[Value],
         token: &CancelToken,
     ) -> Result<Option<Adjustment>, Cancelled> {
+        self.save_one_with_effort(r, t_o, token).0
+    }
+
+    /// [`ExactSaver::save_one_budgeted`] that additionally reports the
+    /// work performed: [`SaveEffort::candidates`] counts the enumerated
+    /// domain combinations (the exact saver has no search tree or bounds,
+    /// so the other effort fields stay zero). The count is deterministic
+    /// and also flushed into the process-global [`disc_obs::counters`].
+    pub fn save_one_with_effort(
+        &self,
+        r: &RSet,
+        t_o: &[Value],
+        token: &CancelToken,
+    ) -> (Result<Option<Adjustment>, Cancelled>, SaveEffort) {
+        let mut tried: u64 = 0;
+        let result = self.enumerate(r, t_o, token, &mut tried);
+        counters::EXACT_COMBINATIONS.add(tried);
+        let effort = SaveEffort { candidates: tried, ..SaveEffort::default() };
+        effort.flush_global();
+        (result, effort)
+    }
+
+    fn enumerate(
+        &self,
+        r: &RSet,
+        t_o: &[Value],
+        token: &CancelToken,
+        tried: &mut u64,
+    ) -> Result<Option<Adjustment>, Cancelled> {
         let m = self.dist.arity();
         assert_eq!(t_o.len(), m);
         if r.is_empty() {
@@ -209,16 +239,15 @@ impl ExactSaver {
             .enumerate()
             .map(|(a, &i)| domains[a][i].clone())
             .collect();
-        let mut tried: u64 = 0;
         loop {
-            if tried > 0 && tried.is_multiple_of(1024) && token.is_cancelled() {
+            if *tried > 0 && tried.is_multiple_of(1024) && token.is_cancelled() {
                 return Err(Cancelled);
             }
-            if cap.is_some_and(|cap| tried >= cap) {
+            if cap.is_some_and(|cap| *tried >= cap) {
                 // Candidate cap exhausted: return the incumbent.
                 return Ok(finish(best));
             }
-            tried += 1;
+            *tried += 1;
             let cost = self.dist.dist(t_o, &cand);
             let beats = best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true);
             // Feasibility is the expensive check: skip when not improving.

@@ -58,3 +58,7 @@ pub use params::{
 };
 pub use pipeline::{FailedSave, PipelineError, SaveReport, SavedOutlier};
 pub use rset::RSet;
+
+// Observability: per-run statistics attached to `SaveReport::stats`, plus
+// the effort type returned by the savers' `*_with_effort` entry points.
+pub use disc_obs::{PipelineStats, SaveEffort};

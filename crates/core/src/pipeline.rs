@@ -37,8 +37,11 @@
 //! * any failure or skip sets [`SaveReport::degraded`], making partial
 //!   results explicit rather than silent.
 
+use std::time::Instant;
+
 use disc_data::Dataset;
 use disc_distance::Value;
+use disc_obs::{counters, PipelineStats, SaveEffort, Snapshot};
 
 use crate::approx::{Adjustment, DiscSaver};
 use crate::budget::{Budget, CancelToken, Cancelled};
@@ -99,6 +102,15 @@ pub struct SaveReport {
     /// A degraded report is still safe to use: `saved` adjustments were
     /// fully applied, everything else is untouched.
     pub degraded: bool,
+    /// Observability for this run: stage timers, search-work totals, and
+    /// per-save histograms. The work totals are accumulated serially in
+    /// apply order from each save's [`SaveEffort`], so (absent mid-run
+    /// budget cancellations, which already make the row outcomes
+    /// timing-dependent) they are bit-identical for every worker count —
+    /// `SaveReport` equality includes them. Wall-clock timings and the
+    /// process-global counter delta are measurements and are excluded
+    /// from `==` (see [`PipelineStats`]).
+    pub stats: PipelineStats,
 }
 
 impl SaveReport {
@@ -131,11 +143,19 @@ fn run_pipeline(
     constraints: crate::DistanceConstraints,
     parallelism: Parallelism,
     budget: Budget,
-    save: impl Fn(&crate::RSet, &[Value], &CancelToken) -> Result<Option<Adjustment>, Cancelled> + Sync,
+    save: impl Fn(&crate::RSet, &[Value], &CancelToken) -> (Result<Option<Adjustment>, Cancelled>, SaveEffort)
+        + Sync,
     build_rset: impl FnOnce(Vec<Vec<Value>>) -> crate::RSet,
 ) -> SaveReport {
+    let t_run = Instant::now();
+    let counters_before = Snapshot::take();
+    counters::PIPELINE_RUNS.incr();
+    let mut stats = PipelineStats::default();
     let workers = parallelism.workers();
+    let t_detect = Instant::now();
     let split = detect_outliers_parallel(ds.rows(), detect_dist, constraints, workers);
+    stats.stages.detect = t_detect.elapsed();
+    counters::OUTLIERS_DETECTED.add(split.outliers.len() as u64);
     let mut report = SaveReport {
         outliers: split.outliers.clone(),
         ..SaveReport::default()
@@ -147,41 +167,74 @@ fn run_pipeline(
         // the pipeline returns within the budget window.
         report.skipped = split.outliers.clone();
         report.degraded = !report.skipped.is_empty();
+        stats.search.cancellations = report.skipped.len() as u64;
+        counters::SAVES_CANCELLED.add(stats.search.cancellations);
+        stats.stages.total = t_run.elapsed();
+        stats.counters = Snapshot::take().delta_since(&counters_before);
+        report.stats = stats;
         return report;
     }
+    let t_rset = Instant::now();
     let inlier_rows: Vec<Vec<Value>> = split
         .inliers
         .iter()
         .map(|&i| ds.rows()[i].clone())
         .collect();
     let r = build_rset(inlier_rows);
+    stats.stages.rset_build = t_rset.elapsed();
     // Phase 1 (parallel-safe): save every outlier against the immutable r,
     // collecting results in outlier order. `workers == 1` runs the same
     // loop sequentially on the calling thread. Each save is isolated under
     // catch_unwind, so one panicking outlier cannot abort the batch.
     let frozen: &Dataset = ds;
+    let t_save = Instant::now();
     let results = disc_index::parallel_map_catch(&split.outliers, workers, |_, &row| {
         #[cfg(disc_fault)]
         crate::fault::hit(row);
-        save(&r, frozen.row(row), &token)
+        let started = Instant::now();
+        let (outcome, effort) = save(&r, frozen.row(row), &token);
+        (outcome, effort, started.elapsed().as_micros() as u64)
     });
+    stats.stages.save = t_save.elapsed();
     // Phase 2 (serial): apply the adjustments in place. Only *completed*
-    // saves are applied — panicked or cancelled rows stay untouched.
+    // saves are applied — panicked or cancelled rows stay untouched. The
+    // stats accumulate here too, in outlier order, which is what makes
+    // the work totals worker-count independent.
     for (&row, outcome) in split.outliers.iter().zip(results) {
         match outcome {
-            Ok(Ok(Some(adjustment))) => {
-                ds.set_row(row, adjustment.values.clone());
-                report.saved.push(SavedOutlier { row, adjustment });
+            Ok((result, effort, micros)) => {
+                stats.search.absorb(&effort);
+                stats.candidates_per_save.record(effort.candidates);
+                stats.save_micros.record(micros);
+                match result {
+                    Ok(Some(adjustment)) => {
+                        stats.attrs_adjusted.record(adjustment.adjusted.len() as u64);
+                        ds.set_row(row, adjustment.values.clone());
+                        report.saved.push(SavedOutlier { row, adjustment });
+                    }
+                    Ok(None) => report.unsaved.push(row),
+                    Err(Cancelled) => {
+                        stats.search.cancellations += 1;
+                        report.skipped.push(row);
+                    }
+                }
             }
-            Ok(Ok(None)) => report.unsaved.push(row),
-            Ok(Err(Cancelled)) => report.skipped.push(row),
-            Err(message) => report.failed.push(FailedSave {
-                row,
-                error: PipelineError::Panicked(message),
-            }),
+            Err(message) => {
+                stats.search.panics += 1;
+                report.failed.push(FailedSave {
+                    row,
+                    error: PipelineError::Panicked(message),
+                });
+            }
         }
     }
+    counters::OUTLIERS_SAVED.add(report.saved.len() as u64);
+    counters::SAVES_CANCELLED.add(stats.search.cancellations);
+    counters::SAVES_PANICKED.add(stats.search.panics);
     report.degraded = !report.failed.is_empty() || !report.skipped.is_empty();
+    stats.stages.total = t_run.elapsed();
+    stats.counters = Snapshot::take().delta_since(&counters_before);
+    report.stats = stats;
     report
 }
 
@@ -200,7 +253,7 @@ impl DiscSaver {
             self.constraints(),
             self.parallelism(),
             self.budget(),
-            move |r, t_o, token| saver.save_one_budgeted(r, t_o, token),
+            move |r, t_o, token| saver.save_one_with_effort(r, t_o, token),
             |rows| self.build_rset(rows),
         )
     }
@@ -216,7 +269,7 @@ impl ExactSaver {
             self.constraints(),
             self.parallelism(),
             self.budget(),
-            move |r, t_o, token| saver.save_one_budgeted(r, t_o, token),
+            move |r, t_o, token| saver.save_one_with_effort(r, t_o, token),
             |rows| self.build_rset(rows),
         )
     }

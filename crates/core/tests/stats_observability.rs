@@ -1,0 +1,125 @@
+//! The observability layer extends the sequential-equivalence guarantee:
+//! the deterministic half of `SaveReport::stats` (search-work totals and
+//! per-save histograms) must be bit-identical for every worker count.
+//!
+//! Global-counter assertions here are lower bounds only — counters are
+//! process-wide and the other tests in this binary run concurrently.
+
+use disc_core::{Budget, DiscSaver, DistanceConstraints, ExactSaver, Parallelism};
+use disc_data::Dataset;
+use disc_distance::{TupleDistance, Value};
+
+fn noisy_dataset() -> Dataset {
+    // A 6×6 grid of inliers plus a handful of dirty rows.
+    let mut rows = Vec::new();
+    for i in 0..6 {
+        for j in 0..6 {
+            rows.push(vec![Value::Num(0.2 * i as f64), Value::Num(0.2 * j as f64)]);
+        }
+    }
+    let mut ds = Dataset::from_rows(vec!["x".into(), "y".into()], rows);
+    ds.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+    ds.push(vec![Value::Num(-20.0), Value::Num(0.3)]);
+    ds.push(vec![Value::Num(40.0), Value::Num(-40.0)]);
+    ds
+}
+
+fn saver(workers: usize) -> DiscSaver {
+    DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .with_parallelism(Parallelism(workers))
+}
+
+#[test]
+fn stats_identical_across_worker_counts() {
+    let mut seq_ds = noisy_dataset();
+    let seq = saver(1).save_all(&mut seq_ds);
+    for workers in [2, 4, 7] {
+        let mut par_ds = noisy_dataset();
+        let par = saver(workers).save_all(&mut par_ds);
+        // Report equality now includes the deterministic stats half.
+        assert_eq!(seq, par, "workers={workers}");
+        assert_eq!(seq.stats.search, par.stats.search, "workers={workers}");
+        assert_eq!(
+            seq.stats.candidates_per_save, par.stats.candidates_per_save,
+            "workers={workers}"
+        );
+        assert_eq!(
+            seq.stats.attrs_adjusted, par.stats.attrs_adjusted,
+            "workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn stats_reflect_the_work_done() {
+    let mut ds = noisy_dataset();
+    let report = saver(2).save_all(&mut ds);
+    let stats = &report.stats;
+    assert_eq!(report.outliers.len(), 3);
+    // Every attempted save records one histogram sample; every successful
+    // save records its adjusted-attribute count.
+    assert_eq!(stats.candidates_per_save.count(), 3);
+    assert_eq!(stats.save_micros.count(), 3);
+    assert_eq!(stats.attrs_adjusted.count() as usize, report.saved.len());
+    assert!(stats.search.nodes > 0, "search expanded no nodes");
+    assert!(stats.search.candidates > 0, "search evaluated no candidates");
+    assert_eq!(stats.search.cancellations, 0);
+    assert_eq!(stats.search.panics, 0);
+    // The per-run counter delta observed the saver's own flushes (other
+    // tests may add to the globals concurrently, never subtract).
+    assert!(stats.counters.get("search.nodes") >= stats.search.nodes);
+    assert!(stats.counters.get("pipeline.runs") >= 1);
+    // The JSON document is stable and self-describing.
+    let json = stats.to_json();
+    assert!(json.starts_with(r#"{"schema":"disc-pipeline-stats/1""#));
+    assert!(json.contains(r#""save_us":"#));
+}
+
+#[test]
+fn effort_matches_between_entry_points() {
+    let base = saver(1);
+    let r = base.build_rset(
+        noisy_dataset()
+            .rows()
+            .iter()
+            .take(36)
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    let t_o = vec![Value::Num(0.5), Value::Num(30.0)];
+    let token = disc_core::CancelToken::unlimited();
+    let (first, effort_a) = base.save_one_with_effort(&r, &t_o, &token);
+    let (second, effort_b) = base.save_one_with_effort(&r, &t_o, &token);
+    // Effort is a pure function of the inputs.
+    assert_eq!(first.clone().unwrap(), second.unwrap());
+    assert_eq!(effort_a, effort_b);
+    assert!(effort_a.nodes > 0);
+    // And `save_one_budgeted` is exactly the effortless projection.
+    assert_eq!(base.save_one_budgeted(&r, &t_o, &token), first);
+}
+
+#[test]
+fn expired_deadline_counts_cancellations() {
+    let mut ds = noisy_dataset();
+    let report = saver(2)
+        .with_budget(Budget::unlimited().with_deadline(std::time::Duration::ZERO))
+        .save_all(&mut ds);
+    assert_eq!(report.skipped, report.outliers);
+    assert_eq!(
+        report.stats.search.cancellations,
+        report.outliers.len() as u64
+    );
+    assert_eq!(report.stats.candidates_per_save.count(), 0);
+}
+
+#[test]
+fn exact_pipeline_counts_combinations() {
+    let mut ds = noisy_dataset();
+    let exact = ExactSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .with_parallelism(Parallelism(2));
+    let report = exact.save_all(&mut ds);
+    assert!(report.stats.search.candidates > 0);
+    // The exact saver has no bounded search tree.
+    assert_eq!(report.stats.search.nodes, 0);
+    assert_eq!(report.stats.candidates_per_save.count(), 3);
+}

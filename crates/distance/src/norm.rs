@@ -71,6 +71,22 @@ impl Norm {
         }
     }
 
+    /// The Minkowski aggregation exponent `p`, or `None` for `L^∞`.
+    ///
+    /// Useful for norm-aware geometric bounds: a box whose per-coordinate
+    /// extent is at most `s` has `L^p` diameter at most `m^{1/p}·s` over
+    /// `m` coordinates, and `L^∞` diameter at most `s` (the `p → ∞`
+    /// limit). `GridIndex` uses this to size its k-NN exhaustion radius.
+    #[inline]
+    pub fn exponent(&self) -> Option<f64> {
+        match *self {
+            Norm::L1 => Some(1.0),
+            Norm::L2 => Some(2.0),
+            Norm::LInf => None,
+            Norm::Lp(p) => Some(p),
+        }
+    }
+
     /// The accumulator value corresponding to a finished distance `d`.
     ///
     /// Lets range queries compare partial accumulations against a threshold
@@ -140,5 +156,25 @@ mod tests {
     #[should_panic(expected = "requires p >= 1")]
     fn lp_rejects_sub_one() {
         Norm::Lp(0.5).aggregate(&[1.0]);
+    }
+
+    #[test]
+    fn exponent_bounds_box_diameter() {
+        assert_eq!(Norm::L1.exponent(), Some(1.0));
+        assert_eq!(Norm::L2.exponent(), Some(2.0));
+        assert_eq!(Norm::Lp(3.0).exponent(), Some(3.0));
+        assert_eq!(Norm::LInf.exponent(), None);
+
+        // m^{1/p}·s really does bound the aggregate of m components ≤ s.
+        let m = 3usize;
+        let s = 2.0;
+        let comps = [s; 3];
+        for n in [Norm::L1, Norm::L2, Norm::Lp(3.0), Norm::LInf] {
+            let diameter = match n.exponent() {
+                Some(p) => s * (m as f64).powf(1.0 / p),
+                None => s,
+            };
+            assert!(n.aggregate(&comps) <= diameter + 1e-12, "{n:?}");
+        }
     }
 }

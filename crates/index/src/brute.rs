@@ -1,6 +1,7 @@
 //! Linear-scan reference index.
 
 use disc_distance::{TupleDistance, Value};
+use disc_obs::counters;
 
 use crate::{sort_hits, NeighborIndex};
 
@@ -32,6 +33,8 @@ impl NeighborIndex for BruteForceIndex<'_> {
     }
 
     fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
+        counters::BRUTE_RANGE_QUERIES.incr();
+        counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
         let mut hits = Vec::new();
         for (i, row) in self.rows.iter().enumerate() {
             if let Some(d) = self.dist.dist_within(query, row, eps) {
@@ -42,6 +45,8 @@ impl NeighborIndex for BruteForceIndex<'_> {
     }
 
     fn count_within(&self, query: &[Value], eps: f64) -> usize {
+        counters::BRUTE_RANGE_QUERIES.incr();
+        counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
         self.rows
             .iter()
             .filter(|row| self.dist.dist_within(query, row, eps).is_some())
@@ -49,22 +54,29 @@ impl NeighborIndex for BruteForceIndex<'_> {
     }
 
     fn satisfies(&self, query: &[Value], eps: f64, eta: usize) -> bool {
+        counters::BRUTE_RANGE_QUERIES.incr();
         let mut count = 0usize;
+        let mut visited = 0u64;
         for row in self.rows {
+            visited += 1;
             if self.dist.dist_within(query, row, eps).is_some() {
                 count += 1;
                 if count >= eta {
+                    counters::BRUTE_ROWS_VISITED.add(visited);
                     return true;
                 }
             }
         }
+        counters::BRUTE_ROWS_VISITED.add(visited);
         count >= eta
     }
 
     fn knn(&self, query: &[Value], k: usize) -> Vec<(u32, f64)> {
+        counters::BRUTE_KNN_QUERIES.incr();
         if k == 0 {
             return Vec::new();
         }
+        counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
         // Bounded insertion into a sorted buffer; k is small (η ≤ a few
         // dozen) in every caller, so this beats a heap in practice.
         let mut best: Vec<(u32, f64)> = Vec::with_capacity(k + 1);

@@ -116,7 +116,14 @@ pub fn with_auto_index_sync<T>(
     if n <= 512 {
         f(&BruteForceIndex::new(rows, dist.clone()))
     } else if numeric && m <= 4 {
-        f(&GridIndex::new(rows, dist.clone(), eps_hint.max(1e-9)))
+        // The first-row numeric probe is only a heuristic: a later row may
+        // still hold a Null (e.g. `--non-finite as-null`) or a non-finite
+        // number the grid cannot host. Fall back to the metric-only tree
+        // instead of panicking.
+        match GridIndex::try_new(rows, dist.clone(), eps_hint.max(1e-9)) {
+            Ok(grid) => f(&grid),
+            Err(_) => f(&VpTree::new(rows, dist.clone())),
+        }
     } else {
         f(&VpTree::new(rows, dist.clone()))
     }

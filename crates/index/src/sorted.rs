@@ -8,6 +8,7 @@
 //! (monotonicity of `Δ` in the attribute set).
 
 use disc_distance::Value;
+use disc_obs::counters;
 
 /// A numeric column sorted by value, remembering original row ids.
 pub struct SortedColumn {
@@ -48,6 +49,7 @@ impl SortedColumn {
 
     /// Row ids with `|value − q| ≤ eps`, in ascending value order.
     pub fn ball(&self, q: f64, eps: f64) -> impl Iterator<Item = u32> + '_ {
+        counters::SORTED_BALL_QUERIES.incr();
         let lo = self.lower_bound(q - eps);
         let hi = self.entries.partition_point(|e| e.0 <= q + eps);
         self.entries[lo..hi].iter().map(|e| e.1)
@@ -55,6 +57,7 @@ impl SortedColumn {
 
     /// Number of rows with `|value − q| ≤ eps`, in `O(log n)`.
     pub fn ball_size(&self, q: f64, eps: f64) -> usize {
+        counters::SORTED_BALL_QUERIES.incr();
         let lo = self.lower_bound(q - eps);
         let hi = self.entries.partition_point(|e| e.0 <= q + eps);
         hi - lo

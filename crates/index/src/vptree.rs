@@ -5,6 +5,7 @@
 //! the same property the DISC bounds rely on.
 
 use disc_distance::{TupleDistance, Value};
+use disc_obs::counters;
 
 use crate::{sort_hits, NeighborIndex};
 
@@ -66,7 +67,15 @@ impl<'a> VpTree<'a> {
         }))
     }
 
-    fn range_rec(&self, node: &Node, query: &[Value], eps: f64, out: &mut Vec<(u32, f64)>) {
+    fn range_rec(
+        &self,
+        node: &Node,
+        query: &[Value],
+        eps: f64,
+        out: &mut Vec<(u32, f64)>,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
         let d = self.dist.dist(query, &self.rows[node.vantage as usize]);
         if d <= eps {
             out.push((node.vantage, d));
@@ -75,18 +84,26 @@ impl<'a> VpTree<'a> {
             // A point p inside has Δ(v,p) ≤ radius; by triangle inequality
             // Δ(q,p) ≥ d − radius, so skip if d − radius > eps.
             if d - node.radius <= eps {
-                self.range_rec(inside, query, eps, out);
+                self.range_rec(inside, query, eps, out, visited);
             }
         }
         if let Some(outside) = &node.outside {
             // A point p outside has Δ(v,p) > radius; Δ(q,p) ≥ radius − d.
             if node.radius - d <= eps {
-                self.range_rec(outside, query, eps, out);
+                self.range_rec(outside, query, eps, out, visited);
             }
         }
     }
 
-    fn knn_rec(&self, node: &Node, query: &[Value], k: usize, best: &mut Vec<(u32, f64)>) {
+    fn knn_rec(
+        &self,
+        node: &Node,
+        query: &[Value],
+        k: usize,
+        best: &mut Vec<(u32, f64)>,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
         let d = self.dist.dist(query, &self.rows[node.vantage as usize]);
         let tau = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
         if d <= tau {
@@ -114,7 +131,7 @@ impl<'a> VpTree<'a> {
                     node.radius - d <= tau
                 };
                 if reachable {
-                    self.knn_rec(child, query, k, best);
+                    self.knn_rec(child, query, k, best, visited);
                 }
             }
         }
@@ -127,20 +144,26 @@ impl NeighborIndex for VpTree<'_> {
     }
 
     fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
+        counters::VPTREE_RANGE_QUERIES.incr();
         let mut out = Vec::new();
+        let mut visited = 0u64;
         if let Some(root) = &self.root {
-            self.range_rec(root, query, eps, &mut out);
+            self.range_rec(root, query, eps, &mut out, &mut visited);
         }
+        counters::VPTREE_ROWS_VISITED.add(visited);
         out
     }
 
     fn knn(&self, query: &[Value], k: usize) -> Vec<(u32, f64)> {
+        counters::VPTREE_KNN_QUERIES.incr();
         let mut best = Vec::with_capacity(k + 1);
+        let mut visited = 0u64;
         if k > 0 {
             if let Some(root) = &self.root {
-                self.knn_rec(root, query, k, &mut best);
+                self.knn_rec(root, query, k, &mut best, &mut visited);
             }
         }
+        counters::VPTREE_ROWS_VISITED.add(visited);
         sort_hits(&mut best);
         best
     }

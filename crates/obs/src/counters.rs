@@ -1,0 +1,200 @@
+//! Process-wide event counters with a fixed-order snapshot registry.
+//!
+//! Counters are `static` relaxed `AtomicU64`s: always on, never locked,
+//! monotonically increasing for the life of the process. They answer
+//! "what did this *process* do" (every index query, every prune, across
+//! all concurrent pipelines and tests); per-run attribution lives in
+//! [`crate::stats`], which threads deterministic totals through return
+//! values instead.
+//!
+//! The full set is declared once in the [`ALL`] table so snapshots have a
+//! stable key order — the JSON export depends on it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// All operations use `Ordering::Relaxed`: counters are statistics, not
+/// synchronization. Totals are exact (atomic adds never lose updates);
+/// only cross-counter ordering is unspecified, which a snapshot taken
+/// while work is in flight can observe.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A new counter at zero (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+macro_rules! declare_counters {
+    ($($(#[$doc:meta])* $name:ident => $key:literal,)+) => {
+        $( $(#[$doc])* pub static $name: Counter = Counter::new(); )+
+
+        /// Every registered counter with its stable snapshot key, in
+        /// declaration order.
+        pub static ALL: &[(&str, &Counter)] = &[ $( ($key, &$name), )+ ];
+    };
+}
+
+declare_counters! {
+    /// `GridIndex::range` / `count_within` / `satisfies` calls.
+    GRID_RANGE_QUERIES => "index.grid.range_queries",
+    /// `GridIndex::knn` / `kth_distance` calls (internal expanding-radius
+    /// probes additionally count as range queries).
+    GRID_KNN_QUERIES => "index.grid.knn_queries",
+    /// Candidate rows visited by grid cell enumeration (before the
+    /// distance filter).
+    GRID_ROWS_VISITED => "index.grid.rows_visited",
+    /// `BruteForceIndex` range-shaped calls (`range`, `count_within`,
+    /// `satisfies`).
+    BRUTE_RANGE_QUERIES => "index.brute.range_queries",
+    /// `BruteForceIndex::knn` / `kth_distance` calls.
+    BRUTE_KNN_QUERIES => "index.brute.knn_queries",
+    /// Rows scanned by `BruteForceIndex` (early-exit scans count only the
+    /// rows actually touched).
+    BRUTE_ROWS_VISITED => "index.brute.rows_visited",
+    /// `VpTree` range-shaped calls.
+    VPTREE_RANGE_QUERIES => "index.vptree.range_queries",
+    /// `VpTree::knn` / `kth_distance` calls.
+    VPTREE_KNN_QUERIES => "index.vptree.knn_queries",
+    /// Tree nodes visited by `VpTree` searches (each node holds one row).
+    VPTREE_ROWS_VISITED => "index.vptree.rows_visited",
+    /// `SortedColumn::ball` / `ball_size` calls (κ-restricted candidate
+    /// seeding).
+    SORTED_BALL_QUERIES => "index.sorted.ball_queries",
+    /// Search-tree nodes expanded by the approximate saver (Algorithm 1).
+    SEARCH_NODES => "search.nodes",
+    /// Candidate adjustments evaluated by either saver (the exact
+    /// saver's domain combinations count here as well as in
+    /// `search.exact_combinations`).
+    SEARCH_CANDIDATES => "search.candidates",
+    /// Subtrees cut by the Prop. 3 lower bound (`δ_η(t_o, A) − ε ≥ best`).
+    SEARCH_LB_PRUNES => "search.lb_prunes",
+    /// Nodes cut because fewer than η neighbors remain reachable.
+    SEARCH_ETA_PRUNES => "search.eta_prunes",
+    /// Prop. 5 incumbent improvements (upper bound tightened).
+    SEARCH_UB_UPDATES => "search.ub_updates",
+    /// Domain-product combinations enumerated by the exact saver.
+    EXACT_COMBINATIONS => "search.exact_combinations",
+    /// `run_pipeline` invocations.
+    PIPELINE_RUNS => "pipeline.runs",
+    /// Outliers found by the detection stage.
+    OUTLIERS_DETECTED => "pipeline.outliers_detected",
+    /// Outliers successfully saved (adjustment applied).
+    OUTLIERS_SAVED => "pipeline.outliers_saved",
+    /// Per-outlier saves abandoned by a budget deadline.
+    SAVES_CANCELLED => "pipeline.saves_cancelled",
+    /// Per-outlier saves that panicked and were isolated.
+    SAVES_PANICKED => "pipeline.saves_panicked",
+}
+
+/// A point-in-time reading of every registered counter, in stable
+/// declaration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    values: Vec<(&'static str, u64)>,
+}
+
+impl Snapshot {
+    /// Read all counters now.
+    pub fn take() -> Self {
+        Snapshot {
+            values: ALL.iter().map(|&(key, c)| (key, c.get())).collect(),
+        }
+    }
+
+    /// Counts accumulated since `earlier` (saturating per key; a snapshot
+    /// from the same process is never ahead of a later one).
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .map(|&(key, v)| (key, v.saturating_sub(earlier.get(key))))
+                .collect(),
+        }
+    }
+
+    /// Value for `key`, or 0 if absent.
+    pub fn get(&self, key: &str) -> u64 {
+        self.values
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// All `(key, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// True if every counter reads zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&(_, v)| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(41);
+        c.add(0); // no-op, must not panic or store
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn registry_keys_are_unique_and_ordered() {
+        let mut keys: Vec<&str> = ALL.iter().map(|&(k, _)| k).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate counter key in registry");
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let before = Snapshot::take();
+        GRID_RANGE_QUERIES.add(3);
+        SEARCH_NODES.add(7);
+        let delta = Snapshot::take().delta_since(&before);
+        // Counters are process-global and other tests in this binary run
+        // concurrently, so assert lower bounds, not exact values.
+        assert!(delta.get("index.grid.range_queries") >= 3);
+        assert!(delta.get("search.nodes") >= 7);
+        assert_eq!(delta.get("no.such.counter"), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! A minimal hand-rolled JSON writer (the container has no serde).
+//!
+//! Emits compact, stable output: object keys appear exactly in insertion
+//! order, integers print as-is, floats via Rust's shortest round-trip
+//! formatting, non-finite floats as `null` (JSON has no NaN/Inf). That is
+//! all the stats schema needs, and it keeps byte-for-byte stable output a
+//! testable property.
+
+/// Append `s` as a JSON string literal (quoted, escaped) onto `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float: shortest round-trip for finite values, `null` otherwise.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Builder for one JSON object; values are appended in call order.
+///
+/// Nested objects/arrays are written by handing the builder a raw
+/// fragment produced by another builder ([`Obj::raw`]).
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        push_str_literal(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        push_str_literal(&mut self.buf, value);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a float field (`null` if non-finite).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        push_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Add a pre-serialized JSON fragment (nested object or array).
+    pub fn raw(&mut self, key: &str, fragment: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(fragment);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serialize `(lower_bound, count)` pairs as `[[lo,count],…]`.
+pub fn pairs_array(pairs: impl Iterator<Item = (u64, u64)>) -> String {
+    let mut out = String::from("[");
+    for (i, (lo, count)) in pairs.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{lo},{count}]"));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        push_str_literal(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn object_in_insertion_order() {
+        let mut o = Obj::new();
+        o.str("b", "x").u64("a", 7).f64("nan", f64::NAN);
+        o.raw("h", &pairs_array([(1u64, 2u64)].into_iter()));
+        assert_eq!(o.finish(), r#"{"b":"x","a":7,"nan":null,"h":[[1,2]]}"#);
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(pairs_array(std::iter::empty()), "[]");
+    }
+}

@@ -1,0 +1,33 @@
+//! Always-on observability for the DISC pipeline.
+//!
+//! The paper's Algorithm 1 spends its entire budget in neighbor search and
+//! candidate enumeration (`O(m^{κ+1}·n)`); this crate makes that cost
+//! visible without changing it. Three layers, cheapest first:
+//!
+//! * **Global counters** ([`counters`], [`Snapshot`]) — process-wide
+//!   relaxed `AtomicU64`s bumped by the index backends and savers. A
+//!   counter increment is one uncontended atomic add; query-granular
+//!   events are accumulated locally and flushed once per query, so the
+//!   per-row hot path stays free of shared writes.
+//! * **Per-run deterministic totals** ([`SaveEffort`], [`SearchTotals`],
+//!   histograms) — carried through return values, summed serially in the
+//!   pipeline's apply phase. These are *bit-identical for any worker
+//!   count*: the same saves run, in a deterministic merge order, so the
+//!   sequential-equivalence guarantee extends to the stats themselves.
+//! * **Stage timers** ([`Stages`]) — monotonic wall-clock per pipeline
+//!   stage. Timings are measurements, not results: they are excluded from
+//!   [`PipelineStats`] equality.
+//!
+//! Everything exports as a stable, hand-rolled JSON document (no external
+//! deps; see [`json`]): [`PipelineStats::to_json`] for one run,
+//! [`global_json`] for the process-wide counter snapshot behind
+//! `repro --stats` / `disc --stats`.
+
+pub mod counters;
+pub mod hist;
+pub mod json;
+pub mod stats;
+
+pub use counters::{Counter, Snapshot};
+pub use hist::Histogram;
+pub use stats::{global_json, PipelineStats, SaveEffort, SearchTotals, Stages};

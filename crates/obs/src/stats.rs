@@ -1,0 +1,272 @@
+//! Per-run pipeline statistics and their JSON export.
+//!
+//! [`PipelineStats`] splits into two halves with different guarantees:
+//!
+//! * **Deterministic work totals** — [`SearchTotals`] and the per-save
+//!   histograms. These are accumulated *serially* in the pipeline's apply
+//!   phase from [`SaveEffort`] values returned by each save, so they are
+//!   bit-identical for any worker count. `PipelineStats::eq` compares
+//!   exactly this half and nothing else, which lets `SaveReport` keep its
+//!   `==`-based sequential-equivalence tests.
+//! * **Measurements** — wall-clock [`Stages`] timings and the
+//!   process-global counter delta observed during the run. Timings vary
+//!   run to run by nature; the counter delta can include activity from
+//!   concurrent pipelines in the same process. Both are exported to JSON
+//!   but excluded from equality.
+
+use std::time::Duration;
+
+use crate::counters::{self, Snapshot};
+use crate::hist::Histogram;
+use crate::json::{pairs_array, Obj};
+
+/// Schema tag stamped on every per-run stats document.
+pub const PIPELINE_SCHEMA: &str = "disc-pipeline-stats/1";
+/// Schema tag stamped on the process-wide counter export
+/// (`repro --stats` / `disc --stats`).
+pub const GLOBAL_SCHEMA: &str = "disc-stats/1";
+
+/// Wall-clock duration of each pipeline stage (monotonic clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stages {
+    /// Outlier detection (ε-range counting over the whole dataset).
+    pub detect: Duration,
+    /// R-set construction: the δ_η precompute and per-attribute sorted
+    /// columns the saver queries.
+    pub rset_build: Duration,
+    /// The per-outlier save phase (search), across all workers.
+    pub save: Duration,
+    /// Whole `run_pipeline` call, including apply.
+    pub total: Duration,
+}
+
+impl Stages {
+    fn to_json(self) -> String {
+        let mut o = Obj::new();
+        o.u64("detect_us", self.detect.as_micros() as u64)
+            .u64("rset_build_us", self.rset_build.as_micros() as u64)
+            .u64("save_us", self.save.as_micros() as u64)
+            .u64("total_us", self.total.as_micros() as u64);
+        o.finish()
+    }
+}
+
+/// Work performed while trying to save one outlier.
+///
+/// Returned by the savers' `*_with_effort` entry points; purely a
+/// function of the input tuple, so deterministic across worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveEffort {
+    /// Search-tree nodes expanded (approximate saver).
+    pub nodes: u64,
+    /// Candidate adjustments (or exact domain combinations) evaluated.
+    pub candidates: u64,
+    /// Prop. 3 lower-bound prunes.
+    pub lb_prunes: u64,
+    /// η-infeasibility prunes.
+    pub eta_prunes: u64,
+    /// Prop. 5 incumbent improvements.
+    pub ub_updates: u64,
+}
+
+impl SaveEffort {
+    /// Flush this effort into the process-global counters
+    /// ([`crate::counters`]). Called once per save, off the hot path.
+    pub fn flush_global(&self) {
+        counters::SEARCH_NODES.add(self.nodes);
+        counters::SEARCH_CANDIDATES.add(self.candidates);
+        counters::SEARCH_LB_PRUNES.add(self.lb_prunes);
+        counters::SEARCH_ETA_PRUNES.add(self.eta_prunes);
+        counters::SEARCH_UB_UPDATES.add(self.ub_updates);
+    }
+}
+
+/// Deterministic work totals for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchTotals {
+    /// Sum of [`SaveEffort::nodes`] over all attempted saves.
+    pub nodes: u64,
+    /// Sum of [`SaveEffort::candidates`].
+    pub candidates: u64,
+    /// Sum of [`SaveEffort::lb_prunes`].
+    pub lb_prunes: u64,
+    /// Sum of [`SaveEffort::eta_prunes`].
+    pub eta_prunes: u64,
+    /// Sum of [`SaveEffort::ub_updates`].
+    pub ub_updates: u64,
+    /// Saves abandoned by a budget deadline.
+    pub cancellations: u64,
+    /// Saves that panicked and were isolated.
+    pub panics: u64,
+}
+
+impl SearchTotals {
+    /// Fold one save's effort into the totals.
+    pub fn absorb(&mut self, effort: &SaveEffort) {
+        self.nodes += effort.nodes;
+        self.candidates += effort.candidates;
+        self.lb_prunes += effort.lb_prunes;
+        self.eta_prunes += effort.eta_prunes;
+        self.ub_updates += effort.ub_updates;
+    }
+
+    fn to_json(self) -> String {
+        let mut o = Obj::new();
+        o.u64("nodes", self.nodes)
+            .u64("candidates", self.candidates)
+            .u64("lb_prunes", self.lb_prunes)
+            .u64("eta_prunes", self.eta_prunes)
+            .u64("ub_updates", self.ub_updates)
+            .u64("cancellations", self.cancellations)
+            .u64("panics", self.panics);
+        o.finish()
+    }
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let mut o = Obj::new();
+    o.u64("count", h.count())
+        .u64("sum", h.sum())
+        .u64("max", h.max())
+        .f64("mean", h.mean())
+        .raw("buckets", &pairs_array(h.nonzero_buckets()));
+    o.finish()
+}
+
+/// Statistics for one `run_pipeline` call, attached to `SaveReport`.
+///
+/// # Equality
+///
+/// `PartialEq` compares only the deterministic half — [`Self::search`]
+/// and the three per-save histograms — so `SaveReport == SaveReport`
+/// keeps meaning "same results *and* same work" independent of worker
+/// count, while wall-clock timings and the process-global counter delta
+/// (which concurrent runs in the same process can pollute) never make
+/// equal runs compare unequal.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Stage wall-clock timings (excluded from `==`).
+    pub stages: Stages,
+    /// Deterministic search work totals.
+    pub search: SearchTotals,
+    /// Delta of the process-global counters over this run (excluded from
+    /// `==`; see [`Snapshot`]).
+    pub counters: Snapshot,
+    /// Candidates evaluated per attempted save.
+    pub candidates_per_save: Histogram,
+    /// Attributes adjusted per *successful* save.
+    pub attrs_adjusted: Histogram,
+    /// Per-save wall time in microseconds (excluded from `==`).
+    pub save_micros: Histogram,
+}
+
+impl PartialEq for PipelineStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.search == other.search
+            && self.candidates_per_save == other.candidates_per_save
+            && self.attrs_adjusted == other.attrs_adjusted
+    }
+}
+
+impl PipelineStats {
+    /// Serialize the full stats document (including the
+    /// measurement-only fields) as stable JSON.
+    pub fn to_json(&self) -> String {
+        let mut counters = Obj::new();
+        for (key, value) in self.counters.iter() {
+            counters.u64(key, value);
+        }
+        let mut o = Obj::new();
+        o.str("schema", PIPELINE_SCHEMA)
+            .raw("stages", &self.stages.to_json())
+            .raw("search", &self.search.to_json())
+            .raw("candidates_per_save", &hist_json(&self.candidates_per_save))
+            .raw("attrs_adjusted", &hist_json(&self.attrs_adjusted))
+            .raw("save_micros", &hist_json(&self.save_micros))
+            .raw("counters", &counters.finish());
+        o.finish()
+    }
+}
+
+/// Serialize the current process-wide counter snapshot, plus caller
+/// metadata (command line, seed, …), as stable JSON. This is the document
+/// behind `repro --stats` and `disc --stats`.
+pub fn global_json(meta: &[(&str, &str)]) -> String {
+    let mut meta_obj = Obj::new();
+    for &(key, value) in meta {
+        meta_obj.str(key, value);
+    }
+    let mut counters = Obj::new();
+    for (key, value) in Snapshot::take().iter() {
+        counters.u64(key, value);
+    }
+    let mut o = Obj::new();
+    o.str("schema", GLOBAL_SCHEMA)
+        .raw("meta", &meta_obj.finish())
+        .raw("counters", &counters.finish());
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_measurements() {
+        let mut a = PipelineStats::default();
+        let mut b = PipelineStats::default();
+        a.search.nodes = 10;
+        b.search.nodes = 10;
+        a.candidates_per_save.record(4);
+        b.candidates_per_save.record(4);
+        // Divergent measurements must not break equality.
+        a.stages.total = Duration::from_secs(9);
+        a.save_micros.record(123);
+        b.save_micros.record(456_789);
+        assert_eq!(a, b);
+        // A deterministic field diverging must.
+        b.search.lb_prunes = 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pipeline_json_shape() {
+        let mut s = PipelineStats::default();
+        s.search.candidates = 5;
+        s.candidates_per_save.record(5);
+        let json = s.to_json();
+        assert!(json.starts_with(r#"{"schema":"disc-pipeline-stats/1","#));
+        assert!(json.contains(r#""search":{"nodes":0,"candidates":5,"#));
+        assert!(json.contains(r#""candidates_per_save":{"count":1,"sum":5,"max":5,"mean":5,"buckets":[[4,1]]}"#));
+    }
+
+    #[test]
+    fn global_json_shape() {
+        let json = global_json(&[("command", "test"), ("seed", "7")]);
+        assert!(json.starts_with(r#"{"schema":"disc-stats/1","meta":{"command":"test","seed":"7"},"counters":{"#));
+        assert!(json.contains(r#""index.grid.range_queries":"#));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn effort_flush_and_absorb_agree() {
+        let effort = SaveEffort {
+            nodes: 3,
+            candidates: 9,
+            lb_prunes: 2,
+            eta_prunes: 1,
+            ub_updates: 4,
+        };
+        let before = Snapshot::take();
+        effort.flush_global();
+        let delta = Snapshot::take().delta_since(&before);
+        assert!(delta.get("search.nodes") >= 3);
+        assert!(delta.get("search.candidates") >= 9);
+
+        let mut totals = SearchTotals::default();
+        totals.absorb(&effort);
+        totals.absorb(&effort);
+        assert_eq!(totals.candidates, 18);
+        assert_eq!(totals.ub_updates, 8);
+    }
+}

@@ -7,6 +7,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no build artifacts tracked"
+if git ls-files | grep -E '(^|/)target/' >/dev/null; then
+    echo "error: build artifacts are tracked in git (git ls-files matches target/)." >&2
+    echo "       Run: git rm -r --cached --quiet -- target" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 

@@ -20,6 +20,11 @@
 //! `nan`/`inf` tokens in numeric columns: `reject` (default) fails the
 //! load naming the offending line and column, `null` demotes them to
 //! missing values, `drop` discards the affected rows.
+//!
+//! Every subcommand accepts `--stats <path.json>`: after the command
+//! completes, the process-wide observability counters (index queries per
+//! backend, search nodes, bound prunes, budget cancellations, …) are
+//! written to the path as a stable `disc-stats/1` JSON document.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -274,9 +279,18 @@ fn usage() -> String {
         .to_string()
 }
 
+/// Writes the process-wide observability counters as a `disc-stats/1`
+/// JSON document (see `disc_obs`). Runs even for failed commands so a
+/// partial run's work is still accounted for.
+fn write_stats(path: &str, command: &str) -> Result<(), String> {
+    let json = disc::obs::global_json(&[("command", command)]);
+    std::fs::write(path, json).map_err(|e| format!("writing stats to {path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
-    let result = match args.positional.first().map(String::as_str) {
+    let command = args.positional.first().map(String::as_str);
+    let mut result = match command {
         Some("generate") => cmd_generate(&args),
         Some("params") => cmd_params(&args),
         Some("detect") => cmd_detect(&args),
@@ -285,6 +299,12 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args),
         _ => Err(usage()),
     };
+    if let Some(path) = args.get("stats") {
+        let stats_result = write_stats(path, command.unwrap_or(""));
+        if result.is_ok() {
+            result = stats_result;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

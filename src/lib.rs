@@ -45,7 +45,9 @@
 //! * [`clustering`] — DBSCAN, K-Means, K-Means--, CCKM, SREM, KMC;
 //! * [`cleaning`] — DORC, ERACER, HoloClean, Holistic, SSE baselines;
 //! * [`metrics`] — F1 / NMI / ARI / Jaccard evaluation;
-//! * [`ml`] — decision-tree classification and record matching.
+//! * [`ml`] — decision-tree classification and record matching;
+//! * [`obs`] — observability: stage timers, search counters, per-run
+//!   statistics ([`core::SaveReport::stats`]) and the `--stats` JSON export.
 
 pub use disc_cleaning as cleaning;
 pub use disc_clustering as clustering;
@@ -55,6 +57,7 @@ pub use disc_distance as distance;
 pub use disc_index as index;
 pub use disc_metrics as metrics;
 pub use disc_ml as ml;
+pub use disc_obs as obs;
 
 /// Commonly used items in one import.
 pub mod prelude {
