@@ -32,14 +32,21 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, quick: test_mode() }
+        Criterion {
+            sample_size: 20,
+            quick: test_mode(),
+        }
     }
 }
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, quick: self.quick }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            quick: self.quick,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -72,7 +79,12 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, self.quick, f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.quick,
+            f,
+        );
         self
     }
 
@@ -87,9 +99,12 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, self.quick, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.quick,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -177,7 +192,11 @@ fn run_benchmark<F>(name: &str, sample_size: usize, quick: bool, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
-    let mut b = Bencher { samples: Vec::new(), sample_size, quick };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        quick,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{name:<50} (no samples)");
@@ -235,9 +254,14 @@ mod tests {
 
     #[test]
     fn bench_machinery_runs() {
-        let mut c = Criterion { sample_size: 3, quick: true };
+        let mut c = Criterion {
+            sample_size: 3,
+            quick: true,
+        };
         let mut group = c.benchmark_group("g");
-        group.sample_size(2).bench_function("plain", |b| b.iter(|| 1 + 1));
+        group
+            .sample_size(2)
+            .bench_function("plain", |b| b.iter(|| 1 + 1));
         group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
             b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
         });

@@ -27,7 +27,9 @@ impl TestRng {
     /// A generator for one test case, derived from the test name and case
     /// index so every run of the suite sees the same inputs.
     pub fn deterministic(name_hash: u64, case: u64) -> Self {
-        TestRng { state: name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        TestRng {
+            state: name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Next 64 random bits.
@@ -122,8 +124,8 @@ impl Strategy for &str {
     type Value = String;
 
     fn sample(&self, rng: &mut TestRng) -> String {
-        let (alphabet, min, max) = parse_pattern(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+        let (alphabet, min, max) =
+            parse_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
         let len = if max > min {
             min + rng.below((max - min + 1) as u64) as usize
         } else {
@@ -140,7 +142,10 @@ fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
     let rest = pattern.strip_prefix('[')?;
     let close = rest.rfind(']')?;
     let (class, counts) = rest.split_at(close);
-    let counts = counts.strip_prefix(']')?.strip_prefix('{')?.strip_suffix('}')?;
+    let counts = counts
+        .strip_prefix(']')?
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
     let (min, max) = match counts.split_once(',') {
         Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
         None => {
@@ -176,7 +181,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element count of [`vec`]: an exact size or a half-open range.
+    /// Element count of [`vec()`]: an exact size or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -192,17 +197,23 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end }
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
     /// Strategy producing `Vec`s of `element` values with a length drawn
     /// from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -214,7 +225,12 @@ pub mod collection {
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
-            let len = self.size.min + if span > 1 { rng.below(span) as usize } else { 0 };
+            let len = self.size.min
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }

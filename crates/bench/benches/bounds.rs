@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disc_bench::suite::auto_constraints;
 use disc_core::bounds::{lower_bound, upper_bound};
-use disc_core::DiscSaver;
+use disc_core::SaverConfig;
 use disc_data::{ClusterSpec, ErrorInjector};
 use disc_distance::{AttrSet, TupleDistance, Value};
 
@@ -13,7 +13,8 @@ fn bench_bounds(c: &mut Criterion) {
     let log = ErrorInjector::new(10, 0, 7).inject(&mut ds);
     let dist = TupleDistance::numeric(8);
     let constraints = auto_constraints(&ds, &dist);
-    let saver = DiscSaver::new(constraints, dist);
+    let config = SaverConfig::new(constraints, dist);
+    let saver = config.clone().build_approx().unwrap();
     let outlier_row = log.errors[0].row;
     let t_o: Vec<Value> = ds.row(outlier_row).to_vec();
     let inliers: Vec<Vec<Value>> = ds
@@ -33,14 +34,16 @@ fn bench_bounds(c: &mut Criterion) {
         b.iter(|| upper_bound(&r, &t_o, AttrSet::empty()))
     });
     for kappa in [1usize, 2, 4, 8] {
-        let s = saver.clone().with_kappa(kappa);
+        let s = config.clone().kappa(kappa).build_approx().unwrap();
         group.bench_with_input(BenchmarkId::new("save_one_kappa", kappa), &kappa, |b, _| {
             b.iter(|| s.save_one(&r, &t_o))
         });
     }
     // Node budget 1 disables the recursion entirely (pure Lemma 4).
-    let stub = saver.clone().with_node_budget(1);
-    group.bench_function("save_one_no_recursion", |b| b.iter(|| stub.save_one(&r, &t_o)));
+    let stub = config.clone().node_budget(1).build_approx().unwrap();
+    group.bench_function("save_one_no_recursion", |b| {
+        b.iter(|| stub.save_one(&r, &t_o))
+    });
     group.finish();
 }
 

@@ -47,15 +47,30 @@ fn bench_index(c: &mut Criterion) {
     let k = 16usize;
     group.bench_function("brute", |b| {
         let idx = BruteForceIndex::new(rows, dist.clone());
-        b.iter(|| queries.iter().map(|&q| idx.knn(&rows[q], k).len()).sum::<usize>())
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| idx.knn(&rows[q], k).len())
+                .sum::<usize>()
+        })
     });
     group.bench_function("grid", |b| {
         let idx = GridIndex::new(rows, dist.clone(), eps);
-        b.iter(|| queries.iter().map(|&q| idx.knn(&rows[q], k).len()).sum::<usize>())
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| idx.knn(&rows[q], k).len())
+                .sum::<usize>()
+        })
     });
     group.bench_function("vptree", |b| {
         let idx = VpTree::new(rows, dist.clone());
-        b.iter(|| queries.iter().map(|&q| idx.knn(&rows[q], k).len()).sum::<usize>())
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| idx.knn(&rows[q], k).len())
+                .sum::<usize>()
+        })
     });
     group.finish();
 }

@@ -5,7 +5,7 @@
 //! preprocessing), the other hot loop the workers accelerate.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use disc_core::{DiscSaver, DistanceConstraints, Parallelism};
+use disc_core::{DiscSaver, DistanceConstraints, Parallelism, SaverConfig};
 use disc_data::{ClusterSpec, Dataset, ErrorInjector};
 use disc_distance::TupleDistance;
 
@@ -18,9 +18,11 @@ fn workload() -> Dataset {
 }
 
 fn saver(c: DistanceConstraints, workers: usize) -> DiscSaver {
-    DiscSaver::new(c, TupleDistance::numeric(3))
-        .with_kappa(2)
-        .with_parallelism(Parallelism(workers))
+    SaverConfig::new(c, TupleDistance::numeric(3))
+        .kappa(2)
+        .parallelism(Parallelism(workers))
+        .build_approx()
+        .unwrap()
 }
 
 fn bench_save_all(c: &mut Criterion) {
@@ -30,9 +32,17 @@ fn bench_save_all(c: &mut Criterion) {
     group.sample_size(10);
     for workers in WORKER_COUNTS {
         let s = saver(constraints, workers);
-        group.bench_with_input(BenchmarkId::new("disc_save_all", workers), &workers, |b, _| {
-            b.iter_batched(|| ds.clone(), |mut d| s.save_all(&mut d), BatchSize::LargeInput)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("disc_save_all", workers),
+            &workers,
+            |b, _| {
+                b.iter_batched(
+                    || ds.clone(),
+                    |mut d| s.save_all(&mut d),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

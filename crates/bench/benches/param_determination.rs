@@ -12,7 +12,10 @@ fn bench_param_determination(c: &mut Criterion) {
     let mut group = c.benchmark_group("param_determination");
     group.sample_size(10);
     for rate in [0.01f64, 0.1, 1.0] {
-        let cfg = ParamConfig { sample_rate: rate, ..Default::default() };
+        let cfg = ParamConfig {
+            sample_rate: rate,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("poisson", rate), &rate, |b, _| {
             b.iter(|| determine_parameters(ds.rows(), &dist, &cfg))
         });

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use disc_bench::fig7::workload;
 use disc_bench::suite::auto_constraints;
-use disc_core::{DiscSaver, ExactSaver};
+use disc_core::SaverConfig;
 use disc_distance::TupleDistance;
 
 fn bench_scalability_m(c: &mut Criterion) {
@@ -14,7 +14,10 @@ fn bench_scalability_m(c: &mut Criterion) {
         let synth = workload(300, m, 13);
         let dist = TupleDistance::numeric(m);
         let constraints = auto_constraints(&synth.data, &dist);
-        let disc = DiscSaver::new(constraints, dist.clone()).with_kappa(2);
+        let disc = SaverConfig::new(constraints, dist.clone())
+            .kappa(2)
+            .build_approx()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("disc", m), &m, |b, _| {
             b.iter_batched(
                 || synth.data.clone(),
@@ -24,7 +27,10 @@ fn bench_scalability_m(c: &mut Criterion) {
         });
         // Exact is exponential in m: keep the domain cap tiny so the bench
         // terminates, and watch the exponential slope across m.
-        let exact = ExactSaver::new(constraints, dist).with_domain_cap(Some(3));
+        let exact = SaverConfig::new(constraints, dist)
+            .domain_cap(Some(3))
+            .build_exact()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("exact", m), &m, |b, _| {
             b.iter_batched(
                 || synth.data.clone(),

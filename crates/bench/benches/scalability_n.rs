@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use disc_bench::fig6::workload;
 use disc_bench::suite::auto_constraints;
-use disc_core::DiscSaver;
+use disc_core::SaverConfig;
 use disc_distance::TupleDistance;
 
 fn bench_scalability_n(c: &mut Criterion) {
@@ -14,7 +14,10 @@ fn bench_scalability_n(c: &mut Criterion) {
         let synth = workload(n, 11);
         let dist = TupleDistance::numeric(3);
         let constraints = auto_constraints(&synth.data, &dist);
-        let saver = DiscSaver::new(constraints, dist).with_kappa(2);
+        let saver = SaverConfig::new(constraints, dist)
+            .kappa(2)
+            .build_approx()
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("disc_save_all", n), &n, |b, _| {
             b.iter_batched(
                 || synth.data.clone(),

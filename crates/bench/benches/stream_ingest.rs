@@ -1,0 +1,101 @@
+//! Criterion bench for the streaming engine: micro-batched
+//! `DiscEngine::ingest` vs rebuilding the batch pipeline from scratch on
+//! every prefix.
+//!
+//! Before timing anything, the harness asserts the efficiency claim in
+//! *work* terms via the disc-obs rows-visited counters (wall clock is
+//! noisy; index work is deterministic): the streamed replay must visit
+//! strictly fewer candidate rows than the per-batch rebuild, and both
+//! must end on identical datasets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use disc_bench::stream::{compare, rows_visited};
+use disc_core::{DiscEngine, DistanceConstraints, SaverConfig};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_distance::TupleDistance;
+use disc_obs::Snapshot;
+
+const N: usize = 1500;
+const BATCHES: usize = 6;
+
+fn workload() -> Dataset {
+    let mut ds = ClusterSpec::new(N, 3, 4, 11).generate();
+    ErrorInjector::new(N / 20, N / 100, 13).inject(&mut ds);
+    ds
+}
+
+fn constraints() -> DistanceConstraints {
+    DistanceConstraints::new(2.5, 5)
+}
+
+fn replay_streamed(ds: &Dataset) -> DiscEngine {
+    let saver = SaverConfig::new(constraints(), TupleDistance::numeric(ds.arity()))
+        .kappa(2)
+        .build_approx()
+        .unwrap();
+    let mut engine = DiscEngine::new(ds.schema().clone(), Box::new(saver));
+    for chunk in ds.rows().chunks(N.div_ceil(BATCHES)) {
+        engine
+            .ingest(chunk.to_vec())
+            .expect("finite synthetic data");
+    }
+    engine
+}
+
+fn replay_rebuild(ds: &Dataset) -> Dataset {
+    let batch = N.div_ceil(BATCHES);
+    let mut prefix = Dataset::new(ds.schema().clone(), Vec::new());
+    let mut upto = 0;
+    while upto < ds.len() {
+        upto = (upto + batch).min(ds.len());
+        prefix = ds.select(&(0..upto).collect::<Vec<_>>());
+        let saver = SaverConfig::new(constraints(), TupleDistance::numeric(ds.arity()))
+            .kappa(2)
+            .build_approx()
+            .unwrap();
+        saver.save_all(&mut prefix);
+    }
+    prefix
+}
+
+/// The work assertion: counters, not clocks.
+fn assert_streamed_cheaper(ds: &Dataset) {
+    let before = Snapshot::take();
+    let engine = replay_streamed(ds);
+    let streamed = rows_visited(&Snapshot::take().delta_since(&before));
+    let before = Snapshot::take();
+    let rebuilt = replay_rebuild(ds);
+    let rebuild = rows_visited(&Snapshot::take().delta_since(&before));
+    assert_eq!(
+        engine.dataset().rows(),
+        rebuilt.rows(),
+        "replays must agree"
+    );
+    assert!(
+        streamed < rebuild,
+        "streamed ingest visited {streamed} rows, rebuild {rebuild}: engine must do strictly less index work"
+    );
+    // The library's own small-scale check, for a second configuration.
+    compare(400, 4, 3);
+}
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    let ds = workload();
+    assert_streamed_cheaper(&ds);
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("engine", BATCHES), &BATCHES, |b, _| {
+        b.iter_batched(
+            || ds.clone(),
+            |d| replay_streamed(&d),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::new("rebuild", BATCHES), &BATCHES, |b, _| {
+        b.iter_batched(|| ds.clone(), |d| replay_rebuild(&d), BatchSize::LargeInput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_ingest);
+criterion_main!(benches);

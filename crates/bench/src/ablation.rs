@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use disc_cleaning::{DiscRepairer, Repairer};
 use disc_clustering::{ClusteringAlgorithm, Dbscan};
-use disc_core::DiscSaver;
+use disc_core::SaverConfig;
 use disc_data::{ClusterSpec, ErrorInjector, SyntheticDataset};
 use disc_distance::TupleDistance;
 use disc_index::{BruteForceIndex, GridIndex, NeighborIndex, VpTree};
@@ -34,16 +34,29 @@ fn kappa_sweep(seed: u64) -> String {
     let dist = TupleDistance::numeric(m);
     let c = auto_constraints(ds, &dist);
     let truth = ds.labels().expect("labels").to_vec();
-    let mut table = Table::new(vec!["κ", "F1", "cells modified", "outliers saved", "time (s)"]);
+    let mut table = Table::new(vec![
+        "κ",
+        "F1",
+        "cells modified",
+        "outliers saved",
+        "time (s)",
+    ]);
     for kappa in [1usize, 2, 3, 4, m] {
-        let saver = DiscSaver::new(c, dist.clone()).with_kappa(kappa);
+        let saver = SaverConfig::new(c, dist.clone())
+            .kappa(kappa)
+            .build_approx()
+            .unwrap();
         let mut copy = ds.clone();
         let start = Instant::now();
         let report = DiscRepairer(saver).repair(&mut copy);
         let elapsed = start.elapsed();
         let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), &dist);
         table.row(vec![
-            if kappa == m { format!("{kappa} (=m)") } else { kappa.to_string() },
+            if kappa == m {
+                format!("{kappa} (=m)")
+            } else {
+                kappa.to_string()
+            },
             f4(pairwise_f1(&labels, &truth)),
             report.cells_modified().to_string(),
             report.rows_modified().to_string(),
@@ -64,7 +77,11 @@ fn budget_sweep(seed: u64) -> String {
     let truth = ds.labels().expect("labels").to_vec();
     let mut table = Table::new(vec!["node budget", "F1", "avg cost", "time (s)"]);
     for budget in [1usize, 4, 16, 256, 100_000] {
-        let saver = DiscSaver::new(c, dist.clone()).with_kappa(2).with_node_budget(budget);
+        let saver = SaverConfig::new(c, dist.clone())
+            .kappa(2)
+            .node_budget(budget)
+            .build_approx()
+            .unwrap();
         let mut copy = ds.clone();
         let start = Instant::now();
         let report = saver.save_all(&mut copy);
@@ -103,7 +120,9 @@ fn index_sweep(seed: u64) -> String {
         "brute-force",
         &|| {
             let idx = BruteForceIndex::new(rows, dist.clone());
-            rows.iter().filter(|r| !idx.satisfies(r, c.eps, c.eta)).count()
+            rows.iter()
+                .filter(|r| !idx.satisfies(r, c.eps, c.eta))
+                .count()
         },
         &mut table,
     );
@@ -111,7 +130,9 @@ fn index_sweep(seed: u64) -> String {
         "grid",
         &|| {
             let idx = GridIndex::new(rows, dist.clone(), c.eps);
-            rows.iter().filter(|r| !idx.satisfies(r, c.eps, c.eta)).count()
+            rows.iter()
+                .filter(|r| !idx.satisfies(r, c.eps, c.eta))
+                .count()
         },
         &mut table,
     );
@@ -119,7 +140,9 @@ fn index_sweep(seed: u64) -> String {
         "vp-tree",
         &|| {
             let idx = VpTree::new(rows, dist.clone());
-            rows.iter().filter(|r| !idx.satisfies(r, c.eps, c.eta)).count()
+            rows.iter()
+                .filter(|r| !idx.satisfies(r, c.eps, c.eta))
+                .count()
         },
         &mut table,
     );

@@ -8,6 +8,8 @@
 //!   table2 table3 table4 table5
 //!   fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!   ablation
+//!   stream       (incremental engine vs per-batch rebuild;
+//!                 `--stream-batches N` sets the micro-batch count)
 //!   all          (everything, at the default scale)
 //! ```
 //!
@@ -29,8 +31,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all> \
-         [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS] [--stats PATH]\n\
+        "usage: repro <table2|table3|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|stream|all> \
+         [--frac F] [--seed S] [--full] [--workers N] [--deadline-ms MS] [--stream-batches N] [--stats PATH]\n\
          --workers 0 means auto (one per core); --deadline-ms 0 clears the deadline;\n\
          --stats PATH writes the observability counters as JSON after the run"
     );
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
     let mut frac = 0.05f64;
     let mut seed = 42u64;
     let mut full = false;
+    let mut stream_batches = 6usize;
     let mut stats_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -93,6 +96,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--stream-batches" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => stream_batches = n,
+                    _ => {
+                        eprintln!("--stream-batches expects an integer >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--stats" => {
                 i += 1;
                 match args.get(i) {
@@ -125,14 +138,15 @@ fn main() -> ExitCode {
             "fig9" => disc_bench::fig9::run(1.0_f64.min(frac * 2.0), seed),
             "fig10" => disc_bench::fig10::run(seed),
             "ablation" => disc_bench::ablation::run(seed),
+            "stream" => disc_bench::stream::run_with(frac, stream_batches, seed),
             _ => return None,
         })
     };
 
     let code = if cmd == "all" {
         for name in [
-            "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "ablation",
+            "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "ablation", "stream",
         ] {
             println!("{}\n", run_one(name).expect("known experiment"));
         }

@@ -16,7 +16,11 @@ use crate::table::{f4, Table};
 /// 1–2 attributes per dirty tuple.
 pub fn workload(seed: u64) -> SyntheticDataset {
     let spec = ClusterSpec::new(1000, 10, 6, seed);
-    SyntheticDataset::generate("Letter-like", &spec, ErrorInjector::new(90, 10, seed ^ 0xF10))
+    SyntheticDataset::generate(
+        "Letter-like",
+        &spec,
+        ErrorInjector::new(90, 10, seed ^ 0xF10),
+    )
 }
 
 struct MethodStats {
@@ -60,7 +64,15 @@ fn sweep(
     points: &[DistanceConstraints],
     label: impl Fn(&DistanceConstraints) -> String,
 ) -> (Table, Table, Table) {
-    let header = vec!["Setting", "DISC", "DORC", "ERACER", "HoloClean", "Holistic", "SSE"];
+    let header = vec![
+        "Setting",
+        "DISC",
+        "DORC",
+        "ERACER",
+        "HoloClean",
+        "Holistic",
+        "SSE",
+    ];
     let mut jac = Table::new(header.clone());
     let mut attrs = Table::new(header.clone());
     let mut mags = Table::new(header);
@@ -79,8 +91,11 @@ fn sweep(
         }
         // SSE: explanation only (no values adjusted → magnitude 0).
         let split = detect_outliers(ds.rows(), dist, *c);
-        let inliers: Vec<Vec<Value>> =
-            split.inliers.iter().map(|&i| ds.rows()[i].clone()).collect();
+        let inliers: Vec<Vec<Value>> = split
+            .inliers
+            .iter()
+            .map(|&i| ds.rows()[i].clone())
+            .collect();
         let sse = Sse::new();
         let mut scores = Vec::new();
         let mut sizes = Vec::new();
@@ -110,15 +125,19 @@ pub fn run(seed: u64) -> String {
 
     let eta_points: Vec<DistanceConstraints> = [0.5, 0.8, 1.0, 1.4, 2.0]
         .iter()
-        .map(|f| DistanceConstraints::new(base.eps, ((base.eta as f64 * f).round() as usize).max(1)))
+        .map(|f| {
+            DistanceConstraints::new(base.eps, ((base.eta as f64 * f).round() as usize).max(1))
+        })
         .collect();
     let eps_points: Vec<DistanceConstraints> = [0.6, 0.8, 1.0, 1.2, 1.5]
         .iter()
         .map(|f| DistanceConstraints::new(base.eps * f, base.eta))
         .collect();
 
-    let (jac_eta, attrs_eta, mags_eta) = sweep(&synth, &dist, &eta_points, |c| format!("η={}", c.eta));
-    let (jac_eps, attrs_eps, mags_eps) = sweep(&synth, &dist, &eps_points, |c| format!("ε={:.2}", c.eps));
+    let (jac_eta, attrs_eta, mags_eta) =
+        sweep(&synth, &dist, &eta_points, |c| format!("η={}", c.eta));
+    let (jac_eps, attrs_eps, mags_eps) =
+        sweep(&synth, &dist, &eps_points, |c| format!("ε={:.2}", c.eps));
 
     format!(
         "Figure 10 — adjustment/explanation accuracy under injected errors\n\

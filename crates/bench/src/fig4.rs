@@ -19,7 +19,11 @@ use crate::table::{f4, Table};
 /// with injected 1–2-attribute errors.
 pub fn workload(seed: u64) -> SyntheticDataset {
     let spec = ClusterSpec::new(1000, 16, 8, seed);
-    SyntheticDataset::generate("Letter-like", &spec, ErrorInjector::new(80, 16, seed ^ 0xF4))
+    SyntheticDataset::generate(
+        "Letter-like",
+        &spec,
+        ErrorInjector::new(80, 16, seed ^ 0xF4),
+    )
 }
 
 fn sweep(
@@ -28,7 +32,15 @@ fn sweep(
     points: &[DistanceConstraints],
     label: impl Fn(&DistanceConstraints) -> String,
 ) -> String {
-    let mut f1 = Table::new(vec!["Setting", "Raw", "DISC", "DORC", "ERACER", "HoloClean", "Holistic"]);
+    let mut f1 = Table::new(vec![
+        "Setting",
+        "Raw",
+        "DISC",
+        "DORC",
+        "ERACER",
+        "HoloClean",
+        "Holistic",
+    ]);
     let mut precision = f1.clone();
     let mut recall = f1.clone();
     for c in points {

@@ -27,7 +27,10 @@ fn distribution_block(ds: &Dataset, dist: &TupleDistance, eps_grid: &[f64], seed
         let k = ((ds.len() as f64 * rate).round() as usize).clamp(20.min(ds.len()), ds.len());
         let sample = ds.sample_indices(k, seed);
         let mut table = Table::new(vec![
-            "ε", "mean λε", "P(N≥mean/2)", "bucket:frac (empirical histogram)",
+            "ε",
+            "mean λε",
+            "P(N≥mean/2)",
+            "bucket:frac (empirical histogram)",
         ]);
         for &eps in eps_grid {
             let counts = neighbor_counts(ds.rows(), dist, eps, &sample);
@@ -41,7 +44,10 @@ fn distribution_block(ds: &Dataset, dist: &TupleDistance, eps_grid: &[f64], seed
             table.row(vec![
                 format!("{eps:.2}"),
                 format!("{lambda:.2}"),
-                format!("{:.3}", poisson_p_at_least(lambda, (lambda / 2.0).round() as usize)),
+                format!(
+                    "{:.3}",
+                    poisson_p_at_least(lambda, (lambda / 2.0).round() as usize)
+                ),
                 hist_str,
             ]);
         }
@@ -65,9 +71,19 @@ pub fn run(frac: f64, seed: u64) -> String {
          (scale frac={frac}, seed={seed})\n\n\
          (a,c) Letter-like (n={}):\n{}\n(b,d) Flight-like (n={}):\n{}",
         letter.data.len(),
-        distribution_block(&letter.data, &ldist, &[0.8 * base_l, base_l, 1.2 * base_l], seed),
+        distribution_block(
+            &letter.data,
+            &ldist,
+            &[0.8 * base_l, base_l, 1.2 * base_l],
+            seed
+        ),
         flight.data.len(),
-        distribution_block(&flight.data, &fdist, &[0.5 * base_f, base_f, 1.5 * base_f], seed),
+        distribution_block(
+            &flight.data,
+            &fdist,
+            &[0.5 * base_f, base_f, 1.5 * base_f],
+            seed
+        ),
     )
 }
 

@@ -5,7 +5,7 @@
 //! more than one hour" past 50k tuples).
 
 use disc_cleaning::ExactRepairer;
-use disc_core::ExactSaver;
+use disc_core::SaverConfig;
 use disc_data::{ClusterSpec, ErrorInjector, SyntheticDataset};
 use disc_distance::TupleDistance;
 
@@ -18,7 +18,11 @@ pub fn workload(n: usize, seed: u64) -> SyntheticDataset {
     let dirty = n / 12;
     let natural = n / 50;
     let spec = ClusterSpec::new(n - natural, 3, 5, seed);
-    SyntheticDataset::generate("Flight-like", &spec, ErrorInjector::new(dirty, natural, seed ^ 0xF6))
+    SyntheticDataset::generate(
+        "Flight-like",
+        &spec,
+        ErrorInjector::new(dirty, natural, seed ^ 0xF6),
+    )
 }
 
 /// Runs the Figure 6 reproduction. `full` extends the sweep to 200k
@@ -34,7 +38,15 @@ pub fn run(full: bool, seed: u64) -> String {
     // feasibility check — cap it early (the paper's point exactly).
     let exact_cutoff = if full { 10_000 } else { 2_000 };
 
-    let mut f1 = Table::new(vec!["n", "DISC", "Exact", "DORC", "ERACER", "HoloClean", "Holistic"]);
+    let mut f1 = Table::new(vec![
+        "n",
+        "DISC",
+        "Exact",
+        "DORC",
+        "ERACER",
+        "HoloClean",
+        "Holistic",
+    ]);
     let mut time = f1.clone();
     for &n in sizes {
         let synth = workload(n, seed);
@@ -57,7 +69,10 @@ pub fn run(full: bool, seed: u64) -> String {
         }
         // Exact enumeration (domain-capped, as discussed in Section 2.3).
         let exact = if n <= exact_cutoff {
-            let saver = ExactSaver::new(c, dist.clone()).with_domain_cap(Some(8));
+            let saver = SaverConfig::new(c, dist.clone())
+                .domain_cap(Some(8))
+                .build_exact()
+                .unwrap();
             Some(repair_clone(ds, &ExactRepairer(saver), c, &dist))
         } else {
             None

@@ -5,7 +5,7 @@
 //! exceeded, mirroring the paper's resource-boundary observation).
 
 use disc_cleaning::ExactRepairer;
-use disc_core::ExactSaver;
+use disc_core::SaverConfig;
 use disc_data::{ClusterSpec, ErrorInjector, SyntheticDataset};
 use disc_distance::TupleDistance;
 
@@ -16,20 +16,36 @@ use crate::table::{f4, secs, Table};
 pub fn workload(n: usize, m: usize, seed: u64) -> SyntheticDataset {
     let dirty = n / 10;
     let spec = ClusterSpec::new(n, m, 2, seed);
-    SyntheticDataset::generate("Spam-like", &spec, ErrorInjector::new(dirty, 0, seed ^ 0xF7))
+    SyntheticDataset::generate(
+        "Spam-like",
+        &spec,
+        ErrorInjector::new(dirty, 0, seed ^ 0xF7),
+    )
 }
 
 /// Runs the Figure 7 reproduction. `full` uses n = 5000 and sweeps up to
 /// the paper's m = 57; the default uses n = 800.
 pub fn run(full: bool, seed: u64) -> String {
     let n = if full { 5000 } else { 800 };
-    let ms: &[usize] = if full { &[5, 10, 20, 40, 57] } else { &[3, 5, 8, 12, 16] };
+    let ms: &[usize] = if full {
+        &[5, 10, 20, 40, 57]
+    } else {
+        &[3, 5, 8, 12, 16]
+    };
     // Exact with domain cap d: enumerations are d^m; stop when d^m exceeds
     // the budget (the paper's "boundaries in terms of resources").
     let exact_domain = 4usize;
     let exact_budget = 3_000_000u64;
 
-    let mut f1 = Table::new(vec!["m", "DISC", "Exact", "DORC", "ERACER", "HoloClean", "Holistic"]);
+    let mut f1 = Table::new(vec![
+        "m",
+        "DISC",
+        "Exact",
+        "DORC",
+        "ERACER",
+        "HoloClean",
+        "Holistic",
+    ]);
     let mut time = f1.clone();
     for &m in ms {
         let synth = workload(n, m, seed);
@@ -44,9 +60,11 @@ pub fn run(full: bool, seed: u64) -> String {
         let combos = (exact_domain as u64 + 1).checked_pow(m as u32);
         let exact = match combos {
             Some(c2) if c2 <= exact_budget => {
-                let saver = ExactSaver::new(c, dist.clone())
-                    .with_domain_cap(Some(exact_domain))
-                    .with_max_combinations(exact_budget);
+                let saver = SaverConfig::new(c, dist.clone())
+                    .domain_cap(Some(exact_domain))
+                    .max_combinations(exact_budget)
+                    .build_exact()
+                    .unwrap();
                 Some(repair_clone(ds, &ExactRepairer(saver), c, &dist))
             }
             _ => None,

@@ -20,7 +20,14 @@ fn sweep(
     let ds = &synth.data;
     let dist = ds.schema().tuple_distance(Norm::L1);
     let matcher = RecordMatcher::new();
-    let mut table = Table::new(vec!["Setting", "Raw", "DISC", "DORC", "HoloClean", "Holistic"]);
+    let mut table = Table::new(vec![
+        "Setting",
+        "Raw",
+        "DISC",
+        "DORC",
+        "HoloClean",
+        "Holistic",
+    ]);
     for c in points {
         let lineup = repairer_lineup(*c, &dist);
         let mut row = vec![label(c)];
@@ -79,7 +86,8 @@ mod tests {
     }
     impl Probe for String {
         fn render_contains_column(&self, name: &str) -> bool {
-            self.lines().any(|l| l.starts_with("Setting") && l.contains(name))
+            self.lines()
+                .any(|l| l.starts_with("Setting") && l.contains(name))
         }
     }
 }

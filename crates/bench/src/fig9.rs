@@ -65,7 +65,11 @@ pub fn run(frac: f64, seed: u64) -> String {
     }
     // SSE explains the detected outliers (it does not repair).
     let split = detect_outliers(ds.rows(), &dist, c);
-    let inliers: Vec<_> = split.inliers.iter().map(|&i| ds.rows()[i].clone()).collect();
+    let inliers: Vec<_> = split
+        .inliers
+        .iter()
+        .map(|&i| ds.rows()[i].clone())
+        .collect();
     let sse = Sse::new();
     let mut scores = Vec::new();
     let mut sizes = Vec::new();

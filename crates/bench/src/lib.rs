@@ -23,6 +23,7 @@
 //! | Figure 9 (GPS adjustment accuracy)               | [`fig9`]   |
 //! | Figure 10 (Letter adjustment accuracy)           | [`fig10`]  |
 //! | §3.3/3.4 design-choice ablations                 | [`ablation`] |
+//! | Streaming ingest vs batch rebuild (engine)       | [`stream`] |
 
 pub mod ablation;
 pub mod fig10;
@@ -32,6 +33,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod stream;
 pub mod suite;
 pub mod table;
 pub mod table2;

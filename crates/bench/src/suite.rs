@@ -2,9 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use disc_cleaning::{DiscRepairer, Dorc, Eracer, HoloClean, Holistic, RepairReport, Repairer};
+use disc_cleaning::{DiscRepairer, Dorc, Eracer, Holistic, HoloClean, RepairReport, Repairer};
 use disc_clustering::{ClusteringAlgorithm, Dbscan};
-use disc_core::{DiscSaver, DistanceConstraints, Parallelism};
+use disc_core::{DistanceConstraints, Parallelism, SaverConfig};
 use disc_data::Dataset;
 use disc_distance::TupleDistance;
 use disc_metrics::{adjusted_rand_index, normalized_mutual_information, pairwise_prf};
@@ -41,9 +41,11 @@ pub fn repairer_lineup_parallel(
     vec![
         Box::new(Raw),
         Box::new(DiscRepairer(
-            DiscSaver::new(c, dist.clone())
-                .with_kappa(2.min(dist.arity().max(1)))
-                .with_parallelism(parallelism),
+            SaverConfig::new(c, dist.clone())
+                .kappa(2.min(dist.arity().max(1)))
+                .parallelism(parallelism)
+                .build_approx()
+                .unwrap(),
         )),
         Box::new(Dorc::new(c, dist.clone())),
         Box::new(Eracer::new()),
@@ -117,10 +119,7 @@ pub fn repair_clone(
 
 /// Clones, repairs, and returns the repaired dataset together with the
 /// report and elapsed time (for experiments that need the data itself).
-pub fn repair_dataset(
-    ds: &Dataset,
-    repairer: &dyn Repairer,
-) -> (Dataset, RepairReport, Duration) {
+pub fn repair_dataset(ds: &Dataset, repairer: &dyn Repairer) -> (Dataset, RepairReport, Duration) {
     let mut copy = ds.clone();
     let start = Instant::now();
     let report = repairer.repair(&mut copy);
@@ -130,8 +129,15 @@ pub fn repair_dataset(
 /// Determines the default `(ε, η)` for a dataset via the paper's Poisson
 /// procedure (Section 2.1.2) with light sampling for large inputs.
 pub fn auto_constraints(ds: &Dataset, dist: &TupleDistance) -> DistanceConstraints {
-    let sample_rate = if ds.len() > 5000 { 2000.0 / ds.len() as f64 } else { 1.0 };
-    let cfg = disc_core::ParamConfig { sample_rate, ..Default::default() };
+    let sample_rate = if ds.len() > 5000 {
+        2000.0 / ds.len() as f64
+    } else {
+        1.0
+    };
+    let cfg = disc_core::ParamConfig {
+        sample_rate,
+        ..Default::default()
+    };
     let choice = disc_core::determine_parameters(ds.rows(), dist, &cfg);
     DistanceConstraints::new(choice.eps.max(1e-9), choice.eta.max(1))
 }
@@ -160,7 +166,10 @@ pub fn best_constraints(ds: &Dataset, dist: &TupleDistance) -> DistanceConstrain
         let lambda = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
         let eta = disc_core::poisson_eta_for(lambda, 0.99).max(1);
         let c = DistanceConstraints::new(eps, eta);
-        let saver = DiscSaver::new(c, dist.clone()).with_kappa(2.min(dist.arity().max(1)));
+        let saver = SaverConfig::new(c, dist.clone())
+            .kappa(2.min(dist.arity().max(1)))
+            .build_approx()
+            .unwrap();
         let mut copy = probe.clone();
         saver.save_all(&mut copy);
         let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), dist);
@@ -182,7 +191,10 @@ mod tests {
         let dist = TupleDistance::numeric(3);
         let lineup = repairer_lineup(DistanceConstraints::new(1.0, 3), &dist);
         let names: Vec<_> = lineup.iter().map(|r| r.name()).collect();
-        assert_eq!(names, vec!["Raw", "DISC", "DORC", "ERACER", "HoloClean", "Holistic"]);
+        assert_eq!(
+            names,
+            vec!["Raw", "DISC", "DORC", "ERACER", "HoloClean", "Holistic"]
+        );
     }
 
     #[test]
@@ -196,7 +208,11 @@ mod tests {
         // The auto-determined (ε, η) deliberately leaves a small violation
         // tail even on clean data (the Figure 5 elbow targets ~8%), so the
         // bar here is "clusters clearly recovered", not perfection.
-        assert!(result.scores.f1 > 0.6, "clean blobs should cluster well: {}", result.scores.f1);
+        assert!(
+            result.scores.f1 > 0.6,
+            "clean blobs should cluster well: {}",
+            result.scores.f1
+        );
     }
 
     #[test]

@@ -12,7 +12,15 @@ use crate::table::{f4, secs, Table};
 /// four sub-tables (NMI / ARI / F1 / time).
 pub fn run(frac: f64, seed: u64) -> String {
     let datasets = paper::numeric_suite(frac, seed);
-    let header = vec!["Data", "Raw", "DISC", "DORC", "ERACER", "HoloClean", "Holistic"];
+    let header = vec![
+        "Data",
+        "Raw",
+        "DISC",
+        "DORC",
+        "ERACER",
+        "HoloClean",
+        "Holistic",
+    ];
     let mut nmi = Table::new(header.clone());
     let mut ari = Table::new(header.clone());
     let mut f1 = Table::new(header.clone());
@@ -62,7 +70,9 @@ mod tests {
     fn renders_eight_dataset_rows() {
         let out = run(0.01, 1);
         assert!(out.contains("NMI (DBSCAN)"));
-        for name in ["Iris", "Seeds", "WIFI", "Yeast", "Letter", "Flight", "Spam", "GPS"] {
+        for name in [
+            "Iris", "Seeds", "WIFI", "Yeast", "Letter", "Flight", "Spam", "GPS",
+        ] {
             assert!(out.contains(name), "missing {name}");
         }
         assert!(out.contains("DISC"));

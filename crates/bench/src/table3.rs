@@ -5,7 +5,7 @@
 
 use disc_cleaning::{DiscRepairer, Repairer};
 use disc_clustering::{Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Srem};
-use disc_core::DiscSaver;
+use disc_core::SaverConfig;
 use disc_data::paper;
 use disc_distance::Norm;
 use disc_metrics::pairwise_f1;
@@ -18,12 +18,18 @@ pub fn run(frac: f64, seed: u64) -> String {
     let datasets = paper::numeric_suite(frac, seed);
     let mut table = Table::new(vec![
         "Data",
-        "DBSCAN Raw", "DBSCAN DISC",
-        "K-Means Raw", "K-Means DISC",
-        "K-Means-- Raw", "K-Means-- DISC",
-        "CCKM Raw", "CCKM DISC",
-        "SREM Raw", "SREM DISC",
-        "KMC Raw", "KMC DISC",
+        "DBSCAN Raw",
+        "DBSCAN DISC",
+        "K-Means Raw",
+        "K-Means DISC",
+        "K-Means-- Raw",
+        "K-Means-- DISC",
+        "CCKM Raw",
+        "CCKM DISC",
+        "SREM Raw",
+        "SREM DISC",
+        "KMC Raw",
+        "KMC DISC",
     ]);
 
     for synth in &datasets {
@@ -45,7 +51,13 @@ pub fn run(frac: f64, seed: u64) -> String {
 
         // The adjusted dataset (DISC applied once, reused by every method).
         let mut saved = ds.clone();
-        DiscRepairer(DiscSaver::new(c, dist.clone()).with_kappa(2)).repair(&mut saved);
+        DiscRepairer(
+            SaverConfig::new(c, dist.clone())
+                .kappa(2)
+                .build_approx()
+                .unwrap(),
+        )
+        .repair(&mut saved);
 
         let algos: Vec<Box<dyn ClusteringAlgorithm>> = vec![
             Box::new(Dbscan::new(c.eps, c.eta)),

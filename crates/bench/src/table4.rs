@@ -5,7 +5,9 @@
 
 use disc_cleaning::{DiscRepairer, Repairer};
 use disc_clustering::{ClusteringAlgorithm, Dbscan};
-use disc_core::{determine_parameters, determine_parameters_db, DiscSaver, DistanceConstraints, ParamConfig};
+use disc_core::{
+    determine_parameters, determine_parameters_db, DistanceConstraints, ParamConfig, SaverConfig,
+};
 use disc_data::{paper, Dataset, SyntheticDataset};
 use disc_distance::{Norm, TupleDistance};
 use disc_metrics::pairwise_f1;
@@ -20,14 +22,25 @@ fn f1_with(ds: &Dataset, dist: &TupleDistance, eps: f64, eta: usize) -> f64 {
     }
     let c = DistanceConstraints::new(eps, eta.max(1));
     let mut copy = ds.clone();
-    DiscRepairer(DiscSaver::new(c, dist.clone()).with_kappa(2)).repair(&mut copy);
+    DiscRepairer(
+        SaverConfig::new(c, dist.clone())
+            .kappa(2)
+            .build_approx()
+            .unwrap(),
+    )
+    .repair(&mut copy);
     let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), dist);
     pairwise_f1(&labels, ds.labels().expect("labels"))
 }
 
 /// Grid-searches `(ε, η)` around the Poisson choice for the best F1 — the
 /// "Optimal" column found "by testing various ε and η combinations".
-fn optimal(ds: &Dataset, dist: &TupleDistance, base_eps: f64, base_eta: usize) -> (f64, usize, f64) {
+fn optimal(
+    ds: &Dataset,
+    dist: &TupleDistance,
+    base_eps: f64,
+    base_eta: usize,
+) -> (f64, usize, f64) {
     let mut best = (base_eps, base_eta, f1_with(ds, dist, base_eps, base_eta));
     for fe in [0.75, 1.0, 1.25] {
         for de in [-4i64, 0, 4] {
@@ -46,12 +59,20 @@ fn rows_for(synth: &SyntheticDataset, rates: &[f64], table: &mut Table, seed: u6
     let ds = &synth.data;
     let dist = ds.schema().tuple_distance(Norm::L2);
     // The optimal is determined once on the full data.
-    let full_cfg = ParamConfig { sample_rate: (2000.0 / ds.len() as f64).min(1.0), seed, ..Default::default() };
+    let full_cfg = ParamConfig {
+        sample_rate: (2000.0 / ds.len() as f64).min(1.0),
+        seed,
+        ..Default::default()
+    };
     let base = determine_parameters(ds.rows(), &dist, &full_cfg);
     let (oe, oh, of1) = optimal(ds, &dist, base.eps, base.eta);
 
     for &rate in rates {
-        let cfg = ParamConfig { sample_rate: rate, seed, ..Default::default() };
+        let cfg = ParamConfig {
+            sample_rate: rate,
+            seed,
+            ..Default::default()
+        };
         let disc = determine_parameters(ds.rows(), &dist, &cfg);
         let db = determine_parameters_db(ds.rows(), &dist, &cfg);
         let disc_f1 = f1_with(ds, &dist, disc.eps, disc.eta);
@@ -75,13 +96,27 @@ fn rows_for(synth: &SyntheticDataset, rates: &[f64], table: &mut Table, seed: u6
 /// Runs the Table 4 reproduction at scale `frac`.
 pub fn run(frac: f64, seed: u64) -> String {
     let mut table = Table::new(vec![
-        "Data", "Rate", "Tuples", "Time DISC", "Time DB", "(ε,η) DISC", "(ε,η) DB",
-        "(ε,η) Opt", "F1 DISC", "F1 DB", "F1 Opt",
+        "Data",
+        "Rate",
+        "Tuples",
+        "Time DISC",
+        "Time DB",
+        "(ε,η) DISC",
+        "(ε,η) DB",
+        "(ε,η) Opt",
+        "F1 DISC",
+        "F1 DB",
+        "F1 Opt",
     ]);
     let letter = paper::letter(frac, seed);
     rows_for(&letter, &[0.01, 0.1, 1.0], &mut table, seed);
     let flight = paper::flight(frac, seed + 1);
-    rows_for(&flight, &[0.001_f64.max(200.0 / flight.data.len() as f64), 0.01, 1.0], &mut table, seed);
+    rows_for(
+        &flight,
+        &[0.001_f64.max(200.0 / flight.data.len() as f64), 0.01, 1.0],
+        &mut table,
+        seed,
+    );
     format!(
         "Table 4 — performance of parameter determination (scale frac={frac}, seed={seed})\n\n{}",
         table.render()

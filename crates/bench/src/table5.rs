@@ -16,7 +16,13 @@ pub fn run(frac: f64, seed: u64) -> String {
         .filter(|d| d.name != "GPS")
         .collect();
     let mut table = Table::new(vec![
-        "Data", "Raw", "DISC", "DORC", "ERACER", "HoloClean", "Holistic",
+        "Data",
+        "Raw",
+        "DISC",
+        "DORC",
+        "ERACER",
+        "HoloClean",
+        "Holistic",
     ]);
     for synth in &datasets {
         let ds = &synth.data;

@@ -39,7 +39,11 @@ impl Repairer for Dorc {
 
     fn repair(&self, ds: &mut Dataset) -> RepairReport {
         let split = detect_outliers(ds.rows(), &self.dist, self.constraints);
-        let inlier_rows: Vec<_> = split.inliers.iter().map(|&i| ds.rows()[i].clone()).collect();
+        let inlier_rows: Vec<_> = split
+            .inliers
+            .iter()
+            .map(|&i| ds.rows()[i].clone())
+            .collect();
         let r = RSet::new(inlier_rows, self.dist.clone(), self.constraints);
         let mut report = RepairReport::default();
         for &row in &split.outliers {
@@ -87,17 +91,19 @@ mod tests {
         // DORC substitutions touch (nearly) all attributes — the defining
         // over-change: on continuous data the nearest tuple differs in
         // every coordinate.
-        let avg_attrs: f64 =
-            report.rows.iter().map(|(_, a)| a.len() as f64).sum::<f64>() / report.rows_modified() as f64;
-        assert!(avg_attrs > 2.5, "avg modified attrs {avg_attrs} too low for DORC");
+        let avg_attrs: f64 = report.rows.iter().map(|(_, a)| a.len() as f64).sum::<f64>()
+            / report.rows_modified() as f64;
+        assert!(
+            avg_attrs > 2.5,
+            "avg modified attrs {avg_attrs} too low for DORC"
+        );
         // Repaired rows now exist verbatim in the dataset (substitution).
         for (row, _) in &report.rows {
             let repaired = ds.row(*row);
-            let twin = ds
-                .rows()
-                .iter()
-                .enumerate()
-                .any(|(i, other)| i != *row && other.iter().zip(repaired).all(|(a, b)| a.same(b)));
+            let twin =
+                ds.rows().iter().enumerate().any(|(i, other)| {
+                    i != *row && other.iter().zip(repaired).all(|(a, b)| a.same(b))
+                });
             assert!(twin, "row {row} is not a copy of an existing tuple");
         }
         let _ = log;
@@ -126,6 +132,10 @@ mod tests {
         let dist = TupleDistance::numeric(3);
         Dorc::new(c, dist.clone()).repair(&mut ds);
         let split = detect_outliers(ds.rows(), &dist, c);
-        assert!(split.outliers.is_empty(), "violations left: {:?}", split.outliers);
+        assert!(
+            split.outliers.is_empty(),
+            "violations left: {:?}",
+            split.outliers
+        );
     }
 }

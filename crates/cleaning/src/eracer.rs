@@ -29,7 +29,11 @@ pub struct Eracer {
 
 impl Default for Eracer {
     fn default() -> Self {
-        Eracer { z_threshold: 3.0, rounds: 3, ridge: 1e-3 }
+        Eracer {
+            z_threshold: 3.0,
+            rounds: 3,
+            ridge: 1e-3,
+        }
     }
 }
 

@@ -24,7 +24,13 @@ enum Constraint {
     /// `lo ≤ t[attr] ≤ hi`.
     Range { attr: usize, lo: f64, hi: f64 },
     /// `|t[b] − (slope·t[a] + offset)| ≤ tol` for correlated pairs.
-    Linear { a: usize, b: usize, slope: f64, offset: f64, tol: f64 },
+    Linear {
+        a: usize,
+        b: usize,
+        slope: f64,
+        offset: f64,
+        tol: f64,
+    },
 }
 
 /// Denial-constraint repairer with data-driven constraint discovery.
@@ -38,7 +44,10 @@ pub struct Holistic {
 
 impl Default for Holistic {
     fn default() -> Self {
-        Holistic { support: 0.98, min_correlation: 0.9 }
+        Holistic {
+            support: 0.98,
+            min_correlation: 0.9,
+        }
     }
 }
 
@@ -72,7 +81,10 @@ impl Holistic {
             }
         }
         // Pairwise linear constraints for strongly correlated columns.
-        let mean: Vec<f64> = cols.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+        let mean: Vec<f64> = cols
+            .iter()
+            .map(|c| c.iter().sum::<f64>() / n as f64)
+            .collect();
         let std: Vec<f64> = cols
             .iter()
             .enumerate()
@@ -98,7 +110,13 @@ impl Holistic {
                         .collect();
                     resid.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
                     let tol = Self::quantile(&resid, self.support);
-                    constraints.push(Constraint::Linear { a, b, slope, offset, tol });
+                    constraints.push(Constraint::Linear {
+                        a,
+                        b,
+                        slope,
+                        offset,
+                        tol,
+                    });
                 }
             }
         }
@@ -138,7 +156,13 @@ impl Repairer for Holistic {
                         }
                     }
                 }
-                Constraint::Linear { a, b, slope, offset, tol } => {
+                Constraint::Linear {
+                    a,
+                    b,
+                    slope,
+                    offset,
+                    tol,
+                } => {
                     for r in 0..n {
                         let pred = slope * data[r * m + a] + offset;
                         let resid = data[r * m + b] - pred;

@@ -42,7 +42,11 @@ pub struct HoloClean {
 
 impl Default for HoloClean {
     fn default() -> Self {
-        HoloClean { bins: 12, threshold: 0.04, smoothing: 0.5 }
+        HoloClean {
+            bins: 12,
+            threshold: 0.04,
+            smoothing: 0.5,
+        }
     }
 }
 
@@ -58,7 +62,10 @@ enum AttrCode {
     /// Equi-width numeric bins.
     Numeric { lo: f64, width: f64, b: usize },
     /// Frequent-category codes; code `reps.len()` is the "other" bucket.
-    Categorical { reps: Vec<Value>, index: HashMap<String, usize> },
+    Categorical {
+        reps: Vec<Value>,
+        index: HashMap<String, usize>,
+    },
 }
 
 impl AttrCode {
@@ -72,7 +79,11 @@ impl AttrCode {
                 lo = lo.min(x);
                 hi = hi.max(x);
             }
-            AttrCode::Numeric { lo, width: ((hi - lo) / b as f64).max(1e-12), b }
+            AttrCode::Numeric {
+                lo,
+                width: ((hi - lo) / b as f64).max(1e-12),
+                b,
+            }
         } else {
             // Frequency-ranked categories, capped at b.
             let mut counts: HashMap<String, usize> = HashMap::new();
@@ -254,7 +265,11 @@ mod tests {
         }
         csv.push_str("crawley,ZZ99\n"); // corrupt zip for crawley
         let mut ds = disc_data::csv::from_str(&csv).unwrap();
-        let report = HoloClean { threshold: 0.2, ..HoloClean::new() }.repair(&mut ds);
+        let report = HoloClean {
+            threshold: 0.2,
+            ..HoloClean::new()
+        }
+        .repair(&mut ds);
         let last = ds.len() - 1;
         assert!(report.attrs_of(last).is_some(), "corrupted zip not flagged");
         assert_eq!(ds.row(last)[1], Value::Text("RH10".into()));

@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn disc_repairer_adapts_saver() {
-        use disc_core::{DiscSaver, DistanceConstraints};
+        use disc_core::{DistanceConstraints, SaverConfig};
         use disc_distance::{TupleDistance, Value};
 
         let mut rows = Vec::new();
@@ -159,10 +159,11 @@ mod tests {
         }
         rows.push(vec![Value::Num(0.4), Value::Num(25.0)]);
         let mut ds = Dataset::from_rows(vec!["x".into(), "y".into()], rows);
-        let repairer = DiscRepairer(DiscSaver::new(
-            DistanceConstraints::new(0.5, 4),
-            TupleDistance::numeric(2),
-        ));
+        let repairer = DiscRepairer(
+            SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+                .build_approx()
+                .unwrap(),
+        );
         let report = repairer.repair(&mut ds);
         assert_eq!(report.rows_modified(), 1);
         assert_eq!(report.attrs_of(25), Some(AttrSet::from_indices([1])));

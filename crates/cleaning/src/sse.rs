@@ -47,10 +47,8 @@ impl Sse {
                 Some(x) => {
                     // Robust location/scale: median and MAD of the inlier
                     // column.
-                    let mut col: Vec<f64> = inliers
-                        .iter()
-                        .filter_map(|row| row[j].as_num())
-                        .collect();
+                    let mut col: Vec<f64> =
+                        inliers.iter().filter_map(|row| row[j].as_num()).collect();
                     if col.is_empty() {
                         continue;
                     }

@@ -1,7 +1,7 @@
 //! Property tests for the cleaning baselines: reports must be consistent
 //! with the actual mutations, and clean structure must survive.
 
-use disc_cleaning::{Dorc, Eracer, HoloClean, Holistic, Repairer, Sse};
+use disc_cleaning::{Dorc, Eracer, Holistic, HoloClean, Repairer, Sse};
 use disc_core::DistanceConstraints;
 use disc_data::{ClusterSpec, ErrorInjector};
 use disc_distance::{TupleDistance, Value};

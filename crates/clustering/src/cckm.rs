@@ -35,7 +35,13 @@ impl Cckm {
     /// A CCKM configuration with a 1.5× balance slack.
     pub fn new(k: usize, l: usize, seed: u64) -> Self {
         assert!(k >= 1);
-        Cckm { k, l, balance: 1.5, max_iter: 60, seed }
+        Cckm {
+            k,
+            l,
+            balance: 1.5,
+            max_iter: 60,
+            seed,
+        }
     }
 }
 
@@ -83,8 +89,12 @@ impl ClusteringAlgorithm for Cckm {
             let mut sizes = vec![0usize; k];
             let mut order: Vec<usize> = (0..n).filter(|&i| !is_outlier[i]).collect();
             order.sort_by(|&a, &b| {
-                let da = (0..k).map(|c| sqdist(point(a), center(c))).fold(f64::INFINITY, f64::min);
-                let db = (0..k).map(|c| sqdist(point(b), center(c))).fold(f64::INFINITY, f64::min);
+                let da = (0..k)
+                    .map(|c| sqdist(point(a), center(c)))
+                    .fold(f64::INFINITY, f64::min);
+                let db = (0..k)
+                    .map(|c| sqdist(point(b), center(c)))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             });
             for &i in &order {
@@ -109,7 +119,10 @@ impl ClusteringAlgorithm for Cckm {
                     labels[i] = NOISE;
                 }
             }
-            let assigned: Vec<u32> = labels.iter().map(|&l| if l == NOISE { 0 } else { l }).collect();
+            let assigned: Vec<u32> = labels
+                .iter()
+                .map(|&l| if l == NOISE { 0 } else { l })
+                .collect();
             let moved = update_centers(&data, m, &assigned, &mut centers, None, |i| is_outlier[i]);
             if !moved {
                 break;
@@ -138,7 +151,13 @@ mod tests {
     #[test]
     fn respects_cluster_size_cap() {
         let (rows, _) = three_blobs(20);
-        let algo = Cckm { k: 3, l: 0, balance: 1.2, max_iter: 60, seed: 3 };
+        let algo = Cckm {
+            k: 3,
+            l: 0,
+            balance: 1.2,
+            max_iter: 60,
+            seed: 3,
+        };
         let labels = algo.cluster(&rows, &TupleDistance::numeric(2));
         let cap = (60.0f64 / 3.0 * 1.2).ceil() as usize;
         for c in 0..3u32 {
@@ -150,7 +169,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let rows: Vec<Vec<Value>> = Vec::new();
-        assert!(Cckm::new(2, 1, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+        assert!(Cckm::new(2, 1, 1)
+            .cluster(&rows, &TupleDistance::numeric(1))
+            .is_empty());
     }
 
     #[test]

@@ -147,7 +147,10 @@ mod tests {
                 ]
             })
             .collect();
-        rows.push(vec![disc_distance::Value::Num(1.2), disc_distance::Value::Num(0.0)]);
+        rows.push(vec![
+            disc_distance::Value::Num(1.2),
+            disc_distance::Value::Num(0.0),
+        ]);
         let labels = Dbscan::new(0.8, 4).cluster(&rows, &TupleDistance::numeric(2));
         assert_eq!(labels[6], labels[0], "border point must join the cluster");
     }

@@ -30,7 +30,12 @@ impl Kmc {
     /// A KMC configuration with a `40·k` kernel set.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1);
-        Kmc { k, coreset_size: 40 * k, max_iter: 100, seed }
+        Kmc {
+            k,
+            coreset_size: 40 * k,
+            max_iter: 100,
+            seed,
+        }
     }
 }
 
@@ -64,7 +69,9 @@ impl ClusteringAlgorithm for Kmc {
         let q: Vec<f64> = if total <= 0.0 {
             vec![1.0 / n as f64; n]
         } else {
-            d2.iter().map(|&d| 0.5 / n as f64 + 0.5 * d / total).collect()
+            d2.iter()
+                .map(|&d| 0.5 / n as f64 + 0.5 * d / total)
+                .collect()
         };
         let mut coreset_idx = Vec::with_capacity(size);
         let mut weights = Vec::with_capacity(size);
@@ -117,7 +124,12 @@ mod tests {
     #[test]
     fn coreset_smaller_than_k_is_clamped() {
         let (rows, _) = three_blobs(10);
-        let algo = Kmc { k: 3, coreset_size: 1, max_iter: 50, seed: 5 };
+        let algo = Kmc {
+            k: 3,
+            coreset_size: 1,
+            max_iter: 50,
+            seed: 5,
+        };
         let labels = algo.cluster(&rows, &TupleDistance::numeric(2));
         assert_eq!(labels.len(), 30);
     }
@@ -126,13 +138,18 @@ mod tests {
     fn deterministic_under_seed() {
         let (rows, _) = three_blobs(15);
         let d = TupleDistance::numeric(2);
-        assert_eq!(Kmc::new(3, 6).cluster(&rows, &d), Kmc::new(3, 6).cluster(&rows, &d));
+        assert_eq!(
+            Kmc::new(3, 6).cluster(&rows, &d),
+            Kmc::new(3, 6).cluster(&rows, &d)
+        );
     }
 
     #[test]
     fn empty_input() {
         let rows: Vec<Vec<Value>> = Vec::new();
-        assert!(Kmc::new(2, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+        assert!(Kmc::new(2, 1)
+            .cluster(&rows, &TupleDistance::numeric(1))
+            .is_empty());
     }
 
     #[test]

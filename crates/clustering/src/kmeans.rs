@@ -25,7 +25,11 @@ impl KMeans {
     /// A K-Means configuration with 100 max iterations.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1);
-        KMeans { k, max_iter: 100, seed }
+        KMeans {
+            k,
+            max_iter: 100,
+            seed,
+        }
     }
 }
 
@@ -231,7 +235,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let rows: Vec<Vec<Value>> = Vec::new();
-        assert!(KMeans::new(2, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+        assert!(KMeans::new(2, 1)
+            .cluster(&rows, &TupleDistance::numeric(1))
+            .is_empty());
     }
 
     #[test]

@@ -29,7 +29,12 @@ impl KMeansMinus {
     /// A K-Means-- configuration with 100 max iterations.
     pub fn new(k: usize, l: usize, seed: u64) -> Self {
         assert!(k >= 1);
-        KMeansMinus { k, l, max_iter: 100, seed }
+        KMeansMinus {
+            k,
+            l,
+            max_iter: 100,
+            seed,
+        }
     }
 }
 
@@ -59,7 +64,10 @@ impl ClusteringAlgorithm for KMeansMinus {
             let mut order: Vec<(usize, f64)> = (0..n)
                 .map(|i| {
                     let c = assigned[i] as usize;
-                    (i, sqdist(&data[i * m..(i + 1) * m], &centers[c * m..(c + 1) * m]))
+                    (
+                        i,
+                        sqdist(&data[i * m..(i + 1) * m], &centers[c * m..(c + 1) * m]),
+                    )
                 })
                 .collect();
             order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -21,17 +21,17 @@
 
 pub mod cckm;
 pub mod dbscan;
-pub mod optics;
+pub mod kmc;
 pub mod kmeans;
 pub mod kmeans_minus;
-pub mod kmc;
+pub mod optics;
 pub mod srem;
 
 pub use cckm::Cckm;
 pub use dbscan::Dbscan;
+pub use kmc::Kmc;
 pub use kmeans::KMeans;
 pub use kmeans_minus::KMeansMinus;
-pub use kmc::Kmc;
 pub use optics::{Optics, OpticsOrdering};
 pub use srem::Srem;
 

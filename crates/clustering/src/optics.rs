@@ -90,7 +90,15 @@ impl Optics {
                 // sorted vector (n is small enough in our workloads).
                 let mut seeds: Vec<(f64, u32)> = Vec::new();
                 if core[start].is_finite() {
-                    Self::update_seeds(&neighbors, start, &core, &reach.clone(), &processed, &mut seeds, &mut reach);
+                    Self::update_seeds(
+                        &neighbors,
+                        start,
+                        &core,
+                        &reach.clone(),
+                        &processed,
+                        &mut seeds,
+                        &mut reach,
+                    );
                 }
                 while let Some(pos) = Self::pop_min(&mut seeds, &processed) {
                     let q = pos as usize;
@@ -99,12 +107,24 @@ impl Optics {
                     let nbrs = idx.range(&rows[q], self.eps);
                     core[q] = self.core_dist(&nbrs);
                     if core[q].is_finite() {
-                        Self::update_seeds(&nbrs, q, &core, &reach.clone(), &processed, &mut seeds, &mut reach);
+                        Self::update_seeds(
+                            &nbrs,
+                            q,
+                            &core,
+                            &reach.clone(),
+                            &processed,
+                            &mut seeds,
+                            &mut reach,
+                        );
                     }
                 }
             }
         });
-        OpticsOrdering { order, reachability: reach, core_distance: core }
+        OpticsOrdering {
+            order,
+            reachability: reach,
+            core_distance: core,
+        }
     }
 
     fn core_dist(&self, neighbors: &[(u32, f64)]) -> f64 {
@@ -235,7 +255,10 @@ mod tests {
             ids.dedup();
             ids.len()
         };
-        assert!(clusters(&tight) > clusters(&loose), "tight cut must split more");
+        assert!(
+            clusters(&tight) > clusters(&loose),
+            "tight cut must split more"
+        );
     }
 
     #[test]
@@ -250,6 +273,8 @@ mod tests {
     #[test]
     fn empty_input() {
         let rows: Vec<Vec<disc_distance::Value>> = Vec::new();
-        assert!(Optics::new(1.0, 2).cluster(&rows, &TupleDistance::numeric(2)).is_empty());
+        assert!(Optics::new(1.0, 2)
+            .cluster(&rows, &TupleDistance::numeric(2))
+            .is_empty());
     }
 }

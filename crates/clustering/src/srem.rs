@@ -32,7 +32,12 @@ impl Srem {
     /// An SREM configuration with 6 restarts and 60 EM iterations each.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1);
-        Srem { k, restarts: 6, max_iter: 60, seed }
+        Srem {
+            k,
+            restarts: 6,
+            max_iter: 60,
+            seed,
+        }
     }
 }
 
@@ -90,11 +95,16 @@ fn em_run(data: &[f64], m: usize, k: usize, max_iter: usize, rng: &mut StdRng) -
                 continue; // dead component keeps its parameters
             }
             for j in 0..m {
-                model.means[c * m + j] =
-                    (0..n).map(|i| resp[i * k + c] * data[i * m + j]).sum::<f64>() / rc;
+                model.means[c * m + j] = (0..n)
+                    .map(|i| resp[i * k + c] * data[i * m + j])
+                    .sum::<f64>()
+                    / rc;
             }
             let ss: f64 = (0..n)
-                .map(|i| resp[i * k + c] * sqdist(&data[i * m..(i + 1) * m], &model.means[c * m..(c + 1) * m]))
+                .map(|i| {
+                    resp[i * k + c]
+                        * sqdist(&data[i * m..(i + 1) * m], &model.means[c * m..(c + 1) * m])
+                })
                 .sum();
             model.vars[c] = (ss / (rc * m as f64)).max(1e-9);
         }
@@ -174,13 +184,18 @@ mod tests {
     fn deterministic_under_seed() {
         let (rows, _) = three_blobs(15);
         let d = TupleDistance::numeric(2);
-        assert_eq!(Srem::new(3, 4).cluster(&rows, &d), Srem::new(3, 4).cluster(&rows, &d));
+        assert_eq!(
+            Srem::new(3, 4).cluster(&rows, &d),
+            Srem::new(3, 4).cluster(&rows, &d)
+        );
     }
 
     #[test]
     fn empty_input() {
         let rows: Vec<Vec<Value>> = Vec::new();
-        assert!(Srem::new(2, 1).cluster(&rows, &TupleDistance::numeric(1)).is_empty());
+        assert!(Srem::new(2, 1)
+            .cluster(&rows, &TupleDistance::numeric(1))
+            .is_empty());
     }
 
     #[test]
@@ -189,8 +204,20 @@ mod tests {
         // on easy data both settings must solve the problem.
         let (rows, truth) = three_blobs(20);
         let d = TupleDistance::numeric(2);
-        let few = Srem { k: 3, restarts: 1, max_iter: 60, seed: 2 }.cluster(&rows, &d);
-        let many = Srem { k: 3, restarts: 8, max_iter: 60, seed: 2 }.cluster(&rows, &d);
+        let few = Srem {
+            k: 3,
+            restarts: 1,
+            max_iter: 60,
+            seed: 2,
+        }
+        .cluster(&rows, &d);
+        let many = Srem {
+            k: 3,
+            restarts: 8,
+            max_iter: 60,
+            seed: 2,
+        }
+        .cluster(&rows, &d);
         assert!(pairwise_f1(&many, &truth) >= pairwise_f1(&few, &truth) - 1e-9);
     }
 }

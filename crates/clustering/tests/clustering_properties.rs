@@ -1,8 +1,6 @@
 //! Property tests for the clustering algorithms.
 
-use disc_clustering::{
-    Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Srem, NOISE,
-};
+use disc_clustering::{Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Srem, NOISE};
 use disc_distance::{TupleDistance, Value};
 use proptest::prelude::*;
 

@@ -60,6 +60,7 @@ pub struct DiscSaver {
 impl DiscSaver {
     /// A saver with the unrestricted search, the default node budget, and
     /// one pipeline worker per available core.
+    #[deprecated(note = "use `SaverConfig::new(..).build_approx()` instead")]
     pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
         DiscSaver {
             constraints,
@@ -71,9 +72,30 @@ impl DiscSaver {
         }
     }
 
+    /// Internal constructor for [`crate::SaverConfig::build_approx`],
+    /// which validates the knobs first.
+    pub(crate) fn from_config(
+        constraints: DistanceConstraints,
+        dist: disc_distance::TupleDistance,
+        kappa: Option<usize>,
+        node_budget: usize,
+        parallelism: Parallelism,
+        budget: Budget,
+    ) -> Self {
+        DiscSaver {
+            constraints,
+            dist,
+            kappa,
+            node_budget,
+            parallelism,
+            budget,
+        }
+    }
+
     /// Restricts adjustments to at most `kappa` attributes. Outliers that
     /// cannot be saved within the budget are classified *natural* by the
     /// pipeline (Section 1.2).
+    #[deprecated(note = "use `SaverConfig::kappa` instead")]
     pub fn with_kappa(mut self, kappa: usize) -> Self {
         assert!(kappa >= 1, "κ must be at least 1");
         self.kappa = Some(kappa);
@@ -81,6 +103,7 @@ impl DiscSaver {
     }
 
     /// Overrides the node budget.
+    #[deprecated(note = "use `SaverConfig::node_budget` instead")]
     pub fn with_node_budget(mut self, budget: usize) -> Self {
         assert!(budget >= 1);
         self.node_budget = budget;
@@ -89,6 +112,7 @@ impl DiscSaver {
 
     /// Overrides the pipeline worker count. `Parallelism(1)` forces the
     /// exact sequential code path; the result is identical either way.
+    #[deprecated(note = "use `SaverConfig::parallelism` instead")]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
@@ -103,6 +127,7 @@ impl DiscSaver {
     /// `save_all` runs (enforced through a shared [`CancelToken`]); the
     /// per-outlier candidate cap also bounds direct `save_one` calls and is
     /// fully deterministic.
+    #[deprecated(note = "use `SaverConfig::budget` instead")]
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
@@ -128,10 +153,20 @@ impl DiscSaver {
         self.kappa
     }
 
+    /// The configured node budget (visited attribute sets per outlier).
+    pub fn node_budget(&self) -> usize {
+        self.node_budget
+    }
+
     /// Builds the preprocessed inlier context for this saver's metric,
     /// constraints, and worker count.
     pub fn build_rset(&self, inlier_rows: Vec<Vec<Value>>) -> RSet {
-        RSet::with_parallelism(inlier_rows, self.dist.clone(), self.constraints, self.parallelism)
+        RSet::with_parallelism(
+            inlier_rows,
+            self.dist.clone(),
+            self.constraints,
+            self.parallelism,
+        )
     }
 
     /// Saves one outlier against `r`, returning the near-optimal adjustment
@@ -273,7 +308,10 @@ impl<'a> Search<'a> {
             token,
             cancelled: false,
             work: 0,
-            work_cap: saver.budget.max_candidates_per_outlier.unwrap_or(usize::MAX),
+            work_cap: saver
+                .budget
+                .max_candidates_per_outlier
+                .unwrap_or(usize::MAX),
             lb_prunes: 0,
             eta_prunes: 0,
             ub_updates: 0,
@@ -309,11 +347,15 @@ impl<'a> Search<'a> {
                 let row = &self.r.rows()[c as usize];
                 let mut acc = self.norm.init();
                 for a in x.complement(self.m).iter() {
-                    acc = self.norm.accumulate(acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
+                    acc = self
+                        .norm
+                        .accumulate(acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
                 }
                 self.norm.finish(acc)
             }
-            _ => self.norm.finish((self.full_acc[c as usize] - acc_x).max(0.0)),
+            _ => self
+                .norm
+                .finish((self.full_acc[c as usize] - acc_x).max(0.0)),
         }
     }
 
@@ -340,7 +382,9 @@ impl<'a> Search<'a> {
             let row = &self.r.rows()[c as usize];
             let mut a_acc = self.norm.init();
             for a in x0.iter() {
-                a_acc = self.norm.accumulate(a_acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
+                a_acc = self
+                    .norm
+                    .accumulate(a_acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
                 if a_acc > cap {
                     continue 'cand;
                 }
@@ -418,7 +462,9 @@ impl<'a> Search<'a> {
             let mut c_acc = Vec::new();
             for (i, &c) in cands.iter().enumerate() {
                 let row = &self.r.rows()[c as usize];
-                let na = self.norm.accumulate(acc[i], dist.attr_dist(a, &self.t_o[a], &row[a]));
+                let na = self
+                    .norm
+                    .accumulate(acc[i], dist.attr_dist(a, &self.t_o[a], &row[a]));
                 if na <= cap {
                     c_cands.push(c);
                     c_acc.push(na);
@@ -440,13 +486,18 @@ impl<'a> Search<'a> {
             }
         }
         let cost = self.r.distance().dist(self.t_o, &values);
-        Some(Adjustment { values, adjusted, cost })
+        Some(Adjustment {
+            values,
+            adjusted,
+            cost,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::saver::SaverConfig;
     use disc_distance::TupleDistance;
 
     fn rows(points: &[[f64; 2]]) -> Vec<Vec<Value>> {
@@ -470,7 +521,9 @@ mod tests {
     #[test]
     fn saves_single_attribute_error() {
         // Outlier at (0.3, 9.0): only attribute 1 is corrupted.
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
         let adj = saver.save_one(&r, &t_o).unwrap();
@@ -487,7 +540,9 @@ mod tests {
     fn cost_never_exceeds_nearest_tuple_substitution() {
         // DISC's result is at most DORC's (the nearest feasible tuple),
         // because Lemma 4 is one of the explored upper bounds.
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         for t_o in [
             vec![Value::Num(5.0), Value::Num(5.0)],
@@ -513,20 +568,28 @@ mod tests {
 
     #[test]
     fn cost_respects_lower_bound() {
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         let t_o = vec![Value::Num(7.0), Value::Num(0.2)];
         let adj = saver.save_one(&r, &t_o).unwrap();
         let lb = crate::bounds::lower_bound(&r, &t_o, AttrSet::empty()).unwrap();
-        assert!(adj.cost >= lb - 1e-9, "cost {} < lower bound {lb}", adj.cost);
+        assert!(
+            adj.cost >= lb - 1e-9,
+            "cost {} < lower bound {lb}",
+            adj.cost
+        );
     }
 
     #[test]
     fn kappa_restriction_blocks_multi_attribute_fixes() {
         // Outlier corrupted in both attributes: with κ = 1 it cannot be
         // saved (a natural outlier in the paper's terms).
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-            .with_kappa(1);
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .kappa(1)
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         let t_o = vec![Value::Num(9.0), Value::Num(-9.0)];
         assert!(saver.save_one(&r, &t_o).is_none());
@@ -538,8 +601,9 @@ mod tests {
 
     #[test]
     fn kappa_result_matches_unrestricted_on_single_attr_errors() {
-        let base = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
-        let restricted = base.clone().with_kappa(1);
+        let config = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let base = config.clone().build_approx().unwrap();
+        let restricted = config.kappa(1).build_approx().unwrap();
         let r = base.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.45), Value::Num(30.0)];
         let a = base.save_one(&r, &t_o).unwrap();
@@ -549,23 +613,33 @@ mod tests {
 
     #[test]
     fn empty_r_returns_none() {
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 2), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 2), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(Vec::new());
-        assert!(saver.save_one(&r, &[Value::Num(0.0), Value::Num(0.0)]).is_none());
+        assert!(saver
+            .save_one(&r, &[Value::Num(0.0), Value::Num(0.0)])
+            .is_none());
     }
 
     #[test]
     fn no_core_tuples_returns_none() {
         // Two distant points, η = 3: nothing in r can host the outlier.
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(rows(&[[0.0, 0.0], [10.0, 10.0]]));
-        assert!(saver.save_one(&r, &[Value::Num(5.0), Value::Num(5.0)]).is_none());
+        assert!(saver
+            .save_one(&r, &[Value::Num(5.0), Value::Num(5.0)])
+            .is_none());
     }
 
     #[test]
     fn node_budget_still_returns_incumbent() {
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-            .with_node_budget(1);
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .node_budget(1)
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
         // Budget 1 only visits X = ∅ — still yields the Lemma 4 solution.
@@ -582,7 +656,9 @@ mod tests {
             .map(|s| vec![Value::Text(s.to_string())])
             .collect();
         let dist = TupleDistance::textual(1);
-        let saver = DiscSaver::new(DistanceConstraints::new(1.0, 3), dist);
+        let saver = SaverConfig::new(DistanceConstraints::new(1.0, 3), dist)
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(r_rows);
         let t_o = vec![Value::Text("XY99-ZZZ".into())];
         let adj = saver.save_one(&r, &t_o).unwrap();
@@ -591,8 +667,12 @@ mod tests {
 
     #[test]
     fn candidate_cap_still_returns_incumbent_deterministically() {
-        let base = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
-        let capped = base.clone().with_budget(Budget::unlimited().with_max_candidates(1));
+        let config = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let base = config.clone().build_approx().unwrap();
+        let capped = config
+            .budget(Budget::unlimited().with_max_candidates(1))
+            .build_approx()
+            .unwrap();
         let r = base.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
         // Cap 1 processes only the root node — still a feasible answer.
@@ -607,7 +687,9 @@ mod tests {
 
     #[test]
     fn cancelled_token_interrupts_save() {
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
         let token = CancelToken::unlimited();
@@ -623,7 +705,9 @@ mod tests {
     fn already_feasible_outlier_costs_nothing_extra() {
         // A point adjacent to the cluster: an adjustment of near-zero cost
         // exists and DISC should find something cheap.
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let r = saver.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.3), Value::Num(1.1)];
         let adj = saver.save_one(&r, &t_o).unwrap();

@@ -101,6 +101,7 @@ pub fn discrete_approximation_factor(eps: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::constraints::DistanceConstraints;
+    use crate::saver::SaverConfig;
     use disc_distance::TupleDistance;
 
     fn rset(points: &[[f64; 2]], eps: f64, eta: usize) -> RSet {
@@ -108,7 +109,11 @@ mod tests {
             .iter()
             .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
             .collect();
-        RSet::new(rows, TupleDistance::numeric(2), DistanceConstraints::new(eps, eta))
+        RSet::new(
+            rows,
+            TupleDistance::numeric(2),
+            DistanceConstraints::new(eps, eta),
+        )
     }
 
     fn q(x: f64, y: f64) -> Vec<Value> {
@@ -141,11 +146,7 @@ mod tests {
     #[test]
     fn restricted_x_bounds() {
         // Outlier differs from the cluster only in attribute 1.
-        let r = rset(
-            &[[0.0, 0.0], [0.2, 0.1], [0.1, 0.2], [0.3, 0.0]],
-            0.5,
-            3,
-        );
+        let r = rset(&[[0.0, 0.0], [0.2, 0.1], [0.1, 0.2], [0.3, 0.0]], 0.5, 3);
         let t_o = q(0.1, 8.0);
         let x = AttrSet::from_indices([0]); // keep attribute 0 unadjusted
         let lb = lower_bound(&r, &t_o, x).unwrap();
@@ -187,9 +188,13 @@ mod tests {
         let t_o = q(5.0, 0.1);
         let factor = approximation_factor(&r, &t_o).expect("c > 1 here");
         assert!(factor > 1.0);
-        let saver = crate::DiscSaver::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2));
-        let exact = crate::ExactSaver::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2))
-            .with_domain_cap(None);
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
+        let exact = SaverConfig::new(DistanceConstraints::new(0.5, 3), TupleDistance::numeric(2))
+            .domain_cap(None)
+            .build_exact()
+            .unwrap();
         let a = saver.save_one(&r, &t_o).unwrap();
         let e = exact.save_one(&r, &t_o).unwrap();
         assert!(

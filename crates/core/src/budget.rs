@@ -65,7 +65,10 @@ impl Budget {
     /// The default: the process-wide deadline override if one was set
     /// (see [`set_global_deadline_ms`]), else unlimited.
     pub fn auto() -> Self {
-        Budget { deadline: global_deadline(), max_candidates_per_outlier: None }
+        Budget {
+            deadline: global_deadline(),
+            max_candidates_per_outlier: None,
+        }
     }
 
     /// Sets the wall-clock deadline.
@@ -130,7 +133,10 @@ impl CancelToken {
     /// explicitly).
     pub fn unlimited() -> Self {
         CancelToken {
-            inner: Arc::new(TokenInner { cancelled: AtomicBool::new(false), deadline: None }),
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
         }
     }
 

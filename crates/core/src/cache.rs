@@ -1,0 +1,203 @@
+//! The per-row neighborhood cache behind the streaming engine.
+//!
+//! A batch `save_all` recomputes two quantities from scratch on every
+//! call: the ε-neighbor count of every row (detection) and the `δ_η`
+//! threshold of every inlier (the RSet preprocessing pass). Both are
+//! cheap to *maintain* as tuples arrive, because ingest only appends:
+//!
+//! * counts only grow — a new tuple within ε of an old one bumps the old
+//!   tuple's count by exactly one, and nothing ever decrements;
+//! * consequently the inlier set only grows, and an inlier's η-nearest
+//!   inlier distances form a sorted list that new inliers can only
+//!   tighten.
+//!
+//! [`NeighborCache`] stores exactly these two tables. The engine feeds
+//! it hits from range queries over the new tuples and distances to newly
+//! established inliers; the cache answers detection (`count ≥ η`) and
+//! `δ_η` lookups without touching the index again.
+
+/// Cached ε-neighbor counts (all rows) and η-nearest-inlier distance
+/// lists (inlier rows only); see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct NeighborCache {
+    eta: usize,
+    /// Per-row ε-neighbor count over the whole dataset, self-inclusive —
+    /// the quantity detection compares against η.
+    counts: Vec<usize>,
+    /// For inlier rows, the ascending distances to the row's η nearest
+    /// *inliers* (self-inclusive, so the first entry is 0); `None` for
+    /// rows currently classified outliers. A list shorter than η means
+    /// fewer than η inliers exist and `δ_η` is unbounded.
+    nearest: Vec<Option<Vec<f64>>>,
+}
+
+impl NeighborCache {
+    /// An empty cache for constraints with threshold `eta`.
+    pub fn new(eta: usize) -> Self {
+        NeighborCache {
+            eta,
+            counts: Vec::new(),
+            nearest: Vec::new(),
+        }
+    }
+
+    /// Number of tracked rows.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no rows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Appends a row with ε-neighbor count `count`, classified outlier
+    /// until [`NeighborCache::set_inlier_list`] marks it inlier.
+    pub fn push_row(&mut self, count: usize) {
+        self.counts.push(count);
+        self.nearest.push(None);
+    }
+
+    /// The cached ε-neighbor count of `row`.
+    pub fn count(&self, row: usize) -> usize {
+        self.counts[row]
+    }
+
+    /// Records one additional ε-neighbor for `row`.
+    pub fn bump(&mut self, row: usize) {
+        self.counts[row] += 1;
+    }
+
+    /// Overwrites the ε-neighbor count of `row` (used when a freshly
+    /// appended row's count is computed by a single range query).
+    pub fn set_count(&mut self, row: usize, count: usize) {
+        self.counts[row] = count;
+    }
+
+    /// True when `row` satisfies the constraints, per the cached count.
+    pub fn satisfies(&self, row: usize) -> bool {
+        self.counts[row] >= self.eta
+    }
+
+    /// True when `row` has been established as an inlier (its distance
+    /// list is being maintained).
+    pub fn is_inlier(&self, row: usize) -> bool {
+        self.nearest[row].is_some()
+    }
+
+    /// Marks `row` inlier with its ascending η-nearest-inlier distances
+    /// (at most η entries, self-inclusive).
+    ///
+    /// # Panics
+    /// Panics if the list is over-long or not ascending.
+    pub fn set_inlier_list(&mut self, row: usize, list: Vec<f64>) {
+        assert!(list.len() <= self.eta, "at most η distances per inlier");
+        assert!(
+            list.windows(2).all(|w| w[0] <= w[1]),
+            "distances must be ascending"
+        );
+        self.nearest[row] = Some(list);
+    }
+
+    /// Records that a new inlier lies at distance `d` from the existing
+    /// inlier `row`, tightening its η-nearest list.
+    ///
+    /// # Panics
+    /// Panics if `row` is not an inlier.
+    pub fn observe_inlier_distance(&mut self, row: usize, d: f64) {
+        let list = self.nearest[row]
+            .as_mut()
+            .expect("observe_inlier_distance on a non-inlier row");
+        if list.len() == self.eta {
+            match list.last() {
+                Some(&worst) if d >= worst => return,
+                _ => {}
+            }
+        }
+        let pos = list.partition_point(|&x| x <= d);
+        list.insert(pos, d);
+        list.truncate(self.eta);
+    }
+
+    /// `δ_η(row)` for an inlier: the η-th nearest inlier distance, or
+    /// `+∞` when fewer than η inliers exist (matching the batch RSet's
+    /// `unwrap_or(INFINITY)`).
+    ///
+    /// # Panics
+    /// Panics if `row` is not an inlier.
+    pub fn delta_eta(&self, row: usize) -> f64 {
+        let list = self.nearest[row]
+            .as_ref()
+            .expect("delta_eta on a non-inlier row");
+        if list.len() == self.eta {
+            list[self.eta - 1]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_grow_monotonically() {
+        let mut c = NeighborCache::new(3);
+        c.push_row(1);
+        c.push_row(4);
+        assert!(!c.satisfies(0));
+        assert!(c.satisfies(1));
+        c.bump(0);
+        c.bump(0);
+        assert_eq!(c.count(0), 3);
+        assert!(c.satisfies(0));
+    }
+
+    #[test]
+    fn delta_eta_tracks_the_kth_distance() {
+        let mut c = NeighborCache::new(3);
+        c.push_row(3);
+        c.set_inlier_list(0, vec![0.0, 1.0, 2.5]);
+        assert_eq!(c.delta_eta(0), 2.5);
+        // A nearer inlier appears: the 3rd-nearest tightens.
+        c.observe_inlier_distance(0, 0.5);
+        assert_eq!(c.delta_eta(0), 1.0);
+        // A farther one changes nothing.
+        c.observe_inlier_distance(0, 9.0);
+        assert_eq!(c.delta_eta(0), 1.0);
+    }
+
+    #[test]
+    fn short_list_means_unbounded() {
+        let mut c = NeighborCache::new(4);
+        c.push_row(4);
+        c.set_inlier_list(0, vec![0.0, 1.0]);
+        assert_eq!(c.delta_eta(0), f64::INFINITY);
+        c.observe_inlier_distance(0, 3.0);
+        assert_eq!(c.delta_eta(0), f64::INFINITY);
+        c.observe_inlier_distance(0, 2.0);
+        assert_eq!(c.delta_eta(0), 3.0);
+    }
+
+    #[test]
+    fn outliers_have_no_list() {
+        let mut c = NeighborCache::new(2);
+        c.push_row(1);
+        assert!(!c.is_inlier(0));
+        c.set_inlier_list(0, vec![0.0, 1.5]);
+        assert!(c.is_inlier(0));
+        assert_eq!(c.delta_eta(0), 1.5);
+    }
+
+    #[test]
+    fn duplicate_distances_are_kept() {
+        let mut c = NeighborCache::new(3);
+        c.push_row(3);
+        c.set_inlier_list(0, vec![0.0, 1.0, 1.0]);
+        c.observe_inlier_distance(0, 1.0);
+        assert_eq!(c.delta_eta(0), 1.0);
+        c.observe_inlier_distance(0, 0.0);
+        assert_eq!(c.delta_eta(0), 1.0);
+    }
+}

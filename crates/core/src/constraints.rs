@@ -18,10 +18,34 @@ pub struct DistanceConstraints {
 
 impl DistanceConstraints {
     /// Builds constraints; ε must be positive and η ≥ 1.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; [`DistanceConstraints::try_new`] is
+    /// the non-panicking form.
     pub fn new(eps: f64, eta: usize) -> Self {
-        assert!(eps > 0.0, "distance threshold ε must be positive");
-        assert!(eta >= 1, "neighbor threshold η must be at least 1");
-        DistanceConstraints { eps, eta }
+        match Self::try_new(eps, eta) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds constraints, reporting invalid parameters as
+    /// [`Error::Config`](crate::Error::Config) instead of panicking.
+    /// ε must be a positive finite number and η ≥ 1.
+    pub fn try_new(eps: f64, eta: usize) -> Result<Self, crate::Error> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(crate::Error::Config {
+                param: "eps",
+                message: format!("distance threshold ε must be positive and finite (got {eps})"),
+            });
+        }
+        if eta < 1 {
+            return Err(crate::Error::Config {
+                param: "eta",
+                message: "neighbor threshold η must be at least 1 (got 0)".into(),
+            });
+        }
+        Ok(DistanceConstraints { eps, eta })
     }
 }
 
@@ -61,10 +85,9 @@ pub fn detect_outliers_parallel(
     constraints: DistanceConstraints,
     workers: usize,
 ) -> OutlierSplit {
-    let counts: Vec<usize> =
-        disc_index::with_auto_index_sync(rows, dist, constraints.eps, |idx| {
-            disc_index::count_within_batch(idx, rows, constraints.eps, workers)
-        });
+    let counts: Vec<usize> = disc_index::with_auto_index_sync(rows, dist, constraints.eps, |idx| {
+        disc_index::count_within_batch(idx, rows, constraints.eps, workers)
+    });
     let mut inliers = Vec::new();
     let mut outliers = Vec::new();
     for (i, &c) in counts.iter().enumerate() {
@@ -74,7 +97,11 @@ pub fn detect_outliers_parallel(
             outliers.push(i);
         }
     }
-    OutlierSplit { inliers, outliers, counts }
+    OutlierSplit {
+        inliers,
+        outliers,
+        counts,
+    }
 }
 
 #[cfg(test)]
@@ -100,7 +127,11 @@ mod tests {
             [0.05, 0.05],
             [10.0, 10.0],
         ]);
-        let split = detect_outliers(&data, &TupleDistance::numeric(2), DistanceConstraints::new(0.5, 3));
+        let split = detect_outliers(
+            &data,
+            &TupleDistance::numeric(2),
+            DistanceConstraints::new(0.5, 3),
+        );
         assert_eq!(split.outliers, vec![5]);
         assert_eq!(split.inliers.len(), 5);
         assert_eq!(split.counts[5], 1); // only itself
@@ -110,14 +141,22 @@ mod tests {
     #[test]
     fn eta_one_accepts_everything() {
         let data = rows(&[[0.0, 0.0], [100.0, 100.0]]);
-        let split = detect_outliers(&data, &TupleDistance::numeric(2), DistanceConstraints::new(1.0, 1));
+        let split = detect_outliers(
+            &data,
+            &TupleDistance::numeric(2),
+            DistanceConstraints::new(1.0, 1),
+        );
         assert!(split.outliers.is_empty());
     }
 
     #[test]
     fn strict_eta_rejects_everything() {
         let data = rows(&[[0.0, 0.0], [100.0, 100.0]]);
-        let split = detect_outliers(&data, &TupleDistance::numeric(2), DistanceConstraints::new(1.0, 2));
+        let split = detect_outliers(
+            &data,
+            &TupleDistance::numeric(2),
+            DistanceConstraints::new(1.0, 2),
+        );
         assert_eq!(split.outliers.len(), 2);
     }
 

@@ -1,0 +1,503 @@
+//! The incremental streaming engine: ingest micro-batches, re-save only
+//! what changed.
+//!
+//! [`DiscEngine`] owns the dataset, a [`DynamicIndex`] over it, and a
+//! [`NeighborCache`] of per-row ε-neighbor
+//! counts and per-inlier `δ_η` lists. Each [`DiscEngine::ingest`] call:
+//!
+//! 1. appends the batch and updates counts *incrementally* — one range
+//!    query per new tuple, bumping the cached count of every old row it
+//!    lands within ε of (rows untouched by any query keep their cached
+//!    count: `engine.cache_hits`);
+//! 2. re-classifies only rows whose count changed — because counts never
+//!    decrease, inliers stay inliers and the only transitions are new
+//!    rows settling and old outliers being *promoted* (their adjusted
+//!    values, if any, are reverted to the original ingested values);
+//! 3. maintains the `δ_η` lists: existing inliers observe their distance
+//!    to each newly established inlier, new inliers get a fresh η-NN
+//!    query against the inlier-only index;
+//! 4. computes the *dirty set* — the outliers whose save outcome could
+//!    have changed: the new outliers plus any previously skipped/failed
+//!    rows, widened to *all* current outliers iff the inlier set grew
+//!    this ingest (every save runs against `r`, so a bigger `r`
+//!    invalidates every previous outcome);
+//! 5. runs the ordinary budgeted / parallel / panic-isolated save
+//!    machinery ([`pipeline`](crate::pipeline)) on just the dirty rows
+//!    and applies the adjustments.
+//!
+//! Determinism contract: detection and saving always work on the
+//! *original* ingested values (adjustments live only in the output
+//! dataset), the RSet lists inliers in ascending row order, and dirty
+//! outliers are saved in ascending row order — exactly the batch
+//! pipeline's conventions. After any sequence of ingests the engine's
+//! classification and saved dataset are identical to one batch
+//! `save_all` over the concatenated data (see the
+//! `engine_equivalence` proptest), for every worker count.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use disc_data::{Dataset, Schema};
+use disc_distance::Value;
+use disc_index::{DynamicIndex, DynamicNeighborIndex, NeighborIndex, NonNumericCell};
+use disc_obs::{counters, PipelineStats, Snapshot};
+
+use crate::cache::NeighborCache;
+use crate::error::Error;
+use crate::pipeline::{save_outlier_rows, SaveReport};
+use crate::rset::RSet;
+use crate::saver::Saver;
+
+/// A long-lived incremental DISC engine; see the [module docs](self).
+pub struct DiscEngine {
+    saver: Box<dyn Saver>,
+    /// Original (as-ingested) values of every row. Detection, `δ_η`
+    /// maintenance, and saving always read these.
+    original: Vec<Vec<Value>>,
+    /// The output dataset: original values with the current adjustment
+    /// applied to each saved outlier.
+    current: Dataset,
+    cache: NeighborCache,
+    /// All rows, original values — answers the per-new-tuple ε-range
+    /// queries of the count update.
+    full_index: DynamicIndex,
+    /// Inlier rows only, original values — answers the η-NN queries that
+    /// seed a new inlier's `δ_η` list. Insertion order is irrelevant:
+    /// only distance *values* are read from it.
+    inlier_index: DynamicIndex,
+    inlier_count: usize,
+    /// Outliers whose last save attempt was skipped (budget) or failed
+    /// (panic); retried on the next ingest.
+    pending: BTreeSet<usize>,
+    /// The inlier context, cached between ingests and invalidated
+    /// whenever the inlier set grows.
+    rset: Option<RSet>,
+}
+
+impl DiscEngine {
+    /// An empty engine over `schema`, saving with `saver`.
+    ///
+    /// # Panics
+    /// Panics if the schema arity differs from the saver's metric arity.
+    pub fn new(schema: Schema, saver: Box<dyn Saver>) -> Self {
+        assert_eq!(
+            schema.arity(),
+            saver.distance().arity(),
+            "schema arity must match the saver's tuple metric"
+        );
+        let eps = saver.constraints().eps;
+        let eta = saver.constraints().eta;
+        let dist = saver.distance().clone();
+        DiscEngine {
+            current: Dataset::new(schema, Vec::new()),
+            original: Vec::new(),
+            cache: NeighborCache::new(eta),
+            full_index: DynamicIndex::new(dist.clone(), eps),
+            inlier_index: DynamicIndex::new(dist, eps),
+            inlier_count: 0,
+            pending: BTreeSet::new(),
+            rset: None,
+            saver,
+        }
+    }
+
+    /// Number of ingested rows.
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// True before the first tuple arrives.
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// The saver driving detection and saving.
+    pub fn saver(&self) -> &dyn Saver {
+        &*self.saver
+    }
+
+    /// The output dataset: ingested rows with the current adjustments
+    /// applied to saved outliers.
+    pub fn dataset(&self) -> &Dataset {
+        &self.current
+    }
+
+    /// Consumes the engine, returning the output dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.current
+    }
+
+    /// The original (as-ingested) values of `row`.
+    pub fn original_row(&self, row: usize) -> &[Value] {
+        &self.original[row]
+    }
+
+    /// The cached ε-neighbor count of `row` (self-inclusive).
+    pub fn neighbor_count(&self, row: usize) -> usize {
+        self.cache.count(row)
+    }
+
+    /// True when `row` currently satisfies the distance constraints.
+    pub fn is_inlier(&self, row: usize) -> bool {
+        self.cache.is_inlier(row)
+    }
+
+    /// Rows currently classified outliers, ascending.
+    pub fn outliers(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| !self.cache.is_inlier(i))
+            .collect()
+    }
+
+    /// Outliers whose last save attempt was skipped or failed; they are
+    /// retried automatically on the next ingest.
+    pub fn pending(&self) -> Vec<usize> {
+        self.pending.iter().copied().collect()
+    }
+
+    /// Validates a batch before anything is mutated, so a rejected
+    /// ingest leaves the engine untouched.
+    fn validate(&self, batch: &[Vec<Value>]) -> Result<(), Error> {
+        let m = self.saver.distance().arity();
+        for (i, row) in batch.iter().enumerate() {
+            if row.len() != m {
+                return Err(Error::ArityMismatch {
+                    expected: m,
+                    got: row.len(),
+                    row: i,
+                });
+            }
+            for (attr, v) in row.iter().enumerate() {
+                if matches!(v.as_num(), Some(x) if !x.is_finite()) {
+                    return Err(Error::NonNumeric(NonNumericCell { row: i, attr }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `batch`, incrementally re-detects, saves the dirty
+    /// outliers, and reports what happened (the report's `outliers` are
+    /// the dirty rows processed *this* ingest, not the all-time set).
+    ///
+    /// # Errors
+    /// Rejects (without mutating the engine) batches with a row of the
+    /// wrong arity or with a non-finite numeric cell; text and null
+    /// values are legal wherever the metric accepts them.
+    pub fn ingest(&mut self, batch: Vec<Vec<Value>>) -> Result<SaveReport, Error> {
+        self.validate(&batch)?;
+        let t_run = Instant::now();
+        let counters_before = Snapshot::take();
+        counters::ENGINE_INGESTS.incr();
+        counters::ENGINE_ROWS_INGESTED.add(batch.len() as u64);
+        let mut stats = PipelineStats::default();
+        let constraints = self.saver.constraints();
+        let first_new = self.original.len();
+
+        // Phase 1: append everywhere, then one ε-range query per new
+        // tuple updates every affected cached count.
+        let t_detect = Instant::now();
+        for row in batch {
+            self.current.push(row.clone());
+            self.original.push(row.clone());
+            self.full_index.insert(row);
+            self.cache.push_row(0);
+        }
+        let n = self.original.len();
+        let mut bumped: BTreeSet<usize> = BTreeSet::new();
+        for g in first_new..n {
+            let hits = self.full_index.range(&self.original[g], constraints.eps);
+            // Self-inclusive: the query row is in the index, at distance 0.
+            self.cache.set_count(g, hits.len());
+            for &(h, _) in &hits {
+                let h = h as usize;
+                if h < first_new {
+                    self.cache.bump(h);
+                    bumped.insert(h);
+                }
+            }
+        }
+        counters::ENGINE_CACHE_HITS.add((first_new - bumped.len()) as u64);
+
+        // Phase 2: re-classify. Counts never decrease, so the only
+        // transitions are old outliers promoted by new neighbors and new
+        // rows settling into a class.
+        let mut new_inliers: Vec<usize> = Vec::new();
+        for &h in &bumped {
+            if !self.cache.is_inlier(h) && self.cache.satisfies(h) {
+                new_inliers.push(h);
+                counters::ENGINE_PROMOTIONS.incr();
+                // A promoted row is no longer saved: its adjusted values
+                // (if any) revert to the original ingested ones.
+                self.current.set_row(h, self.original[h].clone());
+                self.pending.remove(&h);
+            }
+        }
+        for g in first_new..n {
+            if self.cache.satisfies(g) {
+                new_inliers.push(g);
+            }
+        }
+
+        // Phase 3: maintain the δ_η lists.
+        if !new_inliers.is_empty() {
+            for &i in &new_inliers {
+                self.inlier_index.insert(self.original[i].clone());
+            }
+            // New inliers (promoted and fresh alike) have no list yet, so
+            // `is_inlier` here selects exactly the pre-existing inliers.
+            for j in 0..first_new {
+                if self.cache.is_inlier(j) {
+                    for &i in &new_inliers {
+                        let d = self
+                            .saver
+                            .distance()
+                            .dist(&self.original[j], &self.original[i]);
+                        self.cache.observe_inlier_distance(j, d);
+                    }
+                }
+            }
+            for &i in &new_inliers {
+                let list: Vec<f64> = self
+                    .inlier_index
+                    .knn(&self.original[i], constraints.eta)
+                    .into_iter()
+                    .map(|(_, d)| d)
+                    .collect();
+                self.cache.set_inlier_list(i, list);
+            }
+            self.inlier_count += new_inliers.len();
+            self.rset = None; // r grew: every cached save outcome is stale
+        }
+
+        // Phase 4: the dirty set.
+        let mut dirty: BTreeSet<usize> = std::mem::take(&mut self.pending);
+        if new_inliers.is_empty() {
+            dirty.extend((first_new..n).filter(|&g| !self.cache.satisfies(g)));
+        } else {
+            dirty = (0..n).filter(|&i| !self.cache.is_inlier(i)).collect();
+        }
+        let dirty: Vec<usize> = dirty.into_iter().collect();
+        counters::ENGINE_DIRTY_ROWS.add(dirty.len() as u64);
+        counters::ENGINE_RESAVES.add(dirty.iter().filter(|&&row| row < first_new).count() as u64);
+        stats.stages.detect = t_detect.elapsed();
+
+        let mut report = SaveReport {
+            outliers: dirty.clone(),
+            ..SaveReport::default()
+        };
+        if dirty.is_empty() {
+            stats.stages.total = t_run.elapsed();
+            stats.counters = Snapshot::take().delta_since(&counters_before);
+            report.stats = stats;
+            return Ok(report);
+        }
+
+        // Phase 5: save the dirty rows with the shared pipeline
+        // machinery (panic isolation, budget, worker-count-independent
+        // phase-2 absorption).
+        let token = self.saver.budget().start();
+        if token.is_cancelled() {
+            report.skipped = dirty.clone();
+            self.pending = dirty.into_iter().collect();
+            report.degraded = true;
+            stats.search.cancellations = report.skipped.len() as u64;
+            counters::SAVES_CANCELLED.add(stats.search.cancellations);
+            stats.stages.total = t_run.elapsed();
+            stats.counters = Snapshot::take().delta_since(&counters_before);
+            report.stats = stats;
+            return Ok(report);
+        }
+        let t_rset = Instant::now();
+        if self.rset.is_none() {
+            // Ascending row order, matching the batch pipeline's RSet.
+            let mut rows = Vec::with_capacity(self.inlier_count);
+            let mut delta_eta = Vec::with_capacity(self.inlier_count);
+            for i in 0..n {
+                if self.cache.is_inlier(i) {
+                    rows.push(self.original[i].clone());
+                    delta_eta.push(self.cache.delta_eta(i));
+                }
+            }
+            self.rset = Some(RSet::from_parts(
+                rows,
+                self.saver.distance().clone(),
+                constraints,
+                delta_eta,
+            ));
+        }
+        stats.stages.rset_build = t_rset.elapsed();
+        let t_save = Instant::now();
+        // A dirty row's previous adjustment (if any) is stale; start the
+        // save pass from original values so unsaved rows end up original.
+        for &row in &dirty {
+            self.current.set_row(row, self.original[row].clone());
+        }
+        let r = self.rset.as_ref().expect("rset built above");
+        let workers = self.saver.parallelism().workers();
+        let adjustments = save_outlier_rows(
+            &*self.saver,
+            r,
+            &self.original,
+            &dirty,
+            workers,
+            &token,
+            &mut stats,
+            &mut report,
+        );
+        stats.stages.save = t_save.elapsed();
+        for (row, values) in adjustments {
+            self.current.set_row(row, values);
+        }
+        self.pending = report
+            .skipped
+            .iter()
+            .copied()
+            .chain(report.failed.iter().map(|f| f.row))
+            .collect();
+        counters::OUTLIERS_SAVED.add(report.saved.len() as u64);
+        counters::SAVES_CANCELLED.add(stats.search.cancellations);
+        counters::SAVES_PANICKED.add(stats.search.panics);
+        report.degraded = !report.failed.is_empty() || !report.skipped.is_empty();
+        stats.stages.total = t_run.elapsed();
+        stats.counters = Snapshot::take().delta_since(&counters_before);
+        report.stats = stats;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::saver::SaverConfig;
+    use crate::DistanceConstraints;
+    use disc_distance::TupleDistance;
+
+    fn engine(eps: f64, eta: usize) -> DiscEngine {
+        let saver = SaverConfig::new(
+            DistanceConstraints::new(eps, eta),
+            TupleDistance::numeric(2),
+        )
+        .build_approx()
+        .unwrap();
+        DiscEngine::new(Schema::numeric(2), Box::new(saver))
+    }
+
+    fn num(xs: &[[f64; 2]]) -> Vec<Vec<Value>> {
+        xs.iter()
+            .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
+            .collect()
+    }
+
+    fn grid_rows() -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                rows.push(vec![Value::Num(0.2 * i as f64), Value::Num(0.2 * j as f64)]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn single_batch_matches_batch_pipeline() {
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        let mut eng = engine(0.5, 4);
+        let report = eng.ingest(rows.clone()).unwrap();
+        assert_eq!(report.outliers, vec![36]);
+        assert_eq!(report.saved.len(), 1);
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
+        let mut ds = Dataset::from_rows(vec!["x".into(), "y".into()], rows);
+        let batch = saver.save_all(&mut ds);
+        assert_eq!(report.saved, batch.saved);
+        assert_eq!(eng.dataset().rows(), ds.rows());
+    }
+
+    #[test]
+    fn counts_update_incrementally() {
+        let mut eng = engine(1.0, 3);
+        eng.ingest(num(&[[0.0, 0.0], [0.5, 0.0]])).unwrap();
+        assert_eq!(eng.neighbor_count(0), 2);
+        assert!(!eng.is_inlier(0));
+        eng.ingest(num(&[[0.0, 0.5]])).unwrap();
+        assert_eq!(eng.neighbor_count(0), 3);
+        assert!(eng.is_inlier(0));
+        assert!(eng.is_inlier(2));
+    }
+
+    #[test]
+    fn promotion_reverts_adjustments() {
+        // A dense cluster plus one tuple just outside it: the outlier is
+        // saved (adjusted). Then enough neighbors arrive around its
+        // ORIGINAL location to promote it — the adjustment must revert.
+        let mut eng = engine(0.5, 4);
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(5.0), Value::Num(5.0)]);
+        eng.ingest(rows).unwrap();
+        assert!(!eng.is_inlier(36));
+        let adjusted = eng.dataset().row(36).to_vec();
+        assert_ne!(
+            adjusted,
+            eng.original_row(36),
+            "outlier should have been saved"
+        );
+        eng.ingest(num(&[[5.1, 5.0], [4.9, 5.0], [5.0, 5.1]]))
+            .unwrap();
+        assert!(eng.is_inlier(36), "new neighbors promote the old outlier");
+        assert_eq!(eng.dataset().row(36), eng.original_row(36));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_without_mutation() {
+        let mut eng = engine(0.5, 2);
+        let err = eng
+            .ingest(vec![vec![Value::Num(0.0)]])
+            .expect_err("short row must be rejected");
+        assert!(matches!(
+            err,
+            Error::ArityMismatch {
+                expected: 2,
+                got: 1,
+                row: 0
+            }
+        ));
+        assert!(eng.is_empty());
+    }
+
+    #[test]
+    fn non_finite_cell_rejected_without_mutation() {
+        let mut eng = engine(0.5, 2);
+        eng.ingest(num(&[[0.0, 0.0]])).unwrap();
+        let err = eng
+            .ingest(vec![vec![Value::Num(1.0), Value::Num(f64::NAN)]])
+            .expect_err("NaN cell must be rejected");
+        assert!(matches!(
+            err,
+            Error::NonNumeric(NonNumericCell { row: 0, attr: 1 })
+        ));
+        assert_eq!(eng.len(), 1, "rejected batch leaves the engine untouched");
+    }
+
+    #[test]
+    fn clean_second_batch_is_all_cache_hits() {
+        let mut eng = engine(0.5, 4);
+        eng.ingest(grid_rows()).unwrap();
+        // A second batch far from the grid: no old count changes.
+        let report = eng.ingest(num(&[[100.0, 100.0]])).unwrap();
+        assert_eq!(report.outliers, vec![36]);
+        let hits = report.stats.counters.get("engine.cache_hits");
+        assert_eq!(hits, 36, "untouched rows keep cached counts");
+    }
+
+    #[test]
+    fn empty_ingest_is_a_no_op() {
+        let mut eng = engine(0.5, 4);
+        eng.ingest(grid_rows()).unwrap();
+        let report = eng.ingest(Vec::new()).unwrap();
+        assert!(report.outliers.is_empty());
+        assert!(!report.degraded);
+    }
+}

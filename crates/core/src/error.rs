@@ -1,0 +1,95 @@
+//! Typed errors for the crate's fallible boundaries.
+//!
+//! The original seed surfaced misconfiguration as `panic!`s and CSV
+//! problems as bare `String`s. Those remain for the deprecated
+//! constructors (changing a panic to a `Result` is a breaking change),
+//! but the [`SaverConfig`](crate::SaverConfig) builder and
+//! [`DiscEngine::ingest`](crate::DiscEngine::ingest) return [`Error`]
+//! instead, so callers can distinguish bad parameters from bad data.
+
+use std::fmt;
+
+use disc_index::NonNumericCell;
+
+/// Why a saver could not be built or a batch could not be ingested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration parameter is out of range (e.g. `κ = 0`, a zero
+    /// node budget, a non-positive ε).
+    Config {
+        /// The offending parameter.
+        param: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A tuple holds a value that is not a finite number where one is
+    /// required (grid indexing, streaming ingest of numeric schemas).
+    NonNumeric(NonNumericCell),
+    /// A CSV source failed to parse.
+    Csv(String),
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Expected number of attributes (the schema / metric arity).
+        expected: usize,
+        /// The offending tuple's attribute count.
+        got: usize,
+        /// Position of the offending tuple within its batch.
+        row: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config { param, message } => write!(f, "invalid {param}: {message}"),
+            Error::NonNumeric(cell) => write!(f, "{cell}"),
+            Error::Csv(message) => write!(f, "csv parse error: {message}"),
+            Error::ArityMismatch { expected, got, row } => write!(
+                f,
+                "arity mismatch: batch row {row} has {got} attributes, schema expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<NonNumericCell> for Error {
+    fn from(cell: NonNumericCell) -> Self {
+        Error::NonNumeric(cell)
+    }
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Config`] value.
+    pub(crate) fn config(param: &'static str, message: impl Into<String>) -> Self {
+        Error::Config {
+            param,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::config("kappa", "must be at least 1 (got 0)");
+        assert_eq!(e.to_string(), "invalid kappa: must be at least 1 (got 0)");
+
+        let e: Error = NonNumericCell { row: 3, attr: 1 }.into();
+        assert!(e.to_string().contains("row 3, attribute 1"));
+
+        let e = Error::Csv("line 2: expected 3 fields".into());
+        assert!(e.to_string().starts_with("csv parse error"));
+
+        let e = Error::ArityMismatch {
+            expected: 3,
+            got: 2,
+            row: 7,
+        };
+        assert!(e.to_string().contains("row 7 has 2 attributes"));
+    }
+}

@@ -37,6 +37,7 @@ pub struct ExactSaver {
 impl ExactSaver {
     /// An exact saver with a 16-value domain cap per attribute, a
     /// 10⁷-combination budget, and one pipeline worker per available core.
+    #[deprecated(note = "use `SaverConfig::new(..).build_exact()` instead")]
     pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
         ExactSaver {
             constraints,
@@ -48,13 +49,35 @@ impl ExactSaver {
         }
     }
 
+    /// Internal constructor for [`crate::SaverConfig::build_exact`],
+    /// which validates the knobs first.
+    pub(crate) fn from_config(
+        constraints: DistanceConstraints,
+        dist: disc_distance::TupleDistance,
+        domain_cap: Option<usize>,
+        max_combinations: u64,
+        parallelism: Parallelism,
+        budget: Budget,
+    ) -> Self {
+        ExactSaver {
+            constraints,
+            dist,
+            domain_cap,
+            max_combinations,
+            parallelism,
+            budget,
+        }
+    }
+
     /// Overrides the per-attribute domain cap (`None` = full active domain).
+    #[deprecated(note = "use `SaverConfig::domain_cap` instead")]
     pub fn with_domain_cap(mut self, cap: Option<usize>) -> Self {
         self.domain_cap = cap;
         self
     }
 
     /// Overrides the combination budget.
+    #[deprecated(note = "use `SaverConfig::max_combinations` instead")]
     pub fn with_max_combinations(mut self, max: u64) -> Self {
         self.max_combinations = max;
         self
@@ -62,6 +85,7 @@ impl ExactSaver {
 
     /// Overrides the pipeline worker count. `Parallelism(1)` forces the
     /// exact sequential code path; the result is identical either way.
+    #[deprecated(note = "use `SaverConfig::parallelism` instead")]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
@@ -72,10 +96,21 @@ impl ExactSaver {
         self.parallelism
     }
 
+    /// The configured per-attribute domain cap, if any.
+    pub fn domain_cap(&self) -> Option<usize> {
+        self.domain_cap
+    }
+
+    /// The configured combination budget.
+    pub fn max_combinations(&self) -> u64 {
+        self.max_combinations
+    }
+
     /// Overrides the execution budget. With a per-outlier candidate cap
     /// set, an over-budget cross-product no longer panics: enumeration
     /// stops at the cap and the incumbent is returned (graceful
     /// degradation instead of the hard `max_combinations` assert).
+    #[deprecated(note = "use `SaverConfig::budget` instead")]
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
@@ -88,7 +123,12 @@ impl ExactSaver {
 
     /// Builds the inlier context.
     pub fn build_rset(&self, inlier_rows: Vec<Vec<Value>>) -> RSet {
-        RSet::with_parallelism(inlier_rows, self.dist.clone(), self.constraints, self.parallelism)
+        RSet::with_parallelism(
+            inlier_rows,
+            self.dist.clone(),
+            self.constraints,
+            self.parallelism,
+        )
     }
 
     /// The configured constraints.
@@ -186,7 +226,10 @@ impl ExactSaver {
         let mut tried: u64 = 0;
         let result = self.enumerate(r, t_o, token, &mut tried);
         counters::EXACT_COMBINATIONS.add(tried);
-        let effort = SaveEffort { candidates: tried, ..SaveEffort::default() };
+        let effort = SaveEffort {
+            candidates: tried,
+            ..SaveEffort::default()
+        };
         effort.flush_global();
         (result, effort)
     }
@@ -229,7 +272,11 @@ impl ExactSaver {
                     adjusted.insert(b);
                 }
             }
-            Some(Adjustment { values, adjusted, cost })
+            Some(Adjustment {
+                values,
+                adjusted,
+                cost,
+            })
         };
 
         let mut best: Option<(Vec<Value>, f64)> = None;
@@ -276,7 +323,7 @@ impl ExactSaver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::approx::DiscSaver;
+    use crate::saver::SaverConfig;
     use disc_distance::TupleDistance;
 
     fn cluster_2d() -> Vec<Vec<Value>> {
@@ -292,7 +339,10 @@ mod tests {
     #[test]
     fn exact_result_is_feasible_and_optimal_among_domain() {
         let c = DistanceConstraints::new(0.5, 4);
-        let exact = ExactSaver::new(c, TupleDistance::numeric(2)).with_domain_cap(None);
+        let exact = SaverConfig::new(c, TupleDistance::numeric(2))
+            .domain_cap(None)
+            .build_exact()
+            .unwrap();
         let r = exact.build_rset(cluster_2d());
         let t_o = vec![Value::Num(0.3), Value::Num(9.0)];
         let adj = exact.save_one(&r, &t_o).unwrap();
@@ -308,8 +358,11 @@ mod tests {
         // a combination of existing attribute values).
         let c = DistanceConstraints::new(0.5, 4);
         let dist = TupleDistance::numeric(2);
-        let exact = ExactSaver::new(c, dist.clone()).with_domain_cap(None);
-        let approx = DiscSaver::new(c, dist);
+        let exact = SaverConfig::new(c, dist.clone())
+            .domain_cap(None)
+            .build_exact()
+            .unwrap();
+        let approx = SaverConfig::new(c, dist).build_approx().unwrap();
         let r = exact.build_rset(cluster_2d());
         for t_o in [
             vec![Value::Num(0.3), Value::Num(9.0)],
@@ -318,27 +371,41 @@ mod tests {
         ] {
             let e = exact.save_one(&r, &t_o).unwrap();
             let a = approx.save_one(&r, &t_o).unwrap();
-            assert!(e.cost <= a.cost + 1e-9, "exact {} > approx {}", e.cost, a.cost);
+            assert!(
+                e.cost <= a.cost + 1e-9,
+                "exact {} > approx {}",
+                e.cost,
+                a.cost
+            );
         }
     }
 
     #[test]
     fn infeasible_everywhere_returns_none() {
         let c = DistanceConstraints::new(0.1, 5);
-        let exact = ExactSaver::new(c, TupleDistance::numeric(2));
+        let exact = SaverConfig::new(c, TupleDistance::numeric(2))
+            .build_exact()
+            .unwrap();
         // Widely spread r: no candidate can collect 5 neighbors within 0.1.
         let rows: Vec<Vec<Value>> = (0..6)
             .map(|i| vec![Value::Num(10.0 * i as f64), Value::Num(0.0)])
             .collect();
         let r = exact.build_rset(rows);
-        assert!(exact.save_one(&r, &[Value::Num(1.0), Value::Num(1.0)]).is_none());
+        assert!(exact
+            .save_one(&r, &[Value::Num(1.0), Value::Num(1.0)])
+            .is_none());
     }
 
     #[test]
     fn domain_cap_quantizes() {
         let c = DistanceConstraints::new(0.5, 2);
-        let exact = ExactSaver::new(c, TupleDistance::numeric(1)).with_domain_cap(Some(4));
-        let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Num(i as f64 * 0.01)]).collect();
+        let exact = SaverConfig::new(c, TupleDistance::numeric(1))
+            .domain_cap(Some(4))
+            .build_exact()
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Num(i as f64 * 0.01)])
+            .collect();
         let r = exact.build_rset(rows);
         let d = exact.domain(&r, 0, &Value::Num(50.0));
         assert_eq!(d.len(), 5); // 4 quantiles + the outlier's own value
@@ -353,10 +420,12 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..10)
             .map(|i| vec![Value::Num(i as f64), Value::Num(i as f64)])
             .collect();
-        let exact = ExactSaver::new(c, TupleDistance::numeric(2))
-            .with_domain_cap(None)
-            .with_max_combinations(4)
-            .with_budget(Budget::unlimited().with_max_candidates(50));
+        let exact = SaverConfig::new(c, TupleDistance::numeric(2))
+            .domain_cap(None)
+            .max_combinations(4)
+            .budget(Budget::unlimited().with_max_candidates(50))
+            .build_exact()
+            .unwrap();
         let r = exact.build_rset(rows);
         let t_o = [Value::Num(0.0), Value::Num(0.0)];
         let adj = exact.save_one(&r, &t_o);
@@ -370,7 +439,9 @@ mod tests {
     #[test]
     fn cancelled_token_interrupts_exact_save() {
         let c = DistanceConstraints::new(0.5, 4);
-        let exact = ExactSaver::new(c, TupleDistance::numeric(2));
+        let exact = SaverConfig::new(c, TupleDistance::numeric(2))
+            .build_exact()
+            .unwrap();
         let r = exact.build_rset(cluster_2d());
         let token = CancelToken::unlimited();
         token.cancel();
@@ -382,9 +453,11 @@ mod tests {
     #[should_panic(expected = "combinations")]
     fn budget_overflow_panics() {
         let c = DistanceConstraints::new(0.5, 2);
-        let exact = ExactSaver::new(c, TupleDistance::numeric(2))
-            .with_domain_cap(None)
-            .with_max_combinations(4);
+        let exact = SaverConfig::new(c, TupleDistance::numeric(2))
+            .domain_cap(None)
+            .max_combinations(4)
+            .build_exact()
+            .unwrap();
         let rows: Vec<Vec<Value>> = (0..10)
             .map(|i| vec![Value::Num(i as f64), Value::Num(i as f64)])
             .collect();

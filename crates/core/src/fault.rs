@@ -90,7 +90,9 @@ pub fn scoped<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
 /// The pipeline-side hook: fires the fault scheduled for `row`, if any.
 /// No-op when no plan is active.
 pub fn hit(row: usize) {
-    let fault = lock(&ACTIVE).as_ref().and_then(|p| p.by_row.get(&row).copied());
+    let fault = lock(&ACTIVE)
+        .as_ref()
+        .and_then(|p| p.by_row.get(&row).copied());
     match fault {
         Some(Fault::Panic) => panic!("injected fault at row {row}"),
         Some(Fault::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),

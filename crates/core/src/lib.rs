@@ -38,7 +38,10 @@
 pub mod approx;
 pub mod bounds;
 pub mod budget;
+pub mod cache;
 pub mod constraints;
+pub mod engine;
+pub mod error;
 pub mod exact;
 #[cfg(disc_fault)]
 pub mod fault;
@@ -46,10 +49,15 @@ pub mod parallel;
 pub mod params;
 pub mod pipeline;
 pub mod rset;
+pub mod saver;
 
 pub use approx::{Adjustment, DiscSaver};
 pub use budget::{set_global_deadline_ms, Budget, CancelToken, Cancelled};
-pub use constraints::{detect_outliers, detect_outliers_parallel, DistanceConstraints, OutlierSplit};
+pub use constraints::{
+    detect_outliers, detect_outliers_parallel, DistanceConstraints, OutlierSplit,
+};
+pub use engine::DiscEngine;
+pub use error::Error;
 pub use exact::ExactSaver;
 pub use parallel::Parallelism;
 pub use params::{
@@ -58,6 +66,7 @@ pub use params::{
 };
 pub use pipeline::{FailedSave, PipelineError, SaveReport, SavedOutlier};
 pub use rset::RSet;
+pub use saver::{Saver, SaverConfig};
 
 // Observability: per-run statistics attached to `SaveReport::stats`, plus
 // the effort type returned by the savers' `*_with_effort` entry points.

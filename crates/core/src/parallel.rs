@@ -43,9 +43,8 @@ impl Parallelism {
     /// The default: the process-wide override if one was set (see
     /// [`set_global_workers`]), else the number of available cores.
     pub fn auto() -> Self {
-        let n = global_workers().unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-        });
+        let n = global_workers()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get));
         Parallelism(n)
     }
 

@@ -254,10 +254,16 @@ pub fn determine_parameters(
     let detecting = candidates
         .iter()
         .filter(|c| c.outlier_rate > 0.0 && c.outlier_rate <= 0.5)
-        .min_by(|a, b| score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal));
-    let fallback = candidates
-        .iter()
-        .min_by(|a, b| score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal));
+        .min_by(|a, b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    let fallback = candidates.iter().min_by(|a, b| {
+        score(a)
+            .partial_cmp(&score(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut choice = detecting
         .or(fallback)
         .expect("ε grid must be non-empty")
@@ -362,7 +368,11 @@ mod tests {
         let choice = determine_parameters(&rows, &dist, &ParamConfig::default());
         // Within-cluster diameter ≈ 4.5, between-cluster ≈ 140: a sane ε
         // is cluster-scale, far below the inter-cluster gap.
-        assert!(choice.eps > 0.0 && choice.eps < 50.0, "eps = {}", choice.eps);
+        assert!(
+            choice.eps > 0.0 && choice.eps < 50.0,
+            "eps = {}",
+            choice.eps
+        );
         assert!(choice.eta >= 1);
         assert!(choice.outlier_rate <= 0.5);
     }
@@ -375,13 +385,21 @@ mod tests {
         let sampled = determine_parameters(
             &rows,
             &dist,
-            &ParamConfig { sample_rate: 0.2, ..Default::default() },
+            &ParamConfig {
+                sample_rate: 0.2,
+                ..Default::default()
+            },
         );
         // The sampled run lands on the same ε and a nearby η (Table 4's
         // observation that 10% sampling suffices).
         assert!((full.eps - sampled.eps).abs() < 1e-9);
         let diff = full.eta.abs_diff(sampled.eta);
-        assert!(diff <= full.eta / 2 + 2, "η {} vs sampled {}", full.eta, sampled.eta);
+        assert!(
+            diff <= full.eta / 2 + 2,
+            "η {} vs sampled {}",
+            full.eta,
+            sampled.eta
+        );
     }
 
     #[test]
@@ -407,7 +425,10 @@ mod tests {
     fn explicit_grid_is_respected() {
         let rows = two_clusters(200);
         let dist = TupleDistance::numeric(2);
-        let cfg = ParamConfig { eps_grid: vec![2.5], ..Default::default() };
+        let cfg = ParamConfig {
+            eps_grid: vec![2.5],
+            ..Default::default()
+        };
         let choice = determine_parameters(&rows, &dist, &cfg);
         assert_eq!(choice.eps, 2.5);
     }

@@ -15,8 +15,9 @@
 //! the processing order.
 //!
 //! That order independence is what makes the save loop embarrassingly
-//! parallel: with [`Parallelism`] above 1 the per-outlier searches fan
-//! out over scoped worker threads against the shared read-only [`RSet`],
+//! parallel: with [`Parallelism`](crate::Parallelism) above 1 the
+//! per-outlier searches fan out over scoped worker threads against the
+//! shared read-only [`RSet`],
 //! results are collected **in outlier order**, and the adjustments are
 //! applied in one serial pass — so the [`SaveReport`] and the final
 //! dataset are bit-identical to the sequential run for every worker
@@ -28,7 +29,7 @@
 //!   included), so one panicking save becomes a [`FailedSave`] entry in
 //!   [`SaveReport::failed`] instead of aborting the whole run;
 //! * the saver's [`Budget`](crate::Budget) is materialized into a shared
-//!   [`CancelToken`](crate::CancelToken): when the deadline expires,
+//!   [`CancelToken`]: when the deadline expires,
 //!   in-flight searches bail out cooperatively and the affected rows are
 //!   reported in [`SaveReport::skipped`];
 //! * adjustments are only applied for saves that *completed* (serial
@@ -37,17 +38,20 @@
 //! * any failure or skip sets [`SaveReport::degraded`], making partial
 //!   results explicit rather than silent.
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use disc_data::Dataset;
 use disc_distance::Value;
-use disc_obs::{counters, PipelineStats, SaveEffort, Snapshot};
+use disc_obs::{counters, PipelineStats, Snapshot};
 
 use crate::approx::{Adjustment, DiscSaver};
-use crate::budget::{Budget, CancelToken, Cancelled};
+use crate::budget::{CancelToken, Cancelled};
 use crate::constraints::detect_outliers_parallel;
 use crate::exact::ExactSaver;
-use crate::parallel::Parallelism;
+use crate::rset::RSet;
+use crate::saver::Saver;
 
 /// A saved (adjusted) outlier.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,7 +90,7 @@ pub struct FailedSave {
 }
 
 /// The outcome of saving every outlier in a dataset.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct SaveReport {
     /// Outliers saved by value adjustment (dirty outliers).
     pub saved: Vec<SavedOutlier>,
@@ -104,13 +108,31 @@ pub struct SaveReport {
     pub degraded: bool,
     /// Observability for this run: stage timers, search-work totals, and
     /// per-save histograms. The work totals are accumulated serially in
-    /// apply order from each save's [`SaveEffort`], so (absent mid-run
+    /// apply order from each save's [`disc_obs::SaveEffort`], so (absent mid-run
     /// budget cancellations, which already make the row outcomes
     /// timing-dependent) they are bit-identical for every worker count —
     /// `SaveReport` equality includes them. Wall-clock timings and the
     /// process-global counter delta are measurements and are excluded
     /// from `==` (see [`PipelineStats`]).
     pub stats: PipelineStats,
+    /// Row → position-in-`saved` map, built lazily by
+    /// [`SaveReport::adjustment_of`] so repeated lookups over large
+    /// reports are O(1) instead of O(saved).
+    pub(crate) saved_index: OnceLock<HashMap<usize, usize>>,
+}
+
+/// Equality covers the deterministic outcome fields (including the
+/// deterministic half of `stats`); the lazy lookup cache is excluded.
+impl PartialEq for SaveReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.saved == other.saved
+            && self.unsaved == other.unsaved
+            && self.outliers == other.outliers
+            && self.failed == other.failed
+            && self.skipped == other.skipped
+            && self.degraded == other.degraded
+            && self.stats == other.stats
+    }
 }
 
 impl SaveReport {
@@ -129,78 +151,50 @@ impl SaveReport {
     }
 
     /// The adjustment applied to a row, if any.
+    ///
+    /// The first call builds a row-indexed map over `saved` (later calls
+    /// are O(1)); mutating `saved` after that is not reflected in
+    /// lookups.
     pub fn adjustment_of(&self, row: usize) -> Option<&Adjustment> {
-        self.saved
-            .iter()
-            .find(|s| s.row == row)
-            .map(|s| &s.adjustment)
+        let index = self.saved_index.get_or_init(|| {
+            self.saved
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.row, i))
+                .collect()
+        });
+        index.get(&row).map(|&i| &self.saved[i].adjustment)
     }
 }
 
-fn run_pipeline(
-    ds: &mut Dataset,
-    detect_dist: &disc_distance::TupleDistance,
-    constraints: crate::DistanceConstraints,
-    parallelism: Parallelism,
-    budget: Budget,
-    save: impl Fn(&crate::RSet, &[Value], &CancelToken) -> (Result<Option<Adjustment>, Cancelled>, SaveEffort)
-        + Sync,
-    build_rset: impl FnOnce(Vec<Vec<Value>>) -> crate::RSet,
-) -> SaveReport {
-    let t_run = Instant::now();
-    let counters_before = Snapshot::take();
-    counters::PIPELINE_RUNS.incr();
-    let mut stats = PipelineStats::default();
-    let workers = parallelism.workers();
-    let t_detect = Instant::now();
-    let split = detect_outliers_parallel(ds.rows(), detect_dist, constraints, workers);
-    stats.stages.detect = t_detect.elapsed();
-    counters::OUTLIERS_DETECTED.add(split.outliers.len() as u64);
-    let mut report = SaveReport {
-        outliers: split.outliers.clone(),
-        ..SaveReport::default()
-    };
-    // The deadline clock starts here and is shared by every worker.
-    let token = budget.start();
-    if token.is_cancelled() {
-        // Already past the deadline: skip even the RSet construction so
-        // the pipeline returns within the budget window.
-        report.skipped = split.outliers.clone();
-        report.degraded = !report.skipped.is_empty();
-        stats.search.cancellations = report.skipped.len() as u64;
-        counters::SAVES_CANCELLED.add(stats.search.cancellations);
-        stats.stages.total = t_run.elapsed();
-        stats.counters = Snapshot::take().delta_since(&counters_before);
-        report.stats = stats;
-        return report;
-    }
-    let t_rset = Instant::now();
-    let inlier_rows: Vec<Vec<Value>> = split
-        .inliers
-        .iter()
-        .map(|&i| ds.rows()[i].clone())
-        .collect();
-    let r = build_rset(inlier_rows);
-    stats.stages.rset_build = t_rset.elapsed();
-    // Phase 1 (parallel-safe): save every outlier against the immutable r,
-    // collecting results in outlier order. `workers == 1` runs the same
-    // loop sequentially on the calling thread. Each save is isolated under
-    // catch_unwind, so one panicking outlier cannot abort the batch.
-    let frozen: &Dataset = ds;
-    let t_save = Instant::now();
-    let results = disc_index::parallel_map_catch(&split.outliers, workers, |_, &row| {
+/// The save phase shared by [`run_saver_pipeline`] and the streaming
+/// engine: phase 1 fans the per-outlier searches out over `workers`
+/// threads (panic-isolated, cooperatively cancellable), phase 2 absorbs
+/// the stats and fills `report` serially **in outlier order** — which is
+/// what makes the outcome worker-count independent. Returns the
+/// adjustments to apply as `(row, values)` pairs; the caller owns the
+/// dataset write so this works against both a borrowed batch dataset and
+/// the engine's long-lived one.
+#[allow(clippy::too_many_arguments)] // internal seam between two pipelines
+pub(crate) fn save_outlier_rows<S: Saver + ?Sized>(
+    saver: &S,
+    r: &RSet,
+    rows: &[Vec<Value>],
+    outliers: &[usize],
+    workers: usize,
+    token: &CancelToken,
+    stats: &mut PipelineStats,
+    report: &mut SaveReport,
+) -> Vec<(usize, Vec<Value>)> {
+    let results = disc_index::parallel_map_catch(outliers, workers, |_, &row| {
         #[cfg(disc_fault)]
         crate::fault::hit(row);
         let started = Instant::now();
-        let (outcome, effort) = save(&r, frozen.row(row), &token);
+        let (outcome, effort) = saver.save_one_with_effort(r, &rows[row], token);
         (outcome, effort, started.elapsed().as_micros() as u64)
     });
-    stats.stages.save = t_save.elapsed();
-    // Phase 2 (serial): apply the adjustments in place. Only *completed*
-    // saves are applied — panicked or cancelled rows stay untouched. The
-    // stats accumulate here too, in outlier order, which is what makes
-    // the work totals worker-count independent.
-    for (&row, outcome) in split.outliers.iter().zip(results) {
+    let mut apply = Vec::new();
+    for (&row, outcome) in outliers.iter().zip(results) {
         match outcome {
             Ok((result, effort, micros)) => {
                 stats.search.absorb(&effort);
@@ -208,8 +202,10 @@ fn run_pipeline(
                 stats.save_micros.record(micros);
                 match result {
                     Ok(Some(adjustment)) => {
-                        stats.attrs_adjusted.record(adjustment.adjusted.len() as u64);
-                        ds.set_row(row, adjustment.values.clone());
+                        stats
+                            .attrs_adjusted
+                            .record(adjustment.adjusted.len() as u64);
+                        apply.push((row, adjustment.values.clone()));
                         report.saved.push(SavedOutlier { row, adjustment });
                     }
                     Ok(None) => report.unsaved.push(row),
@@ -228,6 +224,65 @@ fn run_pipeline(
             }
         }
     }
+    apply
+}
+
+/// The batch pipeline behind [`Saver::save_all`]: detect violations,
+/// build the inlier context, save every outlier, apply the adjustments.
+pub(crate) fn run_saver_pipeline<S: Saver + ?Sized>(saver: &S, ds: &mut Dataset) -> SaveReport {
+    let t_run = Instant::now();
+    let counters_before = Snapshot::take();
+    counters::PIPELINE_RUNS.incr();
+    let mut stats = PipelineStats::default();
+    let workers = saver.parallelism().workers();
+    let t_detect = Instant::now();
+    let split = detect_outliers_parallel(ds.rows(), saver.distance(), saver.constraints(), workers);
+    stats.stages.detect = t_detect.elapsed();
+    counters::OUTLIERS_DETECTED.add(split.outliers.len() as u64);
+    let mut report = SaveReport {
+        outliers: split.outliers.clone(),
+        ..SaveReport::default()
+    };
+    // The deadline clock starts here and is shared by every worker.
+    let token = saver.budget().start();
+    if token.is_cancelled() {
+        // Already past the deadline: skip even the RSet construction so
+        // the pipeline returns within the budget window.
+        report.skipped = split.outliers.clone();
+        report.degraded = !report.skipped.is_empty();
+        stats.search.cancellations = report.skipped.len() as u64;
+        counters::SAVES_CANCELLED.add(stats.search.cancellations);
+        stats.stages.total = t_run.elapsed();
+        stats.counters = Snapshot::take().delta_since(&counters_before);
+        report.stats = stats;
+        return report;
+    }
+    let t_rset = Instant::now();
+    let inlier_rows: Vec<Vec<Value>> = split
+        .inliers
+        .iter()
+        .map(|&i| ds.rows()[i].clone())
+        .collect();
+    let r = saver.build_rset(inlier_rows);
+    stats.stages.rset_build = t_rset.elapsed();
+    // Save every outlier against the immutable r; only *completed* saves
+    // produce adjustments, so neither a panic nor a cancellation can
+    // leave a torn write in the dataset.
+    let t_save = Instant::now();
+    let adjustments = save_outlier_rows(
+        saver,
+        &r,
+        ds.rows(),
+        &split.outliers,
+        workers,
+        &token,
+        &mut stats,
+        &mut report,
+    );
+    stats.stages.save = t_save.elapsed();
+    for (row, values) in adjustments {
+        ds.set_row(row, values);
+    }
     counters::OUTLIERS_SAVED.add(report.saved.len() as u64);
     counters::SAVES_CANCELLED.add(stats.search.cancellations);
     counters::SAVES_PANICKED.add(stats.search.panics);
@@ -245,33 +300,17 @@ impl DiscSaver {
     /// left untouched (natural outliers). Panicking saves and budget
     /// exhaustion degrade the report instead of aborting the run (see
     /// [`SaveReport::degraded`]).
+    ///
+    /// Equivalent to calling [`Saver::save_all`] through the trait.
     pub fn save_all(&self, ds: &mut Dataset) -> SaveReport {
-        let saver = self.clone();
-        run_pipeline(
-            ds,
-            self.distance(),
-            self.constraints(),
-            self.parallelism(),
-            self.budget(),
-            move |r, t_o, token| saver.save_one_with_effort(r, t_o, token),
-            |rows| self.build_rset(rows),
-        )
+        run_saver_pipeline(self, ds)
     }
 }
 
 impl ExactSaver {
     /// The exact counterpart of [`DiscSaver::save_all`].
     pub fn save_all(&self, ds: &mut Dataset) -> SaveReport {
-        let saver = self.clone();
-        run_pipeline(
-            ds,
-            self.distance(),
-            self.constraints(),
-            self.parallelism(),
-            self.budget(),
-            move |r, t_o, token| saver.save_one_with_effort(r, t_o, token),
-            |rows| self.build_rset(rows),
-        )
+        run_saver_pipeline(self, ds)
     }
 }
 
@@ -279,6 +318,7 @@ impl ExactSaver {
 mod tests {
     use super::*;
     use crate::constraints::detect_outliers;
+    use crate::saver::SaverConfig;
     use crate::DistanceConstraints;
     use disc_data::{ClusterSpec, ErrorInjector};
     use disc_distance::TupleDistance;
@@ -297,7 +337,9 @@ mod tests {
     fn end_to_end_single_error() {
         let mut ds = grid_dataset();
         ds.push(vec![Value::Num(0.5), Value::Num(30.0)]); // dirty outlier
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let report = saver.save_all(&mut ds);
         assert_eq!(report.outliers, vec![36]);
         assert_eq!(report.saved.len(), 1);
@@ -305,7 +347,11 @@ mod tests {
         assert_eq!(report.save_rate(), 1.0);
         // After saving, no violations remain.
         let split = detect_outliers(ds.rows(), saver.distance(), saver.constraints());
-        assert!(split.outliers.is_empty(), "still outlying: {:?}", split.outliers);
+        assert!(
+            split.outliers.is_empty(),
+            "still outlying: {:?}",
+            split.outliers
+        );
         // Only attribute 1 changed.
         assert_eq!(ds.row(36)[0], Value::Num(0.5));
         assert!(ds.row(36)[1].expect_num() < 2.0);
@@ -316,8 +362,10 @@ mod tests {
         let mut ds = grid_dataset();
         ds.push(vec![Value::Num(40.0), Value::Num(-40.0)]); // natural
         ds.push(vec![Value::Num(0.5), Value::Num(30.0)]); // dirty
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-            .with_kappa(1);
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .kappa(1)
+            .build_approx()
+            .unwrap();
         let before = ds.row(36).to_vec();
         let report = saver.save_all(&mut ds);
         assert_eq!(report.outliers.len(), 2);
@@ -332,7 +380,9 @@ mod tests {
     #[test]
     fn clean_dataset_reports_nothing() {
         let mut ds = grid_dataset();
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
         let report = saver.save_all(&mut ds);
         assert!(report.outliers.is_empty());
         assert_eq!(report.save_rate(), 1.0);
@@ -346,8 +396,10 @@ mod tests {
         let spec = ClusterSpec::new(120, 3, 2, 5);
         let mut ds = spec.generate();
         let log = ErrorInjector::new(6, 0, 9).inject(&mut ds);
-        let saver = DiscSaver::new(DistanceConstraints::new(2.5, 5), TupleDistance::numeric(3))
-            .with_kappa(2);
+        let saver = SaverConfig::new(DistanceConstraints::new(2.5, 5), TupleDistance::numeric(3))
+            .kappa(2)
+            .build_approx()
+            .unwrap();
         let report = saver.save_all(&mut ds);
         assert!(
             report.saved.len() >= 4,
@@ -420,8 +472,14 @@ mod tests {
     fn adjustment_of_hits_saved_rows_only() {
         let report = report_with(vec![(3, 1.5)], vec![7]);
         assert_eq!(report.adjustment_of(3).map(|a| a.cost), Some(1.5));
-        assert!(report.adjustment_of(7).is_none(), "unsaved row has no adjustment");
-        assert!(report.adjustment_of(42).is_none(), "non-outlier row has no adjustment");
+        assert!(
+            report.adjustment_of(7).is_none(),
+            "unsaved row has no adjustment"
+        );
+        assert!(
+            report.adjustment_of(42).is_none(),
+            "non-outlier row has no adjustment"
+        );
     }
 
     #[test]
@@ -429,7 +487,10 @@ mod tests {
         let mut ds = grid_dataset();
         ds.push(vec![Value::Num(0.5), Value::Num(30.0)]);
         let c = DistanceConstraints::new(0.5, 4);
-        let exact = ExactSaver::new(c, TupleDistance::numeric(2)).with_domain_cap(None);
+        let exact = SaverConfig::new(c, TupleDistance::numeric(2))
+            .domain_cap(None)
+            .build_exact()
+            .unwrap();
         let report = exact.save_all(&mut ds);
         assert_eq!(report.saved.len(), 1);
         let split = detect_outliers(ds.rows(), exact.distance(), c);

@@ -25,7 +25,11 @@ pub struct RSet {
 impl RSet {
     /// Builds the context from the inlier rows, parallelizing the
     /// `δ_η` pass over all available cores.
-    pub fn new(rows: Vec<Vec<Value>>, dist: TupleDistance, constraints: DistanceConstraints) -> Self {
+    pub fn new(
+        rows: Vec<Vec<Value>>,
+        dist: TupleDistance,
+        constraints: DistanceConstraints,
+    ) -> Self {
         Self::with_parallelism(rows, dist, constraints, Parallelism::auto())
     }
 
@@ -50,7 +54,39 @@ impl RSet {
         let columns = (0..dist.arity())
             .map(|j| SortedColumn::new(&rows, j))
             .collect();
-        RSet { rows, dist, constraints, delta_eta, columns }
+        RSet {
+            rows,
+            dist,
+            constraints,
+            delta_eta,
+            columns,
+        }
+    }
+
+    /// Builds the context from already-known `δ_η` values, skipping the
+    /// η-NN preprocessing pass entirely (only the sorted attribute
+    /// projections are computed). Used by the streaming engine, which
+    /// maintains the `δ_η` table incrementally across ingests.
+    ///
+    /// # Panics
+    /// Panics unless `delta_eta` has exactly one entry per row.
+    pub fn from_parts(
+        rows: Vec<Vec<Value>>,
+        dist: TupleDistance,
+        constraints: DistanceConstraints,
+        delta_eta: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rows.len(), delta_eta.len(), "one δ_η entry per inlier row");
+        let columns = (0..dist.arity())
+            .map(|j| SortedColumn::new(&rows, j))
+            .collect();
+        RSet {
+            rows,
+            dist,
+            constraints,
+            delta_eta,
+            columns,
+        }
     }
 
     /// The inlier rows.
@@ -136,7 +172,11 @@ mod tests {
             .iter()
             .map(|p| p.iter().map(|&x| Value::Num(x)).collect())
             .collect();
-        RSet::new(rows, TupleDistance::numeric(2), DistanceConstraints::new(eps, eta))
+        RSet::new(
+            rows,
+            TupleDistance::numeric(2),
+            DistanceConstraints::new(eps, eta),
+        )
     }
 
     #[test]

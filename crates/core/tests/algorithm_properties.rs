@@ -1,7 +1,7 @@
 //! Property tests for the DISC algorithm's core guarantees.
 
 use disc_core::bounds::{lower_bound, upper_bound};
-use disc_core::{detect_outliers, DiscSaver, DistanceConstraints, ExactSaver, RSet};
+use disc_core::{detect_outliers, DistanceConstraints, RSet, SaverConfig};
 use disc_distance::{AttrSet, TupleDistance, Value};
 use proptest::prelude::*;
 
@@ -80,7 +80,7 @@ proptest! {
     ) {
         let c = DistanceConstraints::new(1.5, 2);
         let dist = TupleDistance::numeric(3);
-        let saver = DiscSaver::new(c, dist.clone()).with_kappa(kappa);
+        let saver = SaverConfig::new(c, dist.clone()).kappa(kappa).build_approx().unwrap();
         let r = saver.build_rset(to_rows(points));
         let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
         if let Some(adj) = saver.save_one(&r, &t_o) {
@@ -101,10 +101,10 @@ proptest! {
     ) {
         let c = DistanceConstraints::new(1.2, 2);
         let dist = TupleDistance::numeric(2);
-        let r = DiscSaver::new(c, dist.clone()).build_rset(to_rows(points));
+        let r = SaverConfig::new(c, dist.clone()).build_approx().unwrap().build_rset(to_rows(points));
         let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
-        let c1 = DiscSaver::new(c, dist.clone()).with_kappa(1).save_one(&r, &t_o);
-        let c2 = DiscSaver::new(c, dist).with_kappa(2).save_one(&r, &t_o);
+        let c1 = SaverConfig::new(c, dist.clone()).kappa(1).build_approx().unwrap().save_one(&r, &t_o);
+        let c2 = SaverConfig::new(c, dist).kappa(2).build_approx().unwrap().save_one(&r, &t_o);
         match (c1, c2) {
             (Some(a1), Some(a2)) => prop_assert!(a2.cost <= a1.cost + 1e-9),
             (Some(_), None) => prop_assert!(false, "larger κ lost a solution"),
@@ -125,7 +125,7 @@ proptest! {
         rows.extend(to_rows(outs));
         let mut ds = disc_data::Dataset::from_rows(vec!["a".into(), "b".into()], rows);
         let before = ds.rows().to_vec();
-        let saver = DiscSaver::new(c, dist.clone()).with_kappa(2);
+        let saver = SaverConfig::new(c, dist.clone()).kappa(2).build_approx().unwrap();
         let report = saver.save_all(&mut ds);
         let after = detect_outliers(ds.rows(), &dist, c);
         for s in &report.saved {
@@ -151,7 +151,7 @@ proptest! {
     ) {
         let c = DistanceConstraints::new(1.5, 2);
         let dist = TupleDistance::numeric(2);
-        let exact = ExactSaver::new(c, dist.clone()).with_domain_cap(None);
+        let exact = SaverConfig::new(c, dist.clone()).domain_cap(None).build_exact().unwrap();
         let r = exact.build_rset(to_rows(points));
         let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
         if let Some(adj) = exact.save_one(&r, &t_o) {

@@ -1,0 +1,153 @@
+//! The streaming engine's correctness anchor: after ANY sequence of
+//! ingests, the engine's classification and saved dataset must be
+//! identical to one batch `save_all` over the concatenated data.
+//!
+//! Why this holds: ε-neighbor counts only grow as rows append, so the
+//! inlier set grows monotonically; the engine re-saves every outlier
+//! whenever the inlier set grows, reverts promoted rows to their
+//! original values, and always detects/saves against original values —
+//! exactly what a from-scratch batch run sees. The property is checked
+//! bit-exactly (same outlier set, same saved adjustments, same final
+//! rows), for sequential and parallel workers.
+
+use disc_core::{DiscEngine, DistanceConstraints, Parallelism, SavedOutlier, SaverConfig};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector, Schema};
+use disc_distance::{TupleDistance, Value};
+use proptest::prelude::*;
+
+/// Clustered data with injected dirty and natural errors.
+fn dirty_dataset(n: usize, seed: u64, dirty: usize, natural: usize) -> Dataset {
+    let mut ds = ClusterSpec::new(n, 3, 2, seed).generate();
+    ErrorInjector::new(dirty, natural, seed ^ 0x9E37_79B9).inject(&mut ds);
+    ds
+}
+
+fn saver(c: DistanceConstraints, workers: usize) -> SaverConfig {
+    SaverConfig::new(c, TupleDistance::numeric(3))
+        .kappa(2)
+        .parallelism(Parallelism(workers))
+}
+
+/// Splits `rows` into `batches` runs of pseudo-random (but deterministic)
+/// sizes summing to `rows.len()`; empty runs are allowed.
+fn split_rows(rows: &[Vec<Value>], batches: usize, seed: u64) -> Vec<Vec<Vec<Value>>> {
+    let mut cuts: Vec<usize> = (0..batches.saturating_sub(1))
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((i as u64 + 1).wrapping_mul(1442695040888963407));
+            (h % (rows.len() as u64 + 1)) as usize
+        })
+        .collect();
+    cuts.push(0);
+    cuts.push(rows.len());
+    cuts.sort_unstable();
+    cuts.windows(2).map(|w| rows[w[0]..w[1]].to_vec()).collect()
+}
+
+fn run_equivalence(
+    base: &Dataset,
+    c: DistanceConstraints,
+    batches: usize,
+    split_seed: u64,
+    workers: usize,
+) {
+    // Batch reference: one save_all over everything.
+    let mut batch_ds = base.clone();
+    let batch_report = saver(c, workers)
+        .build_approx()
+        .unwrap()
+        .save_all(&mut batch_ds);
+
+    // Streamed: the same rows, in `batches` ingests.
+    let mut engine = DiscEngine::new(
+        Schema::numeric(base.arity()),
+        Box::new(saver(c, workers).build_approx().unwrap()),
+    );
+    let mut streamed_saved: Vec<SavedOutlier> = Vec::new();
+    for chunk in split_rows(base.rows(), batches, split_seed) {
+        let report = engine.ingest(chunk).expect("finite synthetic data");
+        assert!(!report.degraded, "no budget/panic in this test");
+        // Re-saves this ingest supersede earlier outcomes for the row.
+        streamed_saved.retain(|s| !report.outliers.contains(&s.row));
+        streamed_saved.extend(report.saved.iter().cloned());
+    }
+    // Rows promoted to inliers after being saved were reverted and are
+    // no longer saved outliers.
+    streamed_saved.retain(|s| !engine.is_inlier(s.row));
+    streamed_saved.sort_by_key(|s| s.row);
+
+    // Same classification...
+    prop_assert_eq!(
+        engine.outliers(),
+        batch_report.outliers.clone(),
+        "outlier sets diverge"
+    );
+    // ...same saved rows with identical adjustments...
+    prop_assert_eq!(&streamed_saved, &batch_report.saved, "saved rows diverge");
+    // ...same final dataset, bit for bit.
+    prop_assert_eq!(
+        engine.dataset().rows(),
+        batch_ds.rows(),
+        "final rows diverge"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn streamed_ingests_match_batch_save_all(
+        n in 40usize..90,
+        seed in 0u64..1000,
+        dirty in 2usize..10,
+        natural in 0usize..3,
+        batches in 1usize..6,
+        split_seed in 0u64..1000,
+    ) {
+        let base = dirty_dataset(n, seed, dirty, natural);
+        let c = DistanceConstraints::new(2.5, 4);
+        for workers in [1usize, 4] {
+            run_equivalence(&base, c, batches, split_seed, workers);
+        }
+    }
+}
+
+/// One-row batches are the worst case for the incremental path (every
+/// ingest re-detects); the equivalence must still be exact.
+#[test]
+fn row_at_a_time_matches_batch() {
+    let base = dirty_dataset(45, 7, 4, 1);
+    let c = DistanceConstraints::new(2.5, 4);
+    let mut batch_ds = base.clone();
+    saver(c, 1).build_approx().unwrap().save_all(&mut batch_ds);
+    let mut engine = DiscEngine::new(
+        Schema::numeric(base.arity()),
+        Box::new(saver(c, 1).build_approx().unwrap()),
+    );
+    for row in base.rows() {
+        engine.ingest(vec![row.clone()]).unwrap();
+    }
+    assert_eq!(engine.dataset().rows(), batch_ds.rows());
+}
+
+/// The exact saver drives the engine through the same `Saver` seam.
+#[test]
+fn engine_with_exact_saver_matches_batch() {
+    let base = dirty_dataset(40, 3, 3, 1);
+    let c = DistanceConstraints::new(2.5, 4);
+    let config = SaverConfig::new(c, TupleDistance::numeric(3)).parallelism(Parallelism(2));
+    let mut batch_ds = base.clone();
+    config
+        .clone()
+        .build_exact()
+        .unwrap()
+        .save_all(&mut batch_ds);
+    let mut engine = DiscEngine::new(
+        Schema::numeric(base.arity()),
+        Box::new(config.build_exact().unwrap()),
+    );
+    for chunk in base.rows().chunks(17) {
+        engine.ingest(chunk.to_vec()).unwrap();
+    }
+    assert_eq!(engine.dataset().rows(), batch_ds.rows());
+}

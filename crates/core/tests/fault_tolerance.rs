@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use disc_core::fault::{scoped, FaultPlan};
 use disc_core::{
-    Budget, DiscSaver, DistanceConstraints, Parallelism, PipelineError, SaveReport,
+    Budget, DiscSaver, DistanceConstraints, Parallelism, PipelineError, SaveReport, SaverConfig,
 };
 use disc_data::Dataset;
 use disc_distance::{TupleDistance, Value};
@@ -34,8 +34,10 @@ fn dataset_with_outliers() -> Dataset {
 }
 
 fn saver(workers: usize) -> DiscSaver {
-    DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-        .with_parallelism(Parallelism(workers))
+    SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .parallelism(Parallelism(workers))
+        .build_approx()
+        .unwrap()
 }
 
 #[test]
@@ -96,8 +98,11 @@ fn injected_delay_past_the_deadline_skips_remaining_outliers() {
     let plan = FaultPlan::new().delay_at(36, 250);
     let mut ds = dataset_with_outliers();
     let before = ds.rows().to_vec();
-    let budgeted =
-        saver(1).with_budget(Budget::unlimited().with_deadline(Duration::from_millis(25)));
+    let budgeted = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .parallelism(Parallelism(1))
+        .budget(Budget::unlimited().with_deadline(Duration::from_millis(25)))
+        .build_approx()
+        .unwrap();
     let report = scoped(plan, || budgeted.save_all(&mut ds));
     assert!(report.degraded);
     assert_eq!(report.skipped, report.outliers, "all outliers skipped");

@@ -13,20 +13,21 @@
 
 use std::path::Path;
 
-use disc_core::{DiscSaver, DistanceConstraints, Parallelism, SaveReport};
+use disc_core::{DiscSaver, DistanceConstraints, Parallelism, SaveReport, SaverConfig};
 use disc_data::Dataset;
 use disc_distance::{AttrSet, TupleDistance, Value};
 
 fn fixture() -> Dataset {
-    let path =
-        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/grid_outliers.csv");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/grid_outliers.csv");
     disc_data::csv::read_file(&path).expect("fixture parses")
 }
 
 fn saver(parallelism: Parallelism) -> DiscSaver {
-    DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-        .with_kappa(1)
-        .with_parallelism(parallelism)
+    SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .kappa(1)
+        .parallelism(parallelism)
+        .build_approx()
+        .unwrap()
 }
 
 /// Row 36 is the dirty outlier `(0.5, 30)`: a single corrupted attribute,
@@ -40,7 +41,10 @@ fn assert_golden(ds: &Dataset, report: &SaveReport) {
 
     let saved = &report.saved[0];
     assert_eq!(saved.row, 36);
-    assert_eq!(saved.adjustment.values, vec![Value::Num(0.5), Value::Num(1.0)]);
+    assert_eq!(
+        saved.adjustment.values,
+        vec![Value::Num(0.5), Value::Num(1.0)]
+    );
     assert_eq!(saved.adjustment.adjusted, AttrSet::from_indices([1]));
     assert_eq!(saved.adjustment.cost, 29.0); // |30 − 1| exactly, in f64
     assert_eq!(report.total_cost(), 29.0);

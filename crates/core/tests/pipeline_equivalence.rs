@@ -9,7 +9,7 @@
 //! unsaved and outlier lists — and leave the dataset with identical
 //! final rows as the sequential run.
 
-use disc_core::{DiscSaver, DistanceConstraints, ExactSaver, Parallelism, RSet};
+use disc_core::{DistanceConstraints, Parallelism, RSet, SaverConfig};
 use disc_data::{ClusterSpec, Dataset, ErrorInjector};
 use disc_distance::TupleDistance;
 use proptest::prelude::*;
@@ -34,15 +34,15 @@ proptest! {
         let dist = TupleDistance::numeric(3);
         let c = DistanceConstraints::new(2.5, 4);
         let mut seq_ds = base.clone();
-        let seq_report = DiscSaver::new(c, dist.clone())
-            .with_kappa(2)
-            .with_parallelism(Parallelism::sequential())
+        let seq_report = SaverConfig::new(c, dist.clone())
+            .kappa(2)
+            .parallelism(Parallelism::sequential()).build_approx().unwrap()
             .save_all(&mut seq_ds);
         for k in [2usize, 4, 7] {
             let mut par_ds = base.clone();
-            let par_report = DiscSaver::new(c, dist.clone())
-                .with_kappa(2)
-                .with_parallelism(Parallelism(k))
+            let par_report = SaverConfig::new(c, dist.clone())
+                .kappa(2)
+                .parallelism(Parallelism(k)).build_approx().unwrap()
                 .save_all(&mut par_ds);
             prop_assert_eq!(&seq_report, &par_report);
             prop_assert_eq!(seq_ds.rows(), par_ds.rows());
@@ -59,13 +59,13 @@ proptest! {
         let dist = TupleDistance::numeric(3);
         let c = DistanceConstraints::new(2.5, 4);
         let mut seq_ds = base.clone();
-        let seq_report = ExactSaver::new(c, dist.clone())
-            .with_parallelism(Parallelism::sequential())
+        let seq_report = SaverConfig::new(c, dist.clone())
+            .parallelism(Parallelism::sequential()).build_exact().unwrap()
             .save_all(&mut seq_ds);
         for k in [2usize, 4, 7] {
             let mut par_ds = base.clone();
-            let par_report = ExactSaver::new(c, dist.clone())
-                .with_parallelism(Parallelism(k))
+            let par_report = SaverConfig::new(c, dist.clone())
+                .parallelism(Parallelism(k)).build_exact().unwrap()
                 .save_all(&mut par_ds);
             prop_assert_eq!(&seq_report, &par_report);
             prop_assert_eq!(seq_ds.rows(), par_ds.rows());
@@ -101,14 +101,18 @@ fn more_workers_than_outliers_matches_sequential() {
     let dist = TupleDistance::numeric(3);
     let c = DistanceConstraints::new(2.5, 4);
     let mut seq_ds = base.clone();
-    let seq_report = DiscSaver::new(c, dist.clone())
-        .with_kappa(2)
-        .with_parallelism(Parallelism::sequential())
+    let seq_report = SaverConfig::new(c, dist.clone())
+        .kappa(2)
+        .parallelism(Parallelism::sequential())
+        .build_approx()
+        .unwrap()
         .save_all(&mut seq_ds);
     let mut par_ds = base.clone();
-    let par_report = DiscSaver::new(c, dist)
-        .with_kappa(2)
-        .with_parallelism(Parallelism(64))
+    let par_report = SaverConfig::new(c, dist)
+        .kappa(2)
+        .parallelism(Parallelism(64))
+        .build_approx()
+        .unwrap()
         .save_all(&mut par_ds);
     assert_eq!(seq_report, par_report);
     assert_eq!(seq_ds.rows(), par_ds.rows());

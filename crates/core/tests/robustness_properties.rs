@@ -9,9 +9,7 @@
 
 use std::time::Duration;
 
-use disc_core::{
-    Budget, DiscSaver, DistanceConstraints, ExactSaver, Parallelism, PipelineError,
-};
+use disc_core::{Budget, DistanceConstraints, Parallelism, PipelineError, SaverConfig};
 use disc_data::{ClusterSpec, Dataset, ErrorInjector, NonFinitePolicy};
 use disc_distance::{TupleDistance, Value};
 use proptest::prelude::*;
@@ -38,11 +36,16 @@ fn expired_deadline_skips_everything_without_touching_data() {
     for workers in [1usize, 4] {
         let mut ds = dataset_with_outliers();
         let before = ds.rows().to_vec();
-        let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-            .with_parallelism(Parallelism(workers))
-            .with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .parallelism(Parallelism(workers))
+            .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .build_approx()
+            .unwrap();
         let report = saver.save_all(&mut ds);
-        assert!(report.degraded, "workers {workers}: an expired deadline must degrade");
+        assert!(
+            report.degraded,
+            "workers {workers}: an expired deadline must degrade"
+        );
         assert!(!report.outliers.is_empty());
         assert_eq!(report.skipped, report.outliers, "every outlier is skipped");
         assert!(report.saved.is_empty());
@@ -51,14 +54,19 @@ fn expired_deadline_skips_everything_without_touching_data() {
         assert_eq!(ds.rows(), &before[..], "no torn writes under cancellation");
         reports.push(report);
     }
-    assert_eq!(reports[0], reports[1], "degraded report identical across worker counts");
+    assert_eq!(
+        reports[0], reports[1],
+        "degraded report identical across worker counts"
+    );
 }
 
 #[test]
 fn expired_deadline_report_is_safe_to_consume() {
     let mut ds = dataset_with_outliers();
-    let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-        .with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+    let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut ds);
     // The accessors still behave on a degraded report.
     assert_eq!(report.save_rate(), 0.0);
@@ -69,12 +77,17 @@ fn expired_deadline_report_is_safe_to_consume() {
 #[test]
 fn unlimited_budget_report_is_not_degraded() {
     let mut ds = dataset_with_outliers();
-    let saver = DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-        .with_budget(Budget::unlimited());
+    let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .budget(Budget::unlimited())
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut ds);
     assert!(!report.degraded);
     assert!(report.failed.is_empty() && report.skipped.is_empty());
-    assert_eq!(report.saved.len() + report.unsaved.len(), report.outliers.len());
+    assert_eq!(
+        report.saved.len() + report.unsaved.len(),
+        report.outliers.len()
+    );
 }
 
 #[test]
@@ -90,17 +103,22 @@ fn exact_combination_overflow_is_captured_as_failed_save() {
     }
     let mut ds = Dataset::from_rows(vec!["x".into(), "y".into()], rows);
     ds.push(vec![Value::Num(50.0), Value::Num(50.0)]);
-    let exact = ExactSaver::new(DistanceConstraints::new(0.25, 4), TupleDistance::numeric(2))
-        .with_domain_cap(None)
-        .with_max_combinations(4)
-        .with_parallelism(Parallelism(1));
+    let exact = SaverConfig::new(DistanceConstraints::new(0.25, 4), TupleDistance::numeric(2))
+        .domain_cap(None)
+        .max_combinations(4)
+        .parallelism(Parallelism(1))
+        .build_exact()
+        .unwrap();
     let before = ds.rows().to_vec();
     let report = exact.save_all(&mut ds);
     assert!(report.degraded);
     assert_eq!(report.failed.len(), 1);
     assert_eq!(report.failed[0].row, 64);
     let PipelineError::Panicked(msg) = &report.failed[0].error;
-    assert!(msg.contains("combinations"), "unexpected panic message: {msg}");
+    assert!(
+        msg.contains("combinations"),
+        "unexpected panic message: {msg}"
+    );
     assert!(report.saved.is_empty());
     assert_eq!(ds.rows(), &before[..], "failed row left untouched");
 }
@@ -127,7 +145,8 @@ fn degraded_dataset(
         let row = (seed as usize).wrapping_mul(17).wrapping_add(k * 11) % len;
         ds.rows_mut()[row][(k + 1) % 3] = Value::Num(bad[k % bad.len()]);
     }
-    ds.sanitize_non_finite(policy).expect("AsNull/DropRow never error");
+    ds.sanitize_non_finite(policy)
+        .expect("AsNull/DropRow never error");
     ds
 }
 
@@ -151,9 +170,9 @@ proptest! {
         let mut reports = Vec::new();
         for workers in [1usize, 4] {
             let mut ds = base.clone();
-            let saver = DiscSaver::new(c, TupleDistance::numeric(3))
-                .with_kappa(2)
-                .with_parallelism(Parallelism(workers));
+            let saver = SaverConfig::new(c, TupleDistance::numeric(3))
+                .kappa(2)
+                .parallelism(Parallelism(workers)).build_approx().unwrap();
             let report = saver.save_all(&mut ds);
             prop_assert!(report.failed.is_empty(), "no save may panic: {:?}", report.failed);
             for saved in &report.saved {

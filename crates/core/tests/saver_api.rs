@@ -1,0 +1,167 @@
+//! Contract tests for the unified `Saver` API surface:
+//!
+//! * dyn-dispatch equivalence — calling `save_all` through `&mut dyn
+//!   Saver` (how the engine and any generic consumer hold a saver) is
+//!   bit-identical to calling the concrete type directly;
+//! * golden defaults — the documented `SaverConfig` defaults are pinned
+//!   so a silent change shows up as a test failure, not a perf mystery;
+//! * deprecated shims — the pre-redesign `DiscSaver::new(..).with_*`
+//!   builder chain still compiles and produces the same saver as the
+//!   `SaverConfig` path. This is the only place `#[allow(deprecated)]`
+//!   is permitted in the workspace.
+
+use disc_core::{Budget, DistanceConstraints, Parallelism, Saver, SaverConfig};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_distance::TupleDistance;
+use proptest::prelude::*;
+
+fn dirty_dataset(n: usize, seed: u64, dirty: usize, natural: usize) -> Dataset {
+    let mut ds = ClusterSpec::new(n, 3, 2, seed).generate();
+    ErrorInjector::new(dirty, natural, seed ^ 0x9E37_79B9).inject(&mut ds);
+    ds
+}
+
+fn config() -> SaverConfig {
+    SaverConfig::new(DistanceConstraints::new(2.5, 4), TupleDistance::numeric(3)).kappa(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn dyn_dispatch_matches_direct_calls(
+        n in 40usize..80,
+        seed in 0u64..1000,
+        dirty in 2usize..8,
+        natural in 0usize..3,
+    ) {
+        let base = dirty_dataset(n, seed, dirty, natural);
+
+        // Approximate saver, direct vs through the trait object.
+        let direct = config().build_approx().unwrap();
+        let mut direct_ds = base.clone();
+        let direct_report = direct.save_all(&mut direct_ds);
+
+        let boxed: Box<dyn Saver> = Box::new(config().build_approx().unwrap());
+        let mut dyn_ds = base.clone();
+        let dyn_report = boxed.save_all(&mut dyn_ds);
+
+        prop_assert_eq!(&direct_report, &dyn_report, "approx dyn dispatch diverges");
+        prop_assert_eq!(direct_ds.rows(), dyn_ds.rows());
+
+        // Exact saver through the same seam.
+        let direct = config().build_exact().unwrap();
+        let mut direct_ds = base.clone();
+        let direct_report = direct.save_all(&mut direct_ds);
+
+        let boxed: Box<dyn Saver> = Box::new(config().build_exact().unwrap());
+        let mut dyn_ds = base.clone();
+        let dyn_report = boxed.save_all(&mut dyn_ds);
+
+        prop_assert_eq!(&direct_report, &dyn_report, "exact dyn dispatch diverges");
+        prop_assert_eq!(direct_ds.rows(), dyn_ds.rows());
+    }
+}
+
+/// The documented defaults, pinned. Changing a default must be a
+/// conscious, test-visible decision.
+#[test]
+fn golden_saver_config_defaults() {
+    let base = SaverConfig::new(DistanceConstraints::new(1.0, 3), TupleDistance::numeric(2));
+
+    let approx = base.clone().build_approx().unwrap();
+    assert_eq!(
+        approx.kappa(),
+        None,
+        "default: consider all attribute subsets"
+    );
+    assert_eq!(approx.node_budget(), 200_000);
+    assert_eq!(Saver::parallelism(&approx), Parallelism::auto());
+    assert_eq!(Saver::budget(&approx), Budget::auto());
+    assert_eq!(Saver::name(&approx), "disc");
+
+    let exact = base.build_exact().unwrap();
+    assert_eq!(exact.domain_cap(), Some(16));
+    assert_eq!(exact.max_combinations(), 10_000_000);
+    assert_eq!(Saver::parallelism(&exact), Parallelism::auto());
+    assert_eq!(Saver::budget(&exact), Budget::auto());
+    assert_eq!(Saver::name(&exact), "exact");
+}
+
+/// The deprecated builder chains still compile and behave exactly like
+/// their `SaverConfig` replacements.
+#[allow(deprecated)]
+#[test]
+fn deprecated_with_builders_match_saver_config() {
+    use disc_core::{DiscSaver, ExactSaver};
+
+    let c = DistanceConstraints::new(2.5, 4);
+    let base = dirty_dataset(50, 17, 4, 1);
+
+    let shimmed = DiscSaver::new(c, TupleDistance::numeric(3))
+        .with_kappa(2)
+        .with_node_budget(50_000)
+        .with_parallelism(Parallelism(2))
+        .with_budget(Budget::unlimited());
+    let configured = SaverConfig::new(c, TupleDistance::numeric(3))
+        .kappa(2)
+        .node_budget(50_000)
+        .parallelism(Parallelism(2))
+        .budget(Budget::unlimited())
+        .build_approx()
+        .unwrap();
+    assert_eq!(shimmed.kappa(), configured.kappa());
+    assert_eq!(shimmed.node_budget(), configured.node_budget());
+    assert_eq!(shimmed.parallelism(), configured.parallelism());
+    assert_eq!(shimmed.budget(), configured.budget());
+    let mut shim_ds = base.clone();
+    let mut config_ds = base.clone();
+    assert_eq!(
+        shimmed.save_all(&mut shim_ds),
+        configured.save_all(&mut config_ds)
+    );
+    assert_eq!(shim_ds.rows(), config_ds.rows());
+
+    let shimmed = ExactSaver::new(c, TupleDistance::numeric(3))
+        .with_domain_cap(Some(8))
+        .with_max_combinations(1_000_000)
+        .with_parallelism(Parallelism(2));
+    let configured = SaverConfig::new(c, TupleDistance::numeric(3))
+        .domain_cap(Some(8))
+        .max_combinations(1_000_000)
+        .parallelism(Parallelism(2))
+        .build_exact()
+        .unwrap();
+    assert_eq!(shimmed.domain_cap(), configured.domain_cap());
+    assert_eq!(shimmed.max_combinations(), configured.max_combinations());
+    let mut shim_ds = base.clone();
+    let mut config_ds = base;
+    assert_eq!(
+        shimmed.save_all(&mut shim_ds),
+        configured.save_all(&mut config_ds)
+    );
+    assert_eq!(shim_ds.rows(), config_ds.rows());
+}
+
+/// Misconfigurations are rejected at build time with a typed error, not
+/// at first use.
+#[test]
+fn config_validation_rejects_nonsense() {
+    let c = DistanceConstraints::new(1.0, 3);
+    let dist = TupleDistance::numeric(2);
+    assert!(SaverConfig::new(c, dist.clone())
+        .kappa(0)
+        .build_approx()
+        .is_err());
+    assert!(SaverConfig::new(c, dist.clone())
+        .node_budget(0)
+        .build_approx()
+        .is_err());
+    assert!(SaverConfig::new(c, dist.clone())
+        .domain_cap(Some(0))
+        .build_exact()
+        .is_err());
+    assert!(SaverConfig::new(c, dist)
+        .max_combinations(0)
+        .build_exact()
+        .is_err());
+}

@@ -5,7 +5,7 @@
 //! Global-counter assertions here are lower bounds only — counters are
 //! process-wide and the other tests in this binary run concurrently.
 
-use disc_core::{Budget, DiscSaver, DistanceConstraints, ExactSaver, Parallelism};
+use disc_core::{Budget, DiscSaver, DistanceConstraints, Parallelism, SaverConfig};
 use disc_data::Dataset;
 use disc_distance::{TupleDistance, Value};
 
@@ -24,9 +24,13 @@ fn noisy_dataset() -> Dataset {
     ds
 }
 
+fn config(workers: usize) -> SaverConfig {
+    SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .parallelism(Parallelism(workers))
+}
+
 fn saver(workers: usize) -> DiscSaver {
-    DiscSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-        .with_parallelism(Parallelism(workers))
+    config(workers).build_approx().unwrap()
 }
 
 #[test]
@@ -62,7 +66,10 @@ fn stats_reflect_the_work_done() {
     assert_eq!(stats.save_micros.count(), 3);
     assert_eq!(stats.attrs_adjusted.count() as usize, report.saved.len());
     assert!(stats.search.nodes > 0, "search expanded no nodes");
-    assert!(stats.search.candidates > 0, "search evaluated no candidates");
+    assert!(
+        stats.search.candidates > 0,
+        "search evaluated no candidates"
+    );
     assert_eq!(stats.search.cancellations, 0);
     assert_eq!(stats.search.panics, 0);
     // The per-run counter delta observed the saver's own flushes (other
@@ -101,8 +108,10 @@ fn effort_matches_between_entry_points() {
 #[test]
 fn expired_deadline_counts_cancellations() {
     let mut ds = noisy_dataset();
-    let report = saver(2)
-        .with_budget(Budget::unlimited().with_deadline(std::time::Duration::ZERO))
+    let report = config(2)
+        .budget(Budget::unlimited().with_deadline(std::time::Duration::ZERO))
+        .build_approx()
+        .unwrap()
         .save_all(&mut ds);
     assert_eq!(report.skipped, report.outliers);
     assert_eq!(
@@ -115,8 +124,10 @@ fn expired_deadline_counts_cancellations() {
 #[test]
 fn exact_pipeline_counts_combinations() {
     let mut ds = noisy_dataset();
-    let exact = ExactSaver::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
-        .with_parallelism(Parallelism(2));
+    let exact = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+        .parallelism(Parallelism(2))
+        .build_exact()
+        .unwrap();
     let report = exact.save_all(&mut ds);
     assert!(report.stats.search.candidates > 0);
     // The exact saver has no bounded search tree.

@@ -264,11 +264,8 @@ mod tests {
 
     #[test]
     fn non_finite_drop_row_removes_the_row() {
-        let ds = from_str_with(
-            "x,y\n1.0,2.0\ninf,3.0\n4.0,5.0\n",
-            NonFinitePolicy::DropRow,
-        )
-        .unwrap();
+        let ds =
+            from_str_with("x,y\n1.0,2.0\ninf,3.0\n4.0,5.0\n", NonFinitePolicy::DropRow).unwrap();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.row(0)[0], Value::Num(1.0));
         assert_eq!(ds.row(1)[0], Value::Num(4.0));
@@ -305,7 +302,10 @@ mod tests {
         );
         // Same check on the header line.
         let err = from_str("\"a,b\n1,2\n").unwrap_err();
-        assert!(err.contains("line 1") && err.contains("unterminated"), "{err}");
+        assert!(
+            err.contains("line 1") && err.contains("unterminated"),
+            "{err}"
+        );
         // A properly closed quote is still fine.
         assert!(from_str("a,b\n\"x,y\",2\n").is_ok());
     }

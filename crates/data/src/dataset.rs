@@ -29,7 +29,11 @@ impl Dataset {
                 schema.arity()
             );
         }
-        Dataset { schema, rows, labels: None }
+        Dataset {
+            schema,
+            rows,
+            labels: None,
+        }
     }
 
     /// Convenience constructor: numeric schema inferred from column names.

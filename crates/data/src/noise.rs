@@ -178,7 +178,8 @@ impl ErrorInjector {
     }
 
     fn corrupt_text(rng: &mut StdRng, s: &str) -> String {
-        const SWAPS: &[(char, char)] = &[('0', 'O'), ('1', 'I'), ('5', 'S'), ('8', 'B'), ('2', 'Z')];
+        const SWAPS: &[(char, char)] =
+            &[('0', 'O'), ('1', 'I'), ('5', 'S'), ('8', 'B'), ('2', 'Z')];
         let mut chars: Vec<char> = s.chars().collect();
         if chars.is_empty() {
             return "X".to_owned();
@@ -216,7 +217,12 @@ impl ErrorInjector {
         let stats: Vec<ColumnStats> = (0..m)
             .map(|j| match ds.numeric_column(j) {
                 Some(col) => ColumnStats::from_column(&col),
-                None => ColumnStats { min: 0.0, max: 1.0, mean: 0.0, std: 0.0 },
+                None => ColumnStats {
+                    min: 0.0,
+                    max: 1.0,
+                    mean: 0.0,
+                    std: 0.0,
+                },
             })
             .collect();
 
@@ -240,13 +246,24 @@ impl ErrorInjector {
                 };
             }
             ds.set_row(row, new_row);
-            log.errors.push(InjectedError { row, attrs, original });
+            log.errors.push(InjectedError {
+                row,
+                attrs,
+                original,
+            });
         }
 
         // Natural outliers: every attribute far outside the observed domain.
         let mut next_label = ds
             .labels()
-            .map(|l| l.iter().copied().filter(|&x| x != u32::MAX).max().unwrap_or(0) + 1_000)
+            .map(|l| {
+                l.iter()
+                    .copied()
+                    .filter(|&x| x != u32::MAX)
+                    .max()
+                    .unwrap_or(0)
+                    + 1_000
+            })
             .unwrap_or(0);
         for _ in 0..self.natural {
             let row: Vec<Value> = (0..m)
@@ -304,8 +321,14 @@ mod tests {
         assert_eq!(log.natural_rows.len(), 3);
         assert_eq!(ds.len(), 53);
         let kinds = log.kinds(ds.len());
-        assert_eq!(kinds.iter().filter(|k| **k == OutlierKind::Dirty).count(), 5);
-        assert_eq!(kinds.iter().filter(|k| **k == OutlierKind::Natural).count(), 3);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == OutlierKind::Dirty).count(),
+            5
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == OutlierKind::Natural).count(),
+            3
+        );
     }
 
     #[test]
@@ -340,7 +363,10 @@ mod tests {
         for e in &log.errors {
             let j = e.attrs.iter().next().unwrap();
             let x = ds.row(e.row)[j].expect_num();
-            assert!(!(0.0..=1.0).contains(&x), "corrupted value {x} still inside domain");
+            assert!(
+                !(0.0..=1.0).contains(&x),
+                "corrupted value {x} still inside domain"
+            );
         }
     }
 
@@ -351,7 +377,10 @@ mod tests {
         for &r in &log.natural_rows {
             for j in 0..2 {
                 let x = ds.row(r)[j].expect_num();
-                assert!(!(-1.0..=2.0).contains(&x), "natural outlier attr {j} = {x} too close");
+                assert!(
+                    !(-1.0..=2.0).contains(&x),
+                    "natural outlier attr {j} = {x} too close"
+                );
             }
         }
     }
@@ -364,8 +393,14 @@ mod tests {
         let lb = ErrorInjector::new(6, 2, 99).inject(&mut b);
         assert_eq!(a.to_matrix().unwrap(), b.to_matrix().unwrap());
         assert_eq!(
-            la.errors.iter().map(|e| (e.row, e.attrs)).collect::<Vec<_>>(),
-            lb.errors.iter().map(|e| (e.row, e.attrs)).collect::<Vec<_>>()
+            la.errors
+                .iter()
+                .map(|e| (e.row, e.attrs))
+                .collect::<Vec<_>>(),
+            lb.errors
+                .iter()
+                .map(|e| (e.row, e.attrs))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -384,7 +419,10 @@ mod tests {
     #[test]
     fn typo_swaps_confusables() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(ErrorInjector::corrupt_text(&mut rng, "RH10-0AG"), "RHI0-0AG");
+        assert_eq!(
+            ErrorInjector::corrupt_text(&mut rng, "RH10-0AG"),
+            "RHI0-0AG"
+        );
         let t = ErrorInjector::corrupt_text(&mut rng, "abc");
         assert_ne!(t, "abc");
         assert_eq!(ErrorInjector::corrupt_text(&mut rng, ""), "X");

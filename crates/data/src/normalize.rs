@@ -26,7 +26,12 @@ impl ColumnStats {
     /// Computes statistics over a numeric column.
     pub fn from_column(values: &[f64]) -> Self {
         if values.is_empty() {
-            return ColumnStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 };
+            return ColumnStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
@@ -37,8 +42,14 @@ impl ColumnStats {
             sum += v;
         }
         let mean = sum / values.len() as f64;
-        let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
-        ColumnStats { min, max, mean, std: var.sqrt() }
+        let var =
+            values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        ColumnStats {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+        }
     }
 
     /// The column's domain width `max − min` (the "domain" column of
@@ -65,7 +76,12 @@ pub fn minmax_normalize(ds: &mut Dataset) -> Vec<ColumnStats> {
     let stats: Vec<ColumnStats> = (0..ds.arity())
         .map(|j| match ds.numeric_column(j) {
             Some(col) => ColumnStats::from_column(&col),
-            None => ColumnStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 },
+            None => ColumnStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+            },
         })
         .collect();
     map_numeric_columns(ds, |j, x| {
@@ -85,7 +101,12 @@ pub fn zscore_normalize(ds: &mut Dataset) -> Vec<ColumnStats> {
     let stats: Vec<ColumnStats> = (0..ds.arity())
         .map(|j| match ds.numeric_column(j) {
             Some(col) => ColumnStats::from_column(&col),
-            None => ColumnStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0 },
+            None => ColumnStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+            },
         })
         .collect();
     map_numeric_columns(ds, |j, x| {

@@ -23,12 +23,18 @@ pub struct Attribute {
 impl Attribute {
     /// A numeric attribute.
     pub fn numeric(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), kind: AttrKind::Numeric }
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric,
+        }
     }
 
     /// A textual attribute.
     pub fn text(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), kind: AttrKind::Text }
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Text,
+        }
     }
 }
 
@@ -46,7 +52,11 @@ impl Schema {
 
     /// An all-numeric schema with generated names `a0 … a{m-1}`.
     pub fn numeric(m: usize) -> Self {
-        Schema::new((0..m).map(|i| Attribute::numeric(format!("a{i}"))).collect())
+        Schema::new(
+            (0..m)
+                .map(|i| Attribute::numeric(format!("a{i}")))
+                .collect(),
+        )
     }
 
     /// An all-text schema with generated names.

@@ -52,7 +52,14 @@ impl ClusterSpec {
     /// like `σ·√(2m)`).
     pub fn new(n: usize, m: usize, classes: usize, seed: u64) -> Self {
         let separation = 8.0 * (m as f64).sqrt().max(1.0);
-        ClusterSpec { n, m, classes, spread: 1.0, separation, seed }
+        ClusterSpec {
+            n,
+            m,
+            classes,
+            spread: 1.0,
+            separation,
+            seed,
+        }
     }
 
     /// Overrides the within-cluster spread.
@@ -149,7 +156,11 @@ pub mod paper {
         let dirty = (outliers * 7) / 10;
         let natural = outliers - dirty;
         let spec = ClusterSpec::new(n - natural, m, classes, seed);
-        SyntheticDataset::generate(name, &spec, ErrorInjector::new(dirty, natural, seed ^ 0xBEEF))
+        SyntheticDataset::generate(
+            name,
+            &spec,
+            ErrorInjector::new(dirty, natural, seed ^ 0xBEEF),
+        )
     }
 
     /// Iris: 150 tuples, 4 attributes, 3 classes, 15 outliers. The dirty
@@ -161,9 +172,11 @@ pub mod paper {
         let natural = ((15.0 * frac) as usize).max(2) - dirty;
         SyntheticDataset::generate(
             "Iris",
-            &ClusterSpec { n: ((150.0 * frac) as usize).max(24) - natural, ..spec },
-            ErrorInjector::new(dirty, natural, seed ^ 0xBEEF)
-                .numeric_kind(ErrorKind::Scale(2.54)),
+            &ClusterSpec {
+                n: ((150.0 * frac) as usize).max(24) - natural,
+                ..spec
+            },
+            ErrorInjector::new(dirty, natural, seed ^ 0xBEEF).numeric_kind(ErrorKind::Scale(2.54)),
         )
     }
 
@@ -242,7 +255,11 @@ pub mod paper {
             .attrs_per_error(1, 1)
             .numeric_kind(ErrorKind::Offset { magnitude: 0.4 })
             .inject(&mut data);
-        SyntheticDataset { name: "GPS", data, log }
+        SyntheticDataset {
+            name: "GPS",
+            data,
+            log,
+        }
     }
 
     /// Restaurant: 864 tuples, 5 text attributes, 752 classes (duplicate
@@ -257,9 +274,13 @@ pub mod paper {
         let dirty = ((86.0 * frac) as usize).max(3);
 
         let mut rng = StdRng::seed_from_u64(seed);
-        let streets = ["main st", "oak ave", "park rd", "elm blvd", "lake dr", "hill ln"];
+        let streets = [
+            "main st", "oak ave", "park rd", "elm blvd", "lake dr", "hill ln",
+        ];
         let cities = ["london", "crawley", "brighton", "oxford", "leeds", "york"];
-        let foods = ["thai", "pizza", "sushi", "curry", "tapas", "bbq", "cafe", "deli"];
+        let foods = [
+            "thai", "pizza", "sushi", "curry", "tapas", "bbq", "cafe", "deli",
+        ];
 
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut labels: Vec<u32> = Vec::new();
@@ -323,7 +344,11 @@ pub mod paper {
             .attrs_per_error(1, 2)
             .numeric_kind(ErrorKind::Typo)
             .inject(&mut data);
-        SyntheticDataset { name: "Restaurant", data, log }
+        SyntheticDataset {
+            name: "Restaurant",
+            data,
+            log,
+        }
     }
 
     /// All eight numeric Table 1 datasets (everything except Restaurant),
@@ -378,7 +403,8 @@ mod tests {
         }
         for a in 0..3 {
             for b in (a + 1)..3 {
-                let d = ((cent[a][0] - cent[b][0]).powi(2) + (cent[a][1] - cent[b][1]).powi(2)).sqrt();
+                let d =
+                    ((cent[a][0] - cent[b][0]).powi(2) + (cent[a][1] - cent[b][1]).powi(2)).sqrt();
                 assert!(d > 8.0, "centroids {a},{b} too close: {d}");
             }
         }

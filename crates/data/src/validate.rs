@@ -138,7 +138,10 @@ impl Dataset {
             }
             NonFinitePolicy::DropRow => {
                 for (i, row) in self.rows().iter().enumerate() {
-                    if row.iter().any(|v| matches!(v, Value::Num(x) if !x.is_finite())) {
+                    if row
+                        .iter()
+                        .any(|v| matches!(v, Value::Num(x) if !x.is_finite()))
+                    {
                         report.dropped_rows.push(i);
                     }
                 }
@@ -222,11 +225,26 @@ mod tests {
 
     #[test]
     fn policy_parsing() {
-        assert_eq!(NonFinitePolicy::parse("reject"), Some(NonFinitePolicy::Reject));
-        assert_eq!(NonFinitePolicy::parse("null"), Some(NonFinitePolicy::AsNull));
-        assert_eq!(NonFinitePolicy::parse("as-null"), Some(NonFinitePolicy::AsNull));
-        assert_eq!(NonFinitePolicy::parse("drop"), Some(NonFinitePolicy::DropRow));
-        assert_eq!(NonFinitePolicy::parse("drop-row"), Some(NonFinitePolicy::DropRow));
+        assert_eq!(
+            NonFinitePolicy::parse("reject"),
+            Some(NonFinitePolicy::Reject)
+        );
+        assert_eq!(
+            NonFinitePolicy::parse("null"),
+            Some(NonFinitePolicy::AsNull)
+        );
+        assert_eq!(
+            NonFinitePolicy::parse("as-null"),
+            Some(NonFinitePolicy::AsNull)
+        );
+        assert_eq!(
+            NonFinitePolicy::parse("drop"),
+            Some(NonFinitePolicy::DropRow)
+        );
+        assert_eq!(
+            NonFinitePolicy::parse("drop-row"),
+            Some(NonFinitePolicy::DropRow)
+        );
         assert_eq!(NonFinitePolicy::parse("bogus"), None);
     }
 

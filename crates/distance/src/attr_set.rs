@@ -28,7 +28,10 @@ impl AttrSet {
     /// Panics if `m > 64`.
     #[inline]
     pub fn full(m: usize) -> Self {
-        assert!(m <= Self::MAX_ATTRS, "at most 64 attributes supported, got {m}");
+        assert!(
+            m <= Self::MAX_ATTRS,
+            "at most 64 attributes supported, got {m}"
+        );
         if m == 64 {
             AttrSet(u64::MAX)
         } else {

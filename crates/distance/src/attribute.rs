@@ -119,7 +119,9 @@ impl AttributeDistance for EditDistance {
         match (a, b) {
             (Value::Text(x), Value::Text(y)) => Self::levenshtein(x, y) as f64,
             (Value::Null, Value::Null) => 0.0,
-            (Value::Text(x), Value::Null) | (Value::Null, Value::Text(x)) => x.chars().count() as f64,
+            (Value::Text(x), Value::Null) | (Value::Null, Value::Text(x)) => {
+                x.chars().count() as f64
+            }
             // Numbers are compared by their textual rendering so mixed
             // columns stay well-defined.
             _ => Self::levenshtein(&a.to_string(), &b.to_string()) as f64,
@@ -151,7 +153,9 @@ pub struct NeedlemanWunsch {
 
 impl Default for NeedlemanWunsch {
     fn default() -> Self {
-        NeedlemanWunsch { confusable_cost: 0.5 }
+        NeedlemanWunsch {
+            confusable_cost: 0.5,
+        }
     }
 }
 
@@ -329,7 +333,10 @@ mod tests {
         // infinitely far apart (so they can never be ε-neighbors).
         assert_eq!(AbsoluteDiff.dist(&n(f64::NAN), &n(f64::NAN)), 0.0);
         assert_eq!(AbsoluteDiff.dist(&n(f64::INFINITY), &n(f64::INFINITY)), 0.0);
-        assert_eq!(AbsoluteDiff.dist(&n(f64::INFINITY), &n(f64::NEG_INFINITY)), f64::INFINITY);
+        assert_eq!(
+            AbsoluteDiff.dist(&n(f64::INFINITY), &n(f64::NEG_INFINITY)),
+            f64::INFINITY
+        );
         assert_eq!(AbsoluteDiff.dist(&n(f64::NAN), &n(1.0)), f64::INFINITY);
         assert_eq!(AbsoluteDiff.dist(&n(2.0), &n(f64::INFINITY)), f64::INFINITY);
     }

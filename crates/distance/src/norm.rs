@@ -7,8 +7,7 @@
 /// the sum of per-attribute distances. All variants preserve the four metric
 /// axioms of the underlying per-attribute metrics, plus monotonicity in the
 /// attribute set.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Norm {
     /// Sum of per-attribute distances.
     L1,
@@ -20,7 +19,6 @@ pub enum Norm {
     /// General Minkowski norm with exponent `p ≥ 1`.
     Lp(f64),
 }
-
 
 impl Norm {
     /// Aggregates a slice of per-attribute distances.

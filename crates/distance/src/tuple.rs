@@ -74,7 +74,9 @@ impl TupleDistance {
         debug_assert_eq!(b.len(), self.arity());
         let mut acc = self.norm.init();
         for i in 0..self.arity() {
-            acc = self.norm.accumulate(acc, self.metrics[i].dist(&a[i], &b[i]));
+            acc = self
+                .norm
+                .accumulate(acc, self.metrics[i].dist(&a[i], &b[i]));
         }
         self.norm.finish(acc)
     }
@@ -86,7 +88,9 @@ impl TupleDistance {
         let mut acc = self.norm.init();
         for i in x.iter() {
             debug_assert!(i < self.arity());
-            acc = self.norm.accumulate(acc, self.metrics[i].dist(&a[i], &b[i]));
+            acc = self
+                .norm
+                .accumulate(acc, self.metrics[i].dist(&a[i], &b[i]));
         }
         self.norm.finish(acc)
     }
@@ -98,7 +102,9 @@ impl TupleDistance {
         let cap = self.norm.to_acc(threshold);
         let mut acc = self.norm.init();
         for i in 0..self.arity() {
-            acc = self.norm.accumulate(acc, self.metrics[i].dist(&a[i], &b[i]));
+            acc = self
+                .norm
+                .accumulate(acc, self.metrics[i].dist(&a[i], &b[i]));
             if acc > cap {
                 return None;
             }

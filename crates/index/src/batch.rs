@@ -1,6 +1,6 @@
 //! Parallel batch queries over a shared read-only index.
 //!
-//! Every [`NeighborIndex`](crate::NeighborIndex) backend is plain data —
+//! Every [`NeighborIndex`] backend is plain data —
 //! borrowed rows, a metric, and precomputed structure — so a built index
 //! is `Sync` and can serve queries from many threads at once. The helpers
 //! here fan a batch of queries out over `workers` scoped threads
@@ -67,7 +67,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, u)| u).collect()

@@ -146,7 +146,10 @@ mod tests {
         let idx = BruteForceIndex::new(&data, TupleDistance::numeric(2));
         let nn = idx.knn(&q(0.0, 0.0), 3);
         assert_eq!(nn.iter().map(|h| h.0).collect::<Vec<_>>(), vec![1, 3, 2]);
-        assert_eq!(nn.iter().map(|h| h.1).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            nn.iter().map(|h| h.1).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

@@ -27,7 +27,29 @@ use disc_obs::counters;
 use crate::NeighborIndex;
 
 /// Grid cell coordinates (one `i64` per dimension).
-type CellKey = Vec<i64>;
+pub(crate) type CellKey = Vec<i64>;
+
+/// Cell of `row` on a grid of width `w`, or `None` if any coordinate is
+/// not a finite number.
+pub(crate) fn cell_key(row: &[Value], w: f64) -> Option<CellKey> {
+    row.iter()
+        .map(|v| {
+            v.as_num()
+                .filter(|x| x.is_finite())
+                .map(|x| (x / w).floor() as i64)
+        })
+        .collect()
+}
+
+/// Norm-aware upper bound on any point-to-point distance when every
+/// per-coordinate extent is at most `span`: `m^{1/p}·span` under `L^p`,
+/// `span` under `L^∞`.
+pub(crate) fn norm_diameter(span: f64, m: usize, dist: &TupleDistance) -> f64 {
+    match dist.norm().exponent() {
+        Some(p) => span * (m.max(1) as f64).powf(1.0 / p),
+        None => span,
+    }
+}
 
 /// A row cell that cannot be placed on the grid (non-numeric or
 /// non-finite), reported by [`GridIndex::try_new`].
@@ -114,13 +136,16 @@ impl<'a> GridIndex<'a> {
             // most `m^{1/p}·span` under L^p and `span` under L^∞ — the
             // L2-only `(span²·m).sqrt()` underestimated the L1 diameter
             // by up to `m^{1/2}`, making k-NN drop true neighbors.
-            let diameter = match dist.norm().exponent() {
-                Some(p) => span * (m.max(1) as f64).powf(1.0 / p),
-                None => span,
-            };
-            diameter + cell_width
+            norm_diameter(span, m, &dist) + cell_width
         };
-        Ok(GridIndex { rows, dist, cell_width, cells, m, max_dist })
+        Ok(GridIndex {
+            rows,
+            dist,
+            cell_width,
+            cells,
+            m,
+            max_dist,
+        })
     }
 
     /// Builds the grid, panicking on invalid input.
@@ -137,13 +162,7 @@ impl<'a> GridIndex<'a> {
 
     /// Cell of `row`, or `None` if any coordinate is not a finite number.
     fn key_of(row: &[Value], w: f64) -> Option<CellKey> {
-        row.iter()
-            .map(|v| {
-                v.as_num()
-                    .filter(|x| x.is_finite())
-                    .map(|x| (x / w).floor() as i64)
-            })
-            .collect()
+        cell_key(row, w)
     }
 
     /// Number of occupied cells (diagnostics).
@@ -152,52 +171,73 @@ impl<'a> GridIndex<'a> {
     }
 
     /// Visits every row whose cell lies within `radius_cells` of the
-    /// query's cell in Chebyshev distance. Chooses between enumerating the
-    /// cell neighborhood and scanning the occupied-cell map, whichever is
-    /// smaller. A query with no grid cell (non-numeric or non-finite
-    /// coordinates) visits every row — the per-coordinate bound cannot be
-    /// evaluated, so nothing can be excluded.
-    fn for_candidates(&self, query: &[Value], radius_cells: i64, mut visit: impl FnMut(u32)) {
-        let Some(qkey) = Self::key_of(query, self.cell_width) else {
-            for ids in self.cells.values() {
+    /// query's cell in Chebyshev distance; see [`for_cell_candidates`].
+    fn for_candidates(&self, query: &[Value], radius_cells: i64, visit: impl FnMut(u32)) {
+        for_cell_candidates(
+            &self.cells,
+            self.m,
+            self.cell_width,
+            query,
+            radius_cells,
+            visit,
+        );
+    }
+}
+
+/// Visits every row whose cell lies within `radius_cells` of the query's
+/// cell in Chebyshev distance. Chooses between enumerating the cell
+/// neighborhood and scanning the occupied-cell map, whichever is smaller.
+/// A query with no grid cell (non-numeric or non-finite coordinates)
+/// visits every row — the per-coordinate bound cannot be evaluated, so
+/// nothing can be excluded. Shared by [`GridIndex`] and the grid backend
+/// of the dynamic index.
+pub(crate) fn for_cell_candidates(
+    cells: &HashMap<CellKey, Vec<u32>>,
+    m: usize,
+    cell_width: f64,
+    query: &[Value],
+    radius_cells: i64,
+    mut visit: impl FnMut(u32),
+) {
+    let Some(qkey) = cell_key(query, cell_width) else {
+        for ids in cells.values() {
+            for &id in ids {
+                visit(id);
+            }
+        }
+        return;
+    };
+    let span = (2 * radius_cells + 1) as f64;
+    let enumerate_cost = span.powi(m as i32);
+    if enumerate_cost <= 4.0 * cells.len() as f64 {
+        // Enumerate the (2r+1)^m neighborhood via an odometer.
+        let mut offsets = vec![-radius_cells; m];
+        'outer: loop {
+            let key: CellKey = qkey.iter().zip(&offsets).map(|(q, o)| q + o).collect();
+            if let Some(ids) = cells.get(&key) {
                 for &id in ids {
                     visit(id);
                 }
             }
-            return;
-        };
-        let span = (2 * radius_cells + 1) as f64;
-        let enumerate_cost = span.powi(self.m as i32);
-        if enumerate_cost <= 4.0 * self.cells.len() as f64 {
-            // Enumerate the (2r+1)^m neighborhood via an odometer.
-            let mut offsets = vec![-radius_cells; self.m];
-            'outer: loop {
-                let key: CellKey = qkey.iter().zip(&offsets).map(|(q, o)| q + o).collect();
-                if let Some(ids) = self.cells.get(&key) {
-                    for &id in ids {
-                        visit(id);
-                    }
+            // Advance the odometer.
+            for digit in offsets.iter_mut() {
+                *digit += 1;
+                if *digit <= radius_cells {
+                    continue 'outer;
                 }
-                // Advance the odometer.
-                for digit in offsets.iter_mut() {
-                    *digit += 1;
-                    if *digit <= radius_cells {
-                        continue 'outer;
-                    }
-                    *digit = -radius_cells;
-                }
-                break;
+                *digit = -radius_cells;
             }
-        } else {
-            for (key, ids) in &self.cells {
-                let near = key
-                    .iter()
-                    .zip(&qkey)
-                    .all(|(c, q)| (c - q).abs() <= radius_cells);
-                if near {
-                    for &id in ids {
-                        visit(id);
-                    }
+            break;
+        }
+    } else {
+        for (key, ids) in cells {
+            let near = key
+                .iter()
+                .zip(&qkey)
+                .all(|(c, q)| (c - q).abs() <= radius_cells);
+            if near {
+                for &id in ids {
+                    visit(id);
                 }
             }
         }
@@ -330,10 +370,7 @@ mod tests {
     /// returned 1 hit instead of 2.
     #[test]
     fn knn_l1_far_query_finds_all_neighbors() {
-        let data: Vec<Vec<Value>> = vec![
-            vec![Value::Num(0.0); 3],
-            vec![Value::Num(100.0); 3],
-        ];
+        let data: Vec<Vec<Value>> = vec![vec![Value::Num(0.0); 3], vec![Value::Num(100.0); 3]];
         let dist = numeric_with_norm(3, Norm::L1);
         let grid = GridIndex::new(&data, dist.clone(), 1.0);
         let query = vec![Value::Num(-50.0); 3];
@@ -378,16 +415,17 @@ mod tests {
 
     #[test]
     fn try_new_reports_first_non_numeric_cell() {
-        let data = vec![
-            q(0.0, 0.0),
-            vec![Value::Num(1.0), Value::Null],
-        ];
-        let err = GridIndex::try_new(&data, TupleDistance::numeric(2), 1.0).err().unwrap();
+        let data = vec![q(0.0, 0.0), vec![Value::Num(1.0), Value::Null]];
+        let err = GridIndex::try_new(&data, TupleDistance::numeric(2), 1.0)
+            .err()
+            .unwrap();
         assert_eq!(err, NonNumericCell { row: 1, attr: 1 });
         assert!(err.to_string().contains("row 1, attribute 1"));
 
         let data = vec![vec![Value::Num(f64::INFINITY), Value::Num(0.0)]];
-        let err = GridIndex::try_new(&data, TupleDistance::numeric(2), 1.0).err().unwrap();
+        let err = GridIndex::try_new(&data, TupleDistance::numeric(2), 1.0)
+            .err()
+            .unwrap();
         assert_eq!(err, NonNumericCell { row: 0, attr: 0 });
     }
 

@@ -16,21 +16,28 @@
 //!   single-attribute ε-balls in `O(log n)`, used by the DISC recursion to
 //!   seed candidate lists for unadjusted-attribute subsets.
 //!
-//! All indexes borrow the row storage; the row set `r` of non-outlying
-//! tuples is immutable while outliers are being saved, so no backend needs
-//! interior mutability.
+//! The static indexes borrow the row storage; the row set `r` of
+//! non-outlying tuples is immutable while outliers are being saved, so no
+//! backend needs interior mutability. For streaming ingest,
+//! [`DynamicIndex`] owns its rows and supports appends through the
+//! [`DynamicNeighborIndex`] extension trait, dispatching to the same
+//! backends internally.
 
 pub mod batch;
 pub mod brute;
+pub mod dynamic;
 pub mod grid;
 pub mod sorted;
 pub mod vptree;
 
-pub use batch::{count_within_batch, kth_distance_batch, parallel_map, parallel_map_catch, range_batch};
+pub use batch::{
+    count_within_batch, kth_distance_batch, parallel_map, parallel_map_catch, range_batch,
+};
 pub use brute::BruteForceIndex;
-pub use grid::GridIndex;
+pub use dynamic::{DynamicIndex, DynamicNeighborIndex};
+pub use grid::{GridIndex, NonNumericCell};
 pub use sorted::SortedColumn;
-pub use vptree::VpTree;
+pub use vptree::{VpNodes, VpTree};
 
 use disc_distance::Value;
 

@@ -20,121 +20,213 @@ struct Node {
     outside: Option<Box<Node>>,
 }
 
-/// A vantage-point tree over a fixed row set.
-pub struct VpTree<'a> {
-    rows: &'a [Vec<Value>],
-    dist: TupleDistance,
+/// The owned node structure of a vantage-point tree, decoupled from the row
+/// storage so owners of the rows (e.g. the dynamic index) can keep a tree
+/// alongside the data it indexes. Queries take the row slice the stored ids
+/// refer to; callers must pass the same rows the tree was built over (a
+/// longer slice is fine — extra rows are simply not part of the tree).
+pub struct VpNodes {
     root: Option<Box<Node>>,
+    len: usize,
 }
 
-impl<'a> VpTree<'a> {
-    /// Builds the tree in `O(n log n)` expected distance evaluations.
-    ///
-    /// Construction is deterministic: the first point of each partition is
-    /// the vantage point and the median split uses a stable order.
-    pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance) -> Self {
-        let mut ids: Vec<u32> = (0..rows.len() as u32).collect();
-        let root = Self::build(rows, &dist, &mut ids);
-        VpTree { rows, dist, root }
+impl VpNodes {
+    /// Builds the node structure over all of `rows` in `O(n log n)` expected
+    /// distance evaluations. Construction is deterministic: the first point
+    /// of each partition is the vantage point and the median split uses a
+    /// stable order.
+    pub fn build(rows: &[Vec<Value>], dist: &TupleDistance) -> Self {
+        Self::build_over(rows, dist, rows.len())
     }
 
-    fn build(rows: &[Vec<Value>], dist: &TupleDistance, ids: &mut [u32]) -> Option<Box<Node>> {
-        let (&vantage, rest) = ids.split_first()?;
-        if rest.is_empty() {
-            return Some(Box::new(Node { vantage, radius: 0.0, inside: None, outside: None }));
-        }
-        let vrow = &rows[vantage as usize];
-        let mut with_d: Vec<(u32, f64)> = rest
-            .iter()
-            .map(|&id| (id, dist.dist(vrow, &rows[id as usize])))
-            .collect();
-        with_d.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        let mid = with_d.len() / 2;
-        let radius = with_d[mid].1;
-        // inside: d ≤ radius (indices 0..=mid), outside: d > radius.
-        let split = with_d.iter().position(|p| p.1 > radius).unwrap_or(with_d.len());
-        let mut inside_ids: Vec<u32> = with_d[..split].iter().map(|p| p.0).collect();
-        let mut outside_ids: Vec<u32> = with_d[split..].iter().map(|p| p.0).collect();
-        Some(Box::new(Node {
-            vantage,
-            radius,
-            inside: Self::build(rows, dist, &mut inside_ids),
-            outside: Self::build(rows, dist, &mut outside_ids),
-        }))
+    /// [`VpNodes::build`] restricted to the prefix `rows[..n]`, for
+    /// buffer-plus-rebuild owners that index a prefix and scan the tail.
+    pub fn build_over(rows: &[Vec<Value>], dist: &TupleDistance, n: usize) -> Self {
+        assert!(n <= rows.len());
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let root = build_rec(rows, dist, &mut ids);
+        VpNodes { root, len: n }
     }
 
-    fn range_rec(
+    /// Number of rows covered by the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends every tree row within `eps` of `query` to `out`; `visited`
+    /// counts the nodes touched.
+    pub fn range_into(
         &self,
-        node: &Node,
+        rows: &[Vec<Value>],
+        dist: &TupleDistance,
         query: &[Value],
         eps: f64,
         out: &mut Vec<(u32, f64)>,
         visited: &mut u64,
     ) {
-        *visited += 1;
-        let d = self.dist.dist(query, &self.rows[node.vantage as usize]);
-        if d <= eps {
-            out.push((node.vantage, d));
-        }
-        if let Some(inside) = &node.inside {
-            // A point p inside has Δ(v,p) ≤ radius; by triangle inequality
-            // Δ(q,p) ≥ d − radius, so skip if d − radius > eps.
-            if d - node.radius <= eps {
-                self.range_rec(inside, query, eps, out, visited);
-            }
-        }
-        if let Some(outside) = &node.outside {
-            // A point p outside has Δ(v,p) > radius; Δ(q,p) ≥ radius − d.
-            if node.radius - d <= eps {
-                self.range_rec(outside, query, eps, out, visited);
-            }
+        if let Some(root) = &self.root {
+            range_rec(root, rows, dist, query, eps, out, visited);
         }
     }
 
-    fn knn_rec(
+    /// Merges the `k` nearest tree rows to `query` into the candidate list
+    /// `best`, which must already be sorted ascending by distance (ties by
+    /// id) and is kept that way; `visited` counts the nodes touched.
+    pub fn knn_into(
         &self,
-        node: &Node,
+        rows: &[Vec<Value>],
+        dist: &TupleDistance,
         query: &[Value],
         k: usize,
         best: &mut Vec<(u32, f64)>,
         visited: &mut u64,
     ) {
-        *visited += 1;
-        let d = self.dist.dist(query, &self.rows[node.vantage as usize]);
-        let tau = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
-        if d <= tau {
-            let pos = best
-                .binary_search_by(|p| {
-                    p.1.partial_cmp(&d)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(p.0.cmp(&node.vantage))
-                })
-                .unwrap_or_else(|e| e);
-            best.insert(pos, (node.vantage, d));
-            if best.len() > k {
-                best.pop();
+        if k > 0 {
+            if let Some(root) = &self.root {
+                knn_rec(root, rows, dist, query, k, best, visited);
             }
         }
-        // Visit the nearer side first for better pruning.
-        let first_inside = d <= node.radius;
-        for go_inside in [first_inside, !first_inside] {
-            let child = if go_inside { &node.inside } else { &node.outside };
-            if let Some(child) = child {
-                let tau = if best.len() == k { best[k - 1].1 } else { f64::INFINITY };
-                let reachable = if go_inside {
-                    d - node.radius <= tau
-                } else {
-                    node.radius - d <= tau
-                };
-                if reachable {
-                    self.knn_rec(child, query, k, best, visited);
-                }
+    }
+}
+
+fn build_rec(rows: &[Vec<Value>], dist: &TupleDistance, ids: &mut [u32]) -> Option<Box<Node>> {
+    let (&vantage, rest) = ids.split_first()?;
+    if rest.is_empty() {
+        return Some(Box::new(Node {
+            vantage,
+            radius: 0.0,
+            inside: None,
+            outside: None,
+        }));
+    }
+    let vrow = &rows[vantage as usize];
+    let mut with_d: Vec<(u32, f64)> = rest
+        .iter()
+        .map(|&id| (id, dist.dist(vrow, &rows[id as usize])))
+        .collect();
+    with_d.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mid = with_d.len() / 2;
+    let radius = with_d[mid].1;
+    // inside: d ≤ radius (indices 0..=mid), outside: d > radius.
+    let split = with_d
+        .iter()
+        .position(|p| p.1 > radius)
+        .unwrap_or(with_d.len());
+    let mut inside_ids: Vec<u32> = with_d[..split].iter().map(|p| p.0).collect();
+    let mut outside_ids: Vec<u32> = with_d[split..].iter().map(|p| p.0).collect();
+    Some(Box::new(Node {
+        vantage,
+        radius,
+        inside: build_rec(rows, dist, &mut inside_ids),
+        outside: build_rec(rows, dist, &mut outside_ids),
+    }))
+}
+
+fn range_rec(
+    node: &Node,
+    rows: &[Vec<Value>],
+    dist: &TupleDistance,
+    query: &[Value],
+    eps: f64,
+    out: &mut Vec<(u32, f64)>,
+    visited: &mut u64,
+) {
+    *visited += 1;
+    let d = dist.dist(query, &rows[node.vantage as usize]);
+    if d <= eps {
+        out.push((node.vantage, d));
+    }
+    if let Some(inside) = &node.inside {
+        // A point p inside has Δ(v,p) ≤ radius; by triangle inequality
+        // Δ(q,p) ≥ d − radius, so skip if d − radius > eps.
+        if d - node.radius <= eps {
+            range_rec(inside, rows, dist, query, eps, out, visited);
+        }
+    }
+    if let Some(outside) = &node.outside {
+        // A point p outside has Δ(v,p) > radius; Δ(q,p) ≥ radius − d.
+        if node.radius - d <= eps {
+            range_rec(outside, rows, dist, query, eps, out, visited);
+        }
+    }
+}
+
+fn knn_rec(
+    node: &Node,
+    rows: &[Vec<Value>],
+    dist: &TupleDistance,
+    query: &[Value],
+    k: usize,
+    best: &mut Vec<(u32, f64)>,
+    visited: &mut u64,
+) {
+    *visited += 1;
+    let d = dist.dist(query, &rows[node.vantage as usize]);
+    let tau = if best.len() == k {
+        best[k - 1].1
+    } else {
+        f64::INFINITY
+    };
+    if d <= tau {
+        let pos = best
+            .binary_search_by(|p| {
+                p.1.partial_cmp(&d)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(p.0.cmp(&node.vantage))
+            })
+            .unwrap_or_else(|e| e);
+        best.insert(pos, (node.vantage, d));
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    // Visit the nearer side first for better pruning.
+    let first_inside = d <= node.radius;
+    for go_inside in [first_inside, !first_inside] {
+        let child = if go_inside {
+            &node.inside
+        } else {
+            &node.outside
+        };
+        if let Some(child) = child {
+            let tau = if best.len() == k {
+                best[k - 1].1
+            } else {
+                f64::INFINITY
+            };
+            let reachable = if go_inside {
+                d - node.radius <= tau
+            } else {
+                node.radius - d <= tau
+            };
+            if reachable {
+                knn_rec(child, rows, dist, query, k, best, visited);
             }
         }
+    }
+}
+
+/// A vantage-point tree over a fixed row set.
+pub struct VpTree<'a> {
+    rows: &'a [Vec<Value>],
+    dist: TupleDistance,
+    nodes: VpNodes,
+}
+
+impl<'a> VpTree<'a> {
+    /// Builds the tree; see [`VpNodes::build`] for cost and determinism.
+    pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance) -> Self {
+        let nodes = VpNodes::build(rows, &dist);
+        VpTree { rows, dist, nodes }
     }
 }
 
@@ -147,9 +239,8 @@ impl NeighborIndex for VpTree<'_> {
         counters::VPTREE_RANGE_QUERIES.incr();
         let mut out = Vec::new();
         let mut visited = 0u64;
-        if let Some(root) = &self.root {
-            self.range_rec(root, query, eps, &mut out, &mut visited);
-        }
+        self.nodes
+            .range_into(self.rows, &self.dist, query, eps, &mut out, &mut visited);
         counters::VPTREE_ROWS_VISITED.add(visited);
         out
     }
@@ -158,11 +249,8 @@ impl NeighborIndex for VpTree<'_> {
         counters::VPTREE_KNN_QUERIES.incr();
         let mut best = Vec::with_capacity(k + 1);
         let mut visited = 0u64;
-        if k > 0 {
-            if let Some(root) = &self.root {
-                self.knn_rec(root, query, k, &mut best, &mut visited);
-            }
-        }
+        self.nodes
+            .knn_into(self.rows, &self.dist, query, k, &mut best, &mut visited);
         counters::VPTREE_ROWS_VISITED.add(visited);
         sort_hits(&mut best);
         best
@@ -179,9 +267,13 @@ mod tests {
         let mut state = 12345u64;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((state >> 33) % 1000) as f64 / 100.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((state >> 33) % 1000) as f64 / 100.0;
                 vec![Value::Num(x), Value::Num(y)]
             })
@@ -267,5 +359,20 @@ mod tests {
         let nn = t.knn(&[Value::Num(1.0)], 4);
         assert_eq!(nn.len(), 4);
         assert_eq!(nn[3].1, 4.0);
+    }
+
+    #[test]
+    fn vpnodes_prefix_build_ignores_tail() {
+        let data = rows_2d(50);
+        let dist = TupleDistance::numeric(2);
+        let nodes = VpNodes::build_over(&data, &dist, 30);
+        assert_eq!(nodes.len(), 30);
+        let query = vec![Value::Num(5.0), Value::Num(5.0)];
+        let mut hits = Vec::new();
+        let mut visited = 0u64;
+        nodes.range_into(&data, &dist, &query, 100.0, &mut hits, &mut visited);
+        // Every row of the prefix is within 100.0; none of the tail appears.
+        assert_eq!(hits.len(), 30);
+        assert!(hits.iter().all(|&(id, _)| id < 30));
     }
 }

@@ -27,7 +27,11 @@ impl ConfusionMatrix {
             }
         }
         classes.sort_unstable();
-        ConfusionMatrix { cells, classes, n: pred.len() as u64 }
+        ConfusionMatrix {
+            cells,
+            classes,
+            n: pred.len() as u64,
+        }
     }
 
     /// Per-class precision, recall and F1.
@@ -45,8 +49,16 @@ impl ConfusionMatrix {
             .filter(|((_, t), _)| *t == class)
             .map(|(_, &c)| c as f64)
             .sum();
-        let precision = if pred_total == 0.0 { 0.0 } else { tp / pred_total };
-        let recall = if truth_total == 0.0 { 0.0 } else { tp / truth_total };
+        let precision = if pred_total == 0.0 {
+            0.0
+        } else {
+            tp / pred_total
+        };
+        let recall = if truth_total == 0.0 {
+            0.0
+        } else {
+            tp / truth_total
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -60,7 +72,11 @@ impl ConfusionMatrix {
         if self.classes.is_empty() {
             return 1.0;
         }
-        self.classes.iter().map(|&c| self.class_prf(c).2).sum::<f64>() / self.classes.len() as f64
+        self.classes
+            .iter()
+            .map(|&c| self.class_prf(c).2)
+            .sum::<f64>()
+            / self.classes.len() as f64
     }
 
     /// Fraction of correct predictions.

@@ -100,7 +100,12 @@ impl Contingency {
             *pred_sizes.entry(p).or_insert(0) += 1;
             *truth_sizes.entry(t).or_insert(0) += 1;
         }
-        Contingency { cells, pred_sizes, truth_sizes, n: pred.len() as u64 }
+        Contingency {
+            cells,
+            pred_sizes,
+            truth_sizes,
+            n: pred.len() as u64,
+        }
     }
 }
 
@@ -111,7 +116,11 @@ pub fn pairwise_prf(pred: &[u32], truth: &[u32]) -> PairCounts {
     let tp: u64 = c.cells.values().map(|&x| choose2(x)).sum();
     let pred_pairs: u64 = c.pred_sizes.values().map(|&x| choose2(x)).sum();
     let truth_pairs: u64 = c.truth_sizes.values().map(|&x| choose2(x)).sum();
-    PairCounts { tp, fp: pred_pairs - tp, fn_: truth_pairs - tp }
+    PairCounts {
+        tp,
+        fp: pred_pairs - tp,
+        fn_: truth_pairs - tp,
+    }
 }
 
 /// Pairwise F1 (the paper's primary clustering measure).

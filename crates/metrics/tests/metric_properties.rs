@@ -1,8 +1,8 @@
 //! Property tests for the evaluation metrics.
 
 use disc_metrics::{
-    accuracy, adjusted_rand_index, jaccard, macro_f1, normalized_mutual_information,
-    pairwise_f1, pairwise_prf, NOISE,
+    accuracy, adjusted_rand_index, jaccard, macro_f1, normalized_mutual_information, pairwise_f1,
+    pairwise_prf, NOISE,
 };
 use proptest::prelude::*;
 

@@ -92,7 +92,9 @@ impl RecordMatcher {
     /// # Panics
     /// Panics if the dataset has no labels.
     pub fn run(&self, ds: &Dataset) -> MatchReport {
-        let labels = ds.labels().expect("record matching needs duplicate-group labels");
+        let labels = ds
+            .labels()
+            .expect("record matching needs duplicate-group labels");
         let n = ds.len();
         let mut pairs = Vec::new();
         let mut tp = 0usize;
@@ -133,16 +135,28 @@ mod tests {
     #[test]
     fn near_duplicates_match() {
         let m = RecordMatcher::new();
-        let a = vec![Value::Text("thai palace".into()), Value::Text("RH10-0AG".into())];
-        let b = vec![Value::Text("thai palace".into()), Value::Text("RH10-OAG".into())];
+        let a = vec![
+            Value::Text("thai palace".into()),
+            Value::Text("RH10-0AG".into()),
+        ];
+        let b = vec![
+            Value::Text("thai palace".into()),
+            Value::Text("RH10-OAG".into()),
+        ];
         assert!(m.matches(&a, &b));
     }
 
     #[test]
     fn different_records_do_not_match() {
         let m = RecordMatcher::new();
-        let a = vec![Value::Text("thai palace".into()), Value::Text("RH10-0AG".into())];
-        let b = vec![Value::Text("sushi corner".into()), Value::Text("ZZ99-XYZ".into())];
+        let a = vec![
+            Value::Text("thai palace".into()),
+            Value::Text("RH10-0AG".into()),
+        ];
+        let b = vec![
+            Value::Text("sushi corner".into()),
+            Value::Text("ZZ99-XYZ".into()),
+        ];
         assert!(!m.matches(&a, &b));
     }
 
@@ -150,8 +164,14 @@ mod tests {
     fn one_bad_attribute_blocks_a_match() {
         // All-attribute rule: a single dissimilar attribute rejects.
         let m = RecordMatcher::new();
-        let a = vec![Value::Text("thai palace".into()), Value::Text("RH10-0AG".into())];
-        let b = vec![Value::Text("thai palace".into()), Value::Text("COMPLETELYELSE".into())];
+        let a = vec![
+            Value::Text("thai palace".into()),
+            Value::Text("RH10-0AG".into()),
+        ];
+        let b = vec![
+            Value::Text("thai palace".into()),
+            Value::Text("COMPLETELYELSE".into()),
+        ];
         assert!(!m.matches(&a, &b));
     }
 

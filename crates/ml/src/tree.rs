@@ -20,7 +20,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 16, min_samples_split: 2 }
+        TreeConfig {
+            max_depth: 16,
+            min_samples_split: 2,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ fn gini(labels: &[u32], idx: &[usize]) -> f64 {
         *counts.entry(labels[i]).or_insert(0) += 1;
     }
     let n = idx.len() as f64;
-    1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+    1.0 - counts
+        .values()
+        .map(|&c| (c as f64 / n).powi(2))
+        .sum::<f64>()
 }
 
 fn is_pure(labels: &[u32], idx: &[usize]) -> bool {
@@ -84,8 +90,10 @@ fn best_split(data: &[f64], m: usize, labels: &[u32], idx: &[usize]) -> Option<(
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         // Incremental class counts for the left partition.
-        let mut left_counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        let mut right_counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut left_counts: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        let mut right_counts: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
         for &i in &order {
             *right_counts.entry(labels[i]).or_insert(0) += 1;
         }
@@ -94,7 +102,10 @@ fn best_split(data: &[f64], m: usize, labels: &[u32], idx: &[usize]) -> Option<(
             if n == 0.0 {
                 0.0
             } else {
-                1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+                1.0 - counts
+                    .values()
+                    .map(|&c| (c as f64 / n).powi(2))
+                    .sum::<f64>()
             }
         };
         for w in 0..order.len() - 1 {
@@ -114,9 +125,7 @@ fn best_split(data: &[f64], m: usize, labels: &[u32], idx: &[usize]) -> Option<(
             // default min_impurity_decrease = 0): XOR-like structure only
             // separates two levels down. Termination is still guaranteed
             // because both children are strictly smaller.
-            if impurity <= parent + 1e-12
-                && best.map(|(_, _, b)| impurity < b).unwrap_or(true)
-            {
+            if impurity <= parent + 1e-12 && best.map(|(_, _, b)| impurity < b).unwrap_or(true) {
                 best = Some((attr, 0.5 * (v + next), impurity));
             }
         }
@@ -133,14 +142,22 @@ fn grow(
     cfg: &TreeConfig,
 ) -> Node {
     if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split || is_pure(labels, &idx) {
-        return Node::Leaf { class: majority(labels, &idx) };
+        return Node::Leaf {
+            class: majority(labels, &idx),
+        };
     }
     match best_split(data, m, labels, &idx) {
         Some((attr, threshold, _)) => {
-            let (left, right): (Vec<usize>, Vec<usize>) =
-                idx.into_iter().partition(|&i| data[i * m + attr] <= threshold);
+            let (left, right): (Vec<usize>, Vec<usize>) = idx
+                .into_iter()
+                .partition(|&i| data[i * m + attr] <= threshold);
             if left.is_empty() || right.is_empty() {
-                return Node::Leaf { class: majority(labels, &left.iter().chain(&right).copied().collect::<Vec<_>>()) };
+                return Node::Leaf {
+                    class: majority(
+                        labels,
+                        &left.iter().chain(&right).copied().collect::<Vec<_>>(),
+                    ),
+                };
             }
             Node::Split {
                 attr,
@@ -149,7 +166,9 @@ fn grow(
                 right: Box::new(grow(data, m, labels, right, depth + 1, cfg)),
             }
         }
-        None => Node::Leaf { class: majority(labels, &idx) },
+        None => Node::Leaf {
+            class: majority(labels, &idx),
+        },
     }
 }
 
@@ -164,7 +183,10 @@ impl DecisionTree {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         let m = ds.arity();
         let idx: Vec<usize> = (0..ds.len()).collect();
-        DecisionTree { root: grow(&data, m, labels, idx, 0, &cfg), arity: m }
+        DecisionTree {
+            root: grow(&data, m, labels, idx, 0, &cfg),
+            arity: m,
+        }
     }
 
     /// Trains on explicit row indices (used by cross validation).
@@ -180,8 +202,17 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { class } => return *class,
-                Node::Split { attr, threshold, left, right } => {
-                    node = if row[*attr] <= *threshold { left } else { right };
+                Node::Split {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*attr] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -190,7 +221,9 @@ impl DecisionTree {
     /// Predicts classes for every row of a dataset.
     pub fn predict(&self, ds: &Dataset) -> Vec<u32> {
         let data = ds.to_matrix().expect("prediction requires numeric data");
-        data.chunks_exact(self.arity).map(|r| self.predict_row(r)).collect()
+        data.chunks_exact(self.arity)
+            .map(|r| self.predict_row(r))
+            .collect()
     }
 
     /// Number of decision nodes plus leaves (diagnostics).
@@ -259,7 +292,10 @@ mod tests {
     #[test]
     fn depth_one_is_a_stump() {
         let ds = labeled_blobs();
-        let cfg = TreeConfig { max_depth: 1, min_samples_split: 2 };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            min_samples_split: 2,
+        };
         let tree = DecisionTree::fit(&ds, cfg);
         assert!(tree.node_count() <= 3);
     }
@@ -300,8 +336,7 @@ mod tests {
     #[test]
     fn cv_folds_partition_everything() {
         // Sanity: with folds = n, leave-one-out still returns a score.
-        let ds = Dataset::from_matrix(1, &[1.0, 2.0, 10.0, 11.0])
-            .with_labels(vec![0, 0, 1, 1]);
+        let ds = Dataset::from_matrix(1, &[1.0, 2.0, 10.0, 11.0]).with_labels(vec![0, 0, 1, 1]);
         let f1 = cross_validate(&ds, 4, TreeConfig::default(), 1);
         assert!((0.0..=1.0).contains(&f1));
     }

@@ -90,6 +90,9 @@ declare_counters! {
     /// `SortedColumn::ball` / `ball_size` calls (κ-restricted candidate
     /// seeding).
     SORTED_BALL_QUERIES => "index.sorted.ball_queries",
+    /// Full structure rebuilds performed by `DynamicIndex` (VP-tree
+    /// buffer overflow or backend upgrades/migrations).
+    DYNAMIC_REBUILDS => "index.dynamic.rebuilds",
     /// Search-tree nodes expanded by the approximate saver (Algorithm 1).
     SEARCH_NODES => "search.nodes",
     /// Candidate adjustments evaluated by either saver (the exact
@@ -114,6 +117,22 @@ declare_counters! {
     SAVES_CANCELLED => "pipeline.saves_cancelled",
     /// Per-outlier saves that panicked and were isolated.
     SAVES_PANICKED => "pipeline.saves_panicked",
+    /// `DiscEngine::ingest` calls.
+    ENGINE_INGESTS => "engine.ingests",
+    /// Tuples appended across all ingests.
+    ENGINE_ROWS_INGESTED => "engine.rows_ingested",
+    /// Rows whose cached ε-neighborhood count was reused unchanged by an
+    /// ingest (no re-detection needed).
+    ENGINE_CACHE_HITS => "engine.cache_hits",
+    /// Rows placed in the dirty set (re-detected and, if outlying,
+    /// re-saved) across all ingests.
+    ENGINE_DIRTY_ROWS => "engine.dirty_rows",
+    /// Save attempts the engine re-ran on previously seen outliers
+    /// because the inlier set grew.
+    ENGINE_RESAVES => "engine.resaves",
+    /// Outliers promoted to inliers by later arrivals (their saved
+    /// adjustment, if any, is reverted to the original values).
+    ENGINE_PROMOTIONS => "engine.promotions",
 }
 
 /// A point-in-time reading of every registered counter, in stable

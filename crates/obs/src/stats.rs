@@ -237,13 +237,17 @@ mod tests {
         let json = s.to_json();
         assert!(json.starts_with(r#"{"schema":"disc-pipeline-stats/1","#));
         assert!(json.contains(r#""search":{"nodes":0,"candidates":5,"#));
-        assert!(json.contains(r#""candidates_per_save":{"count":1,"sum":5,"max":5,"mean":5,"buckets":[[4,1]]}"#));
+        assert!(json.contains(
+            r#""candidates_per_save":{"count":1,"sum":5,"max":5,"mean":5,"buckets":[[4,1]]}"#
+        ));
     }
 
     #[test]
     fn global_json_shape() {
         let json = global_json(&[("command", "test"), ("seed", "7")]);
-        assert!(json.starts_with(r#"{"schema":"disc-stats/1","meta":{"command":"test","seed":"7"},"counters":{"#));
+        assert!(json.starts_with(
+            r#"{"schema":"disc-stats/1","meta":{"command":"test","seed":"7"},"counters":{"#
+        ));
         assert!(json.contains(r#""index.grid.range_queries":"#));
         assert!(json.ends_with('}'));
     }

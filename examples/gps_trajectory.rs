@@ -30,8 +30,16 @@ fn main() {
     rows[24][0] = Value::Num(11.5);
     // Two natural outliers: readings from another session, far away in
     // every attribute.
-    rows.push(vec![Value::Num(500.0), Value::Num(1200.0), Value::Num(900.0)]);
-    rows.push(vec![Value::Num(-300.0), Value::Num(100.0), Value::Num(-50.0)]);
+    rows.push(vec![
+        Value::Num(500.0),
+        Value::Num(1200.0),
+        Value::Num(900.0),
+    ]);
+    rows.push(vec![
+        Value::Num(-300.0),
+        Value::Num(100.0),
+        Value::Num(-50.0),
+    ]);
 
     let schema_names = vec!["Time".into(), "Longitude".into(), "Latitude".into()];
     let dist = TupleDistance::numeric(3);
@@ -41,7 +49,10 @@ fn main() {
 
     // --- DISC: minimal per-attribute adjustment, κ = 1. ---
     let mut disc_ds = Dataset::from_rows(schema_names.clone(), rows.clone());
-    let saver = DiscSaver::new(constraints, dist.clone()).with_kappa(1);
+    let saver = SaverConfig::new(constraints, dist.clone())
+        .kappa(1)
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut disc_ds);
 
     println!("outliers detected: {:?}", report.outliers);
@@ -59,10 +70,25 @@ fn main() {
     println!("left as natural outliers: {:?}", report.unsaved);
 
     // The corrupted attribute was fixed, the clean ones kept.
-    assert_eq!(disc_ds.row(13)[0], clean_13[0], "t13 time must be untouched");
-    assert_eq!(disc_ds.row(13)[2], clean_13[2], "t13 latitude must be untouched");
-    assert!(disc_ds.row(13)[1].expect_num() < 840.0, "t13 longitude adjusted back");
-    assert_eq!(disc_ds.row(24)[1], clean_24[1], "t24 longitude must be untouched");
+    assert_eq!(
+        disc_ds.row(13)[0],
+        clean_13[0],
+        "t13 time must be untouched"
+    );
+    assert_eq!(
+        disc_ds.row(13)[2],
+        clean_13[2],
+        "t13 latitude must be untouched"
+    );
+    assert!(
+        disc_ds.row(13)[1].expect_num() < 840.0,
+        "t13 longitude adjusted back"
+    );
+    assert_eq!(
+        disc_ds.row(24)[1],
+        clean_24[1],
+        "t24 longitude must be untouched"
+    );
     assert!(report.unsaved.len() >= 2, "natural outliers stay unchanged");
 
     // --- DORC: wholesale tuple substitution for contrast. ---
@@ -81,5 +107,8 @@ fn main() {
         .sum::<f64>()
         / report.saved.len().max(1) as f64;
     println!("avg attributes changed per repaired tuple: DISC {disc_changed:.2} vs DORC {dorc_changed:.2}");
-    assert!(disc_changed < dorc_changed, "DISC must change fewer attributes than DORC");
+    assert!(
+        disc_changed < dorc_changed,
+        "DISC must change fewer attributes than DORC"
+    );
 }

@@ -21,7 +21,10 @@ fn main() {
 
     // Fit at three sampling rates, like Table 4.
     for rate in [1.0, 0.1, 0.01] {
-        let cfg = ParamConfig { sample_rate: rate, ..Default::default() };
+        let cfg = ParamConfig {
+            sample_rate: rate,
+            ..Default::default()
+        };
         let choice = determine_parameters(ds.rows(), &dist, &cfg);
         println!(
             "sample {:>5.1}%: ε = {:.3}, η = {:>2}, λε = {:6.2}, violations {:.2}%, {:.1} ms",
@@ -44,15 +47,16 @@ fn main() {
         choice.eta, p, choice.lambda, cfg.target_probability
     );
     assert!(p >= cfg.target_probability);
-    assert_eq!(choice.eta, poisson_eta_for(choice.lambda, cfg.target_probability));
+    assert_eq!(
+        choice.eta,
+        poisson_eta_for(choice.lambda, cfg.target_probability)
+    );
 
     // The empirical neighbor-count distribution at the chosen ε.
     let sample: Vec<usize> = (0..200).collect();
     let counts = neighbor_counts(ds.rows(), &dist, choice.eps, &sample);
     let below = counts.iter().filter(|&&c| c < choice.eta).count();
-    println!(
-        "empirical: {below}/200 sampled tuples below η — these would be flagged outlying"
-    );
+    println!("empirical: {below}/200 sampled tuples below η — these would be flagged outlying");
 
     // The DB (Normal-fit) baseline lands far from the Poisson choice.
     let db = determine_parameters_db(ds.rows(), &dist, &cfg);

@@ -31,8 +31,8 @@ fn main() {
     rows.push(vec![Value::Num(4.6), Value::Num(3.8)]);
     truth.push(1);
 
-    let mut dataset = Dataset::from_rows(vec!["length".into(), "width".into()], rows)
-        .with_labels(truth.clone());
+    let mut dataset =
+        Dataset::from_rows(vec!["length".into(), "width".into()], rows).with_labels(truth.clone());
 
     let dist = TupleDistance::numeric(2);
     let constraints = DistanceConstraints::new(0.3, 4);
@@ -43,7 +43,10 @@ fn main() {
     println!("DBSCAN F1 on dirty data: {dirty_f1:.4}");
 
     // Save the outlier: DISC adjusts only the erroneous width value.
-    let saver = DiscSaver::new(constraints, dist.clone()).with_kappa(1);
+    let saver = SaverConfig::new(constraints, dist.clone())
+        .kappa(1)
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut dataset);
     for saved in &report.saved {
         let adj = &saved.adjustment;

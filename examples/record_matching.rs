@@ -13,7 +13,11 @@ use disc::data::Schema;
 use disc::prelude::*;
 
 fn record(name: &str, city: &str, zip: &str) -> Vec<Value> {
-    vec![Value::Text(name.into()), Value::Text(city.into()), Value::Text(zip.into())]
+    vec![
+        Value::Text(name.into()),
+        Value::Text(city.into()),
+        Value::Text(zip.into()),
+    ]
 }
 
 fn main() {
@@ -57,9 +61,16 @@ fn main() {
     // Edit-distance constraints: a legitimate record has at least η = 2
     // ε-neighbors (itself and its duplicate) at ε = 1; the typo'd record
     // sits at edit distance 2 from its duplicates and violates.
-    let saver = DiscSaver::new(DistanceConstraints::new(1.0, 2), dist).with_kappa(1);
+    let saver = SaverConfig::new(DistanceConstraints::new(1.0, 2), dist)
+        .kappa(1)
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut ds);
-    assert_eq!(report.outliers, vec![dirty_row], "only the typo'd record violates");
+    assert_eq!(
+        report.outliers,
+        vec![dirty_row],
+        "only the typo'd record violates"
+    );
     for saved in &report.saved {
         println!("saved row {}: zip -> {}", saved.row, ds.row(saved.row)[2]);
     }
@@ -71,6 +82,13 @@ fn main() {
         after.recall(),
         after.f1()
     );
-    assert_eq!(ds.row(dirty_row)[2].as_text(), Some("RH10-0AG"), "zip repaired to the clean form");
-    assert!(after.f1() > before.f1(), "the repaired typo restores the duplicate pair");
+    assert_eq!(
+        ds.row(dirty_row)[2].as_text(),
+        Some("RH10-0AG"),
+        "zip repaired to the clean form"
+    );
+    assert!(
+        after.f1() > before.f1(),
+        "the repaired typo restores the duplicate pair"
+    );
 }

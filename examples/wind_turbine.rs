@@ -37,7 +37,10 @@ fn main() {
     let constraints = DistanceConstraints::new(9.0, 4);
 
     // Only trust repairs touching at most 2 sensors (κ = 2).
-    let saver = DiscSaver::new(constraints, dist.clone()).with_kappa(2);
+    let saver = SaverConfig::new(constraints, dist.clone())
+        .kappa(2)
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut ds);
     println!(
         "detected {} outliers; saved {}, left {} unchanged",
@@ -77,7 +80,10 @@ fn main() {
     }
     println!("repairs overlapping the truly broken channels: {exact_channel_hits}/{dirty_saved}");
 
-    assert!(dirty_saved * 10 >= dirty_total * 5, "most broken readings must be saved");
+    assert!(
+        dirty_saved * 10 >= dirty_total * 5,
+        "most broken readings must be saved"
+    );
     assert!(
         natural_saved <= log.natural_rows.len() / 2,
         "foreign readings must mostly stay untouched"

@@ -14,6 +14,9 @@ if git ls-files | grep -E '(^|/)target/' >/dev/null; then
     exit 1
 fi
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
@@ -22,6 +25,9 @@ cargo test -q --offline --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
 # Second configuration: the deterministic fault-injection hook compiled
 # in (disc_core::fault + the gated fault_tolerance tests).

@@ -9,8 +9,15 @@
 //!               [--kappa K] [--method disc|dorc|eracer|holoclean|holistic]
 //! disc cluster  --data data.csv [--eps E --eta H] [--algo dbscan|kmeans|
 //!               kmeans--|cckm|srem|kmc|optics] [--k K] [--out labels.csv]
+//! disc stream   --data data.csv [--out repaired.csv] [--eps E --eta H]
+//!               [--kappa K] [--batch B]
 //! disc evaluate --labels predicted.csv --truth truth.csv
 //! ```
+//!
+//! `stream` replays the CSV through the incremental engine in
+//! micro-batches of `--batch` rows (default 64), printing per-batch save
+//! activity; the final dataset is identical to one batch `repair` run
+//! over the whole file.
 //!
 //! Labels for `evaluate` come from a single-column CSV aligned with the
 //! data rows. When `--eps/--eta` are omitted, the Poisson procedure of the
@@ -29,7 +36,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use disc::cleaning::{DiscRepairer, Dorc, Eracer, HoloClean, Holistic, Repairer};
+use disc::cleaning::{DiscRepairer, Dorc, Eracer, Holistic, HoloClean, Repairer};
 use disc::clustering::Optics;
 use disc::core::ParamConfig;
 use disc::data::{csv, ClusterSpec, ErrorInjector, NonFinitePolicy};
@@ -71,7 +78,8 @@ impl Args {
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 }
 
@@ -97,7 +105,10 @@ fn constraints_for(ds: &Dataset, args: &Args) -> Result<DistanceConstraints, Str
         }
         (None, None) => {
             let sample: f64 = args.num("sample", 1.0f64.min(2000.0 / ds.len().max(1) as f64))?;
-            let cfg = ParamConfig { sample_rate: sample, ..Default::default() };
+            let cfg = ParamConfig {
+                sample_rate: sample,
+                ..Default::default()
+            };
             let choice = determine_parameters(ds.rows(), &dist, &cfg);
             eprintln!(
                 "determined ε = {:.4}, η = {} (λε = {:.2}, violation rate {:.1}%)",
@@ -106,7 +117,10 @@ fn constraints_for(ds: &Dataset, args: &Args) -> Result<DistanceConstraints, Str
                 choice.lambda,
                 choice.outlier_rate * 100.0
             );
-            Ok(DistanceConstraints::new(choice.eps.max(1e-9), choice.eta.max(1)))
+            Ok(DistanceConstraints::new(
+                choice.eps.max(1e-9),
+                choice.eta.max(1),
+            ))
         }
         _ => Err("--eps and --eta must be given together".into()),
     }
@@ -145,7 +159,10 @@ fn cmd_params(args: &Args) -> Result<(), String> {
     let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let sample: f64 = args.num("sample", 1.0f64.min(2000.0 / ds.len().max(1) as f64))?;
-    let cfg = ParamConfig { sample_rate: sample, ..Default::default() };
+    let cfg = ParamConfig {
+        sample_rate: sample,
+        ..Default::default()
+    };
     let choice = determine_parameters(ds.rows(), &dist, &cfg);
     println!(
         "ε = {:.6}\nη = {}\nλε = {:.3}\nviolation rate = {:.2}%\nelapsed = {:.3}s",
@@ -185,7 +202,10 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
     let method = args.get("method").unwrap_or("disc");
     let repairer: Box<dyn Repairer> = match method {
         "disc" => Box::new(DiscRepairer(
-            DiscSaver::new(c, dist.clone()).with_kappa(kappa.max(1)),
+            SaverConfig::new(c, dist.clone())
+                .kappa(kappa.max(1))
+                .build_approx()
+                .unwrap(),
         )),
         "dorc" => Box::new(Dorc::new(c, dist.clone())),
         "eracer" => Box::new(Eracer::new()),
@@ -202,10 +222,7 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
         report.cells_modified()
     );
     for (row, attrs) in &report.rows {
-        println!(
-            "{row}\tattrs {:?}",
-            attrs.iter().collect::<Vec<_>>()
-        );
+        println!("{row}\tattrs {:?}", attrs.iter().collect::<Vec<_>>());
     }
     Ok(())
 }
@@ -236,7 +253,10 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         ids.len()
     };
     let noise = labels.iter().filter(|&&l| l == u32::MAX).count();
-    println!("{}: {clusters} clusters, {noise} noise points", algorithm.name());
+    println!(
+        "{}: {clusters} clusters, {noise} noise points",
+        algorithm.name()
+    );
     if let Some(out) = args.get("out") {
         let mut text = String::from("label\n");
         for l in &labels {
@@ -257,6 +277,47 @@ fn read_labels(path: &str) -> Result<Vec<u32>, String> {
         .collect()
 }
 
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    let ds = load(args.required("data")?, args)?;
+    let dist = ds.schema().tuple_distance(Norm::L2);
+    let c = constraints_for(&ds, args)?;
+    let kappa: usize = args.num("kappa", 2)?;
+    let batch: usize = args.num("batch", 64)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let saver = SaverConfig::new(c, dist)
+        .kappa(kappa.max(1))
+        .build_approx()
+        .map_err(|e| e.to_string())?;
+    let mut engine = DiscEngine::new(ds.schema().clone(), Box::new(saver));
+    for (i, chunk) in ds.rows().chunks(batch).enumerate() {
+        let report = engine
+            .ingest(chunk.to_vec())
+            .map_err(|e| format!("batch {i}: {e}"))?;
+        println!(
+            "batch {i}: +{} rows, {} dirty, {} saved, {} natural{}",
+            chunk.len(),
+            report.outliers.len(),
+            report.saved.len(),
+            report.unsaved.len(),
+            if report.degraded { " (degraded)" } else { "" }
+        );
+    }
+    let outliers = engine.outliers();
+    println!(
+        "stream done: {} rows, {} current outliers, {} pending retries",
+        engine.len(),
+        outliers.len(),
+        engine.pending().len()
+    );
+    if let Some(out) = args.get("out") {
+        csv::write_file(engine.dataset(), out).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
     let pred = read_labels(args.required("labels")?)?;
     let truth = read_labels(args.required("truth")?)?;
@@ -268,13 +329,16 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         ));
     }
     println!("pairwise F1 = {:.4}", pairwise_f1(&pred, &truth));
-    println!("NMI         = {:.4}", normalized_mutual_information(&pred, &truth));
+    println!(
+        "NMI         = {:.4}",
+        normalized_mutual_information(&pred, &truth)
+    );
     println!("ARI         = {:.4}", adjusted_rand_index(&pred, &truth));
     Ok(())
 }
 
 fn usage() -> String {
-    "usage: disc <generate|params|detect|repair|cluster|evaluate> [flags]\n\
+    "usage: disc <generate|params|detect|repair|cluster|stream|evaluate> [flags]\n\
      run with a subcommand; see the crate docs for the flag reference"
         .to_string()
 }
@@ -296,6 +360,7 @@ fn main() -> ExitCode {
         Some("detect") => cmd_detect(&args),
         Some("repair") => cmd_repair(&args),
         Some("cluster") => cmd_cluster(&args),
+        Some("stream") => cmd_stream(&args),
         Some("evaluate") => cmd_evaluate(&args),
         _ => Err(usage()),
     };

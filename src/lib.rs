@@ -27,7 +27,7 @@
 //! dataset.push(vec![Value::Num(0.2), Value::Num(25.4)]); // dirty outlier
 //!
 //! let constraints = DistanceConstraints::new(0.5, 3);
-//! let saver = DiscSaver::new(constraints, TupleDistance::numeric(2));
+//! let saver = SaverConfig::new(constraints, TupleDistance::numeric(2)).build_approx().unwrap();
 //! let report = saver.save_all(&mut dataset);
 //!
 //! assert_eq!(report.saved.len(), 1);          // the dirty tuple was saved …
@@ -61,13 +61,13 @@ pub use disc_obs as obs;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use disc_cleaning::{Dorc, Eracer, HoloClean, Holistic, Repairer, Sse};
+    pub use disc_cleaning::{Dorc, Eracer, Holistic, HoloClean, Repairer, Sse};
     pub use disc_clustering::{
         Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Optics, Srem,
     };
     pub use disc_core::{
-        determine_parameters, Budget, DiscSaver, DistanceConstraints, ExactSaver, Parallelism,
-        SaveReport,
+        determine_parameters, Budget, DiscEngine, DiscSaver, DistanceConstraints, Error,
+        ExactSaver, Parallelism, SaveReport, Saver, SaverConfig,
     };
     pub use disc_data::{Dataset, NonFinitePolicy, Schema};
     pub use disc_distance::{AttrSet, Metric, Norm, TupleDistance, Value};

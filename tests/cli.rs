@@ -29,7 +29,11 @@ fn full_workflow_roundtrip() {
         .args(["--dirty", "15", "--natural", "4", "--seed", "7"])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists() && truth.exists());
 
     // params
@@ -55,7 +59,11 @@ fn full_workflow_roundtrip() {
         .args(["--out", repaired.to_str().unwrap(), "--kappa", "2"])
         .output()
         .expect("run repair");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(repaired.exists());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("DISC: modified"), "{text}");
@@ -66,7 +74,11 @@ fn full_workflow_roundtrip() {
         .args(["--algo", "dbscan", "--out", labels.to_str().unwrap()])
         .output()
         .expect("run cluster");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(labels.exists());
 
     // evaluate: repaired clustering should align well with the truth.
@@ -75,9 +87,16 @@ fn full_workflow_roundtrip() {
         .args(["--truth", truth.to_str().unwrap()])
         .output()
         .expect("run evaluate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    let f1_line = text.lines().find(|l| l.contains("pairwise F1")).expect("F1 line");
+    let f1_line = text
+        .lines()
+        .find(|l| l.contains("pairwise F1"))
+        .expect("F1 line");
     let f1: f64 = f1_line.split('=').nth(1).unwrap().trim().parse().unwrap();
     assert!(f1 > 0.8, "end-to-end F1 too low: {f1}");
 }
@@ -101,7 +120,18 @@ fn explicit_constraints_are_used_verbatim() {
     let data = tmp("explicit.csv");
     disc_bin()
         .args(["generate", "--out", data.to_str().unwrap()])
-        .args(["--n", "100", "--m", "2", "--classes", "2", "--dirty", "5", "--natural", "2"])
+        .args([
+            "--n",
+            "100",
+            "--m",
+            "2",
+            "--classes",
+            "2",
+            "--dirty",
+            "5",
+            "--natural",
+            "2",
+        ])
         .output()
         .expect("generate");
     let out = disc_bin()
@@ -119,7 +149,18 @@ fn repair_methods_are_selectable() {
     let data = tmp("methods.csv");
     disc_bin()
         .args(["generate", "--out", data.to_str().unwrap()])
-        .args(["--n", "150", "--m", "3", "--classes", "2", "--dirty", "8", "--natural", "2"])
+        .args([
+            "--n",
+            "150",
+            "--m",
+            "3",
+            "--classes",
+            "2",
+            "--dirty",
+            "8",
+            "--natural",
+            "2",
+        ])
         .output()
         .expect("generate");
     for method in ["dorc", "eracer", "holoclean", "holistic"] {

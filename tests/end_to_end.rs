@@ -26,7 +26,11 @@ fn disc_improves_dbscan_over_raw_and_dorc() {
     };
     let disc_f1 = {
         let mut copy = ds.clone();
-        DiscSaver::new(c, dist.clone()).with_kappa(2).save_all(&mut copy);
+        SaverConfig::new(c, dist.clone())
+            .kappa(2)
+            .build_approx()
+            .unwrap()
+            .save_all(&mut copy);
         let labels = Dbscan::new(c.eps, c.eta).cluster(copy.rows(), &dist);
         pairwise_f1(&labels, &truth)
     };
@@ -37,7 +41,10 @@ fn disc_improves_dbscan_over_raw_and_dorc() {
         pairwise_f1(&labels, &truth)
     };
     assert!(disc_f1 > raw_f1, "DISC {disc_f1} must beat Raw {raw_f1}");
-    assert!(disc_f1 >= dorc_f1 - 0.02, "DISC {disc_f1} must not lose to DORC {dorc_f1}");
+    assert!(
+        disc_f1 >= dorc_f1 - 0.02,
+        "DISC {disc_f1} must not lose to DORC {dorc_f1}"
+    );
 }
 
 /// After saving, the saved rows satisfy the distance constraints (they
@@ -49,7 +56,7 @@ fn saved_rows_are_no_longer_outlying() {
     let dist = TupleDistance::numeric(3);
     let choice = determine_parameters(ds.rows(), &dist, &Default::default());
     let c = DistanceConstraints::new(choice.eps, choice.eta);
-    let saver = DiscSaver::new(c, dist.clone());
+    let saver = SaverConfig::new(c, dist.clone()).build_approx().unwrap();
     let report = saver.save_all(&mut ds);
     assert!(!report.saved.is_empty());
     let split = detect_outliers(ds.rows(), &dist, c);
@@ -73,7 +80,11 @@ fn dirty_vs_natural_separation() {
     let choice = determine_parameters(ds.rows(), &dist, &Default::default());
     let c = DistanceConstraints::new(choice.eps, choice.eta);
     let before = ds.clone();
-    let report = DiscSaver::new(c, dist).with_kappa(2).save_all(&mut ds);
+    let report = SaverConfig::new(c, dist)
+        .kappa(2)
+        .build_approx()
+        .unwrap()
+        .save_all(&mut ds);
 
     let mut natural_touched = 0;
     let mut dirty_saved = 0;
@@ -84,8 +95,14 @@ fn dirty_vs_natural_separation() {
             OutlierKind::Clean => {}
         }
     }
-    assert!(dirty_saved >= 10, "only {dirty_saved}/20 dirty outliers saved");
-    assert!(natural_touched <= 2, "{natural_touched} natural outliers were rewritten");
+    assert!(
+        dirty_saved >= 10,
+        "only {dirty_saved}/20 dirty outliers saved"
+    );
+    assert!(
+        natural_touched <= 2,
+        "{natural_touched} natural outliers were rewritten"
+    );
     // Natural outliers' values are identical before/after.
     for &row in &log.natural_rows {
         if report.adjustment_of(row).is_none() {
@@ -105,7 +122,11 @@ fn classification_not_hurt_by_saving() {
     let c = DistanceConstraints::new(choice.eps, choice.eta);
     let raw_f1 = cross_validate(&ds, 5, TreeConfig::default(), 1);
     let mut saved = ds.clone();
-    DiscSaver::new(c, dist).with_kappa(2).save_all(&mut saved);
+    SaverConfig::new(c, dist)
+        .kappa(2)
+        .build_approx()
+        .unwrap()
+        .save_all(&mut saved);
     let disc_f1 = cross_validate(&saved, 5, TreeConfig::default(), 1);
     assert!(
         disc_f1 >= raw_f1 - 0.03,
@@ -122,9 +143,16 @@ fn gps_standin_end_to_end() {
     let dist = ds.schema().tuple_distance(Norm::L2);
     let choice = determine_parameters(ds.rows(), &dist, &Default::default());
     let c = DistanceConstraints::new(choice.eps, choice.eta);
-    let report = DiscSaver::new(c, dist).with_kappa(1).save_all(&mut ds);
+    let report = SaverConfig::new(c, dist)
+        .kappa(1)
+        .build_approx()
+        .unwrap()
+        .save_all(&mut ds);
     // Some trajectory glitches get saved by adjusting exactly one value.
-    assert!(report.saved.iter().all(|s| s.adjustment.adjusted.len() <= 1));
+    assert!(report
+        .saved
+        .iter()
+        .all(|s| s.adjustment.adjusted.len() <= 1));
 }
 
 /// The record-matching pipeline on the Restaurant stand-in: saving typo'd
@@ -137,9 +165,16 @@ fn restaurant_matching_not_degraded() {
     let before = matcher.run(&ds).f1();
     let mut saved = ds.clone();
     let dist = ds.schema().tuple_distance(Norm::L1);
-    DiscSaver::new(DistanceConstraints::new(3.0, 2), dist).with_kappa(2).save_all(&mut saved);
+    SaverConfig::new(DistanceConstraints::new(3.0, 2), dist)
+        .kappa(2)
+        .build_approx()
+        .unwrap()
+        .save_all(&mut saved);
     let after = matcher.run(&saved).f1();
-    assert!(after >= before - 0.05, "matching degraded: {after} vs {before}");
+    assert!(
+        after >= before - 0.05,
+        "matching degraded: {after} vs {before}"
+    );
 }
 
 /// The full prelude quickstart from the README compiles and behaves.
@@ -148,12 +183,19 @@ fn readme_quickstart() {
     let mut dataset = Dataset::from_rows(
         vec!["x".into(), "y".into()],
         (0..20)
-            .map(|i| vec![Value::Num(0.1 * (i % 5) as f64), Value::Num(0.1 * (i / 5) as f64)])
+            .map(|i| {
+                vec![
+                    Value::Num(0.1 * (i % 5) as f64),
+                    Value::Num(0.1 * (i / 5) as f64),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
     dataset.push(vec![Value::Num(0.2), Value::Num(25.4)]);
     let constraints = DistanceConstraints::new(0.5, 3);
-    let saver = DiscSaver::new(constraints, TupleDistance::numeric(2));
+    let saver = SaverConfig::new(constraints, TupleDistance::numeric(2))
+        .build_approx()
+        .unwrap();
     let report = saver.save_all(&mut dataset);
     assert_eq!(report.saved.len(), 1);
     assert!(dataset.rows()[20][1].expect_num() < 1.0);

@@ -72,7 +72,7 @@ proptest! {
         let eta = 3usize;
         let r = small_rset(points, eps, eta);
         let t_o: Vec<Value> = out.into_iter().map(Value::Num).collect();
-        let saver = DiscSaver::new(DistanceConstraints::new(eps, eta), TupleDistance::numeric(2));
+        let saver = SaverConfig::new(DistanceConstraints::new(eps, eta), TupleDistance::numeric(2)).build_approx().unwrap();
         let lb = lower_bound(&r, &t_o, AttrSet::empty());
         let ub = upper_bound(&r, &t_o, AttrSet::empty());
         if let Some(adj) = saver.save_one(&r, &t_o) {
@@ -98,8 +98,8 @@ proptest! {
     ) {
         let c = DistanceConstraints::new(1.5, 3);
         let dist = TupleDistance::numeric(2);
-        let approx = DiscSaver::new(c, dist.clone());
-        let exact = ExactSaver::new(c, dist).with_domain_cap(None);
+        let approx = SaverConfig::new(c, dist.clone()).build_approx().unwrap();
+        let exact = SaverConfig::new(c, dist).domain_cap(None).build_exact().unwrap();
         let r = approx.build_rset(
             points
                 .into_iter()
