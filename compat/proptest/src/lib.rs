@@ -256,6 +256,35 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The default case count, used as the baseline when rescaling via the
+/// `PROPTEST_CASES` environment variable.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// The effective case count for a block configured with `configured`
+/// cases: when the `PROPTEST_CASES` environment variable is a positive
+/// integer, counts rescale *proportionally* (`configured ×
+/// PROPTEST_CASES / 64`, minimum 1), so a block deliberately configured
+/// lighter or heavier than the default keeps its relative weight — real
+/// proptest's absolute override would erase that tuning. Unset or
+/// unparsable values leave `configured` unchanged.
+pub fn scaled_cases(configured: u32) -> u32 {
+    let target = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    scaled_cases_for(configured, target)
+}
+
+/// [`scaled_cases`] with the parsed target injected, for tests.
+pub fn scaled_cases_for(configured: u32, target: Option<u64>) -> u32 {
+    match target {
+        Some(t) if t > 0 => {
+            let scaled = (configured as u64).saturating_mul(t) / DEFAULT_CASES as u64;
+            scaled.clamp(1, u32::MAX as u64) as u32
+        }
+        _ => configured,
+    }
+}
+
 /// Re-exports mirroring `proptest::prelude::*` (including the `prop`
 /// module path used for `prop::collection::vec`).
 pub mod prelude {
@@ -286,8 +315,9 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::scaled_cases(__cfg.cases);
                 let __hash = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..(__cfg.cases as u64) {
+                for __case in 0..(__cases as u64) {
                     let mut __rng = $crate::TestRng::deterministic(__hash, __case);
                     $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
                     $body
@@ -326,6 +356,22 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn scaled_cases_rescales_proportionally() {
+        use super::scaled_cases_for;
+        // No target (or zero): configured count unchanged.
+        assert_eq!(scaled_cases_for(64, None), 64);
+        assert_eq!(scaled_cases_for(12, None), 12);
+        assert_eq!(scaled_cases_for(12, Some(0)), 12);
+        // Target 512 = 8× default: every block scales 8×.
+        assert_eq!(scaled_cases_for(64, Some(512)), 512);
+        assert_eq!(scaled_cases_for(12, Some(512)), 96);
+        // Scaling down never reaches zero.
+        assert_eq!(scaled_cases_for(12, Some(1)), 1);
+        // Huge targets saturate instead of overflowing.
+        assert_eq!(scaled_cases_for(u32::MAX, Some(u64::MAX)), u32::MAX);
+    }
 
     #[test]
     fn pattern_parser_handles_classes() {

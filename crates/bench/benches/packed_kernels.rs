@@ -1,0 +1,86 @@
+//! Criterion bench pinning the packed numeric kernels against the
+//! `Value` interpreter on the brute-force range scan — the distance hot
+//! path the kernels exist for.
+//!
+//! Before any timing, an assertion block uses the kernel counters to
+//! prove the comparison is honest: the packed run must actually take the
+//! packed path (`kernel.packed_calls > 0`, `kernel.fallback_calls == 0`)
+//! and must exercise the partial-accumulation early exit
+//! (`kernel.early_exits > 0`), and both paths must return identical
+//! counts. A bench that silently fell back to the `Value` path would
+//! time two copies of the same code and report a meaningless 1.0×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disc_data::ClusterSpec;
+use disc_distance::TupleDistance;
+use disc_index::{BruteForceIndex, NeighborIndex};
+use disc_obs::Snapshot;
+
+fn bench_packed(c: &mut Criterion) {
+    let ds = ClusterSpec::new(20_000, 3, 4, 9).generate();
+    let rows = ds.rows();
+    let dist = TupleDistance::numeric(3);
+    assert!(dist.packable(), "numeric metric must admit a packed layout");
+    let eps = 2.0;
+    let queries: Vec<usize> = (0..40).map(|i| i * 499 % rows.len()).collect();
+
+    let packed = BruteForceIndex::new(rows, dist.clone());
+    let unpacked = BruteForceIndex::new(rows, dist.clone().with_packed(false));
+
+    // Honesty gate: the packed index really runs the kernels (with early
+    // exits), the unpacked one really does not, and they agree.
+    let before = Snapshot::take();
+    let packed_counts: Vec<usize> = queries
+        .iter()
+        .map(|&q| packed.count_within(&rows[q], eps))
+        .collect();
+    let mid = Snapshot::take();
+    let unpacked_counts: Vec<usize> = queries
+        .iter()
+        .map(|&q| unpacked.count_within(&rows[q], eps))
+        .collect();
+    let after = Snapshot::take();
+    let packed_delta = mid.delta_since(&before);
+    let unpacked_delta = after.delta_since(&mid);
+    assert_eq!(packed_counts, unpacked_counts, "paths disagree on results");
+    assert!(
+        packed_delta.get("kernel.packed_calls") > 0,
+        "packed index never reached a kernel"
+    );
+    assert_eq!(
+        packed_delta.get("kernel.fallback_calls"),
+        0,
+        "packed index fell back to the Value path on numeric-only data"
+    );
+    assert!(
+        packed_delta.get("kernel.early_exits") > 0,
+        "no partial-accumulation early exits on clustered data"
+    );
+    assert_eq!(
+        unpacked_delta.get("kernel.packed_calls"),
+        0,
+        "with_packed(false) still reached a kernel"
+    );
+
+    let mut group = c.benchmark_group("packed_kernels_range");
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| packed.count_within(&rows[q], eps))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("value_path", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| unpacked.count_within(&rows[q], eps))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packed);
+criterion_main!(benches);

@@ -176,13 +176,24 @@ impl Repairer for Holistic {
             }
         }
         for r in 0..n {
-            if !touched[r].is_empty() {
-                let mut row = ds.row(r).to_vec();
-                for a in touched[r].iter() {
-                    row[a] = Value::Num(data[r * m + a]);
+            if touched[r].is_empty() {
+                continue;
+            }
+            let mut row = ds.row(r).to_vec();
+            // A violated cell can round back to its original value (a
+            // residual barely past `tol` when |pred| dwarfs it); report
+            // only cells that actually changed.
+            let mut changed = AttrSet::empty();
+            for a in touched[r].iter() {
+                let repaired = Value::Num(data[r * m + a]);
+                if !repaired.same(&row[a]) {
+                    row[a] = repaired;
+                    changed.insert(a);
                 }
+            }
+            if !changed.is_empty() {
                 ds.set_row(r, row);
-                report.record(r, touched[r]);
+                report.record(r, changed);
             }
         }
         report

@@ -18,7 +18,7 @@
 
 use std::collections::HashSet;
 
-use disc_distance::{AttrSet, Norm, Value};
+use disc_distance::{pack_values, AttrSet, Norm, PackedMatrix, Value};
 use disc_obs::SaveEffort;
 
 use crate::budget::{Budget, CancelToken, Cancelled};
@@ -275,18 +275,43 @@ struct Search<'a> {
     eta_prunes: u64,
     /// Proposition 5 incumbent improvements.
     ub_updates: u64,
+    /// Packed inlier coordinates ([`RSet::packed`]) plus the packed
+    /// outlier, for per-attribute distances without `Value` dispatch.
+    /// Present only when both the metric and `t_o` admit packing; the
+    /// per-attribute lookup is bit-identical to `attr_dist` on finite
+    /// numeric cells.
+    packed: Option<(&'a PackedMatrix, Vec<f64>)>,
 }
 
 impl<'a> Search<'a> {
     fn new(saver: &DiscSaver, r: &'a RSet, t_o: &'a [Value], token: &'a CancelToken) -> Self {
         let dist = r.distance();
         let norm = dist.norm();
+        let packed = r
+            .packed()
+            .and_then(|mat| pack_values(t_o).map(|qf| (mat, qf)));
         let mut full_acc = Vec::with_capacity(r.len());
         let mut full_d = Vec::with_capacity(r.len());
-        for row in r.rows() {
+        for (i, row) in r.rows().iter().enumerate() {
             let mut acc = norm.init();
-            for a in 0..dist.arity() {
-                acc = norm.accumulate(acc, dist.attr_dist(a, &t_o[a], &row[a]));
+            match &packed {
+                Some((mat, qf)) => match mat.row(i) {
+                    Some(prow) => {
+                        for a in 0..dist.arity() {
+                            acc = norm.accumulate(acc, (qf[a] - prow[a]).abs());
+                        }
+                    }
+                    None => {
+                        for a in 0..dist.arity() {
+                            acc = norm.accumulate(acc, dist.attr_dist(a, &t_o[a], &row[a]));
+                        }
+                    }
+                },
+                None => {
+                    for a in 0..dist.arity() {
+                        acc = norm.accumulate(acc, dist.attr_dist(a, &t_o[a], &row[a]));
+                    }
+                }
             }
             full_acc.push(acc);
             full_d.push(norm.finish(acc));
@@ -315,7 +340,24 @@ impl<'a> Search<'a> {
             lb_prunes: 0,
             eta_prunes: 0,
             ub_updates: 0,
+            packed,
         }
+    }
+
+    /// The per-attribute distance `Δ(t_o[A], t[A])` for candidate row `c`,
+    /// served from the packed layout when available (identical to
+    /// `attr_dist` on finite numeric cells — `AbsoluteDiff` is `|x − y|`
+    /// there, and packed rows/queries are all-finite by construction).
+    #[inline]
+    fn attr_d(&self, a: usize, c: u32) -> f64 {
+        if let Some((mat, qf)) = &self.packed {
+            if let Some(row) = mat.row(c as usize) {
+                return (qf[a] - row[a]).abs();
+            }
+        }
+        self.r
+            .distance()
+            .attr_dist(a, &self.t_o[a], &self.r.rows()[c as usize][a])
     }
 
     /// The work performed so far, as reported to the caller and the
@@ -343,13 +385,9 @@ impl<'a> Search<'a> {
     fn remainder_dist(&self, c: u32, acc_x: f64, x: AttrSet) -> f64 {
         match self.norm {
             Norm::LInf => {
-                let dist = self.r.distance();
-                let row = &self.r.rows()[c as usize];
                 let mut acc = self.norm.init();
                 for a in x.complement(self.m).iter() {
-                    acc = self
-                        .norm
-                        .accumulate(acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
+                    acc = self.norm.accumulate(acc, self.attr_d(a, c));
                 }
                 self.norm.finish(acc)
             }
@@ -374,17 +412,13 @@ impl<'a> Search<'a> {
             Some((_, ball)) => ball,
             None => (0..self.r.len() as u32).collect(), // X₀ = ∅
         };
-        let dist = self.r.distance();
         let mut cands = Vec::with_capacity(seed.len());
         let mut acc = Vec::with_capacity(seed.len());
         let cap = self.norm.to_acc(self.eps);
         'cand: for c in seed {
-            let row = &self.r.rows()[c as usize];
             let mut a_acc = self.norm.init();
             for a in x0.iter() {
-                a_acc = self
-                    .norm
-                    .accumulate(a_acc, dist.attr_dist(a, &self.t_o[a], &row[a]));
+                a_acc = self.norm.accumulate(a_acc, self.attr_d(a, c));
                 if a_acc > cap {
                     continue 'cand;
                 }
@@ -451,7 +485,6 @@ impl<'a> Search<'a> {
         }
 
         // Recurse on X ∪ {A} for each adjustable attribute A (line 10).
-        let dist = self.r.distance();
         let cap = self.norm.to_acc(self.eps);
         for a in x.complement(self.m).iter() {
             let child = x.with(a);
@@ -461,10 +494,7 @@ impl<'a> Search<'a> {
             let mut c_cands = Vec::new();
             let mut c_acc = Vec::new();
             for (i, &c) in cands.iter().enumerate() {
-                let row = &self.r.rows()[c as usize];
-                let na = self
-                    .norm
-                    .accumulate(acc[i], dist.attr_dist(a, &self.t_o[a], &row[a]));
+                let na = self.norm.accumulate(acc[i], self.attr_d(a, c));
                 if na <= cap {
                     c_cands.push(c);
                     c_acc.push(na);

@@ -1,6 +1,6 @@
 //! The preprocessed inlier context shared by all savers.
 
-use disc_distance::{TupleDistance, Value};
+use disc_distance::{PackedMatrix, PackedScan, TupleDistance, Value};
 use disc_index::SortedColumn;
 
 use crate::constraints::DistanceConstraints;
@@ -20,6 +20,10 @@ pub struct RSet {
     constraints: DistanceConstraints,
     delta_eta: Vec<f64>,
     columns: Vec<Option<SortedColumn>>,
+    /// Packed `f64` layout of `rows` for candidate scoring
+    /// (`disc_distance::packed`); `None` when the metric has no packed
+    /// layout.
+    packed: Option<PackedMatrix>,
 }
 
 impl RSet {
@@ -54,12 +58,14 @@ impl RSet {
         let columns = (0..dist.arity())
             .map(|j| SortedColumn::new(&rows, j))
             .collect();
+        let packed = PackedMatrix::build(&rows, &dist);
         RSet {
             rows,
             dist,
             constraints,
             delta_eta,
             columns,
+            packed,
         }
     }
 
@@ -80,12 +86,14 @@ impl RSet {
         let columns = (0..dist.arity())
             .map(|j| SortedColumn::new(&rows, j))
             .collect();
+        let packed = PackedMatrix::build(&rows, &dist);
         RSet {
             rows,
             dist,
             constraints,
             delta_eta,
             columns,
+            packed,
         }
     }
 
@@ -126,6 +134,13 @@ impl RSet {
         self.columns[attr].as_ref()
     }
 
+    /// The packed `f64` layout of the inlier rows, when the metric admits
+    /// one (`disc_distance::packed`). Used by the saver's candidate
+    /// scoring loops.
+    pub fn packed(&self) -> Option<&PackedMatrix> {
+        self.packed.as_ref()
+    }
+
     /// Ids of rows within `eps` of `q` on the single attribute `attr`.
     /// Falls back to a linear scan for non-numeric attributes.
     pub fn attribute_ball(&self, attr: usize, q: &Value, eps: f64) -> Vec<u32> {
@@ -146,13 +161,10 @@ impl RSet {
     /// `|r_ε(t)| ≥ η`. Exact linear scan with early exit; used by tests and
     /// the exact saver.
     pub fn is_feasible(&self, candidate: &[Value]) -> bool {
+        let mut scan = PackedScan::new(self.packed.as_ref(), &self.rows, &self.dist, candidate);
         let mut count = 0usize;
-        for row in &self.rows {
-            if self
-                .dist
-                .dist_within(candidate, row, self.constraints.eps)
-                .is_some()
-            {
+        for i in 0..self.rows.len() {
+            if scan.dist_within(i as u32, self.constraints.eps).is_some() {
                 count += 1;
                 if count >= self.constraints.eta {
                     return true;

@@ -112,6 +112,29 @@ proptest! {
     }
 }
 
+/// A packed-off engine streamed in chunks must land on the same final
+/// dataset as a packed-on batch run: the kernel toggle crosses the
+/// streaming/batch seam without perturbing a single decision.
+#[test]
+fn packed_off_engine_matches_packed_on_batch() {
+    let base = dirty_dataset(60, 11, 5, 1);
+    let c = DistanceConstraints::new(2.5, 4);
+    let mut batch_ds = base.clone();
+    let batch_report = saver(c, 4).build_approx().unwrap().save_all(&mut batch_ds);
+    let off = SaverConfig::new(c, TupleDistance::numeric(3).with_packed(false))
+        .kappa(2)
+        .parallelism(Parallelism(4));
+    let mut engine = DiscEngine::new(
+        Schema::numeric(base.arity()),
+        Box::new(off.build_approx().unwrap()),
+    );
+    for chunk in base.rows().chunks(13) {
+        engine.ingest(chunk.to_vec()).unwrap();
+    }
+    assert_eq!(engine.outliers(), batch_report.outliers);
+    assert_eq!(engine.dataset().rows(), batch_ds.rows());
+}
+
 /// One-row batches are the worst case for the incremental path (every
 /// ingest re-detects); the equivalence must still be exact.
 #[test]

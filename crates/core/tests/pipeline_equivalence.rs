@@ -72,6 +72,38 @@ proptest! {
         }
     }
 
+    /// Disabling the packed kernels must not change a single bit of the
+    /// output: the kernels mirror the `Value` path's IEEE-754 operation
+    /// sequence, so every search decision — and therefore every save —
+    /// is identical. Guards the whole pipeline, at one and several
+    /// workers, against kernel drift.
+    #[test]
+    fn packed_off_save_matches_packed_on(
+        n in 40usize..90,
+        seed in 0u64..1000,
+        dirty in 2usize..10,
+        natural in 0usize..3,
+    ) {
+        let base = dirty_dataset(n, seed, dirty, natural);
+        let dist = TupleDistance::numeric(3);
+        assert!(dist.packable(), "numeric metric must take the packed path");
+        let c = DistanceConstraints::new(2.5, 4);
+        for workers in [1usize, 4] {
+            let mut on_ds = base.clone();
+            let on_report = SaverConfig::new(c, dist.clone())
+                .kappa(2)
+                .parallelism(Parallelism(workers)).build_approx().unwrap()
+                .save_all(&mut on_ds);
+            let mut off_ds = base.clone();
+            let off_report = SaverConfig::new(c, dist.clone().with_packed(false))
+                .kappa(2)
+                .parallelism(Parallelism(workers)).build_approx().unwrap()
+                .save_all(&mut off_ds);
+            prop_assert_eq!(&on_report, &off_report);
+            prop_assert_eq!(on_ds.rows(), off_ds.rows());
+        }
+    }
+
     #[test]
     fn rset_delta_eta_matches_sequential(
         n in 30usize..80,

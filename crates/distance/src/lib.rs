@@ -30,6 +30,7 @@ pub mod attr_set;
 pub mod attribute;
 pub mod ngram;
 pub mod norm;
+pub mod packed;
 pub mod tuple;
 pub mod value;
 
@@ -40,5 +41,6 @@ pub use attribute::{
 };
 pub use ngram::{ngram_similarity, NGram};
 pub use norm::Norm;
+pub use packed::{pack_values, PackedMatrix, PackedScan};
 pub use tuple::TupleDistance;
 pub use value::Value;

@@ -16,10 +16,13 @@ use crate::value::Value;
 pub struct TupleDistance {
     metrics: Arc<[Metric]>,
     norm: Norm,
+    packed: bool,
 }
 
 impl TupleDistance {
-    /// Builds a tuple metric from one [`Metric`] per attribute.
+    /// Builds a tuple metric from one [`Metric`] per attribute. The packed
+    /// execution path ([`crate::packed`]) is enabled by default; it engages
+    /// only when every metric admits it ([`Self::packable`]).
     pub fn new(metrics: Vec<Metric>, norm: Norm) -> Self {
         assert!(
             metrics.len() <= AttrSet::MAX_ATTRS,
@@ -29,6 +32,7 @@ impl TupleDistance {
         TupleDistance {
             metrics: metrics.into(),
             norm,
+            packed: true,
         }
     }
 
@@ -60,6 +64,36 @@ impl TupleDistance {
     #[inline]
     pub fn metric(&self, i: usize) -> Metric {
         self.metrics[i]
+    }
+
+    /// Enables or disables the packed numeric execution path
+    /// ([`crate::packed`]). Defaults to enabled; disabling forces every
+    /// evaluation through the per-attribute [`Value`] path. Result-
+    /// preserving either way — the packed kernels are bit-identical to the
+    /// `Value` path, so this only affects which code runs (and the
+    /// `kernel.*` counters).
+    pub fn with_packed(mut self, packed: bool) -> Self {
+        self.packed = packed;
+        self
+    }
+
+    /// True when the packed path is enabled (regardless of whether the
+    /// metrics admit it).
+    #[inline]
+    pub fn packed_enabled(&self) -> bool {
+        self.packed
+    }
+
+    /// True when evaluations of this metric may use the packed layout:
+    /// packing is enabled and every per-attribute metric is numeric
+    /// ([`Metric::Absolute`]). Mixed and textual schemas stay on the
+    /// `Value` path.
+    pub fn packable(&self) -> bool {
+        self.packed
+            && self
+                .metrics
+                .iter()
+                .all(|&m| crate::packed::metric_packable(m))
     }
 
     /// Per-attribute distance on column `i`.

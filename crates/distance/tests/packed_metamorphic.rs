@@ -1,0 +1,164 @@
+//! Metamorphic properties of the packed numeric kernels
+//! (`disc_distance::packed`): relations that must hold between kernel
+//! outputs under input transformations, plus the early-exit/full-eval
+//! equivalence against the `Value`-path oracle.
+
+use disc_distance::packed::{eval_full, eval_within};
+use disc_distance::{Metric, Norm, TupleDistance, Value};
+use proptest::prelude::*;
+
+const NORMS: [Norm; 4] = [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)];
+
+fn to_values(xs: &[f64]) -> Vec<Value> {
+    xs.iter().map(|&x| Value::Num(x)).collect()
+}
+
+/// ≤ 1 ulp apart (valid comparison for non-negative finite doubles).
+fn within_one_ulp(a: f64, b: f64) -> bool {
+    a.to_bits().abs_diff(b.to_bits()) <= 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Symmetry: d(x, y) == d(y, x), bitwise (|x−y| is exactly
+    /// symmetric, and every accumulator folds the same sequence).
+    #[test]
+    fn symmetry(xs in prop::collection::vec(-100.0f64..100.0, 1..8),
+                ys in prop::collection::vec(-100.0f64..100.0, 1..8)) {
+        let m = xs.len().min(ys.len());
+        let (x, y) = (&xs[..m], &ys[..m]);
+        for norm in NORMS {
+            prop_assert_eq!(
+                eval_full(norm, x, y).to_bits(),
+                eval_full(norm, y, x).to_bits(),
+                "{:?}", norm
+            );
+        }
+    }
+
+    /// Identity of indiscernibles: d(x, x) == 0 exactly.
+    #[test]
+    fn identity(xs in prop::collection::vec(-1e6f64..1e6, 1..8)) {
+        for norm in NORMS {
+            prop_assert_eq!(eval_full(norm, &xs, &xs), 0.0, "{:?}", norm);
+        }
+    }
+
+    /// Translation invariance: d(x + c, y + c) ≈ d(x, y). Not bitwise
+    /// (the shifted subtraction rounds differently), so compare with a
+    /// tolerance scaled to the magnitudes involved.
+    #[test]
+    fn translation_invariance(xs in prop::collection::vec(-50.0f64..50.0, 1..8),
+                              ys in prop::collection::vec(-50.0f64..50.0, 1..8),
+                              c in -100.0f64..100.0) {
+        let m = xs.len().min(ys.len());
+        let (x, y) = (&xs[..m], &ys[..m]);
+        let xc: Vec<f64> = x.iter().map(|v| v + c).collect();
+        let yc: Vec<f64> = y.iter().map(|v| v + c).collect();
+        for norm in NORMS {
+            let d = eval_full(norm, x, y);
+            let dc = eval_full(norm, &xc, &yc);
+            let tol = 1e-9 * (1.0 + d.abs() + c.abs());
+            prop_assert!((d - dc).abs() <= tol, "{:?}: {} vs {} (c={})", norm, d, dc, c);
+        }
+    }
+
+    /// Scaling homogeneity: d(s·x, s·y) ≈ |s|·d(x, y) for every L^p norm.
+    #[test]
+    fn scaling_homogeneity(xs in prop::collection::vec(-50.0f64..50.0, 1..8),
+                           ys in prop::collection::vec(-50.0f64..50.0, 1..8),
+                           s in -8.0f64..8.0) {
+        let m = xs.len().min(ys.len());
+        let (x, y) = (&xs[..m], &ys[..m]);
+        let xs2: Vec<f64> = x.iter().map(|v| v * s).collect();
+        let ys2: Vec<f64> = y.iter().map(|v| v * s).collect();
+        for norm in NORMS {
+            let d = eval_full(norm, x, y);
+            let ds = eval_full(norm, &xs2, &ys2);
+            let expect = s.abs() * d;
+            let tol = 1e-6 * (1.0 + expect);
+            prop_assert!((ds - expect).abs() <= tol, "{:?}: {} vs {}", norm, ds, expect);
+        }
+    }
+
+    /// Triangle inequality for p ≥ 1: d(x, z) ≤ d(x, y) + d(y, z).
+    #[test]
+    fn triangle_inequality(xs in prop::collection::vec(-100.0f64..100.0, 1..8),
+                           ys in prop::collection::vec(-100.0f64..100.0, 1..8),
+                           zs in prop::collection::vec(-100.0f64..100.0, 1..8)) {
+        let m = xs.len().min(ys.len()).min(zs.len());
+        let (x, y, z) = (&xs[..m], &ys[..m], &zs[..m]);
+        for norm in NORMS {
+            let xz = eval_full(norm, x, z);
+            let xy = eval_full(norm, x, y);
+            let yz = eval_full(norm, y, z);
+            prop_assert!(
+                xz <= xy + yz + 1e-9 * (1.0 + xy + yz),
+                "{:?}: {} > {} + {}", norm, xz, xy, yz
+            );
+        }
+    }
+
+    /// Finite inputs never produce NaN, and distances are non-negative.
+    #[test]
+    fn never_nan_on_finite_inputs(xs in prop::collection::vec(-1e12f64..1e12, 1..8),
+                                  ys in prop::collection::vec(-1e12f64..1e12, 1..8)) {
+        let m = xs.len().min(ys.len());
+        let (x, y) = (&xs[..m], &ys[..m]);
+        for norm in NORMS {
+            let d = eval_full(norm, x, y);
+            prop_assert!(d.is_finite() && d >= 0.0, "{:?}: {}", norm, d);
+            for t in [0.0, 1.0, 1e6] {
+                if let Some(d) = eval_within(norm, x, y, t) {
+                    prop_assert!(d.is_finite() && d >= 0.0, "{:?} t={}: {}", norm, t, d);
+                }
+            }
+        }
+    }
+
+    /// Early-exit equivalence: `eval_within` makes exactly the same
+    /// Some/None decision as the `Value`-path oracle
+    /// (`TupleDistance::dist_within`), and agrees with `eval_full`
+    /// whenever it answers — bitwise for L1/L∞ (pure adds/max), within
+    /// 1 ulp for L2/Lp (the oracle is in fact the same instruction
+    /// sequence, so bitwise there too; the looser bound documents the
+    /// contract the differential battery pins).
+    #[test]
+    fn early_exit_matches_full_evaluation(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..8),
+        ys in prop::collection::vec(-100.0f64..100.0, 1..8),
+        t in 0.0f64..400.0,
+    ) {
+        let m = xs.len().min(ys.len());
+        let (x, y) = (&xs[..m], &ys[..m]);
+        let (xv, yv) = (to_values(x), to_values(y));
+        for norm in NORMS {
+            let dist = TupleDistance::new(vec![Metric::Absolute; m], norm);
+            let fast = eval_within(norm, x, y, t);
+            let oracle = dist.dist_within(&xv, &yv, t);
+            prop_assert_eq!(fast.is_some(), oracle.is_some(), "{:?} t={}", norm, t);
+            let full = eval_full(norm, x, y);
+            match (fast, oracle) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} t={}", norm, t);
+                    prop_assert!(within_one_ulp(a, full), "{:?}: {} vs {}", norm, a, full);
+                    match norm {
+                        Norm::L1 | Norm::LInf => {
+                            prop_assert_eq!(a.to_bits(), full.to_bits(), "{:?}", norm)
+                        }
+                        _ => {}
+                    }
+                }
+                (None, None) => {
+                    // The exit decision must match the full distance: a
+                    // rejected pair really is beyond the threshold, up to
+                    // the accumulator-space rounding the oracle shares
+                    // (`t → t^p → t` round-trips a few ulps off for Lp).
+                    prop_assert!(full > t - 1e-9 * (1.0 + t), "{:?}: {} ≤ {}", norm, full, t);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}

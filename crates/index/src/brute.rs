@@ -1,29 +1,38 @@
 //! Linear-scan reference index.
 
-use disc_distance::{TupleDistance, Value};
+use disc_distance::{PackedMatrix, PackedScan, TupleDistance, Value};
 use disc_obs::counters;
 
 use crate::{sort_hits, NeighborIndex};
 
 /// Exhaustive linear scan over the rows, with per-attribute early exit in
-/// the distance accumulation (`TupleDistance::dist_within`).
+/// the distance accumulation (`TupleDistance::dist_within`). Numeric-only
+/// metrics scan a packed `f64` layout (`disc_distance::packed`) instead of
+/// the `Value` rows, with identical results.
 ///
 /// Correct for every metric; the reference backend the others are tested
 /// against, and the fastest choice for small `n`.
 pub struct BruteForceIndex<'a> {
     rows: &'a [Vec<Value>],
     dist: TupleDistance,
+    packed: Option<PackedMatrix>,
 }
 
 impl<'a> BruteForceIndex<'a> {
-    /// Builds the index (O(1): just borrows the rows).
+    /// Builds the index: O(1) for metrics without a packed layout (just
+    /// borrows the rows), one packing pass over the rows otherwise.
     pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance) -> Self {
-        BruteForceIndex { rows, dist }
+        let packed = PackedMatrix::build(rows, &dist);
+        BruteForceIndex { rows, dist, packed }
     }
 
     /// The tuple metric in use.
     pub fn distance(&self) -> &TupleDistance {
         &self.dist
+    }
+
+    fn scan<'q>(&'q self, query: &'q [Value]) -> PackedScan<'q> {
+        PackedScan::new(self.packed.as_ref(), self.rows, &self.dist, query)
     }
 }
 
@@ -35,9 +44,10 @@ impl NeighborIndex for BruteForceIndex<'_> {
     fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
         counters::BRUTE_RANGE_QUERIES.incr();
         counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
+        let mut scan = self.scan(query);
         let mut hits = Vec::new();
-        for (i, row) in self.rows.iter().enumerate() {
-            if let Some(d) = self.dist.dist_within(query, row, eps) {
+        for i in 0..self.rows.len() {
+            if let Some(d) = scan.dist_within(i as u32, eps) {
                 hits.push((i as u32, d));
             }
         }
@@ -47,19 +57,20 @@ impl NeighborIndex for BruteForceIndex<'_> {
     fn count_within(&self, query: &[Value], eps: f64) -> usize {
         counters::BRUTE_RANGE_QUERIES.incr();
         counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
-        self.rows
-            .iter()
-            .filter(|row| self.dist.dist_within(query, row, eps).is_some())
+        let mut scan = self.scan(query);
+        (0..self.rows.len())
+            .filter(|&i| scan.dist_within(i as u32, eps).is_some())
             .count()
     }
 
     fn satisfies(&self, query: &[Value], eps: f64, eta: usize) -> bool {
         counters::BRUTE_RANGE_QUERIES.incr();
+        let mut scan = self.scan(query);
         let mut count = 0usize;
         let mut visited = 0u64;
-        for row in self.rows {
+        for i in 0..self.rows.len() {
             visited += 1;
-            if self.dist.dist_within(query, row, eps).is_some() {
+            if scan.dist_within(i as u32, eps).is_some() {
                 count += 1;
                 if count >= eta {
                     counters::BRUTE_ROWS_VISITED.add(visited);
@@ -77,16 +88,17 @@ impl NeighborIndex for BruteForceIndex<'_> {
             return Vec::new();
         }
         counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
+        let mut scan = self.scan(query);
         // Bounded insertion into a sorted buffer; k is small (η ≤ a few
         // dozen) in every caller, so this beats a heap in practice.
         let mut best: Vec<(u32, f64)> = Vec::with_capacity(k + 1);
-        for (i, row) in self.rows.iter().enumerate() {
+        for i in 0..self.rows.len() {
             let worst = if best.len() == k {
                 best[k - 1].1
             } else {
                 f64::INFINITY
             };
-            if let Some(d) = self.dist.dist_within(query, row, worst) {
+            if let Some(d) = scan.dist_within(i as u32, worst) {
                 let pos = best
                     .binary_search_by(|p| {
                         p.1.partial_cmp(&d)

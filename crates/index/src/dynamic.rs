@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use disc_distance::{TupleDistance, Value};
+use disc_distance::{PackedMatrix, PackedScan, TupleDistance, Value};
 use disc_obs::counters;
 
 use crate::grid::{cell_key, for_cell_candidates, norm_diameter, CellKey};
@@ -87,33 +87,45 @@ pub struct DynamicIndex {
     dist: TupleDistance,
     eps_hint: f64,
     backend: Backend,
+    /// Packed `f64` layout mirroring `rows` (appends go to both), kept
+    /// across backend upgrades; `None` when the metric has no packed
+    /// layout.
+    packed: Option<PackedMatrix>,
 }
 
 impl DynamicIndex {
     /// An empty index. `eps_hint` is the expected query radius (it sizes
     /// grid cells, like the `eps_hint` of [`crate::with_auto_index`]).
     pub fn new(dist: TupleDistance, eps_hint: f64) -> Self {
+        let packed = PackedMatrix::build(&[], &dist);
         DynamicIndex {
             rows: Vec::new(),
             dist,
             eps_hint,
             backend: Backend::Brute,
+            packed,
         }
     }
 
     /// An index pre-loaded with `rows` (equivalent to `new` + `extend`,
     /// without intermediate rebuilds).
     pub fn from_rows(rows: Vec<Vec<Value>>, dist: TupleDistance, eps_hint: f64) -> Self {
+        let packed = PackedMatrix::build(&rows, &dist);
         let mut idx = DynamicIndex {
             rows,
             dist,
             eps_hint,
             backend: Backend::Brute,
+            packed,
         };
         if idx.rows.len() > BRUTE_MAX {
             idx.backend = idx.build_backend();
         }
         idx
+    }
+
+    fn scan<'q>(&'q self, query: &'q [Value]) -> PackedScan<'q> {
+        PackedScan::new(self.packed.as_ref(), &self.rows, &self.dist, query)
     }
 
     /// The indexed rows, in insertion order.
@@ -234,6 +246,9 @@ impl DynamicNeighborIndex for DynamicIndex {
                 None => migrate_to_vp = true,
             }
         }
+        if let Some(packed) = &mut self.packed {
+            packed.push_row(&row);
+        }
         self.rows.push(row);
         if migrate_to_vp {
             self.backend = Backend::Vp {
@@ -253,13 +268,14 @@ impl NeighborIndex for DynamicIndex {
     }
 
     fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
+        let mut scan = self.scan(query);
         match &self.backend {
             Backend::Brute => {
                 counters::BRUTE_RANGE_QUERIES.incr();
                 counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
                 let mut hits = Vec::new();
-                for (i, row) in self.rows.iter().enumerate() {
-                    if let Some(d) = self.dist.dist_within(query, row, eps) {
+                for i in 0..self.rows.len() {
+                    if let Some(d) = scan.dist_within(i as u32, eps) {
                         hits.push((i as u32, d));
                     }
                 }
@@ -275,7 +291,7 @@ impl NeighborIndex for DynamicIndex {
                 let mut visited = 0u64;
                 for_cell_candidates(cells, m, *cell_width, query, radius_cells, |id| {
                     visited += 1;
-                    if let Some(d) = self.dist.dist_within(query, &self.rows[id as usize], eps) {
+                    if let Some(d) = scan.dist_within(id, eps) {
                         hits.push((id, d));
                     }
                 });
@@ -286,10 +302,10 @@ impl NeighborIndex for DynamicIndex {
                 counters::VPTREE_RANGE_QUERIES.incr();
                 let mut hits = Vec::new();
                 let mut visited = 0u64;
-                nodes.range_into(&self.rows, &self.dist, query, eps, &mut hits, &mut visited);
-                for (i, row) in self.rows.iter().enumerate().skip(nodes.len()) {
+                nodes.range_into(&mut scan, eps, &mut hits, &mut visited);
+                for i in nodes.len()..self.rows.len() {
                     visited += 1;
-                    if let Some(d) = self.dist.dist_within(query, row, eps) {
+                    if let Some(d) = scan.dist_within(i as u32, eps) {
                         hits.push((i as u32, d));
                     }
                 }
@@ -307,14 +323,9 @@ impl NeighborIndex for DynamicIndex {
             Backend::Brute => {
                 counters::BRUTE_KNN_QUERIES.incr();
                 counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
+                let mut scan = self.scan(query);
                 let mut best = Vec::with_capacity(k + 1);
-                merge_knn(
-                    &mut best,
-                    k,
-                    self.rows.iter().enumerate(),
-                    &self.dist,
-                    query,
-                );
+                merge_knn(&mut best, k, 0..self.rows.len() as u32, &mut scan);
                 sort_hits(&mut best);
                 best
             }
@@ -349,12 +360,13 @@ impl NeighborIndex for DynamicIndex {
             }
             Backend::Vp { nodes } => {
                 counters::VPTREE_KNN_QUERIES.incr();
+                let mut scan = self.scan(query);
                 let mut best = Vec::with_capacity(k + 1);
                 let mut visited = 0u64;
-                nodes.knn_into(&self.rows, &self.dist, query, k, &mut best, &mut visited);
-                let tail = self.rows.iter().enumerate().skip(nodes.len());
+                nodes.knn_into(&mut scan, k, &mut best, &mut visited);
+                let tail = nodes.len() as u32..self.rows.len() as u32;
                 visited += (self.rows.len() - nodes.len()) as u64;
-                merge_knn(&mut best, k, tail, &self.dist, query);
+                merge_knn(&mut best, k, tail, &mut scan);
                 counters::VPTREE_ROWS_VISITED.add(visited);
                 sort_hits(&mut best);
                 best
@@ -363,31 +375,30 @@ impl NeighborIndex for DynamicIndex {
     }
 }
 
-/// Merges `rows` into the sorted k-best candidate list `best` (ascending
-/// by distance, ties by id), using the incumbent k-th distance as an
-/// early-exit threshold.
-fn merge_knn<'r>(
+/// Merges the rows named by `ids` into the sorted k-best candidate list
+/// `best` (ascending by distance, ties by id), using the incumbent k-th
+/// distance as an early-exit threshold.
+fn merge_knn(
     best: &mut Vec<(u32, f64)>,
     k: usize,
-    rows: impl Iterator<Item = (usize, &'r Vec<Value>)>,
-    dist: &TupleDistance,
-    query: &[Value],
+    ids: impl Iterator<Item = u32>,
+    scan: &mut PackedScan<'_>,
 ) {
-    for (i, row) in rows {
+    for i in ids {
         let worst = if best.len() == k {
             best[k - 1].1
         } else {
             f64::INFINITY
         };
-        if let Some(d) = dist.dist_within(query, row, worst) {
+        if let Some(d) = scan.dist_within(i, worst) {
             let pos = best
                 .binary_search_by(|p| {
                     p.1.partial_cmp(&d)
                         .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(p.0.cmp(&(i as u32)))
+                        .then(p.0.cmp(&i))
                 })
                 .unwrap_or_else(|e| e);
-            best.insert(pos, (i as u32, d));
+            best.insert(pos, (i, d));
             if best.len() > k {
                 best.pop();
             }

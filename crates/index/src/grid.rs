@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use disc_distance::{TupleDistance, Value};
+use disc_distance::{PackedMatrix, PackedScan, TupleDistance, Value};
 use disc_obs::counters;
 
 use crate::NeighborIndex;
@@ -84,6 +84,10 @@ pub struct GridIndex<'a> {
     /// the occupied bounding box plus slack), precomputed so the expanding
     /// k-NN search can detect exhaustion in O(1).
     max_dist: f64,
+    /// Packed `f64` layout for the cell-candidate distance filter; grid
+    /// rows are all finite numeric, so this is `Some` whenever the metric
+    /// admits packing at all.
+    packed: Option<PackedMatrix>,
 }
 
 impl<'a> GridIndex<'a> {
@@ -138,6 +142,7 @@ impl<'a> GridIndex<'a> {
             // by up to `m^{1/2}`, making k-NN drop true neighbors.
             norm_diameter(span, m, &dist) + cell_width
         };
+        let packed = PackedMatrix::build(rows, &dist);
         Ok(GridIndex {
             rows,
             dist,
@@ -145,6 +150,7 @@ impl<'a> GridIndex<'a> {
             cells,
             m,
             max_dist,
+            packed,
         })
     }
 
@@ -252,11 +258,12 @@ impl NeighborIndex for GridIndex<'_> {
     fn range(&self, query: &[Value], eps: f64) -> Vec<(u32, f64)> {
         counters::GRID_RANGE_QUERIES.incr();
         let radius_cells = (eps / self.cell_width).ceil() as i64 + 1;
+        let mut scan = PackedScan::new(self.packed.as_ref(), self.rows, &self.dist, query);
         let mut hits = Vec::new();
         let mut visited = 0u64;
         self.for_candidates(query, radius_cells, |id| {
             visited += 1;
-            if let Some(d) = self.dist.dist_within(query, &self.rows[id as usize], eps) {
+            if let Some(d) = scan.dist_within(id, eps) {
                 hits.push((id, d));
             }
         });

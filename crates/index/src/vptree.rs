@@ -4,7 +4,7 @@
 //! index does not apply, using only the triangle inequality for pruning —
 //! the same property the DISC bounds rely on.
 
-use disc_distance::{TupleDistance, Value};
+use disc_distance::{PackedMatrix, PackedScan, TupleDistance, Value};
 use disc_obs::counters;
 
 use crate::{sort_hits, NeighborIndex};
@@ -58,37 +58,35 @@ impl VpNodes {
         self.len == 0
     }
 
-    /// Appends every tree row within `eps` of `query` to `out`; `visited`
-    /// counts the nodes touched.
+    /// Appends every tree row within `eps` of the scan's query to `out`;
+    /// `visited` counts the nodes touched. The [`PackedScan`] carries the
+    /// query plus the row storage (packed when the metric admits it).
     pub fn range_into(
         &self,
-        rows: &[Vec<Value>],
-        dist: &TupleDistance,
-        query: &[Value],
+        scan: &mut PackedScan<'_>,
         eps: f64,
         out: &mut Vec<(u32, f64)>,
         visited: &mut u64,
     ) {
         if let Some(root) = &self.root {
-            range_rec(root, rows, dist, query, eps, out, visited);
+            range_rec(root, scan, eps, out, visited);
         }
     }
 
-    /// Merges the `k` nearest tree rows to `query` into the candidate list
-    /// `best`, which must already be sorted ascending by distance (ties by
-    /// id) and is kept that way; `visited` counts the nodes touched.
+    /// Merges the `k` nearest tree rows to the scan's query into the
+    /// candidate list `best`, which must already be sorted ascending by
+    /// distance (ties by id) and is kept that way; `visited` counts the
+    /// nodes touched.
     pub fn knn_into(
         &self,
-        rows: &[Vec<Value>],
-        dist: &TupleDistance,
-        query: &[Value],
+        scan: &mut PackedScan<'_>,
         k: usize,
         best: &mut Vec<(u32, f64)>,
         visited: &mut u64,
     ) {
         if k > 0 {
             if let Some(root) = &self.root {
-                knn_rec(root, rows, dist, query, k, best, visited);
+                knn_rec(root, scan, k, best, visited);
             }
         }
     }
@@ -133,15 +131,13 @@ fn build_rec(rows: &[Vec<Value>], dist: &TupleDistance, ids: &mut [u32]) -> Opti
 
 fn range_rec(
     node: &Node,
-    rows: &[Vec<Value>],
-    dist: &TupleDistance,
-    query: &[Value],
+    scan: &mut PackedScan<'_>,
     eps: f64,
     out: &mut Vec<(u32, f64)>,
     visited: &mut u64,
 ) {
     *visited += 1;
-    let d = dist.dist(query, &rows[node.vantage as usize]);
+    let d = scan.dist(node.vantage);
     if d <= eps {
         out.push((node.vantage, d));
     }
@@ -149,28 +145,26 @@ fn range_rec(
         // A point p inside has Δ(v,p) ≤ radius; by triangle inequality
         // Δ(q,p) ≥ d − radius, so skip if d − radius > eps.
         if d - node.radius <= eps {
-            range_rec(inside, rows, dist, query, eps, out, visited);
+            range_rec(inside, scan, eps, out, visited);
         }
     }
     if let Some(outside) = &node.outside {
         // A point p outside has Δ(v,p) > radius; Δ(q,p) ≥ radius − d.
         if node.radius - d <= eps {
-            range_rec(outside, rows, dist, query, eps, out, visited);
+            range_rec(outside, scan, eps, out, visited);
         }
     }
 }
 
 fn knn_rec(
     node: &Node,
-    rows: &[Vec<Value>],
-    dist: &TupleDistance,
-    query: &[Value],
+    scan: &mut PackedScan<'_>,
     k: usize,
     best: &mut Vec<(u32, f64)>,
     visited: &mut u64,
 ) {
     *visited += 1;
-    let d = dist.dist(query, &rows[node.vantage as usize]);
+    let d = scan.dist(node.vantage);
     let tau = if best.len() == k {
         best[k - 1].1
     } else {
@@ -209,7 +203,7 @@ fn knn_rec(
                 node.radius - d <= tau
             };
             if reachable {
-                knn_rec(child, rows, dist, query, k, best, visited);
+                knn_rec(child, scan, k, best, visited);
             }
         }
     }
@@ -220,13 +214,26 @@ pub struct VpTree<'a> {
     rows: &'a [Vec<Value>],
     dist: TupleDistance,
     nodes: VpNodes,
+    packed: Option<PackedMatrix>,
 }
 
 impl<'a> VpTree<'a> {
     /// Builds the tree; see [`VpNodes::build`] for cost and determinism.
+    /// Construction stays on the `Value` path; queries use the packed
+    /// layout for pivot distances when the metric admits it.
     pub fn new(rows: &'a [Vec<Value>], dist: TupleDistance) -> Self {
         let nodes = VpNodes::build(rows, &dist);
-        VpTree { rows, dist, nodes }
+        let packed = PackedMatrix::build(rows, &dist);
+        VpTree {
+            rows,
+            dist,
+            nodes,
+            packed,
+        }
+    }
+
+    fn scan<'q>(&'q self, query: &'q [Value]) -> PackedScan<'q> {
+        PackedScan::new(self.packed.as_ref(), self.rows, &self.dist, query)
     }
 }
 
@@ -240,7 +247,7 @@ impl NeighborIndex for VpTree<'_> {
         let mut out = Vec::new();
         let mut visited = 0u64;
         self.nodes
-            .range_into(self.rows, &self.dist, query, eps, &mut out, &mut visited);
+            .range_into(&mut self.scan(query), eps, &mut out, &mut visited);
         counters::VPTREE_ROWS_VISITED.add(visited);
         out
     }
@@ -250,7 +257,7 @@ impl NeighborIndex for VpTree<'_> {
         let mut best = Vec::with_capacity(k + 1);
         let mut visited = 0u64;
         self.nodes
-            .knn_into(self.rows, &self.dist, query, k, &mut best, &mut visited);
+            .knn_into(&mut self.scan(query), k, &mut best, &mut visited);
         counters::VPTREE_ROWS_VISITED.add(visited);
         sort_hits(&mut best);
         best
@@ -370,7 +377,8 @@ mod tests {
         let query = vec![Value::Num(5.0), Value::Num(5.0)];
         let mut hits = Vec::new();
         let mut visited = 0u64;
-        nodes.range_into(&data, &dist, &query, 100.0, &mut hits, &mut visited);
+        let mut scan = PackedScan::new(None, &data, &dist, &query);
+        nodes.range_into(&mut scan, 100.0, &mut hits, &mut visited);
         // Every row of the prefix is within 100.0; none of the tail appears.
         assert_eq!(hits.len(), 30);
         assert!(hits.iter().all(|&(id, _)| id < 30));

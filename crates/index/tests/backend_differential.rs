@@ -1,0 +1,283 @@
+//! Cross-backend differential battery for the packed numeric kernels.
+//!
+//! Every backend (brute, grid, VP-tree, and `DynamicIndex` fed by random
+//! ingest splits) must agree on range and k-NN results under
+//! L1/L2/L∞/Lp(3), with the packed kernels both on and off. The oracle
+//! is the brute-force scan with packing disabled — the pure `Value`
+//! path — so any divergence pins the kernel itself, not two backends
+//! drifting together. The determinism contract: distances are
+//! bitwise-equal for L1/L∞ and within 1 ulp for L2/Lp (in practice the
+//! kernels mirror the `Value` path bit for bit; the looser bound is the
+//! public contract).
+
+use disc_distance::{Metric, Norm, TupleDistance, Value};
+use disc_index::{
+    BruteForceIndex, DynamicIndex, DynamicNeighborIndex, GridIndex, NeighborIndex, VpTree,
+};
+use proptest::prelude::*;
+
+const NORMS: [Norm; 4] = [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)];
+
+fn to_rows(flat: &[f64], m: usize) -> Vec<Vec<Value>> {
+    flat.chunks_exact(m)
+        .map(|chunk| chunk.iter().map(|&x| Value::Num(x)).collect())
+        .collect()
+}
+
+fn with_norm(m: usize, norm: Norm) -> TupleDistance {
+    TupleDistance::new(vec![Metric::Absolute; m], norm)
+}
+
+/// ≤ 1 ulp apart (valid for non-negative finite doubles).
+fn within_one_ulp(a: f64, b: f64) -> bool {
+    a.to_bits().abs_diff(b.to_bits()) <= 1
+}
+
+/// Asserts `got` matches the oracle `want`: same ids in the same order,
+/// distances bitwise-equal for L1/L∞ and ≤ 1 ulp for L2/Lp. Inputs must
+/// already be in a canonical order.
+fn assert_hits_match(norm: Norm, got: &[(u32, f64)], want: &[(u32, f64)], label: &str) {
+    assert_eq!(
+        got.iter().map(|h| h.0).collect::<Vec<_>>(),
+        want.iter().map(|h| h.0).collect::<Vec<_>>(),
+        "{label} {norm:?}: id sets differ"
+    );
+    for (g, w) in got.iter().zip(want) {
+        match norm {
+            Norm::L1 | Norm::LInf => assert_eq!(
+                g.1.to_bits(),
+                w.1.to_bits(),
+                "{label} {norm:?} id {}: {} vs {} not bitwise-equal",
+                g.0,
+                g.1,
+                w.1
+            ),
+            _ => assert!(
+                within_one_ulp(g.1, w.1),
+                "{label} {norm:?} id {}: {} vs {} differ by > 1 ulp",
+                g.0,
+                g.1,
+                w.1
+            ),
+        }
+    }
+}
+
+fn sort_by_id(mut hits: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    hits.sort_by_key(|h| h.0);
+    hits
+}
+
+/// A `DynamicIndex` grown through random ingest splits: the rows arrive
+/// in batches whose boundaries are derived from `seed`, exercising the
+/// packed tail appends and any backend upgrades along the way.
+fn dynamic_via_ingest_splits(
+    rows: &[Vec<Value>],
+    dist: &TupleDistance,
+    eps_hint: f64,
+    seed: u64,
+) -> DynamicIndex {
+    let mut idx = DynamicIndex::new(dist.clone(), eps_hint);
+    let mut state = seed | 1;
+    let mut start = 0;
+    while start < rows.len() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let batch = 1 + (state >> 33) as usize % 7;
+        let end = (start + batch).min(rows.len());
+        idx.extend(rows[start..end].to_vec());
+        start = end;
+    }
+    idx
+}
+
+/// Runs `check` against every backend × packed-on/off combination.
+fn for_each_backend(
+    rows: &[Vec<Value>],
+    m: usize,
+    norm: Norm,
+    cell: f64,
+    seed: u64,
+    mut check: impl FnMut(&str, &dyn NeighborIndex),
+) {
+    let on = with_norm(m, norm);
+    let off = on.clone().with_packed(false);
+    for (mode, dist) in [("packed", &on), ("value", &off)] {
+        let brute = BruteForceIndex::new(rows, dist.clone());
+        check(&format!("brute/{mode}"), &brute);
+        let grid = GridIndex::new(rows, dist.clone(), cell);
+        check(&format!("grid/{mode}"), &grid);
+        let tree = VpTree::new(rows, dist.clone());
+        check(&format!("vptree/{mode}"), &tree);
+        let dynamic = dynamic_via_ingest_splits(rows, dist, cell, seed);
+        check(&format!("dynamic/{mode}"), &dynamic);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Range queries: all backends, packed on and off, reproduce the
+    /// `Value`-path brute-force oracle under every norm.
+    #[test]
+    fn range_differential(
+        flat in prop::collection::vec(-40.0f64..40.0, 1..330),
+        qf in prop::collection::vec(-40.0f64..40.0, 4),
+        m in 1usize..5,
+        eps in 0.05f64..30.0,
+        cell in 0.3f64..5.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assume!(flat.len() >= m);
+        let rows = to_rows(&flat, m);
+        let query: Vec<Value> = qf[..m].iter().map(|&x| Value::Num(x)).collect();
+        for norm in NORMS {
+            let oracle = BruteForceIndex::new(&rows, with_norm(m, norm).with_packed(false));
+            let want = sort_by_id(oracle.range(&query, eps));
+            for_each_backend(&rows, m, norm, cell, seed, |label, idx| {
+                let got = sort_by_id(idx.range(&query, eps));
+                assert_hits_match(norm, &got, &want, label);
+            });
+        }
+    }
+
+    /// k-NN queries: same agreement, including the k-th distance.
+    #[test]
+    fn knn_differential(
+        flat in prop::collection::vec(-40.0f64..40.0, 1..220),
+        qf in prop::collection::vec(-40.0f64..40.0, 4),
+        m in 1usize..5,
+        k in 1usize..12,
+        cell in 0.3f64..5.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assume!(flat.len() >= m);
+        let rows = to_rows(&flat, m);
+        let query: Vec<Value> = qf[..m].iter().map(|&x| Value::Num(x)).collect();
+        for norm in NORMS {
+            let oracle = BruteForceIndex::new(&rows, with_norm(m, norm).with_packed(false));
+            let want = oracle.knn(&query, k);
+            for_each_backend(&rows, m, norm, cell, seed, |label, idx| {
+                let got = idx.knn(&query, k);
+                assert_hits_match(norm, &got, &want, label);
+                assert_eq!(
+                    idx.kth_distance(&query, k).is_some(),
+                    want.len() >= k,
+                    "{label} {norm:?}"
+                );
+            });
+        }
+    }
+
+    /// Mixed-validity data: rows containing nulls or non-finite numbers
+    /// fall back per row, and still agree with the `Value` oracle on the
+    /// backends that accept such rows (brute, VP-tree, dynamic).
+    #[test]
+    fn range_differential_with_invalid_rows(
+        flat in prop::collection::vec(-40.0f64..40.0, 2..200),
+        qf in prop::collection::vec(-40.0f64..40.0, 2),
+        poison in prop::collection::vec(0usize..100, 1..8),
+        eps in 0.05f64..30.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let m = 2usize;
+        let mut rows = to_rows(&flat, m);
+        let n = rows.len();
+        for (j, p) in poison.iter().enumerate() {
+            let row = &mut rows[p % n];
+            row[j % m] = if p % 3 == 0 {
+                Value::Null
+            } else if p % 3 == 1 {
+                Value::Num(f64::NAN)
+            } else {
+                Value::Num(f64::INFINITY)
+            };
+        }
+        let query: Vec<Value> = qf.iter().map(|&x| Value::Num(x)).collect();
+        for norm in NORMS {
+            let on = with_norm(m, norm);
+            let off = on.clone().with_packed(false);
+            let oracle = BruteForceIndex::new(&rows, off.clone());
+            let want = sort_by_id(oracle.range(&query, eps));
+            let brute = BruteForceIndex::new(&rows, on.clone());
+            assert_hits_match(norm, &sort_by_id(brute.range(&query, eps)), &want, "brute/packed");
+            let tree_on = VpTree::new(&rows, on.clone());
+            let tree_off = VpTree::new(&rows, off.clone());
+            assert_hits_match(norm, &sort_by_id(tree_on.range(&query, eps)), &sort_by_id(tree_off.range(&query, eps)), "vptree/packed-vs-value");
+            let dyn_on = dynamic_via_ingest_splits(&rows, &on, 1.0, seed);
+            let dyn_off = dynamic_via_ingest_splits(&rows, &off, 1.0, seed);
+            assert_hits_match(norm, &sort_by_id(dyn_on.range(&query, eps)), &sort_by_id(dyn_off.range(&query, eps)), "dynamic/packed-vs-value");
+        }
+    }
+}
+
+/// Above `BRUTE_MAX` (512) and at low arity the dynamic index runs its
+/// grid backend; the proptest sizes stay below that, so pin it here.
+#[test]
+fn dynamic_grid_backend_differential() {
+    let mut state = 42u64;
+    let mut flat = Vec::new();
+    for _ in 0..700 * 3 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        flat.push(((state >> 33) % 2000) as f64 / 25.0);
+    }
+    let rows = to_rows(&flat, 3);
+    let query = vec![Value::Num(40.0), Value::Num(10.0), Value::Num(70.0)];
+    for norm in NORMS {
+        let on = with_norm(3, norm);
+        let idx = dynamic_via_ingest_splits(&rows, &on, 1.0, 7);
+        assert_eq!(idx.backend_name(), "grid", "{norm:?}");
+        let oracle = BruteForceIndex::new(&rows, on.clone().with_packed(false));
+        for eps in [0.5, 4.0, 25.0] {
+            let want = sort_by_id(oracle.range(&query, eps));
+            let got = sort_by_id(idx.range(&query, eps));
+            assert_hits_match(norm, &got, &want, "dynamic-grid");
+        }
+        for k in [1, 9, 40] {
+            assert_hits_match(
+                norm,
+                &idx.knn(&query, k),
+                &oracle.knn(&query, k),
+                "dynamic-grid-knn",
+            );
+        }
+    }
+}
+
+/// At arity 5 the dynamic index upgrades to its VP backend; random
+/// splits leave rows in the scanned tail buffer.
+#[test]
+fn dynamic_vp_backend_differential() {
+    let mut state = 99u64;
+    let mut flat = Vec::new();
+    for _ in 0..600 * 5 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        flat.push(((state >> 33) % 2000) as f64 / 25.0);
+    }
+    let rows = to_rows(&flat, 5);
+    let query = vec![Value::Num(40.0); 5];
+    for norm in NORMS {
+        let on = with_norm(5, norm);
+        let idx = dynamic_via_ingest_splits(&rows, &on, 1.0, 3);
+        assert_eq!(idx.backend_name(), "vp", "{norm:?}");
+        let oracle = BruteForceIndex::new(&rows, on.clone().with_packed(false));
+        for eps in [1.0, 10.0, 40.0] {
+            let want = sort_by_id(oracle.range(&query, eps));
+            let got = sort_by_id(idx.range(&query, eps));
+            assert_hits_match(norm, &got, &want, "dynamic-vp");
+        }
+        for k in [1, 9, 40] {
+            assert_hits_match(
+                norm,
+                &idx.knn(&query, k),
+                &oracle.knn(&query, k),
+                "dynamic-vp-knn",
+            );
+        }
+    }
+}

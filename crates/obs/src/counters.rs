@@ -133,6 +133,16 @@ declare_counters! {
     /// Outliers promoted to inliers by later arrivals (their saved
     /// adjustment, if any, is reverted to the original values).
     ENGINE_PROMOTIONS => "engine.promotions",
+    /// Whole-row distance evaluations served by the packed numeric
+    /// kernels (`disc_distance::packed`).
+    KERNEL_PACKED_CALLS => "kernel.packed_calls",
+    /// Whole-row distance evaluations that fell back to the
+    /// per-attribute `Value` path (non-numeric metric, invalid row, or
+    /// unpackable query).
+    KERNEL_FALLBACK_CALLS => "kernel.fallback_calls",
+    /// Packed evaluations abandoned early because the partial
+    /// accumulation exceeded the threshold.
+    KERNEL_EARLY_EXITS => "kernel.early_exits",
 }
 
 /// A point-in-time reading of every registered counter, in stable

@@ -4,8 +4,24 @@
 #
 # The container has no crates.io access; every external dependency is an
 # API-subset shim under compat/, so --offline always works.
+#
+# --heavy: after the standard gauntlet, re-run the workspace tests with
+# PROPTEST_CASES=512 (the compat proptest shim rescales each block's
+# case count proportionally, so 512 means 8x the default 64). Use before
+# a release or when touching the distance kernels or index backends.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+HEAVY=0
+for arg in "$@"; do
+    case "$arg" in
+    --heavy) HEAVY=1 ;;
+    *)
+        echo "usage: scripts/ci.sh [--heavy]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> no build artifacts tracked"
 if git ls-files | grep -E '(^|/)target/' >/dev/null; then
@@ -36,5 +52,16 @@ RUSTFLAGS="--cfg disc_fault" cargo test -q --offline --workspace
 
 echo "==> cargo clippy -- -D warnings (--cfg disc_fault)"
 RUSTFLAGS="--cfg disc_fault" cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Examples double as end-to-end smoke tests: each asserts its own
+# output, so a non-zero exit here is a real regression.
+echo "==> examples smoke"
+cargo run --release --offline -p disc --example quickstart >/dev/null
+cargo run --release --offline -p disc --example record_matching >/dev/null
+
+if [ "$HEAVY" = 1 ]; then
+    echo "==> cargo test -q (PROPTEST_CASES=512)"
+    PROPTEST_CASES=512 cargo test -q --offline --workspace
+fi
 
 echo "==> ci.sh: all green"
