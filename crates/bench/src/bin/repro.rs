@@ -25,6 +25,9 @@
 //! as a `disc-stats/1` JSON document after the experiments finish — the
 //! counters are deterministic, so two runs with the same seed and any
 //! worker counts produce identical documents.
+//!
+//! Exit codes: `0` success, `2` unparseable flags or an unknown
+//! experiment, `4` the stats file could not be written.
 
 use std::env;
 use std::process::ExitCode;
@@ -36,7 +39,8 @@ fn usage() -> ExitCode {
          --workers 0 means auto (one per core); --deadline-ms 0 clears the deadline;\n\
          --stats PATH writes the observability counters as JSON after the run"
     );
-    ExitCode::FAILURE
+    // Usage errors are parse failures: exit 2.
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
@@ -58,7 +62,7 @@ fn main() -> ExitCode {
                     Some(f) if f > 0.0 && f <= 1.0 => f,
                     _ => {
                         eprintln!("--frac expects a number in (0, 1]");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 };
             }
@@ -68,7 +72,7 @@ fn main() -> ExitCode {
                     Some(s) => s,
                     None => {
                         eprintln!("--seed expects an integer");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 };
             }
@@ -80,7 +84,7 @@ fn main() -> ExitCode {
                     Some(n) => disc_core::parallel::set_global_workers(n),
                     None => {
                         eprintln!("--workers expects an integer >= 0 (0 = auto)");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
             }
@@ -92,7 +96,7 @@ fn main() -> ExitCode {
                     Some(ms) => disc_core::set_global_deadline_ms(ms),
                     None => {
                         eprintln!("--deadline-ms expects an integer >= 0 (0 = no deadline)");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
             }
@@ -102,7 +106,7 @@ fn main() -> ExitCode {
                     Some(n) if n >= 1 => stream_batches = n,
                     _ => {
                         eprintln!("--stream-batches expects an integer >= 1");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
             }
@@ -112,7 +116,7 @@ fn main() -> ExitCode {
                     Some(path) => stats_path = Some(path.clone()),
                     None => {
                         eprintln!("--stats expects an output path");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
             }
@@ -170,7 +174,8 @@ fn main() -> ExitCode {
         ]);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write stats to {path}: {e}");
-            return ExitCode::FAILURE;
+            // A stats write failure is an IO error: exit 4.
+            return ExitCode::from(4);
         }
     }
     code

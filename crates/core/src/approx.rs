@@ -58,20 +58,6 @@ pub struct DiscSaver {
 }
 
 impl DiscSaver {
-    /// A saver with the unrestricted search, the default node budget, and
-    /// one pipeline worker per available core.
-    #[deprecated(note = "use `SaverConfig::new(..).build_approx()` instead")]
-    pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
-        DiscSaver {
-            constraints,
-            dist,
-            kappa: None,
-            node_budget: 200_000,
-            parallelism: Parallelism::auto(),
-            budget: Budget::auto(),
-        }
-    }
-
     /// Internal constructor for [`crate::SaverConfig::build_approx`],
     /// which validates the knobs first.
     pub(crate) fn from_config(
@@ -92,45 +78,9 @@ impl DiscSaver {
         }
     }
 
-    /// Restricts adjustments to at most `kappa` attributes. Outliers that
-    /// cannot be saved within the budget are classified *natural* by the
-    /// pipeline (Section 1.2).
-    #[deprecated(note = "use `SaverConfig::kappa` instead")]
-    pub fn with_kappa(mut self, kappa: usize) -> Self {
-        assert!(kappa >= 1, "κ must be at least 1");
-        self.kappa = Some(kappa);
-        self
-    }
-
-    /// Overrides the node budget.
-    #[deprecated(note = "use `SaverConfig::node_budget` instead")]
-    pub fn with_node_budget(mut self, budget: usize) -> Self {
-        assert!(budget >= 1);
-        self.node_budget = budget;
-        self
-    }
-
-    /// Overrides the pipeline worker count. `Parallelism(1)` forces the
-    /// exact sequential code path; the result is identical either way.
-    #[deprecated(note = "use `SaverConfig::parallelism` instead")]
-    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.parallelism = parallelism;
-        self
-    }
-
     /// The configured pipeline worker count.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
-    }
-
-    /// Overrides the execution budget. The deadline half applies to whole
-    /// `save_all` runs (enforced through a shared [`CancelToken`]); the
-    /// per-outlier candidate cap also bounds direct `save_one` calls and is
-    /// fully deterministic.
-    #[deprecated(note = "use `SaverConfig::budget` instead")]
-    pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
-        self
     }
 
     /// The configured execution budget.
@@ -171,7 +121,7 @@ impl DiscSaver {
 
     /// Saves one outlier against `r`, returning the near-optimal adjustment
     /// or `None` when no feasible adjustment exists within κ / the budget.
-    /// Honors the per-outlier candidate cap of [`DiscSaver::with_budget`]
+    /// Honors the per-outlier candidate cap of [`crate::SaverConfig::budget`]
     /// but not the deadline (which only applies to `save_all` runs).
     pub fn save_one(&self, r: &RSet, t_o: &[Value]) -> Option<Adjustment> {
         match self.save_one_budgeted(r, t_o, &CancelToken::unlimited()) {

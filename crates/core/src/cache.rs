@@ -119,6 +119,33 @@ impl NeighborCache {
         list.truncate(self.eta);
     }
 
+    /// The cached ε-neighbor counts of every row, in row order (read by
+    /// the engine's state export).
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The per-row η-nearest-inlier lists (`None` for outliers), in row
+    /// order (read by the engine's state export).
+    pub fn inlier_lists(&self) -> &[Option<Vec<f64>>] {
+        &self.nearest
+    }
+
+    /// Rebuilds a cache from exported parts. The caller (the engine's
+    /// state restore) has already validated list lengths and ordering.
+    pub(crate) fn from_parts(
+        eta: usize,
+        counts: Vec<usize>,
+        nearest: Vec<Option<Vec<f64>>>,
+    ) -> Self {
+        debug_assert_eq!(counts.len(), nearest.len());
+        NeighborCache {
+            eta,
+            counts,
+            nearest,
+        }
+    }
+
     /// `δ_η(row)` for an inlier: the η-th nearest inlier distance, or
     /// `+∞` when fewer than η inliers exist (matching the batch RSet's
     /// `unwrap_or(INFINITY)`).

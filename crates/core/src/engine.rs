@@ -72,6 +72,41 @@ pub struct DiscEngine {
     /// The inlier context, cached between ingests and invalidated
     /// whenever the inlier set grows.
     rset: Option<RSet>,
+    /// Number of successful ingests applied since the engine was empty.
+    /// The persistence layer keys snapshots and write-ahead-log records
+    /// off this: snapshot generation `g` plus the WAL records for
+    /// generations `g+1..` replays to the exact live state.
+    generation: u64,
+}
+
+/// A complete, self-contained image of a [`DiscEngine`]'s logical state,
+/// produced by [`DiscEngine::export_state`] and accepted by
+/// [`DiscEngine::restore`].
+///
+/// The image holds everything that cannot be recomputed cheaply and
+/// deterministically: the as-ingested rows, the output rows (original
+/// values with saved adjustments applied), the neighbor-cache tables,
+/// and the pending retry set. The two dynamic indexes and the cached
+/// `RSet` are deliberately *not* part of the image — they are rebuilt on
+/// restore from the rows, which keeps the on-disk format independent of
+/// index-backend internals (backend choice affects only query cost,
+/// never query results).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// The engine's [generation](DiscEngine::generation) at export time.
+    pub generation: u64,
+    /// Original (as-ingested) values of every row.
+    pub original: Vec<Vec<Value>>,
+    /// Output values of every row (original + current adjustments).
+    pub current: Vec<Vec<Value>>,
+    /// Cached ε-neighbor count per row, self-inclusive.
+    pub counts: Vec<usize>,
+    /// Per-row ascending η-nearest-inlier distances; `None` marks a row
+    /// currently classified outlier.
+    pub nearest: Vec<Option<Vec<f64>>>,
+    /// Outliers whose last save attempt was skipped or failed,
+    /// ascending.
+    pub pending: Vec<usize>,
 }
 
 impl DiscEngine {
@@ -97,6 +132,7 @@ impl DiscEngine {
             inlier_count: 0,
             pending: BTreeSet::new(),
             rset: None,
+            generation: 0,
             saver,
         }
     }
@@ -155,9 +191,22 @@ impl DiscEngine {
         self.pending.iter().copied().collect()
     }
 
-    /// Validates a batch before anything is mutated, so a rejected
-    /// ingest leaves the engine untouched.
-    fn validate(&self, batch: &[Vec<Value>]) -> Result<(), Error> {
+    /// Number of successful ingests applied since the engine was empty.
+    /// Rejected batches do not advance it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Validates a batch without mutating anything — exactly the check
+    /// [`DiscEngine::ingest`] performs before touching state. The
+    /// persistence layer calls this *before* appending the batch to its
+    /// write-ahead log, so a batch the engine would reject is never made
+    /// durable.
+    ///
+    /// # Errors
+    /// Same contract as [`DiscEngine::ingest`]: a wrong-arity row or a
+    /// non-finite numeric cell.
+    pub fn validate_batch(&self, batch: &[Vec<Value>]) -> Result<(), Error> {
         let m = self.saver.distance().arity();
         for (i, row) in batch.iter().enumerate() {
             if row.len() != m {
@@ -185,7 +234,8 @@ impl DiscEngine {
     /// wrong arity or with a non-finite numeric cell; text and null
     /// values are legal wherever the metric accepts them.
     pub fn ingest(&mut self, batch: Vec<Vec<Value>>) -> Result<SaveReport, Error> {
-        self.validate(&batch)?;
+        self.validate_batch(&batch)?;
+        self.generation += 1;
         let t_run = Instant::now();
         let counters_before = Snapshot::take();
         counters::ENGINE_INGESTS.incr();
@@ -364,6 +414,119 @@ impl DiscEngine {
         report.stats = stats;
         Ok(report)
     }
+
+    /// Captures the engine's complete logical state; see [`EngineState`].
+    /// Exported at ingest boundaries only (the engine is never observable
+    /// mid-ingest), so every image satisfies the classification
+    /// invariants [`DiscEngine::restore`] checks.
+    pub fn export_state(&self) -> EngineState {
+        EngineState {
+            generation: self.generation,
+            original: self.original.clone(),
+            current: self.current.rows().to_vec(),
+            counts: self.cache.counts().to_vec(),
+            nearest: self.cache.inlier_lists().to_vec(),
+            pending: self.pending.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds an engine from an exported [`EngineState`], recomputing
+    /// the two dynamic indexes from the stored rows (full index in row
+    /// order, inlier index in ascending row order — insertion order only
+    /// affects index internals, never query results) and leaving the
+    /// `RSet` to its usual lazy, deterministic rebuild.
+    ///
+    /// A restored engine is *behaviorally identical* to the engine that
+    /// exported the image: every subsequent [`DiscEngine::ingest`]
+    /// produces bit-identical reports and rows (the crash-equivalence
+    /// suite in `disc-persist` pins this across fault-injected
+    /// interruptions).
+    ///
+    /// # Errors
+    /// [`Error::State`] when the image is internally inconsistent: table
+    /// lengths disagree, a row has the wrong arity or a non-finite
+    /// numeric cell, a `δ_η` list is over-long or unsorted, the
+    /// inlier marking contradicts the cached counts, or the pending set
+    /// references inliers or out-of-range rows.
+    ///
+    /// # Panics
+    /// Panics if the schema arity differs from the saver's metric arity
+    /// (same contract as [`DiscEngine::new`]).
+    pub fn restore(
+        schema: Schema,
+        saver: Box<dyn Saver>,
+        state: EngineState,
+    ) -> Result<DiscEngine, Error> {
+        let bad = |message: String| Err(Error::State { message });
+        let n = state.original.len();
+        if state.current.len() != n || state.counts.len() != n || state.nearest.len() != n {
+            return bad(format!(
+                "table lengths disagree: {} original, {} current, {} counts, {} nearest",
+                n,
+                state.current.len(),
+                state.counts.len(),
+                state.nearest.len()
+            ));
+        }
+        let mut engine = DiscEngine::new(schema, saver);
+        let eta = engine.saver.constraints().eta;
+        if let Err(e) = engine.validate_batch(&state.original) {
+            return bad(format!("original rows invalid: {e}"));
+        }
+        if let Err(e) = engine.validate_batch(&state.current) {
+            return bad(format!("current rows invalid: {e}"));
+        }
+        for (i, list) in state.nearest.iter().enumerate() {
+            // Outlier rows (None) may legitimately carry an adjustment;
+            // only inlier lists have shape constraints.
+            let Some(list) = list else { continue };
+            if list.len() > eta {
+                return bad(format!(
+                    "row {i}: δ_η list has {} entries, η is {eta}",
+                    list.len()
+                ));
+            }
+            if !list.windows(2).all(|w| w[0] <= w[1]) {
+                return bad(format!("row {i}: δ_η list is not ascending"));
+            }
+        }
+        for i in 0..n {
+            let marked_inlier = state.nearest[i].is_some();
+            if marked_inlier != (state.counts[i] >= eta) {
+                return bad(format!(
+                    "row {i}: inlier marking contradicts its count {} (η = {eta})",
+                    state.counts[i]
+                ));
+            }
+            if marked_inlier && state.current[i] != state.original[i] {
+                return bad(format!("row {i}: an inlier carries an adjustment"));
+            }
+        }
+        for &row in &state.pending {
+            if row >= n {
+                return bad(format!("pending row {row} out of range (n = {n})"));
+            }
+            if state.nearest[row].is_some() {
+                return bad(format!("pending row {row} is an inlier"));
+            }
+        }
+
+        for (i, row) in state.original.iter().enumerate() {
+            engine.full_index.insert(row.clone());
+            if state.nearest[i].is_some() {
+                engine.inlier_index.insert(row.clone());
+                engine.inlier_count += 1;
+            }
+        }
+        engine.original = state.original;
+        for row in &state.current {
+            engine.current.push(row.clone());
+        }
+        engine.cache = NeighborCache::from_parts(eta, state.counts, state.nearest);
+        engine.pending = state.pending.into_iter().collect();
+        engine.generation = state.generation;
+        Ok(engine)
+    }
 }
 
 #[cfg(test)]
@@ -499,5 +662,95 @@ mod tests {
         let report = eng.ingest(Vec::new()).unwrap();
         assert!(report.outliers.is_empty());
         assert!(!report.degraded);
+    }
+
+    #[test]
+    fn generation_counts_successful_ingests_only() {
+        let mut eng = engine(0.5, 2);
+        assert_eq!(eng.generation(), 0);
+        eng.ingest(num(&[[0.0, 0.0]])).unwrap();
+        eng.ingest(Vec::new()).unwrap();
+        assert_eq!(eng.generation(), 2);
+        eng.ingest(vec![vec![Value::Num(1.0)]])
+            .expect_err("wrong arity");
+        assert_eq!(eng.generation(), 2, "rejected batches don't advance");
+    }
+
+    #[test]
+    fn export_restore_continues_bit_identically() {
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        rows.push(vec![Value::Num(-20.0), Value::Num(0.4)]);
+
+        // Uninterrupted reference.
+        let mut reference = engine(0.5, 4);
+        reference.ingest(rows[..20].to_vec()).unwrap();
+        let ref_report = reference.ingest(rows[20..].to_vec()).unwrap();
+
+        // Export after the first ingest, restore, resume.
+        let mut eng = engine(0.5, 4);
+        eng.ingest(rows[..20].to_vec()).unwrap();
+        let state = eng.export_state();
+        let saver = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap();
+        let mut restored =
+            DiscEngine::restore(Schema::numeric(2), Box::new(saver), state.clone()).unwrap();
+        assert_eq!(restored.generation(), 1);
+        assert_eq!(restored.export_state(), state, "export ∘ restore = id");
+        let report = restored.ingest(rows[20..].to_vec()).unwrap();
+
+        assert_eq!(report, ref_report);
+        assert_eq!(restored.dataset().rows(), reference.dataset().rows());
+        assert_eq!(restored.outliers(), reference.outliers());
+        assert_eq!(restored.generation(), reference.generation());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_images() {
+        let mut eng = engine(0.5, 4);
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        eng.ingest(rows).unwrap();
+        let good = eng.export_state();
+        let fresh_saver = || {
+            let s = SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+                .build_approx()
+                .unwrap();
+            Box::new(s) as Box<dyn Saver>
+        };
+
+        let mut broken = good.clone();
+        broken.counts.pop();
+        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::State { .. }), "{err}");
+
+        let mut broken = good.clone();
+        broken.nearest[0] = None; // contradicts its ≥ η count
+        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::State { .. }), "{err}");
+
+        let mut broken = good.clone();
+        broken.pending = vec![good.original.len() + 7];
+        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::State { .. }), "{err}");
+
+        let mut broken = good.clone();
+        if let Some(list) = broken.nearest[0].as_mut() {
+            list.reverse(); // no longer ascending
+        }
+        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::State { .. }), "{err}");
+
+        // The untouched image restores cleanly.
+        assert!(DiscEngine::restore(Schema::numeric(2), fresh_saver(), good).is_ok());
     }
 }

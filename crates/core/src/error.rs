@@ -1,9 +1,8 @@
 //! Typed errors for the crate's fallible boundaries.
 //!
 //! The original seed surfaced misconfiguration as `panic!`s and CSV
-//! problems as bare `String`s. Those remain for the deprecated
-//! constructors (changing a panic to a `Result` is a breaking change),
-//! but the [`SaverConfig`](crate::SaverConfig) builder and
+//! problems as bare `String`s. The [`SaverConfig`](crate::SaverConfig)
+//! builder and
 //! [`DiscEngine::ingest`](crate::DiscEngine::ingest) return [`Error`]
 //! instead, so callers can distinguish bad parameters from bad data.
 
@@ -36,6 +35,13 @@ pub enum Error {
         /// Position of the offending tuple within its batch.
         row: usize,
     },
+    /// An exported [`EngineState`](crate::engine::EngineState) image is
+    /// internally inconsistent and cannot be restored (e.g. a truncated
+    /// or hand-edited snapshot whose tables disagree).
+    State {
+        /// What is inconsistent about the image.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -48,6 +54,7 @@ impl fmt::Display for Error {
                 f,
                 "arity mismatch: batch row {row} has {got} attributes, schema expects {expected}"
             ),
+            Error::State { message } => write!(f, "invalid engine state: {message}"),
         }
     }
 }
@@ -91,5 +98,10 @@ mod tests {
             row: 7,
         };
         assert!(e.to_string().contains("row 7 has 2 attributes"));
+
+        let e = Error::State {
+            message: "table lengths disagree".into(),
+        };
+        assert!(e.to_string().starts_with("invalid engine state"));
     }
 }

@@ -35,20 +35,6 @@ pub struct ExactSaver {
 }
 
 impl ExactSaver {
-    /// An exact saver with a 16-value domain cap per attribute, a
-    /// 10⁷-combination budget, and one pipeline worker per available core.
-    #[deprecated(note = "use `SaverConfig::new(..).build_exact()` instead")]
-    pub fn new(constraints: DistanceConstraints, dist: disc_distance::TupleDistance) -> Self {
-        ExactSaver {
-            constraints,
-            dist,
-            domain_cap: Some(16),
-            max_combinations: 10_000_000,
-            parallelism: Parallelism::auto(),
-            budget: Budget::auto(),
-        }
-    }
-
     /// Internal constructor for [`crate::SaverConfig::build_exact`],
     /// which validates the knobs first.
     pub(crate) fn from_config(
@@ -69,28 +55,6 @@ impl ExactSaver {
         }
     }
 
-    /// Overrides the per-attribute domain cap (`None` = full active domain).
-    #[deprecated(note = "use `SaverConfig::domain_cap` instead")]
-    pub fn with_domain_cap(mut self, cap: Option<usize>) -> Self {
-        self.domain_cap = cap;
-        self
-    }
-
-    /// Overrides the combination budget.
-    #[deprecated(note = "use `SaverConfig::max_combinations` instead")]
-    pub fn with_max_combinations(mut self, max: u64) -> Self {
-        self.max_combinations = max;
-        self
-    }
-
-    /// Overrides the pipeline worker count. `Parallelism(1)` forces the
-    /// exact sequential code path; the result is identical either way.
-    #[deprecated(note = "use `SaverConfig::parallelism` instead")]
-    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.parallelism = parallelism;
-        self
-    }
-
     /// The configured pipeline worker count.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
@@ -104,16 +68,6 @@ impl ExactSaver {
     /// The configured combination budget.
     pub fn max_combinations(&self) -> u64 {
         self.max_combinations
-    }
-
-    /// Overrides the execution budget. With a per-outlier candidate cap
-    /// set, an over-budget cross-product no longer panics: enumeration
-    /// stops at the cap and the incumbent is returned (graceful
-    /// degradation instead of the hard `max_combinations` assert).
-    #[deprecated(note = "use `SaverConfig::budget` instead")]
-    pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
-        self
     }
 
     /// The configured execution budget.
@@ -182,7 +136,7 @@ impl ExactSaver {
 
     /// Finds the optimal adjustment over the candidate domains, or `None`
     /// when no combination is feasible. Honors the per-outlier candidate
-    /// cap of [`ExactSaver::with_budget`] but not the deadline (which only
+    /// cap of [`crate::SaverConfig::budget`] but not the deadline (which only
     /// applies to `save_all` runs).
     ///
     /// # Panics

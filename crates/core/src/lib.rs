@@ -56,7 +56,7 @@ pub use budget::{set_global_deadline_ms, Budget, CancelToken, Cancelled};
 pub use constraints::{
     detect_outliers, detect_outliers_parallel, DistanceConstraints, OutlierSplit,
 };
-pub use engine::DiscEngine;
+pub use engine::{DiscEngine, EngineState};
 pub use error::Error;
 pub use exact::ExactSaver;
 pub use parallel::Parallelism;

@@ -10,8 +10,9 @@
 //! [`DiscEngine`](crate::DiscEngine)) run against, so `&dyn Saver`
 //! dispatch produces reports identical to direct calls.
 //!
-//! The old constructors remain as `#[deprecated]` shims delegating to
-//! the same internals, so downstream code keeps compiling.
+//! The old constructor chains lived on for a while as `#[deprecated]`
+//! shims; they are gone now, and [`SaverConfig`] is the only way to
+//! build a saver.
 
 use disc_data::Dataset;
 use disc_distance::{TupleDistance, Value};

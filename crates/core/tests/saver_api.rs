@@ -5,10 +5,8 @@
 //!   bit-identical to calling the concrete type directly;
 //! * golden defaults — the documented `SaverConfig` defaults are pinned
 //!   so a silent change shows up as a test failure, not a perf mystery;
-//! * deprecated shims — the pre-redesign `DiscSaver::new(..).with_*`
-//!   builder chain still compiles and produces the same saver as the
-//!   `SaverConfig` path. This is the only place `#[allow(deprecated)]`
-//!   is permitted in the workspace.
+//! * build-time validation — misconfigurations are typed errors at
+//!   `build_*` time, never a panic at first use.
 
 use disc_core::{Budget, DistanceConstraints, Parallelism, Saver, SaverConfig};
 use disc_data::{ClusterSpec, Dataset, ErrorInjector};
@@ -87,59 +85,32 @@ fn golden_saver_config_defaults() {
     assert_eq!(Saver::name(&exact), "exact");
 }
 
-/// The deprecated builder chains still compile and behave exactly like
-/// their `SaverConfig` replacements.
-#[allow(deprecated)]
+/// Every builder knob lands on the built saver exactly as configured.
 #[test]
-fn deprecated_with_builders_match_saver_config() {
-    use disc_core::{DiscSaver, ExactSaver};
-
+fn configured_knobs_land_on_the_saver() {
     let c = DistanceConstraints::new(2.5, 4);
-    let base = dirty_dataset(50, 17, 4, 1);
 
-    let shimmed = DiscSaver::new(c, TupleDistance::numeric(3))
-        .with_kappa(2)
-        .with_node_budget(50_000)
-        .with_parallelism(Parallelism(2))
-        .with_budget(Budget::unlimited());
-    let configured = SaverConfig::new(c, TupleDistance::numeric(3))
+    let approx = SaverConfig::new(c, TupleDistance::numeric(3))
         .kappa(2)
         .node_budget(50_000)
         .parallelism(Parallelism(2))
         .budget(Budget::unlimited())
         .build_approx()
         .unwrap();
-    assert_eq!(shimmed.kappa(), configured.kappa());
-    assert_eq!(shimmed.node_budget(), configured.node_budget());
-    assert_eq!(shimmed.parallelism(), configured.parallelism());
-    assert_eq!(shimmed.budget(), configured.budget());
-    let mut shim_ds = base.clone();
-    let mut config_ds = base.clone();
-    assert_eq!(
-        shimmed.save_all(&mut shim_ds),
-        configured.save_all(&mut config_ds)
-    );
-    assert_eq!(shim_ds.rows(), config_ds.rows());
+    assert_eq!(approx.kappa(), Some(2));
+    assert_eq!(approx.node_budget(), 50_000);
+    assert_eq!(approx.parallelism(), Parallelism(2));
+    assert_eq!(approx.budget(), Budget::unlimited());
 
-    let shimmed = ExactSaver::new(c, TupleDistance::numeric(3))
-        .with_domain_cap(Some(8))
-        .with_max_combinations(1_000_000)
-        .with_parallelism(Parallelism(2));
-    let configured = SaverConfig::new(c, TupleDistance::numeric(3))
+    let exact = SaverConfig::new(c, TupleDistance::numeric(3))
         .domain_cap(Some(8))
         .max_combinations(1_000_000)
         .parallelism(Parallelism(2))
         .build_exact()
         .unwrap();
-    assert_eq!(shimmed.domain_cap(), configured.domain_cap());
-    assert_eq!(shimmed.max_combinations(), configured.max_combinations());
-    let mut shim_ds = base.clone();
-    let mut config_ds = base;
-    assert_eq!(
-        shimmed.save_all(&mut shim_ds),
-        configured.save_all(&mut config_ds)
-    );
-    assert_eq!(shim_ds.rows(), config_ds.rows());
+    assert_eq!(exact.domain_cap(), Some(8));
+    assert_eq!(exact.max_combinations(), 1_000_000);
+    assert_eq!(exact.parallelism(), Parallelism(2));
 }
 
 /// Misconfigurations are rejected at build time with a typed error, not

@@ -1,0 +1,387 @@
+//! Stable binary encoding of values, rows, and schemas.
+//!
+//! The persistence layer (`disc-persist`) writes engine state to disk and
+//! must read it back *bit-identically* — recovery equivalence is checked
+//! down to the f64 bit pattern. This module defines the one canonical
+//! encoding both the write-ahead log and the snapshot format use:
+//!
+//! * all integers are little-endian fixed width (`u8`/`u32`/`u64`);
+//! * floats are stored as their IEEE-754 bit pattern
+//!   ([`f64::to_bits`]), so every value — including negative zero and
+//!   any NaN payload — round-trips exactly;
+//! * variable-length data carries a `u32` byte/element count prefix;
+//! * a [`Value`] is a one-byte tag (`0` null, `1` num, `2` text)
+//!   followed by its payload.
+//!
+//! Decoding is *total*: corrupt bytes produce a typed [`DecodeError`],
+//! never a panic, and length prefixes are validated against the bytes
+//! actually remaining before any allocation — a flipped length byte
+//! cannot request an absurd reservation.
+
+use std::fmt;
+
+use disc_distance::Value;
+
+use crate::schema::{AttrKind, Attribute, Schema};
+
+/// Why a buffer could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before a fixed-width field or counted payload.
+    UnexpectedEof {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed to finish it.
+        need: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// An enum tag byte holds an unknown value.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A text payload is not valid UTF-8.
+    BadUtf8 {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { what, need, have } => {
+                write!(f, "decoding {what}: need {need} more bytes, have {have}")
+            }
+            DecodeError::BadTag { what, tag } => {
+                write!(f, "decoding {what}: unknown tag byte {tag:#04x}")
+            }
+            DecodeError::BadUtf8 { what } => write!(f, "decoding {what}: invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over an immutable byte buffer with checked reads.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                what,
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Consumes an `f64` stored as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Consumes a `u32` element count and validates it against the bytes
+    /// remaining, given each element occupies at least `min_element_size`
+    /// bytes — so a corrupted count cannot drive a huge allocation.
+    pub fn count(
+        &mut self,
+        min_element_size: usize,
+        what: &'static str,
+    ) -> Result<usize, DecodeError> {
+        let n = self.u32(what)? as usize;
+        let need = n.saturating_mul(min_element_size.max(1));
+        if need > self.remaining() {
+            return Err(DecodeError::UnexpectedEof {
+                what,
+                need,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, x: f64) {
+    put_u64(out, x.to_bits());
+}
+
+/// Appends a `u32` length prefix followed by the raw bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a `u32`-length-prefixed byte run.
+pub fn take_bytes<'a>(r: &mut Reader<'a>, what: &'static str) -> Result<&'a [u8], DecodeError> {
+    let n = r.count(1, what)?;
+    r.bytes(n, what)
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_NUM: u8 = 1;
+const TAG_TEXT: u8 = 2;
+
+/// Appends one [`Value`].
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Num(x) => {
+            out.push(TAG_NUM);
+            put_f64(out, *x);
+        }
+        Value::Text(s) => {
+            out.push(TAG_TEXT);
+            put_bytes(out, s.as_bytes());
+        }
+    }
+}
+
+/// Decodes one [`Value`].
+pub fn decode_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    match r.u8("value tag")? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_NUM => Ok(Value::Num(r.f64("numeric value")?)),
+        TAG_TEXT => {
+            let bytes = take_bytes(r, "text value")?;
+            match std::str::from_utf8(bytes) {
+                Ok(s) => Ok(Value::Text(s.to_owned())),
+                Err(_) => Err(DecodeError::BadUtf8 { what: "text value" }),
+            }
+        }
+        tag => Err(DecodeError::BadTag { what: "value", tag }),
+    }
+}
+
+/// Appends one row: a `u32` value count followed by the values.
+pub fn encode_row(out: &mut Vec<u8>, row: &[Value]) {
+    put_u32(out, row.len() as u32);
+    for v in row {
+        encode_value(out, v);
+    }
+}
+
+/// Decodes one row.
+pub fn decode_row(r: &mut Reader<'_>) -> Result<Vec<Value>, DecodeError> {
+    let n = r.count(1, "row value count")?;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(decode_value(r)?);
+    }
+    Ok(row)
+}
+
+/// Appends a batch of rows: a `u32` row count followed by the rows.
+pub fn encode_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    put_u32(out, rows.len() as u32);
+    for row in rows {
+        encode_row(out, row);
+    }
+}
+
+/// Decodes a batch of rows.
+pub fn decode_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>, DecodeError> {
+    let n = r.count(4, "batch row count")?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(decode_row(r)?);
+    }
+    Ok(rows)
+}
+
+const KIND_NUMERIC: u8 = 0;
+const KIND_TEXT: u8 = 1;
+
+/// Appends a [`Schema`]: a `u32` arity, then per attribute a kind byte
+/// and the `u32`-length-prefixed UTF-8 name.
+pub fn encode_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.arity() as u32);
+    for attr in schema.attributes() {
+        out.push(match attr.kind {
+            AttrKind::Numeric => KIND_NUMERIC,
+            AttrKind::Text => KIND_TEXT,
+        });
+        put_bytes(out, attr.name.as_bytes());
+    }
+}
+
+/// Decodes a [`Schema`].
+pub fn decode_schema(r: &mut Reader<'_>) -> Result<Schema, DecodeError> {
+    let arity = r.count(5, "schema arity")?;
+    let mut attrs = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let kind = match r.u8("attribute kind")? {
+            KIND_NUMERIC => AttrKind::Numeric,
+            KIND_TEXT => AttrKind::Text,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "attribute kind",
+                    tag,
+                })
+            }
+        };
+        let bytes = take_bytes(r, "attribute name")?;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| DecodeError::BadUtf8 {
+                what: "attribute name",
+            })?
+            .to_owned();
+        attrs.push(Attribute { name, kind });
+    }
+    Ok(Schema::new(attrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_rows(rows: &[Vec<Value>]) {
+        let mut buf = Vec::new();
+        encode_rows(&mut buf, rows);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_rows(&mut r).unwrap(), rows);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn values_roundtrip_bit_exactly() {
+        roundtrip_rows(&[
+            vec![Value::Null, Value::Num(0.0), Value::Text("héllo".into())],
+            vec![
+                Value::Num(-0.0),
+                Value::Num(f64::MIN_POSITIVE),
+                Value::Num(1.0 / 3.0),
+            ],
+            vec![],
+        ]);
+        // Negative zero keeps its sign bit.
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Num(-0.0));
+        let got = decode_value(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got.as_num().unwrap().to_bits(), (-0.0f64).to_bits());
+        // NaN keeps its exact payload bits.
+        let weird_nan = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Num(weird_nan));
+        let got = decode_value(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got.as_num().unwrap().to_bits(), weird_nan.to_bits());
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = Schema::new(vec![
+            Attribute::numeric("Longitude"),
+            Attribute::text("name"),
+            Attribute::numeric("λ"),
+        ]);
+        let mut buf = Vec::new();
+        encode_schema(&mut buf, &schema);
+        let decoded = decode_schema(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.arity(), 3);
+        for (a, b) in schema.attributes().iter().zip(decoded.attributes()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let mut buf = Vec::new();
+        encode_rows(
+            &mut buf,
+            &[
+                vec![Value::Num(1.5), Value::Text("ab".into()), Value::Null],
+                vec![Value::Num(-2.0), Value::Text("xyz".into()), Value::Num(0.0)],
+            ],
+        );
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                decode_rows(&mut r).is_err(),
+                "truncation at {cut} must be a decode error"
+            );
+        }
+        // The untruncated buffer still decodes.
+        assert!(decode_rows(&mut Reader::new(&buf)).is_ok());
+    }
+
+    #[test]
+    fn corrupt_count_cannot_demand_huge_allocation() {
+        // A batch claiming u32::MAX rows with a 1-byte body must fail at
+        // the count check, before any reservation.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        buf.push(7);
+        let err = decode_rows(&mut Reader::new(&buf)).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        let err = decode_value(&mut Reader::new(&[9])).unwrap_err();
+        assert!(matches!(err, DecodeError::BadTag { tag: 9, .. }), "{err}");
+        // Invalid UTF-8 in a text payload.
+        let mut buf = vec![TAG_TEXT];
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let err = decode_value(&mut Reader::new(&buf)).unwrap_err();
+        assert!(matches!(err, DecodeError::BadUtf8 { .. }), "{err}");
+        assert!(!err.to_string().is_empty());
+    }
+}

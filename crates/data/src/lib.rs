@@ -19,8 +19,13 @@
 //! * [`validate`] — non-finite input hardening: a configurable
 //!   [`NonFinitePolicy`] (reject / null out / drop row) applied by
 //!   [`Dataset::sanitize_non_finite`] and by the CSV importer, so `NaN`
-//!   never silently reaches an ε-comparison.
+//!   never silently reaches an ε-comparison;
+//! * [`binary`] — the stable binary encoding of values, rows, and
+//!   schemas shared by the persistence layer's write-ahead log and
+//!   snapshot formats (bit-exact `f64` round-trips, panic-free
+//!   decoding).
 
+pub mod binary;
 pub mod csv;
 pub mod dataset;
 pub mod noise;

@@ -12,7 +12,7 @@ pub enum AttrKind {
 }
 
 /// One attribute of a relation scheme.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Column name, e.g. `"Longitude"`.
     pub name: String,
@@ -39,7 +39,7 @@ impl Attribute {
 }
 
 /// A relation scheme `R`: an ordered list of attributes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attributes: Vec<Attribute>,
 }

@@ -133,6 +133,24 @@ declare_counters! {
     /// Outliers promoted to inliers by later arrivals (their saved
     /// adjustment, if any, is reverted to the original values).
     ENGINE_PROMOTIONS => "engine.promotions",
+    /// Write-ahead-log records appended (one per durable ingest).
+    WAL_APPENDS => "persist.wal.appends",
+    /// Bytes written to the write-ahead log (headers + payloads).
+    WAL_BYTES_WRITTEN => "persist.wal.bytes_written",
+    /// `fsync` calls issued by the write-ahead log (appends and resets).
+    WAL_FSYNCS => "persist.wal.fsyncs",
+    /// Complete WAL records replayed into an engine during recovery.
+    WAL_RECORDS_REPLAYED => "persist.wal.records_replayed",
+    /// Torn WAL tails truncated during recovery (at most one per open).
+    WAL_TORN_TAILS => "persist.wal.torn_tails",
+    /// Snapshot files written (atomic temp-file + rename cycles).
+    SNAPSHOT_WRITES => "persist.snapshot.writes",
+    /// Bytes written to snapshot files.
+    SNAPSHOT_BYTES_WRITTEN => "persist.snapshot.bytes_written",
+    /// Snapshot files read back during store opens.
+    SNAPSHOT_LOADS => "persist.snapshot.loads",
+    /// Store opens that recovered an engine from disk.
+    PERSIST_RECOVERIES => "persist.recoveries",
     /// Whole-row distance evaluations served by the packed numeric
     /// kernels (`disc_distance::packed`).
     KERNEL_PACKED_CALLS => "kernel.packed_calls",

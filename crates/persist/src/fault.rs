@@ -1,0 +1,134 @@
+//! Deterministic IO fault injection (test-only).
+//!
+//! Compiled only under `--cfg disc_fault`, like `disc_core::fault`. The
+//! low-level IO helpers in `io.rs` tick a single process-global operation
+//! counter — every `write`, `truncate`, `fsync`, and `rename` consumes one
+//! tick — and an active [`IoFaultPlan`] fires at a chosen tick:
+//!
+//! * [`IoFaultPlan::fail_op`] makes that operation return an injected
+//!   error without touching the file;
+//! * [`IoFaultPlan::torn_write`] makes a *write* persist only a prefix of
+//!   its buffer before erroring — the moral equivalent of losing power
+//!   mid-`write(2)`.
+//!
+//! Because the counter spans every durable operation in order, a test can
+//! sweep `k = 0, 1, 2, …` and interrupt a workload at *every* IO
+//! boundary: [`scoped`] reports whether the fault actually fired, so the
+//! sweep stops at the first `k` past the workload's total op count. This
+//! is how the crash-equivalence suite proves recovery is correct no
+//! matter where the crash lands.
+//!
+//! The plan is process-global (no plumbing through the store APIs) and
+//! [`scoped`] serializes callers, so concurrent tests cannot observe each
+//! other's faults.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// What to inject when the op counter reaches the chosen tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Fail the operation outright.
+    Fail,
+    /// For a write: persist only this many prefix bytes, then fail.
+    /// Non-write operations hit at this tick fail outright.
+    Torn { keep: usize },
+}
+
+/// A schedule: one fault at one global IO-operation tick.
+#[derive(Debug, Clone, Copy)]
+pub struct IoFaultPlan {
+    at_op: u64,
+    kind: Kind,
+}
+
+impl IoFaultPlan {
+    /// Fails the `k`-th IO operation (0-based) of the scope.
+    pub fn fail_op(k: u64) -> Self {
+        IoFaultPlan {
+            at_op: k,
+            kind: Kind::Fail,
+        }
+    }
+
+    /// Tears the `k`-th IO operation: if it is a write, only the first
+    /// `keep` bytes of its buffer reach the file before the injected
+    /// error; any other operation fails outright.
+    pub fn torn_write(k: u64, keep: usize) -> Self {
+        IoFaultPlan {
+            at_op: k,
+            kind: Kind::Torn { keep },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Active {
+    plan: IoFaultPlan,
+    next_op: u64,
+    fired: bool,
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+static SCOPE: Mutex<()> = Mutex::new(());
+
+fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with `plan` active, returning its result and whether the
+/// fault fired. Calls are serialized process-wide; the plan is cleared
+/// afterwards even if `f` panics.
+pub fn scoped<R>(plan: IoFaultPlan, f: impl FnOnce() -> R) -> (R, bool) {
+    let _serial = lock(&SCOPE);
+    *lock(&ACTIVE) = Some(Active {
+        plan,
+        next_op: 0,
+        fired: false,
+    });
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            *lock(&ACTIVE) = None;
+        }
+    }
+    let _clear = Clear;
+    let out = f();
+    let fired = lock(&ACTIVE).as_ref().map(|a| a.fired).unwrap_or(false);
+    (out, fired)
+}
+
+/// The fault decision for one IO operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Injected {
+    /// Proceed normally.
+    None,
+    /// Return an injected error without touching the file.
+    Fail,
+    /// Write only `keep` prefix bytes, then return an injected error
+    /// (writes only; other ops treat this as [`Injected::Fail`]).
+    Torn { keep: usize },
+}
+
+/// Ticks the global op counter and reports what, if anything, to inject
+/// into this operation. Called by every `io.rs` helper.
+pub(crate) fn next_op() -> Injected {
+    let mut guard = lock(&ACTIVE);
+    let Some(active) = guard.as_mut() else {
+        return Injected::None;
+    };
+    let op = active.next_op;
+    active.next_op += 1;
+    if op != active.plan.at_op {
+        return Injected::None;
+    }
+    active.fired = true;
+    match active.plan.kind {
+        Kind::Fail => Injected::Fail,
+        Kind::Torn { keep } => Injected::Torn { keep },
+    }
+}
+
+/// The deterministic error every injected fault produces.
+pub(crate) fn injected_error() -> std::io::Error {
+    std::io::Error::other("injected io fault")
+}

@@ -1,0 +1,510 @@
+//! The durable engine: `DiscEngine` + snapshot + write-ahead log.
+//!
+//! A store is a directory holding exactly two files:
+//!
+//! * `engine.snap` — the last checkpoint: full engine state at some
+//!   generation `g` (atomically replaced; see [`crate::snapshot`]);
+//! * `engine.wal` — the write-ahead log of every ingest batch since that
+//!   checkpoint, generations `g+1, g+2, …` (see [`crate::wal`]).
+//!
+//! Ingest protocol: validate the batch (a batch the engine would reject
+//! is never made durable), append it to the WAL, fsync, *then* mutate
+//! the engine. Recovery therefore replays `snapshot ⊕ WAL suffix`
+//! through the ordinary [`DiscEngine::ingest`] path and lands on state
+//! bit-identical to the uninterrupted run — the crash-equivalence suite
+//! pins this at every IO boundary under `--cfg disc_fault`.
+//!
+//! Failure discipline: the first IO error **poisons** the handle — the
+//! on-disk suffix is in an unknown state, so every later mutation
+//! returns [`Error::Poisoned`] instead of risking divergence. Reopening
+//! the store recovers (torn tails are truncated, applied records are
+//! replayed).
+
+use std::path::{Path, PathBuf};
+
+use disc_core::{DiscEngine, SaveReport, Saver};
+use disc_data::Schema;
+use disc_distance::Value;
+use disc_obs::counters;
+
+use crate::error::Error;
+use crate::snapshot::{self, SnapshotData};
+use crate::wal::{TornTail, Wal};
+
+/// Store-level knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Automatically checkpoint (snapshot + WAL reset) after this many
+    /// generations accumulate in the log; `None` checkpoints only on
+    /// explicit [`DurableEngine::checkpoint`] calls.
+    pub snapshot_every: Option<u64>,
+}
+
+/// What [`DurableEngine::open`] found and did to bring the engine back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the snapshot the engine was restored from.
+    pub snapshot_generation: u64,
+    /// Complete WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Rows those records carried.
+    pub replayed_rows: u64,
+    /// The torn tail truncated from the WAL, if the last append was
+    /// interrupted.
+    pub torn_tail: Option<TornTail>,
+    /// The recovered engine's generation.
+    pub generation: u64,
+    /// The recovered engine's row count.
+    pub rows: usize,
+}
+
+/// The WAL file within a store directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("engine.wal")
+}
+
+/// A [`DiscEngine`] whose state survives crashes; see the
+/// [module docs](self).
+pub struct DurableEngine {
+    engine: DiscEngine,
+    wal: Wal,
+    dir: PathBuf,
+    schema: Schema,
+    config: Vec<u8>,
+    snapshot_every: Option<u64>,
+    last_snapshot: u64,
+    poisoned: bool,
+}
+
+impl DurableEngine {
+    /// Creates a fresh store in `dir` (created if missing) around an
+    /// empty engine: a genesis snapshot at generation 0, then an empty
+    /// WAL. Refuses a directory that already holds a store.
+    ///
+    /// `config` is an opaque blob persisted in every snapshot and handed
+    /// back to [`DurableEngine::open`]'s saver factory — callers encode
+    /// whatever they need to rebuild the saver (the CLI stores its
+    /// `(ε, η, κ)` flags there).
+    ///
+    /// # Panics
+    /// Panics if the schema arity differs from the saver's metric arity
+    /// (same contract as [`DiscEngine::new`]).
+    pub fn create(
+        dir: &Path,
+        schema: Schema,
+        saver: Box<dyn Saver>,
+        config: Vec<u8>,
+        options: StoreOptions,
+    ) -> Result<DurableEngine, Error> {
+        if snapshot::snapshot_path(dir).exists() || wal_path(dir).exists() {
+            return Err(Error::StoreExists {
+                dir: dir.to_path_buf(),
+            });
+        }
+        std::fs::create_dir_all(dir).map_err(|e| Error::Io {
+            op: "create_dir",
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        let engine = DiscEngine::new(schema.clone(), saver);
+        snapshot::write_snapshot(
+            dir,
+            &SnapshotData {
+                schema: schema.clone(),
+                config: config.clone(),
+                state: engine.export_state(),
+            },
+        )?;
+        let wal = Wal::create(&wal_path(dir))?;
+        Ok(DurableEngine {
+            engine,
+            wal,
+            dir: dir.to_path_buf(),
+            schema,
+            config,
+            snapshot_every: options.snapshot_every,
+            last_snapshot: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Opens an existing store: loads the snapshot, rebuilds the saver
+    /// via `make_saver(schema, config)`, restores the engine, truncates
+    /// any torn WAL tail, and replays the surviving records through the
+    /// ordinary ingest path.
+    ///
+    /// Replay is strict: records at or below the snapshot generation are
+    /// skipped (the expected artifact of a crash between the snapshot
+    /// rename and the WAL reset), but a record that does not continue
+    /// the generation sequence exactly is [`Error::Corrupt`].
+    pub fn open(
+        dir: &Path,
+        make_saver: impl FnOnce(&Schema, &[u8]) -> Result<Box<dyn Saver>, disc_core::Error>,
+        options: StoreOptions,
+    ) -> Result<(DurableEngine, RecoveryReport), Error> {
+        if !snapshot::snapshot_path(dir).exists() {
+            return Err(Error::StoreMissing {
+                dir: dir.to_path_buf(),
+            });
+        }
+        // A crash mid-snapshot can leave a stale staging file; it was
+        // never renamed, so it is garbage.
+        let tmp = snapshot::snapshot_tmp_path(dir);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp).map_err(|e| Error::Io {
+                op: "remove",
+                path: tmp,
+                source: e,
+            })?;
+        }
+        let data = snapshot::read_snapshot(dir)?;
+        let snapshot_generation = data.state.generation;
+        let saver = make_saver(&data.schema, &data.config).map_err(Error::Engine)?;
+        let mut engine =
+            DiscEngine::restore(data.schema.clone(), saver, data.state).map_err(Error::Engine)?;
+
+        // A crash between the genesis snapshot and WAL creation leaves
+        // no log; an empty one is equivalent.
+        let path = wal_path(dir);
+        let (wal, records, torn_tail) = if path.exists() {
+            Wal::open(&path)?
+        } else {
+            (Wal::create(&path)?, Vec::new(), None)
+        };
+
+        let mut replayed_records = 0u64;
+        let mut replayed_rows = 0u64;
+        for record in records {
+            if record.generation <= snapshot_generation {
+                continue; // already in the snapshot (WAL reset never landed)
+            }
+            if record.generation != engine.generation() + 1 {
+                return Err(Error::Corrupt {
+                    path: path.clone(),
+                    detail: format!(
+                        "generation gap: record {} after engine generation {}",
+                        record.generation,
+                        engine.generation()
+                    ),
+                });
+            }
+            replayed_rows += record.rows.len() as u64;
+            engine.ingest(record.rows).map_err(Error::Engine)?;
+            replayed_records += 1;
+        }
+        counters::WAL_RECORDS_REPLAYED.add(replayed_records);
+        counters::PERSIST_RECOVERIES.incr();
+
+        let report = RecoveryReport {
+            snapshot_generation,
+            replayed_records,
+            replayed_rows,
+            torn_tail,
+            generation: engine.generation(),
+            rows: engine.len(),
+        };
+        Ok((
+            DurableEngine {
+                engine,
+                wal,
+                dir: dir.to_path_buf(),
+                schema: data.schema,
+                config: data.config,
+                snapshot_every: options.snapshot_every,
+                last_snapshot: snapshot_generation,
+                poisoned: false,
+            },
+            report,
+        ))
+    }
+
+    /// Durably ingests one batch: validate, WAL-append + fsync, then run
+    /// the ordinary [`DiscEngine::ingest`]. Auto-checkpoints afterwards
+    /// when [`StoreOptions::snapshot_every`] generations have
+    /// accumulated.
+    ///
+    /// # Errors
+    /// [`Error::Engine`] for a batch the engine rejects (nothing is
+    /// written); [`Error::Io`] when the append fails (the handle is then
+    /// poisoned); [`Error::Poisoned`] after any earlier IO failure.
+    pub fn ingest(&mut self, batch: Vec<Vec<Value>>) -> Result<SaveReport, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        // Validate before the append so a rejected batch never becomes
+        // durable — recovery must only replay batches that applied.
+        self.engine.validate_batch(&batch).map_err(Error::Engine)?;
+        let generation = self.engine.generation() + 1;
+        if let Err(e) = self.wal.append(generation, &batch) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        let report = match self.engine.ingest(batch) {
+            Ok(report) => report,
+            Err(e) => {
+                // The WAL now holds a record the engine rejected; the
+                // store diverged from the log (unreachable given the
+                // pre-validation, but fail safe).
+                self.poisoned = true;
+                return Err(Error::Engine(e));
+            }
+        };
+        if let Some(every) = self.snapshot_every {
+            if self.engine.generation() - self.last_snapshot >= every {
+                self.checkpoint()?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Writes a snapshot of the current state and resets the WAL. After
+    /// a successful checkpoint the store is a single snapshot file plus
+    /// an empty log.
+    pub fn checkpoint(&mut self) -> Result<(), Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        let data = SnapshotData {
+            schema: self.schema.clone(),
+            config: self.config.clone(),
+            state: self.engine.export_state(),
+        };
+        if let Err(e) = snapshot::write_snapshot(&self.dir, &data) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        // Crash window here is safe: recovery skips WAL records at or
+        // below the snapshot generation.
+        if let Err(e) = self.wal.reset() {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.last_snapshot = self.engine.generation();
+        Ok(())
+    }
+
+    /// The underlying engine (read-only; mutate through
+    /// [`DurableEngine::ingest`]).
+    pub fn engine(&self) -> &DiscEngine {
+        &self.engine
+    }
+
+    /// The engine generation (successful ingests since empty).
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True once an IO failure has disabled further mutation.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Consumes the handle, returning the in-memory engine (for
+    /// exporting the dataset after a final checkpoint).
+    pub fn into_engine(self) -> DiscEngine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{DistanceConstraints, SaverConfig};
+    use disc_distance::TupleDistance;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "disc_persist_store_tests/{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn saver() -> Box<dyn Saver> {
+        Box::new(
+            SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+                .build_approx()
+                .unwrap(),
+        )
+    }
+
+    fn make_saver(schema: &Schema, _config: &[u8]) -> Result<Box<dyn Saver>, disc_core::Error> {
+        assert_eq!(schema.arity(), 2);
+        Ok(saver())
+    }
+
+    fn grid_rows() -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                rows.push(vec![Value::Num(0.2 * i as f64), Value::Num(0.2 * j as f64)]);
+            }
+        }
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        rows
+    }
+
+    #[test]
+    fn create_ingest_reopen_is_bit_identical() {
+        let dir = temp_store("roundtrip");
+        let mut store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            b"cfg".to_vec(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let rows = grid_rows();
+        for chunk in rows.chunks(10) {
+            store.ingest(chunk.to_vec()).unwrap();
+        }
+        let live_state = store.engine().export_state();
+        drop(store);
+
+        let (reopened, report) =
+            DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(report.snapshot_generation, 0);
+        assert_eq!(report.replayed_records, 4);
+        assert_eq!(report.replayed_rows, rows.len() as u64);
+        assert_eq!(report.torn_tail, None);
+        assert_eq!(report.generation, 4);
+        assert_eq!(reopened.engine().export_state(), live_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_resets_wal_and_preserves_state() {
+        let dir = temp_store("checkpoint");
+        let mut store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let rows = grid_rows();
+        store.ingest(rows[..20].to_vec()).unwrap();
+        store.checkpoint().unwrap();
+        store.ingest(rows[20..].to_vec()).unwrap();
+        let live_state = store.engine().export_state();
+        drop(store);
+
+        let (reopened, report) =
+            DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(report.snapshot_generation, 1);
+        assert_eq!(report.replayed_records, 1, "checkpointed records are gone");
+        assert_eq!(reopened.engine().export_state(), live_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_every_n_generations() {
+        let dir = temp_store("auto");
+        let opts = StoreOptions {
+            snapshot_every: Some(2),
+        };
+        let mut store =
+            DurableEngine::create(&dir, Schema::numeric(2), saver(), Vec::new(), opts).unwrap();
+        let rows = grid_rows();
+        for chunk in rows.chunks(8) {
+            store.ingest(chunk.to_vec()).unwrap();
+        }
+        drop(store);
+        // 5 ingests with snapshot_every=2 → checkpoints at generations 2
+        // and 4; the log holds only generation 5.
+        let (_, report) = DurableEngine::open(&dir, make_saver, opts).unwrap();
+        assert_eq!(report.snapshot_generation, 4);
+        assert_eq!(report.replayed_records, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = temp_store("exists");
+        DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let err = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, Error::StoreExists { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_missing_store_fails_cleanly() {
+        let dir = temp_store("missing");
+        let err = DurableEngine::open(&dir, make_saver, StoreOptions::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::StoreMissing { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_batch_is_rejected_without_becoming_durable() {
+        let dir = temp_store("reject");
+        let mut store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        store.ingest(grid_rows()[..10].to_vec()).unwrap();
+        let err = store
+            .ingest(vec![vec![Value::Num(f64::NAN), Value::Num(0.0)]])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::Engine(_)), "{err}");
+        assert!(!store.is_poisoned(), "validation failure must not poison");
+        let generation = store.generation();
+        drop(store);
+        let (reopened, report) =
+            DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(report.replayed_records, 1, "rejected batch never logged");
+        assert_eq!(reopened.generation(), generation);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_snapshot_tmp_is_cleaned_on_open() {
+        let dir = temp_store("staletmp");
+        let mut store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        store.ingest(grid_rows()[..8].to_vec()).unwrap();
+        drop(store);
+        let tmp = snapshot::snapshot_tmp_path(&dir);
+        std::fs::write(&tmp, b"half a snapshot").unwrap();
+        let (_, report) = DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert!(!tmp.exists(), "stale staging file must be removed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,398 @@
+//! The write-ahead log of ingest batches.
+//!
+//! File layout: an 8-byte magic header (`DISCWAL1`) followed by
+//! length-prefixed, checksummed records:
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! payload = [u64 generation][encoded rows]   (disc_data::binary)
+//! ```
+//!
+//! Append protocol: the record is written and fsynced **before** the
+//! engine mutates (`DurableEngine::ingest` appends first), so every
+//! applied ingest is durable. A crash mid-append leaves a *torn tail* —
+//! a record whose length prefix, payload bytes, or checksum is
+//! incomplete. [`Wal::open`] detects the tear (any framing or CRC
+//! failure), truncates the file back to the last complete record, and
+//! reports it as a [`TornTail`] — an expected crash artifact, not
+//! corruption. Only states no crash can produce (wrong magic, a
+//! checksum-valid payload that does not decode) are
+//! [`Error::Corrupt`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use disc_data::binary::{self, Reader};
+use disc_distance::Value;
+use disc_obs::counters;
+
+use crate::crc::crc32;
+use crate::error::Error;
+use crate::io;
+
+/// First 8 bytes of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"DISCWAL1";
+
+/// Bytes of framing per record: `u32` length + `u32` checksum.
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// One complete, checksum-verified WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The engine generation this batch produced when ingested.
+    pub generation: u64,
+    /// The ingested batch, bit-identical to what was appended.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// An incomplete final record found (and truncated away) by
+/// [`Wal::open`] — the expected artifact of a crash mid-append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// File length after truncating back to the last complete record.
+    pub valid_len: u64,
+    /// Bytes of incomplete record dropped.
+    pub dropped_bytes: u64,
+}
+
+/// An open write-ahead log positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log at `path` (truncating any existing
+    /// file), writes the magic header, and fsyncs.
+    pub fn create(path: &Path) -> Result<Wal, Error> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::Io {
+                op: "create",
+                path: path.to_path_buf(),
+                source: e,
+            })?;
+        io::write_all(&mut file, WAL_MAGIC, path)?;
+        io::fsync(&file, path)?;
+        counters::WAL_FSYNCS.incr();
+        counters::WAL_BYTES_WRITTEN.add(WAL_MAGIC.len() as u64);
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing log, verifying every record and truncating a
+    /// torn tail if the last append was interrupted. Returns the log
+    /// (positioned for appends), the complete records in file order, and
+    /// the torn-tail report if one was removed.
+    ///
+    /// A file shorter than the magic header whose bytes are a *prefix*
+    /// of the magic is treated as a crash during [`Wal::create`] and
+    /// rewritten; any other header mismatch is [`Error::Corrupt`].
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>, Option<TornTail>), Error> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| Error::Io {
+                op: "open",
+                path: path.to_path_buf(),
+                source: e,
+            })?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| Error::Io {
+            op: "read",
+            path: path.to_path_buf(),
+            source: e,
+        })?;
+
+        if bytes.len() < WAL_MAGIC.len() {
+            if *bytes != WAL_MAGIC[..bytes.len()] {
+                return Err(Error::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: format!("short header is not a prefix of {WAL_MAGIC:?}"),
+                });
+            }
+            // Crash during create: rewrite the header in place.
+            let dropped = bytes.len() as u64;
+            io::truncate(&file, 0, path)?;
+            file.seek(SeekFrom::Start(0)).map_err(|e| Error::Io {
+                op: "seek",
+                path: path.to_path_buf(),
+                source: e,
+            })?;
+            io::write_all(&mut file, WAL_MAGIC, path)?;
+            io::fsync(&file, path)?;
+            counters::WAL_FSYNCS.incr();
+            counters::WAL_TORN_TAILS.incr();
+            file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))
+                .map_err(|e| Error::Io {
+                    op: "seek",
+                    path: path.to_path_buf(),
+                    source: e,
+                })?;
+            return Ok((
+                Wal {
+                    file,
+                    path: path.to_path_buf(),
+                },
+                Vec::new(),
+                Some(TornTail {
+                    valid_len: WAL_MAGIC.len() as u64,
+                    dropped_bytes: dropped,
+                }),
+            ));
+        }
+        if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(Error::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("bad magic {:?}", &bytes[..WAL_MAGIC.len()]),
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        // `pos` always sits at the end of the last complete record; any
+        // framing or checksum failure past it is a torn tail.
+        let torn = loop {
+            if pos == bytes.len() {
+                break None;
+            }
+            let rest = &bytes[pos..];
+            if rest.len() < RECORD_HEADER_LEN {
+                break Some("incomplete record header");
+            }
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+            let Some(payload) = rest.get(RECORD_HEADER_LEN..RECORD_HEADER_LEN + len) else {
+                break Some("incomplete record payload");
+            };
+            if crc32(payload) != crc {
+                break Some("record checksum mismatch");
+            }
+            // The checksum matched, so these are the exact bytes that
+            // were appended; a decode failure here is real corruption.
+            let mut r = Reader::new(payload);
+            let record = (|| -> Result<WalRecord, binary::DecodeError> {
+                let generation = r.u64("record generation")?;
+                let rows = binary::decode_rows(&mut r)?;
+                Ok(WalRecord { generation, rows })
+            })()
+            .map_err(|e| Error::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("checksum-valid record does not decode: {e}"),
+            })?;
+            if !r.is_exhausted() {
+                return Err(Error::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: format!("record carries {} trailing bytes", r.remaining()),
+                });
+            }
+            records.push(record);
+            pos += RECORD_HEADER_LEN + len;
+        };
+
+        let torn = match torn {
+            None => None,
+            Some(_why) => {
+                let valid_len = pos as u64;
+                let dropped_bytes = (bytes.len() - pos) as u64;
+                io::truncate(&file, valid_len, path)?;
+                io::fsync(&file, path)?;
+                counters::WAL_FSYNCS.incr();
+                counters::WAL_TORN_TAILS.incr();
+                Some(TornTail {
+                    valid_len,
+                    dropped_bytes,
+                })
+            }
+        };
+        file.seek(SeekFrom::Start(pos as u64))
+            .map_err(|e| Error::Io {
+                op: "seek",
+                path: path.to_path_buf(),
+                source: e,
+            })?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+            },
+            records,
+            torn,
+        ))
+    }
+
+    /// Appends one record and fsyncs. On return the batch is durable;
+    /// the caller may mutate the engine.
+    pub fn append(&mut self, generation: u64, rows: &[Vec<Value>]) -> Result<(), Error> {
+        let mut payload = Vec::new();
+        binary::put_u64(&mut payload, generation);
+        binary::encode_rows(&mut payload, rows);
+        let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        binary::put_u32(&mut frame, payload.len() as u32);
+        binary::put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        io::write_all(&mut self.file, &frame, &self.path)?;
+        io::fsync(&self.file, &self.path)?;
+        counters::WAL_APPENDS.incr();
+        counters::WAL_BYTES_WRITTEN.add(frame.len() as u64);
+        counters::WAL_FSYNCS.incr();
+        Ok(())
+    }
+
+    /// Drops every record, keeping the magic header — called after a
+    /// snapshot makes the logged generations redundant. Crash-safe in
+    /// either direction: if the truncate never lands, recovery simply
+    /// skips records at or below the snapshot generation.
+    pub fn reset(&mut self) -> Result<(), Error> {
+        io::truncate(&self.file, WAL_MAGIC.len() as u64, &self.path)?;
+        io::fsync(&self.file, &self.path)?;
+        counters::WAL_FSYNCS.incr();
+        self.file
+            .seek(SeekFrom::Start(WAL_MAGIC.len() as u64))
+            .map_err(|e| Error::Io {
+                op: "seek",
+                path: self.path.to_path_buf(),
+                source: e,
+            })?;
+        Ok(())
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join("disc_persist_wal_tests");
+        std::fs::create_dir_all(&dir).expect("mk tempdir");
+        dir.join(format!(
+            "{tag}-{}-{}.wal",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn rows(xs: &[f64]) -> Vec<Vec<Value>> {
+        xs.iter().map(|&x| vec![Value::Num(x)]).collect()
+    }
+
+    #[test]
+    fn append_and_reopen_roundtrip() {
+        let path = temp_wal("roundtrip");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &rows(&[1.0, 2.0])).unwrap();
+        wal.append(2, &rows(&[-0.0])).unwrap();
+        drop(wal);
+
+        let (mut wal, records, torn) = Wal::open(&path).unwrap();
+        assert!(torn.is_none());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].generation, 1);
+        assert_eq!(records[0].rows, rows(&[1.0, 2.0]));
+        assert_eq!(records[1].generation, 2);
+        assert_eq!(
+            records[1].rows[0][0].as_num().unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+
+        // Appending after reopen lands after the existing records.
+        wal.append(3, &rows(&[7.0])).unwrap();
+        drop(wal);
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert!(torn.is_none());
+        assert_eq!(records.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let path = temp_wal("torn");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &rows(&[1.0])).unwrap();
+        wal.append(2, &rows(&[2.0])).unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+
+        // Chop 5 bytes off the final record: framing is incomplete.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the first record survives");
+        let torn = torn.expect("tear must be reported");
+        assert_eq!(
+            torn.dropped_bytes as usize,
+            full.len() - 5 - torn.valid_len as usize
+        );
+        // The truncate is durable: a second open sees a clean log.
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(torn.is_none(), "tail already truncated");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_torn_tail() {
+        let path = temp_wal("crcflip");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &rows(&[1.0])).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert!(torn.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_magic_is_rewritten() {
+        let path = temp_wal("header");
+        std::fs::write(&path, &WAL_MAGIC[..3]).unwrap();
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(torn.unwrap().dropped_bytes, 3);
+        assert_eq!(std::fs::read(&path).unwrap(), WAL_MAGIC);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt() {
+        let path = temp_wal("badmagic");
+        std::fs::write(&path, b"NOTAWAL!extra").unwrap();
+        let err = Wal::open(&path).map(|_| ()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_keeps_header_and_drops_records() {
+        let path = temp_wal("reset");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &rows(&[1.0])).unwrap();
+        wal.reset().unwrap();
+        wal.append(9, &rows(&[9.0])).unwrap();
+        drop(wal);
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert!(torn.is_none());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].generation, 9);
+        std::fs::remove_file(&path).ok();
+    }
+}

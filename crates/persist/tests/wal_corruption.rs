@@ -1,0 +1,158 @@
+//! The WAL corruption battery (golden-fixture truncation).
+//!
+//! Builds a store whose log holds two complete records, then truncates
+//! the file at *every* byte offset inside the final record. Each
+//! truncation must recover cleanly: the tear is detected and reported,
+//! the log is cut back to the last complete record, the engine replays
+//! to exactly the state after the first batch — and nothing ever
+//! panics. Byte-flip corruption of the tail is exercised the same way.
+
+use disc_core::{DistanceConstraints, EngineState, Saver, SaverConfig};
+use disc_data::{ClusterSpec, ErrorInjector, Schema};
+use disc_distance::{TupleDistance, Value};
+use disc_persist::{store::wal_path, DurableEngine, StoreOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_store(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "disc_persist_walcorrupt_tests/{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn saver() -> Box<dyn Saver> {
+    Box::new(
+        SaverConfig::new(DistanceConstraints::new(2.5, 4), TupleDistance::numeric(3))
+            .kappa(2)
+            .build_approx()
+            .expect("valid config"),
+    )
+}
+
+fn make_saver(schema: &Schema, _config: &[u8]) -> Result<Box<dyn Saver>, disc_core::Error> {
+    assert_eq!(schema.arity(), 3);
+    Ok(saver())
+}
+
+/// Two ingest batches of clustered data with injected errors.
+fn batches() -> [Vec<Vec<Value>>; 2] {
+    let mut ds = ClusterSpec::new(50, 3, 2, 21).generate();
+    ErrorInjector::new(4, 1, 21 ^ 0x9E37_79B9).inject(&mut ds);
+    let rows = ds.rows().to_vec();
+    [rows[..30].to_vec(), rows[30..].to_vec()]
+}
+
+/// The golden fixture: a store whose WAL holds exactly two records,
+/// plus the reference states after one and after both batches.
+fn golden() -> (PathBuf, Vec<u8>, EngineState, EngineState) {
+    let dir = temp_store("golden");
+    let [b1, b2] = batches();
+    let mut store = DurableEngine::create(
+        &dir,
+        Schema::numeric(3),
+        saver(),
+        Vec::new(),
+        StoreOptions::default(),
+    )
+    .expect("create store");
+    store.ingest(b1.clone()).expect("finite synthetic data");
+    let after_one = store.engine().export_state();
+    store.ingest(b2).expect("finite synthetic data");
+    let after_two = store.engine().export_state();
+    drop(store);
+    let wal = std::fs::read(wal_path(&dir)).expect("read golden WAL");
+    (dir, wal, after_one, after_two)
+}
+
+/// Byte offset where the final record starts: the end of the first
+/// record, found by replaying the framing.
+fn final_record_start(wal: &[u8]) -> usize {
+    let header = 8; // magic
+    let len = u32::from_le_bytes([
+        wal[header],
+        wal[header + 1],
+        wal[header + 2],
+        wal[header + 3],
+    ]) as usize;
+    header + 8 + len
+}
+
+#[test]
+fn truncation_at_every_offset_of_the_final_record_recovers() {
+    let (dir, wal, after_one, after_two) = golden();
+    let path = wal_path(&dir);
+    let start = final_record_start(&wal);
+    assert!(start < wal.len(), "fixture must hold two records");
+
+    // Sanity: the intact file replays both records.
+    let (store, report) =
+        DurableEngine::open(&dir, make_saver, StoreOptions::default()).expect("intact open");
+    assert_eq!(report.replayed_records, 2);
+    assert_eq!(report.torn_tail, None);
+    assert_eq!(store.engine().export_state(), after_two);
+    drop(store);
+
+    // `keep == start` leaves zero bytes of the record — a clean boundary,
+    // covered by `truncation_at_the_record_boundary_is_clean`.
+    for keep in start + 1..wal.len() {
+        std::fs::write(&path, &wal[..keep]).expect("write truncated WAL");
+        let (store, report) = DurableEngine::open(&dir, make_saver, StoreOptions::default())
+            .unwrap_or_else(|e| panic!("truncation at byte {keep} must recover: {e}"));
+        assert_eq!(report.replayed_records, 1, "keep {keep}");
+        let torn = report
+            .torn_tail
+            .unwrap_or_else(|| panic!("truncation at byte {keep} must be reported"));
+        assert_eq!(torn.valid_len as usize, start, "keep {keep}");
+        assert_eq!(torn.dropped_bytes as usize, keep - start, "keep {keep}");
+        assert_eq!(
+            store.engine().export_state(),
+            after_one,
+            "recovered state diverges at keep {keep}"
+        );
+        drop(store);
+        // The tear was truncated away durably: reopening is clean.
+        let (_, report) = DurableEngine::open(&dir, make_saver, StoreOptions::default())
+            .expect("second open after truncation");
+        assert_eq!(report.replayed_records, 1, "keep {keep}");
+        assert_eq!(report.torn_tail, None, "keep {keep}: tail already cut");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_at_the_record_boundary_is_clean() {
+    let (dir, wal, after_one, _) = golden();
+    let path = wal_path(&dir);
+    let start = final_record_start(&wal);
+    std::fs::write(&path, &wal[..start]).expect("drop the final record whole");
+    let (store, report) =
+        DurableEngine::open(&dir, make_saver, StoreOptions::default()).expect("boundary open");
+    assert_eq!(report.replayed_records, 1);
+    assert_eq!(report.torn_tail, None, "no partial bytes, no tear");
+    assert_eq!(store.engine().export_state(), after_one);
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_byte_in_the_final_record_is_a_reported_tear() {
+    let (dir, wal, after_one, _) = golden();
+    let path = wal_path(&dir);
+    let start = final_record_start(&wal);
+    // Flip one byte in the final record's header, middle, and last byte.
+    for &offset in &[start, start + 4, (start + wal.len()) / 2, wal.len() - 1] {
+        let mut bad = wal.clone();
+        bad[offset] ^= 0x20;
+        std::fs::write(&path, &bad).expect("write corrupted WAL");
+        let (store, report) = DurableEngine::open(&dir, make_saver, StoreOptions::default())
+            .unwrap_or_else(|e| panic!("flip at byte {offset} must recover: {e}"));
+        assert_eq!(report.replayed_records, 1, "offset {offset}");
+        assert!(report.torn_tail.is_some(), "offset {offset}");
+        assert_eq!(store.engine().export_state(), after_one, "offset {offset}");
+        drop(store);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -29,6 +29,13 @@ if git ls-files | grep -E '(^|/)target/' >/dev/null; then
     echo "       Run: git rm -r --cached --quiet -- target" >&2
     exit 1
 fi
+# Durable-store files are runtime state; a tracked one means a test or a
+# CLI run leaked its store directory into the repo.
+if git ls-files | grep -E '\.(wal|snap)$' >/dev/null; then
+    echo "error: persistence artifacts are tracked in git (git ls-files matches *.wal / *.snap)." >&2
+    echo "       Run: git rm --cached --quiet -- '*.wal' '*.snap'" >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -45,10 +52,17 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
-# Second configuration: the deterministic fault-injection hook compiled
-# in (disc_core::fault + the gated fault_tolerance tests).
+# Second configuration: the deterministic fault-injection hooks compiled
+# in (disc_core::fault + the gated fault_tolerance tests, and
+# disc_persist::fault + the gated IO-fault crash-recovery sweeps).
 echo "==> cargo test -q (--cfg disc_fault)"
 RUSTFLAGS="--cfg disc_fault" cargo test -q --offline --workspace
+
+# The crash-recovery suite by name, so a test-filter or package rename
+# that silently drops it from the workspace run fails loudly here.
+echo "==> crash-recovery suite (--cfg disc_fault)"
+RUSTFLAGS="--cfg disc_fault" cargo test -q --offline -p disc-persist \
+    --test crash_equivalence --test wal_corruption
 
 echo "==> cargo clippy -- -D warnings (--cfg disc_fault)"
 RUSTFLAGS="--cfg disc_fault" cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -10,14 +10,21 @@
 //! disc cluster  --data data.csv [--eps E --eta H] [--algo dbscan|kmeans|
 //!               kmeans--|cckm|srem|kmc|optics] [--k K] [--out labels.csv]
 //! disc stream   --data data.csv [--out repaired.csv] [--eps E --eta H]
-//!               [--kappa K] [--batch B]
+//!               [--kappa K] [--batch B] [--wal DIR] [--snapshot-every N]
+//! disc recover  --wal DIR [--out repaired.csv]
 //! disc evaluate --labels predicted.csv --truth truth.csv
 //! ```
 //!
 //! `stream` replays the CSV through the incremental engine in
 //! micro-batches of `--batch` rows (default 64), printing per-batch save
 //! activity; the final dataset is identical to one batch `repair` run
-//! over the whole file.
+//! over the whole file. With `--wal DIR` the engine is durable: every
+//! batch is appended to a write-ahead log (and fsynced) before it is
+//! applied, with a checkpoint snapshot every `--snapshot-every N`
+//! ingests (default: only a final checkpoint). `recover` reopens such a
+//! store after a crash, reports what was replayed (and any torn log
+//! tail that was truncated), and optionally exports the recovered
+//! dataset.
 //!
 //! Labels for `evaluate` come from a single-column CSV aligned with the
 //! data rows. When `--eps/--eta` are omitted, the Poisson procedure of the
@@ -32,16 +39,67 @@
 //! completes, the process-wide observability counters (index queries per
 //! backend, search nodes, bound prunes, budget cancellations, …) are
 //! written to the path as a stable `disc-stats/1` JSON document.
+//!
+//! Exit codes are typed: `0` success, `2` unparseable flags or usage
+//! errors, `3` invalid input data (CSV parse failures, non-finite
+//! values, label mismatches), `4` filesystem or persistence failures,
+//! `5` the run completed and wrote its outputs but degraded (budget
+//! expiry or isolated panics left outliers unsaved). Errors go to
+//! stderr.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 use disc::cleaning::{DiscRepairer, Dorc, Eracer, Holistic, HoloClean, Repairer};
 use disc::clustering::Optics;
 use disc::core::ParamConfig;
+use disc::data::binary;
 use disc::data::{csv, ClusterSpec, ErrorInjector, NonFinitePolicy};
+use disc::persist::{DurableEngine, StoreOptions};
 use disc::prelude::*;
 use disc_distance::Norm;
+
+/// A CLI failure, carrying its exit code class (see the module docs).
+enum CliError {
+    /// Unparseable flags, unknown subcommands, usage errors — exit 2.
+    Parse(String),
+    /// Inputs that were read but are invalid — exit 3.
+    Validation(String),
+    /// Filesystem / persistence failures — exit 4.
+    Io(String),
+    /// The run completed (outputs written) but degraded — exit 5.
+    Degraded(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Parse(_) => ExitCode::from(2),
+            CliError::Validation(_) => ExitCode::from(3),
+            CliError::Io(_) => ExitCode::from(4),
+            CliError::Degraded(_) => ExitCode::from(5),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Parse(m)
+            | CliError::Validation(m)
+            | CliError::Io(m)
+            | CliError::Degraded(m) => m,
+        }
+    }
+}
+
+/// Classifies a persistence-layer error: engine rejections are bad input,
+/// everything else (IO, corruption, store state) is an IO failure.
+fn persist_err(e: disc::persist::Error) -> CliError {
+    match e {
+        disc::persist::Error::Engine(e) => CliError::Validation(e.to_string()),
+        other => CliError::Io(other.to_string()),
+    }
+}
 
 struct Args {
     positional: Vec<String>,
@@ -68,39 +126,55 @@ impl Args {
         self.flags.get(name).map(String::as_str)
     }
 
-    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
             Some(s) => s
                 .parse()
-                .map_err(|_| format!("--{name}: cannot parse {s:?}")),
+                .map_err(|_| CliError::Parse(format!("--{name}: cannot parse {s:?}"))),
         }
     }
 
-    fn required(&self, name: &str) -> Result<&str, String> {
+    fn required(&self, name: &str) -> Result<&str, CliError> {
         self.get(name)
-            .ok_or_else(|| format!("--{name} is required"))
+            .ok_or_else(|| CliError::Parse(format!("--{name} is required")))
     }
 }
 
 /// Loads a CSV under the `--non-finite` policy: `reject` (default) makes
 /// `nan`/`inf` tokens in numeric columns a load error; `null` demotes them
 /// to missing values; `drop` discards the whole row.
-fn load(path: &str, args: &Args) -> Result<Dataset, String> {
+fn load(path: &str, args: &Args) -> Result<Dataset, CliError> {
     let policy = match args.get("non-finite") {
         None => NonFinitePolicy::default(),
-        Some(s) => NonFinitePolicy::parse(s)
-            .ok_or_else(|| format!("--non-finite: expected reject|null|drop, got {s:?}"))?,
+        Some(s) => NonFinitePolicy::parse(s).ok_or_else(|| {
+            CliError::Parse(format!(
+                "--non-finite: expected reject|null|drop, got {s:?}"
+            ))
+        })?,
     };
-    csv::read_file_with(path, policy).map_err(|e| format!("reading {path}: {e}"))
+    csv::read_file_with(path, policy).map_err(|e| {
+        // The loader wraps parse/validation problems as `InvalidData`;
+        // anything else is a real filesystem failure.
+        let message = format!("reading {path}: {e}");
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            CliError::Validation(message)
+        } else {
+            CliError::Io(message)
+        }
+    })
 }
 
-fn constraints_for(ds: &Dataset, args: &Args) -> Result<DistanceConstraints, String> {
+fn constraints_for(ds: &Dataset, args: &Args) -> Result<DistanceConstraints, CliError> {
     let dist = ds.schema().tuple_distance(Norm::L2);
     match (args.get("eps"), args.get("eta")) {
         (Some(e), Some(h)) => {
-            let eps: f64 = e.parse().map_err(|_| "--eps: not a number".to_string())?;
-            let eta: usize = h.parse().map_err(|_| "--eta: not an integer".to_string())?;
+            let eps: f64 = e
+                .parse()
+                .map_err(|_| CliError::Parse("--eps: not a number".into()))?;
+            let eta: usize = h
+                .parse()
+                .map_err(|_| CliError::Parse("--eta: not an integer".into()))?;
             Ok(DistanceConstraints::new(eps, eta))
         }
         (None, None) => {
@@ -122,11 +196,13 @@ fn constraints_for(ds: &Dataset, args: &Args) -> Result<DistanceConstraints, Str
                 choice.eta.max(1),
             ))
         }
-        _ => Err("--eps and --eta must be given together".into()),
+        _ => Err(CliError::Parse(
+            "--eps and --eta must be given together".into(),
+        )),
     }
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     let out = args.required("out")?;
     let n: usize = args.num("n", 1000)?;
     let m: usize = args.num("m", 4)?;
@@ -136,7 +212,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let seed: u64 = args.num("seed", 42)?;
     let mut ds = ClusterSpec::new(n, m, classes, seed).generate();
     let log = ErrorInjector::new(dirty.min(n), natural, seed ^ 0xC11).inject(&mut ds);
-    csv::write_file(&ds, out).map_err(|e| e.to_string())?;
+    csv::write_file(&ds, out).map_err(|e| CliError::Io(e.to_string()))?;
     // Ground-truth labels go to <out>.labels.csv for `evaluate`.
     let labels_path = format!("{out}.labels.csv");
     let labels = ds.labels().expect("generated data is labeled");
@@ -144,7 +220,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     for l in labels {
         text.push_str(&format!("{l}\n"));
     }
-    std::fs::write(&labels_path, text).map_err(|e| e.to_string())?;
+    std::fs::write(&labels_path, text).map_err(|e| CliError::Io(e.to_string()))?;
     println!(
         "wrote {} rows × {} attrs to {out} ({} dirty, {} natural outliers); labels in {labels_path}",
         ds.len(),
@@ -155,7 +231,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_params(args: &Args) -> Result<(), String> {
+fn cmd_params(args: &Args) -> Result<(), CliError> {
     let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let sample: f64 = args.num("sample", 1.0f64.min(2000.0 / ds.len().max(1) as f64))?;
@@ -175,7 +251,7 @@ fn cmd_params(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_detect(args: &Args) -> Result<(), String> {
+fn cmd_detect(args: &Args) -> Result<(), CliError> {
     let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
@@ -193,7 +269,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_repair(args: &Args) -> Result<(), String> {
+fn cmd_repair(args: &Args) -> Result<(), CliError> {
     let mut ds = load(args.required("data")?, args)?;
     let out = args.required("out")?;
     let dist = ds.schema().tuple_distance(Norm::L2);
@@ -205,16 +281,16 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
             SaverConfig::new(c, dist.clone())
                 .kappa(kappa.max(1))
                 .build_approx()
-                .unwrap(),
+                .map_err(|e| CliError::Validation(e.to_string()))?,
         )),
         "dorc" => Box::new(Dorc::new(c, dist.clone())),
         "eracer" => Box::new(Eracer::new()),
         "holoclean" => Box::new(HoloClean::new()),
         "holistic" => Box::new(Holistic::new()),
-        other => return Err(format!("unknown --method {other:?}")),
+        other => return Err(CliError::Parse(format!("unknown --method {other:?}"))),
     };
     let report = repairer.repair(&mut ds);
-    csv::write_file(&ds, out).map_err(|e| e.to_string())?;
+    csv::write_file(&ds, out).map_err(|e| CliError::Io(e.to_string()))?;
     println!(
         "{}: modified {} rows / {} cells; wrote {out}",
         repairer.name(),
@@ -227,7 +303,7 @@ fn cmd_repair(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cluster(args: &Args) -> Result<(), String> {
+fn cmd_cluster(args: &Args) -> Result<(), CliError> {
     let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
@@ -243,7 +319,7 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         "cckm" => Box::new(Cckm::new(k, l, seed)),
         "srem" => Box::new(Srem::new(k, seed)),
         "kmc" => Box::new(Kmc::new(k, seed)),
-        other => return Err(format!("unknown --algo {other:?}")),
+        other => return Err(CliError::Parse(format!("unknown --algo {other:?}"))),
     };
     let labels = algorithm.cluster(ds.rows(), &dist);
     let clusters = {
@@ -262,71 +338,200 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         for l in &labels {
             text.push_str(&format!("{l}\n"));
         }
-        std::fs::write(out, text).map_err(|e| e.to_string())?;
+        std::fs::write(out, text).map_err(|e| CliError::Io(e.to_string()))?;
         println!("labels written to {out}");
     }
     Ok(())
 }
 
-fn read_labels(path: &str) -> Result<Vec<u32>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+fn read_labels(path: &str) -> Result<Vec<u32>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     text.lines()
         .skip(1)
         .filter(|l| !l.trim().is_empty())
-        .map(|l| l.trim().parse().map_err(|_| format!("bad label {l:?}")))
+        .map(|l| {
+            l.trim()
+                .parse()
+                .map_err(|_| CliError::Validation(format!("bad label {l:?}")))
+        })
         .collect()
 }
 
-fn cmd_stream(args: &Args) -> Result<(), String> {
+/// The saver knobs persisted in a durable store's config blob, so
+/// `recover` can rebuild the exact saver with no flags.
+fn encode_stream_config(c: DistanceConstraints, kappa: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    binary::put_f64(&mut out, c.eps);
+    binary::put_u64(&mut out, c.eta as u64);
+    binary::put_u64(&mut out, kappa as u64);
+    out
+}
+
+fn decode_stream_config(blob: &[u8]) -> Result<(DistanceConstraints, usize), String> {
+    let mut r = binary::Reader::new(blob);
+    let eps = r.f64("config eps").map_err(|e| e.to_string())?;
+    let eta = r.u64("config eta").map_err(|e| e.to_string())? as usize;
+    let kappa = r.u64("config kappa").map_err(|e| e.to_string())? as usize;
+    if !r.is_exhausted() {
+        return Err(format!("{} trailing config bytes", r.remaining()));
+    }
+    Ok((DistanceConstraints::new(eps, eta), kappa))
+}
+
+/// Rebuilds the streaming saver from a store's schema + config blob.
+fn stream_saver_from_config(
+    schema: &Schema,
+    config: &[u8],
+) -> Result<Box<dyn Saver>, disc::core::Error> {
+    let (c, kappa) = decode_stream_config(config).map_err(|message| disc::core::Error::Config {
+        param: "wal-config",
+        message,
+    })?;
+    let dist = schema.tuple_distance(Norm::L2);
+    let saver = SaverConfig::new(c, dist)
+        .kappa(kappa.max(1))
+        .build_approx()?;
+    Ok(Box::new(saver))
+}
+
+fn print_batch_report(i: usize, rows: usize, report: &SaveReport) {
+    println!(
+        "batch {i}: +{rows} rows, {} dirty, {} saved, {} natural{}",
+        report.outliers.len(),
+        report.saved.len(),
+        report.unsaved.len(),
+        if report.degraded { " (degraded)" } else { "" }
+    );
+}
+
+fn cmd_stream(args: &Args) -> Result<(), CliError> {
     let ds = load(args.required("data")?, args)?;
     let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
     let kappa: usize = args.num("kappa", 2)?;
     let batch: usize = args.num("batch", 64)?;
     if batch == 0 {
-        return Err("--batch must be at least 1".into());
+        return Err(CliError::Parse("--batch must be at least 1".into()));
+    }
+    let snapshot_every: u64 = args.num("snapshot-every", 0)?;
+    if snapshot_every > 0 && args.get("wal").is_none() {
+        return Err(CliError::Parse("--snapshot-every requires --wal".into()));
     }
     let saver = SaverConfig::new(c, dist)
         .kappa(kappa.max(1))
         .build_approx()
-        .map_err(|e| e.to_string())?;
-    let mut engine = DiscEngine::new(ds.schema().clone(), Box::new(saver));
-    for (i, chunk) in ds.rows().chunks(batch).enumerate() {
-        let report = engine
-            .ingest(chunk.to_vec())
-            .map_err(|e| format!("batch {i}: {e}"))?;
-        println!(
-            "batch {i}: +{} rows, {} dirty, {} saved, {} natural{}",
-            chunk.len(),
-            report.outliers.len(),
-            report.saved.len(),
-            report.unsaved.len(),
-            if report.degraded { " (degraded)" } else { "" }
-        );
-    }
+        .map_err(|e| CliError::Validation(e.to_string()))?;
+
+    let mut degraded = false;
+    let engine = match args.get("wal") {
+        Some(dir) => {
+            // Durable path: every batch is WAL-appended and fsynced
+            // before it is applied; `disc recover --wal DIR` resumes
+            // after a crash.
+            let mut store = DurableEngine::create(
+                Path::new(dir),
+                ds.schema().clone(),
+                Box::new(saver),
+                encode_stream_config(c, kappa),
+                StoreOptions {
+                    snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+                },
+            )
+            .map_err(persist_err)?;
+            for (i, chunk) in ds.rows().chunks(batch).enumerate() {
+                let report = store.ingest(chunk.to_vec()).map_err(|e| match e {
+                    disc::persist::Error::Engine(e) => {
+                        CliError::Validation(format!("batch {i}: {e}"))
+                    }
+                    other => CliError::Io(format!("batch {i}: {other}")),
+                })?;
+                print_batch_report(i, chunk.len(), &report);
+                degraded |= report.degraded;
+            }
+            store.checkpoint().map_err(persist_err)?;
+            println!(
+                "durable store in {dir}: generation {}, checkpointed",
+                store.generation()
+            );
+            store.into_engine()
+        }
+        None => {
+            let mut engine = DiscEngine::new(ds.schema().clone(), Box::new(saver));
+            for (i, chunk) in ds.rows().chunks(batch).enumerate() {
+                let report = engine
+                    .ingest(chunk.to_vec())
+                    .map_err(|e| CliError::Validation(format!("batch {i}: {e}")))?;
+                print_batch_report(i, chunk.len(), &report);
+                degraded |= report.degraded;
+            }
+            engine
+        }
+    };
     let outliers = engine.outliers();
+    let pending = engine.pending();
     println!(
         "stream done: {} rows, {} current outliers, {} pending retries",
         engine.len(),
         outliers.len(),
+        pending.len()
+    );
+    if let Some(out) = args.get("out") {
+        csv::write_file(engine.dataset(), out).map_err(|e| CliError::Io(e.to_string()))?;
+        println!("wrote {out}");
+    }
+    if degraded || !pending.is_empty() {
+        return Err(CliError::Degraded(format!(
+            "stream completed degraded: {} pending retries (outputs were written)",
+            pending.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &Args) -> Result<(), CliError> {
+    let dir = args.required("wal")?;
+    let (store, report) = DurableEngine::open(
+        Path::new(dir),
+        stream_saver_from_config,
+        StoreOptions::default(),
+    )
+    .map_err(persist_err)?;
+    println!(
+        "recovered {dir}: snapshot generation {}, {} WAL records ({} rows) replayed",
+        report.snapshot_generation, report.replayed_records, report.replayed_rows
+    );
+    match report.torn_tail {
+        Some(tear) => println!(
+            "torn WAL tail truncated: {} incomplete bytes dropped at offset {}",
+            tear.dropped_bytes, tear.valid_len
+        ),
+        None => println!("log was clean (no torn tail)"),
+    }
+    let engine = store.engine();
+    println!(
+        "engine at generation {}: {} rows, {} current outliers, {} pending retries",
+        report.generation,
+        engine.len(),
+        engine.outliers().len(),
         engine.pending().len()
     );
     if let Some(out) = args.get("out") {
-        csv::write_file(engine.dataset(), out).map_err(|e| e.to_string())?;
+        csv::write_file(engine.dataset(), out).map_err(|e| CliError::Io(e.to_string()))?;
         println!("wrote {out}");
     }
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
+fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     let pred = read_labels(args.required("labels")?)?;
     let truth = read_labels(args.required("truth")?)?;
     if pred.len() != truth.len() {
-        return Err(format!(
+        return Err(CliError::Validation(format!(
             "label count mismatch: {} predictions vs {} truths",
             pred.len(),
             truth.len()
-        ));
+        )));
     }
     println!("pairwise F1 = {:.4}", pairwise_f1(&pred, &truth));
     println!(
@@ -337,18 +542,20 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn usage() -> String {
-    "usage: disc <generate|params|detect|repair|cluster|stream|evaluate> [flags]\n\
-     run with a subcommand; see the crate docs for the flag reference"
-        .to_string()
+fn usage() -> CliError {
+    CliError::Parse(
+        "usage: disc <generate|params|detect|repair|cluster|stream|recover|evaluate> [flags]\n\
+         run with a subcommand; see the crate docs for the flag reference"
+            .to_string(),
+    )
 }
 
 /// Writes the process-wide observability counters as a `disc-stats/1`
 /// JSON document (see `disc_obs`). Runs even for failed commands so a
 /// partial run's work is still accounted for.
-fn write_stats(path: &str, command: &str) -> Result<(), String> {
+fn write_stats(path: &str, command: &str) -> Result<(), CliError> {
     let json = disc::obs::global_json(&[("command", command)]);
-    std::fs::write(path, json).map_err(|e| format!("writing stats to {path}: {e}"))
+    std::fs::write(path, json).map_err(|e| CliError::Io(format!("writing stats to {path}: {e}")))
 }
 
 fn main() -> ExitCode {
@@ -361,6 +568,7 @@ fn main() -> ExitCode {
         Some("repair") => cmd_repair(&args),
         Some("cluster") => cmd_cluster(&args),
         Some("stream") => cmd_stream(&args),
+        Some("recover") => cmd_recover(&args),
         Some("evaluate") => cmd_evaluate(&args),
         _ => Err(usage()),
     };
@@ -373,8 +581,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }

@@ -47,7 +47,9 @@
 //! * [`metrics`] — F1 / NMI / ARI / Jaccard evaluation;
 //! * [`ml`] — decision-tree classification and record matching;
 //! * [`obs`] — observability: stage timers, search counters, per-run
-//!   statistics ([`core::SaveReport::stats`]) and the `--stats` JSON export.
+//!   statistics ([`core::SaveReport::stats`]) and the `--stats` JSON export;
+//! * [`persist`] — crash-safe engine state: checksummed snapshots plus a
+//!   write-ahead ingest log with deterministic recovery.
 
 pub use disc_cleaning as cleaning;
 pub use disc_clustering as clustering;
@@ -58,6 +60,7 @@ pub use disc_index as index;
 pub use disc_metrics as metrics;
 pub use disc_ml as ml;
 pub use disc_obs as obs;
+pub use disc_persist as persist;
 
 /// Commonly used items in one import.
 pub mod prelude {

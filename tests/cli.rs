@@ -184,3 +184,125 @@ fn repair_methods_are_selectable() {
         .expect("repair");
     assert!(!out.status.success());
 }
+
+#[test]
+fn exit_codes_are_typed() {
+    // 2: usage / flag parse errors.
+    let out = disc_bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let out = disc_bin()
+        .args(["generate", "--out", "/tmp/never.csv", "--n", "huh"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--n"));
+
+    // 3: data that was read but is invalid.
+    let bad = tmp("badvals.csv");
+    std::fs::write(&bad, "a,b\n1.0,2.0\nnan,3.0\n").expect("write csv");
+    let out = disc_bin()
+        .args(["detect", "--data", bad.to_str().unwrap()])
+        .args(["--eps", "1.0", "--eta", "2"])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 4: filesystem failures.
+    let out = disc_bin()
+        .args(["detect", "--data", "/nonexistent/nope.csv"])
+        .args(["--eps", "1.0", "--eta", "2"])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Errors go to stderr, not stdout.
+    assert!(out.stdout.is_empty());
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
+fn stream_with_wal_then_recover_roundtrips() {
+    let data = tmp("wal_stream.csv");
+    let streamed = tmp("wal_streamed.csv");
+    let recovered = tmp("wal_recovered.csv");
+    let store =
+        std::env::temp_dir().join(format!("disc_cli_tests/wal_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&store).ok();
+
+    disc_bin()
+        .args(["generate", "--out", data.to_str().unwrap()])
+        .args(["--n", "120", "--m", "3", "--classes", "2"])
+        .args(["--dirty", "6", "--natural", "2", "--seed", "11"])
+        .output()
+        .expect("generate");
+
+    let out = disc_bin()
+        .args(["stream", "--data", data.to_str().unwrap()])
+        .args(["--eps", "2.5", "--eta", "4", "--batch", "32"])
+        .args(["--wal", store.to_str().unwrap(), "--snapshot-every", "2"])
+        .args(["--out", streamed.to_str().unwrap()])
+        .output()
+        .expect("run stream");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Exit 0 (clean) or 5 (degraded) — both write outputs.
+    assert!(
+        matches!(out.status.code(), Some(0) | Some(5)),
+        "{}\n{}",
+        text,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("durable store"), "{text}");
+    assert!(streamed.exists());
+    assert!(store.join("engine.snap").exists());
+    assert!(store.join("engine.wal").exists());
+
+    // `recover` reopens the store and exports the identical dataset.
+    let out = disc_bin()
+        .args(["recover", "--wal", store.to_str().unwrap()])
+        .args(["--out", recovered.to_str().unwrap()])
+        .output()
+        .expect("run recover");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("log was clean"), "{text}");
+    let a = std::fs::read_to_string(&streamed).expect("streamed csv");
+    let b = std::fs::read_to_string(&recovered).expect("recovered csv");
+    assert_eq!(a, b, "recovered dataset must match the streamed one");
+
+    // A second `stream --wal` into the same directory must refuse: the
+    // store already exists (IO-class failure, exit 4).
+    let out = disc_bin()
+        .args(["stream", "--data", data.to_str().unwrap()])
+        .args(["--eps", "2.5", "--eta", "4"])
+        .args(["--wal", store.to_str().unwrap()])
+        .output()
+        .expect("run stream again");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `recover` on a missing store is an IO-class failure too.
+    let out = disc_bin()
+        .args(["recover", "--wal", "/nonexistent/store"])
+        .output()
+        .expect("run recover on nothing");
+    assert_eq!(out.status.code(), Some(4));
+    std::fs::remove_dir_all(&store).ok();
+}
