@@ -1,0 +1,66 @@
+//! Load generator for `disc serve`.
+//!
+//! ```text
+//! serve_load --addr HOST:PORT [--clients 4] [--batches 8] [--rows 3]
+//!            [--seed 7]
+//! ```
+//!
+//! Drives `--clients` concurrent connections, each sending `--batches`
+//! randomized ingest bursts of 1–`--rows` rows, then prints one
+//! machine-readable accounting line:
+//!
+//! ```text
+//! acked_batches=N acked_rows=N overloaded=K errors=0
+//! ```
+//!
+//! A harness asserts the server's durability contract against it: after
+//! a graceful shutdown, a recovered store must hold exactly
+//! `acked_rows` rows. Exits 1 on any connection/protocol error, 0
+//! otherwise (overloads are expected under pressure, not errors).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use disc_bench::serve_client::run_load;
+
+fn main() -> ExitCode {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            flags.insert(name.to_string(), it.next().unwrap_or_default());
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            return ExitCode::from(2);
+        }
+    }
+    let num = |name: &str, default: u64| -> u64 {
+        flags
+            .get(name)
+            .map(|s| s.parse().unwrap_or(default))
+            .unwrap_or(default)
+    };
+    let Some(addr) = flags.get("addr") else {
+        eprintln!(
+            "usage: serve_load --addr HOST:PORT [--clients N] [--batches N] [--rows N] [--seed N]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = run_load(
+        addr,
+        num("clients", 4) as usize,
+        num("batches", 8) as usize,
+        num("rows", 3) as usize,
+        num("seed", 7),
+    );
+    println!(
+        "acked_batches={} acked_rows={} overloaded={} errors={}",
+        report.acked_batches, report.acked_rows, report.overloaded, report.errors
+    );
+    if report.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -24,6 +24,10 @@
 //! | Figure 10 (Letter adjustment accuracy)           | [`fig10`]  |
 //! | §3.3/3.4 design-choice ablations                 | [`ablation`] |
 //! | Streaming ingest vs batch rebuild (engine)       | [`stream`] |
+//!
+//! [`serve_client`] is not an experiment: it is the wire-protocol
+//! client and load generator behind the `serve_load` binary, used by
+//! CI to smoke-test `disc serve`.
 
 pub mod ablation;
 pub mod fig10;
@@ -33,6 +37,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serve_client;
 pub mod stream;
 pub mod suite;
 pub mod table;

@@ -1,0 +1,207 @@
+//! A minimal client for the `disc-serve` wire protocol, plus a
+//! multi-client load generator.
+//!
+//! [`ServeClient`] speaks the newline-delimited JSON protocol over one
+//! TCP connection: one request line out, one response line back.
+//! [`run_load`] drives N concurrent clients of randomized ingest bursts
+//! against a server and accounts for every batch — acknowledged,
+//! refused `overloaded`, or failed — so a harness can assert the
+//! server's durability contract (acked rows survive a shutdown)
+//! without trusting the server's own bookkeeping.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use disc_distance::Value;
+use disc_serve::json::{self, Json};
+use disc_serve::protocol::values_array;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One connection to a `disc-serve` server.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+}
+
+/// What became of one ingest request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The batch was applied (and, on a durable server, WAL-fsynced).
+    Acked {
+        /// Engine generation the batch became.
+        generation: u64,
+    },
+    /// Admission control refused the batch: the write queue was full.
+    /// Nothing was applied; the client may retry.
+    Overloaded,
+    /// Any other typed failure (`rejected`, `io`, `shutting_down`, …).
+    Failed {
+        /// The wire error kind.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl ServeClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:4000`).
+    pub fn connect(addr: &str) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one ingest batch and decodes the acknowledgement.
+    pub fn ingest(&mut self, rows: &[Vec<Value>]) -> io::Result<IngestOutcome> {
+        let response = self.request(&ingest_line(rows))?;
+        let doc = json::parse(&response).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+        })?;
+        if doc.get("ok") == Some(&Json::Bool(true)) {
+            let generation = doc
+                .get("generation")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "ack without generation")
+                })? as u64;
+            return Ok(IngestOutcome::Acked { generation });
+        }
+        let error = doc.get("error");
+        let field = |name: &str| {
+            error
+                .and_then(|e| e.get(name))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        let kind = field("kind");
+        if kind == "overloaded" {
+            return Ok(IngestOutcome::Overloaded);
+        }
+        Ok(IngestOutcome::Failed {
+            kind,
+            message: field("message"),
+        })
+    }
+
+    /// Asks the server to begin graceful shutdown.
+    pub fn shutdown(&mut self) -> io::Result<String> {
+        self.request(r#"{"op":"shutdown"}"#)
+    }
+}
+
+/// Renders an ingest request line for `rows`.
+pub fn ingest_line(rows: &[Vec<Value>]) -> String {
+    let mut out = String::from(r#"{"op":"ingest","rows":["#);
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&values_array(row));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Aggregate accounting from [`run_load`], summed over every client.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Batches acknowledged by the server.
+    pub acked_batches: u64,
+    /// Rows inside those acknowledged batches — a durable server must
+    /// still hold exactly these rows after shutdown + recovery.
+    pub acked_rows: u64,
+    /// Batches refused by admission control (not applied, not retried).
+    pub overloaded: u64,
+    /// Connection failures and non-overload errors.
+    pub errors: u64,
+}
+
+/// Drives `clients` concurrent connections, each sending `batches`
+/// randomized ingest bursts of 1–`max_rows` clustered rows (arity 2).
+/// Deterministic for a fixed `seed` modulo server-side interleaving.
+pub fn run_load(
+    addr: &str,
+    clients: usize,
+    batches: usize,
+    max_rows: usize,
+    seed: u64,
+) -> LoadReport {
+    let totals = Mutex::new(LoadReport::default());
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let totals = &totals;
+            scope.spawn(move || {
+                let mut local = LoadReport::default();
+                let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9E37));
+                match ServeClient::connect(addr) {
+                    Ok(mut conn) => {
+                        for _ in 0..batches {
+                            let size = rng.random_range(1..=max_rows.max(1));
+                            let rows: Vec<Vec<Value>> = (0..size)
+                                .map(|_| {
+                                    let i = rng.random_range(0..6u32);
+                                    let j = rng.random_range(0..6u32);
+                                    vec![
+                                        Value::Num(0.2 * f64::from(i)),
+                                        Value::Num(0.2 * f64::from(j)),
+                                    ]
+                                })
+                                .collect();
+                            match conn.ingest(&rows) {
+                                Ok(IngestOutcome::Acked { .. }) => {
+                                    local.acked_batches += 1;
+                                    local.acked_rows += rows.len() as u64;
+                                }
+                                Ok(IngestOutcome::Overloaded) => local.overloaded += 1,
+                                Ok(IngestOutcome::Failed { .. }) | Err(_) => local.errors += 1,
+                            }
+                        }
+                    }
+                    Err(_) => local.errors += batches as u64,
+                }
+                let mut t = totals.lock().unwrap();
+                t.acked_batches += local.acked_batches;
+                t.acked_rows += local.acked_rows;
+                t.overloaded += local.overloaded;
+                t.errors += local.errors;
+            });
+        }
+    });
+    totals.into_inner().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_line_shape() {
+        let rows = vec![
+            vec![Value::Num(1.0), Value::Num(2.5)],
+            vec![Value::Text("x".into()), Value::Null],
+        ];
+        assert_eq!(
+            ingest_line(&rows),
+            r#"{"op":"ingest","rows":[[1,2.5],["x",null]]}"#
+        );
+    }
+}

@@ -73,7 +73,7 @@ impl Holistic {
         }
         for (j, col) in cols.iter().enumerate() {
             let mut sorted = col.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            sorted.sort_by(f64::total_cmp);
             let lo = Self::quantile(&sorted, margin);
             let hi = Self::quantile(&sorted, 1.0 - margin);
             if hi > lo {
@@ -108,7 +108,7 @@ impl Holistic {
                     let mut resid: Vec<f64> = (0..n)
                         .map(|r| (data[r * m + b] - slope * data[r * m + a] - offset).abs())
                         .collect();
-                    resid.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+                    resid.sort_by(f64::total_cmp);
                     let tol = Self::quantile(&resid, self.support);
                     constraints.push(Constraint::Linear {
                         a,

@@ -204,7 +204,7 @@ impl Repairer for HoloClean {
                                 .filter(|&i| i != j)
                                 .map(|i| cond(i, encoded[r * m + i], j, y))
                                 .sum();
-                            sx.partial_cmp(&sy).unwrap_or(std::cmp::Ordering::Equal)
+                            sx.total_cmp(&sy)
                         })
                         .unwrap_or(cj);
                     if best != cj {

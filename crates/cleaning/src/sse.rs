@@ -52,10 +52,10 @@ impl Sse {
                     if col.is_empty() {
                         continue;
                     }
-                    col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    col.sort_by(f64::total_cmp);
                     let median = col[col.len() / 2];
                     let mut dev: Vec<f64> = col.iter().map(|v| (v - median).abs()).collect();
-                    dev.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    dev.sort_by(f64::total_cmp);
                     // 1.4826 scales the MAD to the normal σ.
                     let mad = (dev[dev.len() / 2] * 1.4826).max(1e-9);
                     if ((x - median) / mad).abs() > self.z_threshold {

@@ -78,7 +78,7 @@ impl ClusteringAlgorithm for Cckm {
                     (i, d)
                 })
                 .collect();
-            best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            best.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut is_outlier = vec![false; n];
             for &(i, _) in best.iter().take(l) {
                 is_outlier[i] = true;
@@ -95,12 +95,12 @@ impl ClusteringAlgorithm for Cckm {
                 let db = (0..k)
                     .map(|c| sqdist(point(b), center(c)))
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                da.total_cmp(&db)
             });
             for &i in &order {
                 let mut prefs: Vec<(usize, f64)> =
                     (0..k).map(|c| (c, sqdist(point(i), center(c)))).collect();
-                prefs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                prefs.sort_by(|a, b| a.1.total_cmp(&b.1));
                 let mut placed = false;
                 for &(c, _) in &prefs {
                     if sizes[c] < cap {

@@ -100,7 +100,7 @@ pub(crate) fn trimmed_seed_pool(data: &[f64], m: usize, l: usize) -> Vec<f64> {
     let mut order: Vec<(usize, f64)> = (0..n)
         .map(|i| (i, sqdist(&data[i * m..(i + 1) * m], &mean)))
         .collect();
-    order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut pool = Vec::with_capacity((n - l) * m);
     for &(i, _) in order.iter().take(n - l) {
         pool.extend_from_slice(&data[i * m..(i + 1) * m]);

@@ -70,7 +70,12 @@ impl ClusteringAlgorithm for KMeansMinus {
                     )
                 })
                 .collect();
-            order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN
+            // cost (e.g. a corrupt input row) compared "equal" to every
+            // finite cost, which let it hide anywhere in the order and
+            // stay assigned; under the total order NaN sorts greatest,
+            // so the corrupt row is deterministically trimmed first.
+            order.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut is_outlier = vec![false; n];
             for &(i, _) in order.iter().take(l) {
                 is_outlier[i] = true;
@@ -104,6 +109,23 @@ mod tests {
         // The two planted outliers are the excluded ones.
         assert_eq!(labels[75], NOISE);
         assert_eq!(labels[76], NOISE);
+        assert_eq!(pairwise_f1(&labels, &truth), 1.0);
+    }
+
+    #[test]
+    fn nan_row_cannot_reorder_assignments() {
+        // Regression for the `partial_cmp(..).unwrap_or(Equal)` ranking:
+        // a NaN-coordinate row has a NaN distance to every center, which
+        // the old comparator treated as "equal" to every finite distance
+        // — the corrupt row could land anywhere in the order, dodge the
+        // outlier trim, and poison the center update with NaN. Under
+        // `total_cmp` NaN ranks strictly farthest, so the corrupt row is
+        // the one excluded and the clean rows still recover the blobs.
+        let (mut rows, mut truth) = three_blobs(25);
+        rows.push(vec![Value::Num(f64::NAN), Value::Num(f64::NAN)]);
+        truth.push(900);
+        let labels = KMeansMinus::new(3, 1, 5).cluster(&rows, &TupleDistance::numeric(2));
+        assert_eq!(labels[75], NOISE, "the NaN row must be the excluded one");
         assert_eq!(pairwise_f1(&labels, &truth), 1.0);
     }
 

@@ -132,7 +132,7 @@ impl Optics {
             return f64::INFINITY;
         }
         let mut ds: Vec<f64> = neighbors.iter().map(|h| h.1).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ds.sort_by(f64::total_cmp);
         ds[self.min_pts - 1]
     }
 
@@ -164,12 +164,7 @@ impl Optics {
             let best = seeds
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1 .0
-                        .partial_cmp(&b.1 .0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.1 .1.cmp(&b.1 .1))
-                })
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
                 .map(|(i, _)| i)?;
             let (_, id) = seeds.swap_remove(best);
             if !processed[id as usize] {

@@ -102,12 +102,17 @@ impl NeighborCache {
     /// Records that a new inlier lies at distance `d` from the existing
     /// inlier `row`, tightening its η-nearest list.
     ///
-    /// # Panics
-    /// Panics if `row` is not an inlier.
+    /// Calling this for a non-inlier `row` is a caller bug (the engine
+    /// only observes distances for rows it just established as inliers);
+    /// debug builds assert, release builds treat it as a no-op — an
+    /// outlier has no list to tighten, and a served engine must not
+    /// abort the process on a misuse that detection will re-derive
+    /// anyway.
     pub fn observe_inlier_distance(&mut self, row: usize, d: f64) {
-        let list = self.nearest[row]
-            .as_mut()
-            .expect("observe_inlier_distance on a non-inlier row");
+        let Some(list) = self.nearest[row].as_mut() else {
+            debug_assert!(false, "observe_inlier_distance on non-inlier row {row}");
+            return;
+        };
         if list.len() == self.eta {
             match list.last() {
                 Some(&worst) if d >= worst => return,
@@ -150,12 +155,15 @@ impl NeighborCache {
     /// `+∞` when fewer than η inliers exist (matching the batch RSet's
     /// `unwrap_or(INFINITY)`).
     ///
-    /// # Panics
-    /// Panics if `row` is not an inlier.
+    /// Calling this for a non-inlier `row` is a caller bug (the engine
+    /// only builds RSets from inlier rows); debug builds assert, release
+    /// builds return `+∞` — the value an inlier with no cached
+    /// neighbors would report — instead of aborting a served process.
     pub fn delta_eta(&self, row: usize) -> f64 {
-        let list = self.nearest[row]
-            .as_ref()
-            .expect("delta_eta on a non-inlier row");
+        let Some(list) = self.nearest[row].as_ref() else {
+            debug_assert!(false, "delta_eta on non-inlier row {row}");
+            return f64::INFINITY;
+        };
         if list.len() == self.eta {
             list[self.eta - 1]
         } else {

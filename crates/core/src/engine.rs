@@ -109,6 +109,47 @@ pub struct EngineState {
     pub pending: Vec<usize>,
 }
 
+impl EngineState {
+    /// Number of rows in the image.
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// True when the image holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// True when `row` was classified an inlier at export time (a `δ_η`
+    /// list is cached for it). Out-of-range rows are not inliers.
+    pub fn is_inlier(&self, row: usize) -> bool {
+        self.nearest.get(row).is_some_and(|n| n.is_some())
+    }
+
+    /// Cached ε-neighbor count of `row` (self-inclusive), or `None` for
+    /// an out-of-range row.
+    pub fn neighbor_count(&self, row: usize) -> Option<usize> {
+        self.counts.get(row).copied()
+    }
+
+    /// Output values of `row` (original + current adjustments), or
+    /// `None` for an out-of-range row.
+    pub fn current_row(&self, row: usize) -> Option<&[Value]> {
+        self.current.get(row).map(Vec::as_slice)
+    }
+
+    /// Original (as-ingested) values of `row`, or `None` for an
+    /// out-of-range row.
+    pub fn original_row(&self, row: usize) -> Option<&[Value]> {
+        self.original.get(row).map(Vec::as_slice)
+    }
+
+    /// Rows classified outliers at export time, ascending.
+    pub fn outliers(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.is_inlier(i)).collect()
+    }
+}
+
 impl DiscEngine {
     /// An empty engine over `schema`, saving with `saver`.
     ///
@@ -383,7 +424,16 @@ impl DiscEngine {
         for &row in &dirty {
             self.current.set_row(row, self.original[row].clone());
         }
-        let r = self.rset.as_ref().expect("rset built above");
+        let Some(r) = self.rset.as_ref() else {
+            // Unreachable: the branch above populates `self.rset` when it
+            // is `None`, and nothing between there and here clears it. A
+            // served engine must never abort the process, so the release
+            // build degrades to a typed error instead of panicking.
+            debug_assert!(false, "RSet missing immediately after its build");
+            return Err(Error::State {
+                message: "internal invariant violated: inlier context missing after build".into(),
+            });
+        };
         let workers = self.saver.parallelism().workers();
         let adjustments = save_outlier_rows(
             &*self.saver,

@@ -198,7 +198,7 @@ fn default_eps_grid(rows: &[Vec<Value>], dist: &TupleDistance, seed: u64) -> Vec
     if d.is_empty() {
         return vec![1.0];
     }
-    d.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    d.sort_by(f64::total_cmp);
     // Low quantiles of the pairwise-distance distribution: within-cluster
     // scales live here, between-cluster scales dominate the upper tail.
     let mut grid: Vec<f64> = [
@@ -209,6 +209,15 @@ fn default_eps_grid(rows: &[Vec<Value>], dist: &TupleDistance, seed: u64) -> Vec
     .filter(|&e| e > 0.0)
     .collect();
     grid.dedup();
+    if grid.is_empty() {
+        // Every sampled quantile was zero (or NaN): the sample is
+        // dominated by duplicate rows. Any positive ε classifies
+        // duplicates as mutual neighbors, so fall back to the same
+        // default an empty sample gets instead of returning an empty
+        // grid (which would leave `determine_parameters` with no
+        // candidates at all).
+        return vec![1.0];
+    }
     grid
 }
 
@@ -254,20 +263,27 @@ pub fn determine_parameters(
     let detecting = candidates
         .iter()
         .filter(|c| c.outlier_rate > 0.0 && c.outlier_rate <= 0.5)
-        .min_by(|a, b| {
-            score(a)
-                .partial_cmp(&score(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-    let fallback = candidates.iter().min_by(|a, b| {
-        score(a)
-            .partial_cmp(&score(b))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut choice = detecting
-        .or(fallback)
-        .expect("ε grid must be non-empty")
-        .clone();
+        .min_by(|a, b| score(a).total_cmp(&score(b)));
+    let fallback = candidates
+        .iter()
+        .min_by(|a, b| score(a).total_cmp(&score(b)));
+    let mut choice = match detecting.or(fallback) {
+        Some(c) => c.clone(),
+        None => {
+            // Unreachable: `default_eps_grid` always returns at least one
+            // candidate ε and an explicit `cfg.eps_grid` is used as-is
+            // only when non-empty, so `candidates` is never empty. Keep a
+            // usable degenerate choice rather than aborting the process.
+            debug_assert!(false, "ε candidate grid was empty");
+            ParamChoice {
+                eps: 1.0,
+                eta: 1,
+                lambda: 0.0,
+                outlier_rate: 0.0,
+                elapsed: start.elapsed(),
+            }
+        }
+    };
     choice.elapsed = start.elapsed();
     choice
 }
@@ -400,6 +416,23 @@ mod tests {
             full.eta,
             sampled.eta
         );
+    }
+
+    #[test]
+    fn identical_rows_do_not_panic() {
+        // Regression: with every pairwise distance zero, every sampled
+        // quantile was filtered out by `e > 0.0`, leaving an empty ε grid
+        // and a panic at the candidate selection. Degenerate data must
+        // yield a usable (if arbitrary) choice instead.
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|_| vec![Value::Num(1.0), Value::Num(2.0)])
+            .collect();
+        let dist = TupleDistance::numeric(2);
+        let choice = determine_parameters(&rows, &dist, &ParamConfig::default());
+        assert!(choice.eps > 0.0);
+        assert!(choice.eta >= 1);
+        // Duplicates are all mutual neighbors: nothing should be flagged.
+        assert_eq!(choice.outlier_rate, 0.0);
     }
 
     #[test]

@@ -54,6 +54,56 @@ impl Default for Counter {
     }
 }
 
+/// A process-wide level gauge (a value that can go up *and* down, e.g.
+/// the serving layer's ingest-queue depth).
+///
+/// Like [`Counter`], all operations are `Ordering::Relaxed`: gauges are
+/// statistics, not synchronization. Decrements saturate at zero so a
+/// snapshot racing an inc/dec pair can never underflow to `u64::MAX`.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A new gauge at zero (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Raise the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower the level by one (saturating at zero).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
 macro_rules! declare_counters {
     ($($(#[$doc:meta])* $name:ident => $key:literal,)+) => {
         $( $(#[$doc])* pub static $name: Counter = Counter::new(); )+
@@ -161,6 +211,40 @@ declare_counters! {
     /// Packed evaluations abandoned early because the partial
     /// accumulation exceeded the threshold.
     KERNEL_EARLY_EXITS => "kernel.early_exits",
+    /// TCP connections accepted by the serving layer.
+    SERVE_CONNECTIONS => "serve.connections",
+    /// `ingest` requests admitted to the write queue (rejected requests
+    /// count under `serve.rejected_overloaded` instead).
+    SERVE_REQUESTS_INGEST => "serve.requests.ingest",
+    /// `query` requests served.
+    SERVE_REQUESTS_QUERY => "serve.requests.query",
+    /// `report` requests served.
+    SERVE_REQUESTS_REPORT => "serve.requests.report",
+    /// `stats` requests served.
+    SERVE_REQUESTS_STATS => "serve.requests.stats",
+    /// `snapshot` requests served.
+    SERVE_REQUESTS_SNAPSHOT => "serve.requests.snapshot",
+    /// `ingest` requests refused with a typed `overloaded` response
+    /// because the bounded write queue was full (backpressure).
+    SERVE_REJECTED_OVERLOAD => "serve.rejected_overloaded",
+}
+
+macro_rules! declare_gauges {
+    ($($(#[$doc:meta])* $name:ident => $key:literal,)+) => {
+        $( $(#[$doc])* pub static $name: Gauge = Gauge::new(); )+
+
+        /// Every registered gauge with its stable snapshot key, in
+        /// declaration order.
+        pub static ALL_GAUGES: &[(&str, &Gauge)] = &[ $( ($key, &$name), )+ ];
+    };
+}
+
+declare_gauges! {
+    /// Ingest batches currently waiting in the serving layer's bounded
+    /// write queue (admission-controlled; see `serve.rejected_overloaded`).
+    SERVE_QUEUE_DEPTH => "serve.queue_depth",
+    /// Client connections currently open against the serving layer.
+    SERVE_OPEN_CONNECTIONS => "serve.open_connections",
 }
 
 /// A point-in-time reading of every registered counter, in stable
@@ -230,6 +314,37 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), n, "duplicate counter key in registry");
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.dec(); // underflow must saturate, not wrap
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn gauge_registry_keys_are_unique() {
+        let mut keys: Vec<&str> = ALL_GAUGES.iter().map(|&(k, _)| k).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate gauge key in registry");
+        // Gauge keys must not collide with counter keys either: both end
+        // up in the same stats JSON export.
+        for (k, _) in ALL_GAUGES {
+            assert!(
+                ALL.iter().all(|(ck, _)| ck != k),
+                "gauge key {k} collides with a counter key"
+            );
+        }
     }
 
     #[test]

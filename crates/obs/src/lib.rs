@@ -28,6 +28,6 @@ pub mod hist;
 pub mod json;
 pub mod stats;
 
-pub use counters::{Counter, Snapshot};
+pub use counters::{Counter, Gauge, Snapshot};
 pub use hist::Histogram;
-pub use stats::{global_json, PipelineStats, SaveEffort, SearchTotals, Stages};
+pub use stats::{global_json, hist_json, PipelineStats, SaveEffort, SearchTotals, Stages};

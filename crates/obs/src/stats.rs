@@ -123,7 +123,10 @@ impl SearchTotals {
     }
 }
 
-fn hist_json(h: &Histogram) -> String {
+/// Serialize a histogram as `{"count":…,"sum":…,"max":…,"mean":…,"buckets":[…]}`
+/// (shared by the pipeline stats export and the serving layer's latency
+/// tables).
+pub fn hist_json(h: &Histogram) -> String {
     let mut o = Obj::new();
     o.u64("count", h.count())
         .u64("sum", h.sum())
@@ -200,10 +203,15 @@ pub fn global_json(meta: &[(&str, &str)]) -> String {
     for (key, value) in Snapshot::take().iter() {
         counters.u64(key, value);
     }
+    let mut gauges = Obj::new();
+    for &(key, g) in crate::counters::ALL_GAUGES {
+        gauges.u64(key, g.get());
+    }
     let mut o = Obj::new();
     o.str("schema", GLOBAL_SCHEMA)
         .raw("meta", &meta_obj.finish())
-        .raw("counters", &counters.finish());
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish());
     o.finish()
 }
 
@@ -249,6 +257,7 @@ mod tests {
             r#"{"schema":"disc-stats/1","meta":{"command":"test","seed":"7"},"counters":{"#
         ));
         assert!(json.contains(r#""index.grid.range_queries":"#));
+        assert!(json.contains(r#""gauges":{"serve.queue_depth":"#));
         assert!(json.ends_with('}'));
     }
 

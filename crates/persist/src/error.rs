@@ -44,6 +44,15 @@ pub enum Error {
     /// A previous IO failure left the handle in an unknown on-disk state;
     /// all further mutations are refused. Reopening the store recovers.
     Poisoned,
+    /// Another live process holds the store's exclusive lock
+    /// (`engine.lock`). Two writers interleaving WAL appends would tear
+    /// the generation sequence, so the second opener fails fast instead.
+    Locked {
+        /// The store directory.
+        dir: PathBuf,
+        /// PID recorded in the lock file, when readable.
+        holder: Option<u32>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -70,6 +79,13 @@ impl fmt::Display for Error {
                 f,
                 "store handle poisoned by an earlier IO failure; reopen to recover"
             ),
+            Error::Locked { dir, holder } => {
+                write!(f, "store {} is locked", dir.display())?;
+                match holder {
+                    Some(pid) => write!(f, " by live process {pid}"),
+                    None => write!(f, " by another process"),
+                }
+            }
         }
     }
 }

@@ -48,11 +48,13 @@ pub mod error;
 #[cfg(disc_fault)]
 pub mod fault;
 mod io;
+pub mod lock;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use error::Error;
+pub use lock::StoreLock;
 pub use snapshot::{SnapshotData, SNAP_MAGIC, SNAP_VERSION};
 pub use store::{DurableEngine, RecoveryReport, StoreOptions};
 pub use wal::{TornTail, Wal, WalRecord, WAL_MAGIC};

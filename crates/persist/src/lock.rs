@@ -1,0 +1,207 @@
+//! Exclusive advisory locking for store directories.
+//!
+//! Two live handles appending to the same write-ahead log would
+//! interleave records and tear the generation sequence, so every
+//! [`DurableEngine`](crate::DurableEngine) holds a [`StoreLock`] for its
+//! whole lifetime: a `engine.lock` file created with `create_new` (the
+//! atomic exists-check-plus-create the filesystem gives us without any
+//! OS-specific flock machinery) holding the owner's PID.
+//!
+//! A crash leaves the lock file behind; [`StoreLock::acquire`] treats a
+//! lock whose recorded PID no longer maps to a live process as *stale*
+//! and steals it, so recovery after a crash never needs manual cleanup.
+//! A second live process gets [`Error::Locked`] immediately — failing
+//! fast is the whole point.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::error::Error;
+
+/// The lock file within a store directory.
+pub fn lock_path(dir: &Path) -> PathBuf {
+    dir.join("engine.lock")
+}
+
+/// Exclusive ownership of a store directory for the lifetime of the
+/// value; released (the lock file removed) on drop. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+/// Best-effort liveness probe for the PID recorded in a lock file. On
+/// Linux `/proc/<pid>` exists exactly while the process does; elsewhere
+/// assume the holder is alive (never steal — a false "dead" verdict
+/// risks the torn interleaving the lock exists to prevent).
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+impl StoreLock {
+    /// Acquires the exclusive lock for `dir` (created if missing),
+    /// stealing a stale lock left by a dead process.
+    ///
+    /// # Errors
+    /// [`Error::Locked`] when a live process holds the lock;
+    /// [`Error::Io`] when the directory or lock file cannot be written.
+    pub fn acquire(dir: &Path) -> Result<StoreLock, Error> {
+        fs::create_dir_all(dir).map_err(|e| Error::Io {
+            op: "create_dir",
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        let path = lock_path(dir);
+        match Self::try_create(&path) {
+            Ok(lock) => Ok(lock),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                let stale = match holder {
+                    Some(pid) => pid != std::process::id() && !process_alive(pid),
+                    // An empty or unparsable lock file is a torn write
+                    // from a crash mid-create: nothing live wrote it.
+                    None => true,
+                };
+                if !stale {
+                    return Err(Error::Locked {
+                        dir: dir.to_path_buf(),
+                        holder,
+                    });
+                }
+                fs::remove_file(&path).map_err(|e| Error::Io {
+                    op: "remove",
+                    path: path.clone(),
+                    source: e,
+                })?;
+                // One retry: if another process won the race to recreate
+                // it, the store is genuinely locked now.
+                match Self::try_create(&path) {
+                    Ok(lock) => Ok(lock),
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Err(Error::Locked {
+                        dir: dir.to_path_buf(),
+                        holder: None,
+                    }),
+                    Err(e) => Err(Error::Io {
+                        op: "create",
+                        path,
+                        source: e,
+                    }),
+                }
+            }
+            Err(e) => Err(Error::Io {
+                op: "create",
+                path,
+                source: e,
+            }),
+        }
+    }
+
+    fn try_create(path: &Path) -> std::io::Result<StoreLock> {
+        let mut file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        // PID first, then make it visible: readers tolerate a torn or
+        // empty file (treated as stale), so no fsync is needed here.
+        writeln!(file, "{}", std::process::id())?;
+        Ok(StoreLock {
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The lock file this value owns.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Best effort: a failed removal degrades to a stale lock that
+        // the next acquire steals.
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "disc_persist_lock_tests/{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn second_acquire_fails_fast_with_the_holder_pid() {
+        let dir = temp_dir("exclusive");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        let err = StoreLock::acquire(&dir).map(|_| ()).unwrap_err();
+        match err {
+            Error::Locked { dir: d, holder } => {
+                assert_eq!(d, dir);
+                assert_eq!(holder, Some(std::process::id()));
+            }
+            other => panic!("expected Locked, got {other}"),
+        }
+        drop(lock);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_releases_the_lock() {
+        let dir = temp_dir("release");
+        let lock = StoreLock::acquire(&dir).unwrap();
+        let path = lock.path().to_path_buf();
+        assert!(path.exists());
+        drop(lock);
+        assert!(!path.exists(), "lock file must be removed on drop");
+        let _second = StoreLock::acquire(&dir).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_stolen() {
+        let dir = temp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        // PIDs are well below u32::MAX on every supported platform; this
+        // one cannot name a live process.
+        fs::write(lock_path(&dir), format!("{}\n", u32::MAX)).unwrap();
+        let lock = StoreLock::acquire(&dir).unwrap();
+        drop(lock);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_empty_lock_file_is_stolen() {
+        let dir = temp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(lock_path(&dir), b"").unwrap();
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn locked_error_mentions_the_directory() {
+        let dir = temp_dir("display");
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        let err = StoreLock::acquire(&dir).map(|_| ()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("locked"), "{msg}");
+        assert!(msg.contains(&std::process::id().to_string()), "{msg}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

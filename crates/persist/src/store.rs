@@ -1,11 +1,14 @@
 //! The durable engine: `DiscEngine` + snapshot + write-ahead log.
 //!
-//! A store is a directory holding exactly two files:
+//! A store is a directory holding two data files plus a lock:
 //!
 //! * `engine.snap` — the last checkpoint: full engine state at some
 //!   generation `g` (atomically replaced; see [`crate::snapshot`]);
 //! * `engine.wal` — the write-ahead log of every ingest batch since that
-//!   checkpoint, generations `g+1, g+2, …` (see [`crate::wal`]).
+//!   checkpoint, generations `g+1, g+2, …` (see [`crate::wal`]);
+//! * `engine.lock` — the exclusive-writer lock held while any handle is
+//!   live, so a second process fails fast with [`Error::Locked`] instead
+//!   of interleaving torn WAL records (see [`crate::lock`]).
 //!
 //! Ingest protocol: validate the batch (a batch the engine would reject
 //! is never made durable), append it to the WAL, fsync, *then* mutate
@@ -28,6 +31,7 @@ use disc_distance::Value;
 use disc_obs::counters;
 
 use crate::error::Error;
+use crate::lock::StoreLock;
 use crate::snapshot::{self, SnapshotData};
 use crate::wal::{TornTail, Wal};
 
@@ -74,6 +78,9 @@ pub struct DurableEngine {
     snapshot_every: Option<u64>,
     last_snapshot: u64,
     poisoned: bool,
+    /// Held for the handle's whole lifetime; releasing it (on drop) is
+    /// what lets the next opener in. See [`crate::lock`].
+    _lock: StoreLock,
 }
 
 impl DurableEngine {
@@ -101,11 +108,9 @@ impl DurableEngine {
                 dir: dir.to_path_buf(),
             });
         }
-        std::fs::create_dir_all(dir).map_err(|e| Error::Io {
-            op: "create_dir",
-            path: dir.to_path_buf(),
-            source: e,
-        })?;
+        // Creates the directory as a side effect; taken before any store
+        // file exists so a concurrent creator loses cleanly.
+        let lock = StoreLock::acquire(dir)?;
         let engine = DiscEngine::new(schema.clone(), saver);
         snapshot::write_snapshot(
             dir,
@@ -125,6 +130,7 @@ impl DurableEngine {
             snapshot_every: options.snapshot_every,
             last_snapshot: 0,
             poisoned: false,
+            _lock: lock,
         })
     }
 
@@ -147,6 +153,7 @@ impl DurableEngine {
                 dir: dir.to_path_buf(),
             });
         }
+        let lock = StoreLock::acquire(dir)?;
         // A crash mid-snapshot can leave a stale staging file; it was
         // never renamed, so it is garbage.
         let tmp = snapshot::snapshot_tmp_path(dir);
@@ -213,6 +220,7 @@ impl DurableEngine {
                 snapshot_every: options.snapshot_every,
                 last_snapshot: snapshot_generation,
                 poisoned: false,
+                _lock: lock,
             },
             report,
         ))
@@ -305,9 +313,25 @@ impl DurableEngine {
     }
 
     /// Consumes the handle, returning the in-memory engine (for
-    /// exporting the dataset after a final checkpoint).
+    /// exporting the dataset after a final checkpoint). Releases the
+    /// store lock.
     pub fn into_engine(self) -> DiscEngine {
         self.engine
+    }
+
+    /// Graceful shutdown: checkpoint (snapshot the final state and reset
+    /// the WAL), release the store lock, and hand back the in-memory
+    /// engine. After a successful close the store reopens with zero
+    /// records to replay — this is the serving layer's shutdown WAL
+    /// handoff.
+    ///
+    /// # Errors
+    /// Returns the checkpoint failure (with the engine discarded) if the
+    /// final snapshot cannot be written; every acknowledged ingest is
+    /// still durable in the WAL, so a subsequent open loses nothing.
+    pub fn close(mut self) -> Result<DiscEngine, Error> {
+        self.checkpoint()?;
+        Ok(self.engine)
     }
 }
 
@@ -484,6 +508,55 @@ mod tests {
             DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
         assert_eq!(report.replayed_records, 1, "rejected batch never logged");
         assert_eq!(reopened.generation(), generation);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_live_handle_is_locked_out() {
+        let dir = temp_store("locked");
+        let store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        // A second session pointed at the same store must fail fast with
+        // the typed lock error, not interleave WAL appends.
+        let err = DurableEngine::open(&dir, make_saver, StoreOptions::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::Locked { .. }), "{err}");
+        drop(store);
+        // Dropping the first handle releases the lock.
+        let (_reopened, _) =
+            DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn close_checkpoints_and_releases_the_lock() {
+        let dir = temp_store("close");
+        let mut store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        store.ingest(grid_rows()).unwrap();
+        let live_state = store.engine().export_state();
+        let engine = store.close().unwrap();
+        assert_eq!(engine.export_state(), live_state);
+        // The final checkpoint absorbed the log: reopen replays nothing
+        // and lands on the identical state.
+        let (reopened, report) =
+            DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(report.snapshot_generation, 1);
+        assert_eq!(reopened.engine().export_state(), live_state);
         std::fs::remove_dir_all(&dir).ok();
     }
 

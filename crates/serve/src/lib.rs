@@ -1,0 +1,45 @@
+//! A concurrent multi-client serving layer over the streaming DISC
+//! engine.
+//!
+//! `disc-serve` turns the single-caller [`disc_core::DiscEngine`] (or
+//! its crash-safe wrapper, [`disc_persist::DurableEngine`]) into a
+//! std-only TCP service speaking newline-delimited JSON: one request
+//! line, one response line ([`protocol`]).
+//!
+//! The design is **single-writer / snapshot-readers** ([`server`]):
+//!
+//! * all `ingest` requests flow through a bounded FIFO queue into one
+//!   writer thread that owns the engine — applied in admission order,
+//!   one engine generation per client batch, so results are bit-equal
+//!   to the same batches ingested serially;
+//! * a full queue refuses new writes immediately with a typed
+//!   `overloaded` response (admission-control backpressure);
+//! * reads (`query`, `report`, `stats`, `snapshot`) are answered from
+//!   an immutable published [`disc_core::EngineState`] image and never
+//!   block on, or get blocked by, the writer;
+//! * graceful shutdown closes admission, drains every admitted job, and
+//!   (for a durable backend) checkpoints and releases the store — no
+//!   acknowledged ingest is ever lost.
+//!
+//! Per-request observability flows through [`disc_obs`]: request
+//! counters per verb, a queue-depth gauge, a rejected-request counter,
+//! and per-verb latency histograms served by the `stats` op.
+//!
+//! ```no_run
+//! use disc_serve::{EngineBackend, Server, ServerConfig};
+//! # fn saver() -> Box<dyn disc_core::Saver> { unimplemented!() }
+//! let engine = disc_core::DiscEngine::new(disc_data::Schema::numeric(2), saver());
+//! let handle = Server::start(EngineBackend::Memory(engine), ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! let report = handle.wait(); // blocks until shutdown is requested
+//! assert!(report.close_error.is_none());
+//! ```
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{BadRequest, Request};
+pub use server::{
+    Acked, EngineBackend, IngestError, Server, ServerConfig, ServerHandle, ShutdownReport,
+};

@@ -1,0 +1,370 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request line, one response line. Requests are objects with an
+//! `"op"` discriminator:
+//!
+//! | op         | fields                     | effect                                 |
+//! |------------|----------------------------|----------------------------------------|
+//! | `ingest`   | `rows: [[value,…],…]`      | append a batch through the write queue |
+//! | `query`    | `row: index`               | one row's classification and values    |
+//! | `report`   | —                          | snapshot summary (rows/inliers/…)      |
+//! | `stats`    | —                          | counters, gauges, latency histograms   |
+//! | `snapshot` | —                          | full current rows + outlier/pending    |
+//! | `shutdown` | —                          | begin graceful shutdown                |
+//!
+//! Row values map JSON `number | string | null` onto
+//! [`Value::Num`]/[`Value::Text`]/[`Value::Null`].
+//!
+//! Every response carries `"ok"`. Failures are typed:
+//! `{"ok":false,"op":…,"error":{"kind":…,"message":…}}` with `kind` one
+//! of [`KIND_PARSE`], [`KIND_INVALID`], [`KIND_OVERLOADED`] (the
+//! admission-control backpressure signal), [`KIND_SHUTTING_DOWN`],
+//! [`KIND_REJECTED`] (the engine refused the batch; nothing was
+//! applied), or [`KIND_IO`] (the durable backend failed; the batch must
+//! be considered not applied).
+
+use disc_core::{EngineState, SaveReport};
+use disc_distance::Value;
+use disc_obs::json::{push_f64, push_str_literal, Obj};
+
+use crate::json::{self, Json};
+
+/// The request line was not a JSON object the parser accepts.
+pub const KIND_PARSE: &str = "parse";
+/// The request was well-formed JSON but not a valid operation (unknown
+/// op, missing field, out-of-range row, …).
+pub const KIND_INVALID: &str = "invalid";
+/// Backpressure: the bounded write queue is full; retry later.
+pub const KIND_OVERLOADED: &str = "overloaded";
+/// The server is draining; no new writes are admitted.
+pub const KIND_SHUTTING_DOWN: &str = "shutting_down";
+/// The engine rejected the batch (bad arity, non-numeric cell, …);
+/// nothing was applied or made durable.
+pub const KIND_REJECTED: &str = "rejected";
+/// The durable backend failed mid-write; the batch is not acknowledged.
+pub const KIND_IO: &str = "io";
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Append `rows` through the write queue.
+    Ingest {
+        /// The batch, one inner vector per tuple.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Read one row's classification and values.
+    Query {
+        /// Row index.
+        row: usize,
+    },
+    /// Snapshot summary (row/inlier/outlier/pending counts).
+    Report,
+    /// Process-wide counters, gauges, and per-verb latency histograms.
+    Stats,
+    /// Full current rows plus outlier and pending row indexes.
+    Snapshot,
+    /// Begin graceful shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The verb name, as it appears in responses and metrics.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::Query { .. } => "query",
+            Request::Report => "report",
+            Request::Stats => "stats",
+            Request::Snapshot => "snapshot",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request that could not be decoded; maps onto a typed error
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// [`KIND_PARSE`] or [`KIND_INVALID`].
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn invalid(message: impl Into<String>) -> BadRequest {
+    BadRequest {
+        kind: KIND_INVALID,
+        message: message.into(),
+    }
+}
+
+/// Decode one request line.
+pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
+    let doc = json::parse(line).map_err(|e| BadRequest {
+        kind: KIND_PARSE,
+        message: e.to_string(),
+    })?;
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("missing string field 'op'"))?;
+    match op {
+        "ingest" => {
+            let rows = doc
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or_else(|| invalid("ingest requires an array field 'rows'"))?;
+            let rows = rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let cells = row
+                        .as_array()
+                        .ok_or_else(|| invalid(format!("row {i} is not an array")))?;
+                    cells
+                        .iter()
+                        .map(|cell| match cell {
+                            Json::Num(n) => Ok(Value::Num(*n)),
+                            Json::Str(s) => Ok(Value::Text(s.clone())),
+                            Json::Null => Ok(Value::Null),
+                            other => Err(invalid(format!(
+                                "row {i} holds a non-value element ({other:?})"
+                            ))),
+                        })
+                        .collect::<Result<Vec<Value>, BadRequest>>()
+                })
+                .collect::<Result<Vec<Vec<Value>>, BadRequest>>()?;
+            if rows.is_empty() {
+                return Err(invalid("ingest requires at least one row"));
+            }
+            Ok(Request::Ingest { rows })
+        }
+        "query" => {
+            let row = doc
+                .get("row")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| invalid("query requires an integer field 'row'"))?;
+            Ok(Request::Query { row })
+        }
+        "report" => Ok(Request::Report),
+        "stats" => Ok(Request::Stats),
+        "snapshot" => Ok(Request::Snapshot),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(invalid(format!("unknown op '{other}'"))),
+    }
+}
+
+/// Render a typed error response.
+pub fn error_response(op: Option<&str>, kind: &str, message: &str) -> String {
+    let mut e = Obj::new();
+    e.str("kind", kind).str("message", message);
+    let mut o = Obj::new();
+    o.raw("ok", "false");
+    if let Some(op) = op {
+        o.str("op", op);
+    }
+    o.raw("error", &e.finish());
+    o.finish()
+}
+
+/// Serialize one row of values as a JSON array fragment.
+pub fn values_array(row: &[Value]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match v {
+            Value::Num(n) => push_f64(&mut out, *n),
+            Value::Text(s) => push_str_literal(&mut out, s),
+            Value::Null => out.push_str("null"),
+        }
+    }
+    out.push(']');
+    out
+}
+
+fn index_array(indexes: &[usize]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in indexes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Render a successful ingest acknowledgement. Sent only *after* the
+/// batch is applied (and, on a durable backend, WAL-fsynced) — receiving
+/// this line is the durability contract.
+pub fn ingest_response(generation: u64, rows: usize, report: &SaveReport) -> String {
+    let mut r = Obj::new();
+    r.u64("saved", report.saved.len() as u64)
+        .u64("unsaved", report.unsaved.len() as u64)
+        .u64("outliers", report.outliers.len() as u64)
+        .u64("failed", report.failed.len() as u64)
+        .u64("skipped", report.skipped.len() as u64)
+        .raw("degraded", if report.degraded { "true" } else { "false" })
+        .raw(
+            "saved_rows",
+            &index_array(&report.saved.iter().map(|s| s.row).collect::<Vec<_>>()),
+        );
+    let mut o = Obj::new();
+    o.raw("ok", "true")
+        .str("op", "ingest")
+        .u64("generation", generation)
+        .u64("rows", rows as u64)
+        .raw("report", &r.finish());
+    o.finish()
+}
+
+/// Render a query response against an engine snapshot.
+pub fn query_response(state: &EngineState, row: usize) -> String {
+    match (state.current_row(row), state.original_row(row)) {
+        (Some(current), Some(original)) => {
+            let mut o = Obj::new();
+            o.raw("ok", "true")
+                .str("op", "query")
+                .u64("generation", state.generation)
+                .u64("row", row as u64)
+                .raw(
+                    "inlier",
+                    if state.is_inlier(row) {
+                        "true"
+                    } else {
+                        "false"
+                    },
+                )
+                .u64(
+                    "neighbor_count",
+                    state.neighbor_count(row).unwrap_or(0) as u64,
+                )
+                .raw("current", &values_array(current))
+                .raw("original", &values_array(original));
+            o.finish()
+        }
+        _ => error_response(
+            Some("query"),
+            KIND_INVALID,
+            &format!("row {row} out of range (engine holds {})", state.len()),
+        ),
+    }
+}
+
+/// Render a report (summary) response against an engine snapshot.
+pub fn report_response(state: &EngineState) -> String {
+    let outliers = state.outliers();
+    let mut o = Obj::new();
+    o.raw("ok", "true")
+        .str("op", "report")
+        .u64("generation", state.generation)
+        .u64("rows", state.len() as u64)
+        .u64("inliers", (state.len() - outliers.len()) as u64)
+        .u64("outliers", outliers.len() as u64)
+        .u64("pending", state.pending.len() as u64);
+    o.finish()
+}
+
+/// Render a full snapshot response: every current row plus the outlier
+/// and pending index lists.
+pub fn snapshot_response(state: &EngineState) -> String {
+    let mut rows = String::from("[");
+    for (i, row) in state.current.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&values_array(row));
+    }
+    rows.push(']');
+    let mut o = Obj::new();
+    o.raw("ok", "true")
+        .str("op", "snapshot")
+        .u64("generation", state.generation)
+        .raw("rows", &rows)
+        .raw("outliers", &index_array(&state.outliers()))
+        .raw("pending", &index_array(&state.pending));
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        let r = parse_request(r#"{"op":"ingest","rows":[[1,2],["a",null]]}"#).unwrap();
+        match r {
+            Request::Ingest { rows } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0], vec![Value::Num(1.0), Value::Num(2.0)]);
+                assert_eq!(rows[1], vec![Value::Text("a".into()), Value::Null]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"op":"query","row":3}"#).unwrap(),
+            Request::Query { row: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"report"}"#).unwrap(),
+            Request::Report
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"snapshot"}"#).unwrap(),
+            Request::Snapshot
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        assert_eq!(parse_request("not json").unwrap_err().kind, KIND_PARSE);
+        assert_eq!(
+            parse_request(r#"{"rows":[]}"#).unwrap_err().kind,
+            KIND_INVALID
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"fly"}"#).unwrap_err().kind,
+            KIND_INVALID
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"ingest","rows":[]}"#)
+                .unwrap_err()
+                .kind,
+            KIND_INVALID
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"ingest","rows":[[true]]}"#)
+                .unwrap_err()
+                .kind,
+            KIND_INVALID
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"query","row":-1}"#)
+                .unwrap_err()
+                .kind,
+            KIND_INVALID
+        );
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = error_response(Some("ingest"), KIND_OVERLOADED, "queue full");
+        assert_eq!(
+            r,
+            r#"{"ok":false,"op":"ingest","error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+    }
+
+    #[test]
+    fn values_round_trip_through_the_wire_shape() {
+        let row = vec![Value::Num(1.5), Value::Text("x\"y".into()), Value::Null];
+        assert_eq!(values_array(&row), r#"[1.5,"x\"y",null]"#);
+    }
+}

@@ -1,0 +1,582 @@
+//! The thread-per-connection server: single writer, concurrent readers,
+//! bounded admission.
+//!
+//! # Concurrency model
+//!
+//! The engine is **never shared**: a single writer thread owns the
+//! backend outright, fed from a bounded FIFO queue of ingest jobs. Reads
+//! never touch the engine — after every drain the writer publishes an
+//! immutable [`EngineState`] behind an `Arc`, and connection threads
+//! answer `query`/`report`/`snapshot` from whichever published image
+//! they grab. There is no engine lock to contend on and no torn read to
+//! defend against; a read races only the *pointer swap*, never the
+//! mutation.
+//!
+//! # Ordering and equivalence
+//!
+//! The queue is drained in admission order and each client batch is
+//! applied as its **own** `ingest` call (one generation, one WAL record)
+//! — coalescing batches *across* a drain never merges them *within* an
+//! apply. The final engine state is therefore bit-equal to replaying the
+//! acknowledged batches serially in acknowledgement-generation order,
+//! which is exactly what the concurrency battery asserts (extending the
+//! PR 4 split-invariance contract to concurrent clients).
+//!
+//! # Backpressure
+//!
+//! Admission control is a hard bound: when `max_queue` jobs are waiting,
+//! new ingests are refused immediately with the typed `overloaded`
+//! response (and counted in `serve.rejected_overloaded`) instead of
+//! growing the queue without limit. A refused batch was never queued, so
+//! it participates in no ordering.
+//!
+//! # Shutdown
+//!
+//! Graceful shutdown (SIGTERM/ctrl-c via [`ServerConfig::shutdown_flag`],
+//! the `shutdown` op, or [`ServerHandle::request_shutdown`]) closes
+//! admission — late ingests get `shutting_down` — then drains the queue
+//! completely, so every acknowledged ingest is applied and durable, and
+//! finally closes a durable backend ([`DurableEngine::close`]:
+//! checkpoint, WAL reset, lock release). Nothing acknowledged is ever
+//! lost.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use disc_core::{DiscEngine, EngineState, SaveReport};
+use disc_distance::Value;
+use disc_obs::json::Obj;
+use disc_obs::{counters, global_json, hist_json, Histogram};
+use disc_persist::DurableEngine;
+
+use crate::protocol::{self, Request, KIND_IO, KIND_OVERLOADED, KIND_REJECTED, KIND_SHUTTING_DOWN};
+
+/// How the server stores ingested rows.
+pub enum EngineBackend {
+    /// In-memory only; state dies with the process.
+    Memory(DiscEngine),
+    /// Crash-safe: WAL-append + fsync before every apply, checkpoint on
+    /// close.
+    Durable(DurableEngine),
+}
+
+impl EngineBackend {
+    fn ingest(&mut self, rows: Vec<Vec<Value>>) -> Result<SaveReport, IngestError> {
+        match self {
+            EngineBackend::Memory(engine) => engine.ingest(rows).map_err(|e| IngestError {
+                kind: KIND_REJECTED,
+                message: e.to_string(),
+            }),
+            EngineBackend::Durable(store) => store.ingest(rows).map_err(|e| match e {
+                disc_persist::Error::Engine(e) => IngestError {
+                    kind: KIND_REJECTED,
+                    message: e.to_string(),
+                },
+                other => IngestError {
+                    kind: KIND_IO,
+                    message: other.to_string(),
+                },
+            }),
+        }
+    }
+
+    fn export_state(&self) -> EngineState {
+        match self {
+            EngineBackend::Memory(engine) => engine.export_state(),
+            EngineBackend::Durable(store) => store.engine().export_state(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            EngineBackend::Memory(engine) => engine.generation(),
+            EngineBackend::Durable(store) => store.generation(),
+        }
+    }
+
+    /// Final flush: checkpoint + lock release for a durable backend.
+    fn close(self) -> Option<String> {
+        match self {
+            EngineBackend::Memory(_) => None,
+            EngineBackend::Durable(store) => store.close().err().map(|e| e.to_string()),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (read the bound
+    /// address back from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Ingest-queue capacity: jobs beyond this are refused `overloaded`.
+    pub max_queue: usize,
+    /// Artificial pause before each writer drain, holding queued jobs in
+    /// place. A load-shaping/test hook: it makes queue-full windows
+    /// deterministic. `None` (the default) drains as fast as possible.
+    pub writer_throttle: Option<Duration>,
+    /// Poll interval for connection reads and the accept loop; bounds
+    /// how long shutdown waits on idle connections.
+    pub poll_interval: Duration,
+    /// External shutdown request (a signal handler writes it; the accept
+    /// loop polls it).
+    pub shutdown_flag: Option<&'static AtomicBool>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_queue: 64,
+            writer_throttle: None,
+            poll_interval: Duration::from_millis(25),
+            shutdown_flag: None,
+        }
+    }
+}
+
+/// A successfully applied (and, on a durable backend, fsynced) ingest.
+#[derive(Debug, Clone)]
+pub struct Acked {
+    /// The generation this batch became; acknowledged batches replayed
+    /// serially in generation order reproduce the engine bit-for-bit.
+    pub generation: u64,
+    /// The save report for this batch — bit-equal to the report the same
+    /// batch would produce ingested serially at the same generation.
+    pub report: SaveReport,
+}
+
+/// Why an ingest was not applied. `kind` is the wire-protocol error kind
+/// (`overloaded`, `shutting_down`, `rejected`, or `io`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestError {
+    /// Typed kind, one of the `protocol::KIND_*` constants.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// What the writer thread hands back after the final drain.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// The engine's final state (every acknowledged ingest applied).
+    pub state: EngineState,
+    /// The final generation.
+    pub generation: u64,
+    /// A durable backend's close failure, if any. Even then, every
+    /// acknowledged ingest is already durable in the WAL.
+    pub close_error: Option<String>,
+}
+
+struct Job {
+    rows: Vec<Vec<Value>>,
+    reply: mpsc::Sender<Result<Acked, IngestError>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Per-verb request latency (microseconds), reported by the `stats` op.
+#[derive(Default)]
+struct Latency {
+    ingest: Histogram,
+    query: Histogram,
+    report: Histogram,
+    stats: Histogram,
+    snapshot: Histogram,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    /// The latest published engine image; swapped whole by the writer.
+    snapshot: Mutex<Arc<EngineState>>,
+    latency: Mutex<Latency>,
+    shutdown: AtomicBool,
+    max_queue: usize,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        drop(q);
+        self.not_empty.notify_all();
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn publish(&self, state: EngineState) {
+        *self.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(state);
+    }
+
+    fn current(&self) -> Arc<EngineState> {
+        self.snapshot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Admission control: enqueue or refuse, atomically against the
+    /// writer's drain.
+    fn enqueue(
+        &self,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<mpsc::Receiver<Result<Acked, IngestError>>, IngestError> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.closed {
+            return Err(IngestError {
+                kind: KIND_SHUTTING_DOWN,
+                message: "server is draining; ingest not admitted".to_string(),
+            });
+        }
+        if q.jobs.len() >= self.max_queue {
+            counters::SERVE_REJECTED_OVERLOAD.incr();
+            return Err(IngestError {
+                kind: KIND_OVERLOADED,
+                message: format!("ingest queue full ({} waiting)", q.jobs.len()),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job { rows, reply: tx });
+        counters::SERVE_QUEUE_DEPTH.set(q.jobs.len() as u64);
+        counters::SERVE_REQUESTS_INGEST.incr();
+        drop(q);
+        self.not_empty.notify_one();
+        Ok(rx)
+    }
+}
+
+/// A running server; see the [module docs](self) for the model.
+pub struct Server;
+
+impl Server {
+    /// Binds, publishes the backend's current state for readers, and
+    /// spawns the writer and accept threads. Returns once listening.
+    pub fn start(backend: EngineBackend, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            not_empty: Condvar::new(),
+            snapshot: Mutex::new(Arc::new(backend.export_state())),
+            latency: Mutex::new(Latency::default()),
+            shutdown: AtomicBool::new(false),
+            max_queue: config.max_queue.max(1),
+        });
+
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let throttle = config.writer_throttle;
+            thread::Builder::new()
+                .name("disc-serve-writer".to_string())
+                .spawn(move || writer_loop(backend, &shared, throttle))?
+        };
+
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            let poll = config.poll_interval;
+            let flag = config.shutdown_flag;
+            thread::Builder::new()
+                .name("disc-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared, &connections, poll, flag))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            connections,
+            writer,
+            accept,
+        })
+    }
+}
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writer: JoinHandle<ShutdownReport>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The latest published engine image (what reads are served from).
+    pub fn snapshot(&self) -> Arc<EngineState> {
+        self.shared.current()
+    }
+
+    /// In-process client: submit a batch through the same admission
+    /// queue TCP clients use and block for the acknowledgement.
+    pub fn ingest(&self, rows: Vec<Vec<Value>>) -> Result<Acked, IngestError> {
+        let rx = self.shared.enqueue(rows)?;
+        rx.recv().unwrap_or_else(|_| {
+            Err(IngestError {
+                kind: KIND_SHUTTING_DOWN,
+                message: "writer exited before replying".to_string(),
+            })
+        })
+    }
+
+    /// Begin graceful shutdown: close admission, let the writer drain.
+    /// Returns immediately; [`ServerHandle::wait`] completes the drain.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server shuts down (external flag, `shutdown` op,
+    /// or [`ServerHandle::request_shutdown`]), then completes the drain:
+    /// joins the accept loop, every connection, and the writer, and
+    /// returns the final engine state.
+    pub fn wait(self) -> ShutdownReport {
+        // The accept loop exits only after a shutdown request (it polls
+        // the external flag and the internal state).
+        let _ = self.accept.join();
+        // Redundant when the accept loop already initiated it; harmless.
+        self.shared.begin_shutdown();
+        // The writer drains every admitted job, replies to each, then
+        // exits — joining it is the "no acknowledged ingest lost" step.
+        let report = self
+            .writer
+            .join()
+            .unwrap_or_else(|_| panic!("serve writer thread panicked"));
+        // Connection threads see the shutdown flag at their next poll
+        // tick (all pending replies were just delivered).
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.connections.lock().unwrap_or_else(|e| e.into_inner());
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        report
+    }
+}
+
+fn writer_loop(
+    mut backend: EngineBackend,
+    shared: &Shared,
+    throttle: Option<Duration>,
+) -> ShutdownReport {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.jobs.is_empty() && !q.closed {
+                q = shared.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.jobs.is_empty() {
+                break; // closed and fully drained
+            }
+            if let Some(pause) = throttle {
+                // Pause with the jobs still *queued* (lock released), so
+                // the backpressure window is observable and testable.
+                drop(q);
+                thread::sleep(pause);
+                q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            let drained = q.jobs.drain(..).collect();
+            counters::SERVE_QUEUE_DEPTH.set(0);
+            drained
+        };
+        // Coalesced apply: one pass over many queued batches, but each
+        // batch keeps its own ingest call (own generation, own WAL
+        // record) so reports stay bit-equal to serial execution.
+        for job in jobs {
+            let outcome = backend.ingest(job.rows).map(|report| Acked {
+                generation: backend.generation(),
+                report,
+            });
+            // A dropped receiver (client hung up mid-wait) is fine: the
+            // batch is applied and durable regardless.
+            let _ = job.reply.send(outcome);
+        }
+        shared.publish(backend.export_state());
+    }
+    let state = backend.export_state();
+    let generation = backend.generation();
+    shared.publish(state.clone());
+    let close_error = backend.close();
+    ShutdownReport {
+        state,
+        generation,
+        close_error,
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    poll: Duration,
+    flag: Option<&'static AtomicBool>,
+) {
+    loop {
+        if flag.is_some_and(|f| f.load(Ordering::SeqCst)) {
+            shared.begin_shutdown();
+        }
+        if shared.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters::SERVE_CONNECTIONS.incr();
+                let shared = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("disc-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared, poll));
+                if let Ok(handle) = handle {
+                    connections
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(poll),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(poll),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, poll: Duration) {
+    counters::SERVE_OPEN_CONNECTIONS.inc();
+    serve_connection(stream, shared, poll);
+    counters::SERVE_OPEN_CONNECTIONS.dec();
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>, poll: Duration) {
+    // Timeouts keep reads from pinning a thread past shutdown; partial
+    // lines survive across timeouts in `buf`.
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = handle_request(line, shared);
+            if stream.write_all(response.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode, dispatch, and render one request line.
+fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(bad) => return protocol::error_response(None, bad.kind, &bad.message),
+    };
+    let op = request.op();
+    let started = Instant::now();
+    let response = match request {
+        Request::Ingest { rows } => {
+            let n = rows.len();
+            match shared.enqueue(rows) {
+                Ok(rx) => match rx.recv() {
+                    Ok(Ok(acked)) => protocol::ingest_response(acked.generation, n, &acked.report),
+                    Ok(Err(e)) => protocol::error_response(Some("ingest"), e.kind, &e.message),
+                    Err(_) => protocol::error_response(
+                        Some("ingest"),
+                        KIND_SHUTTING_DOWN,
+                        "writer exited before replying",
+                    ),
+                },
+                Err(e) => protocol::error_response(Some("ingest"), e.kind, &e.message),
+            }
+        }
+        Request::Query { row } => {
+            counters::SERVE_REQUESTS_QUERY.incr();
+            protocol::query_response(&shared.current(), row)
+        }
+        Request::Report => {
+            counters::SERVE_REQUESTS_REPORT.incr();
+            protocol::report_response(&shared.current())
+        }
+        Request::Stats => {
+            counters::SERVE_REQUESTS_STATS.incr();
+            stats_response(shared)
+        }
+        Request::Snapshot => {
+            counters::SERVE_REQUESTS_SNAPSHOT.incr();
+            protocol::snapshot_response(&shared.current())
+        }
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            let mut o = Obj::new();
+            o.raw("ok", "true").str("op", "shutdown");
+            o.finish()
+        }
+    };
+    let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let mut latency = shared.latency.lock().unwrap_or_else(|e| e.into_inner());
+    match op {
+        "ingest" => latency.ingest.record(micros),
+        "query" => latency.query.record(micros),
+        "report" => latency.report.record(micros),
+        "stats" => latency.stats.record(micros),
+        "snapshot" => latency.snapshot.record(micros),
+        _ => {}
+    }
+    response
+}
+
+fn stats_response(shared: &Shared) -> String {
+    let latency = shared.latency.lock().unwrap_or_else(|e| e.into_inner());
+    let mut lat = Obj::new();
+    lat.raw("ingest", &hist_json(&latency.ingest))
+        .raw("query", &hist_json(&latency.query))
+        .raw("report", &hist_json(&latency.report))
+        .raw("stats", &hist_json(&latency.stats))
+        .raw("snapshot", &hist_json(&latency.snapshot));
+    drop(latency);
+    let mut o = Obj::new();
+    o.raw("ok", "true")
+        .str("op", "stats")
+        .u64("queue_depth", counters::SERVE_QUEUE_DEPTH.get())
+        .raw("latency_micros", &lat.finish())
+        .raw("process", &global_json(&[("source", "disc-serve")]));
+    o.finish()
+}

@@ -73,6 +73,44 @@ echo "==> examples smoke"
 cargo run --release --offline -p disc --example quickstart >/dev/null
 cargo run --release --offline -p disc --example record_matching >/dev/null
 
+# Server smoke: a durable `disc serve` on an ephemeral port takes a
+# concurrent burst from the bench load generator, shuts down on
+# SIGTERM, and a recovery of its store must hold exactly the
+# acknowledged rows — the no-acked-ingest-lost contract, end to end.
+echo "==> disc serve smoke"
+SMOKE_DIR=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
+cargo build --release --offline --quiet -p disc -p disc-bench --bin disc --bin serve_load
+target/release/disc serve --wal "$SMOKE_DIR/store" --eps 0.5 --eta 4 \
+    --addr 127.0.0.1:0 --max-queue 32 >"$SMOKE_DIR/serve.out" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.out")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        echo "error: disc serve exited before listening:" >&2
+        cat "$SMOKE_DIR/serve.out" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "error: disc serve never printed its address" >&2; exit 1; }
+LOAD=$(target/release/serve_load --addr "$ADDR" --clients 6 --batches 10 --rows 4 --seed 11)
+echo "    $LOAD"
+ACKED_ROWS=$(printf '%s\n' "$LOAD" | sed -n 's/.*acked_rows=\([0-9]*\).*/\1/p')
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "error: disc serve exited non-zero after SIGTERM" >&2; exit 1; }
+RECOVERED=$(target/release/disc recover --wal "$SMOKE_DIR/store" \
+    | sed -n 's/^engine at generation [0-9]*: \([0-9]*\) rows.*/\1/p')
+if [ "$RECOVERED" != "$ACKED_ROWS" ]; then
+    echo "error: recovered $RECOVERED rows but clients got $ACKED_ROWS acked" >&2
+    exit 1
+fi
+echo "    recovered $RECOVERED rows == acked $ACKED_ROWS (no acknowledged ingest lost)"
+rm -rf "$SMOKE_DIR"
+trap - EXIT
+
 if [ "$HEAVY" = 1 ]; then
     echo "==> cargo test -q (PROPTEST_CASES=512)"
     PROPTEST_CASES=512 cargo test -q --offline --workspace

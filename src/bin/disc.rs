@@ -12,6 +12,8 @@
 //! disc stream   --data data.csv [--out repaired.csv] [--eps E --eta H]
 //!               [--kappa K] [--batch B] [--wal DIR] [--snapshot-every N]
 //! disc recover  --wal DIR [--out repaired.csv]
+//! disc serve    [--addr HOST:PORT] [--arity M] [--eps E --eta H]
+//!               [--kappa K] [--wal DIR] [--max-queue N] [--snapshot-every N]
 //! disc evaluate --labels predicted.csv --truth truth.csv
 //! ```
 //!
@@ -25,6 +27,19 @@
 //! store after a crash, reports what was replayed (and any torn log
 //! tail that was truncated), and optionally exports the recovered
 //! dataset.
+//!
+//! `serve` exposes one engine to many clients over TCP, speaking
+//! newline-delimited JSON (see `disc_serve::protocol` for the wire
+//! format). Writes flow through a bounded single-writer queue
+//! (`--max-queue`, default 64); a full queue answers `overloaded`.
+//! With `--wal DIR` the served engine is durable: an existing store is
+//! reopened (recovering as `recover` would), a missing one is created
+//! with `--eps/--eta` (required then, as there is no data to determine
+//! them from). The first stdout line is `listening on HOST:PORT` — with
+//! `--addr` port 0 this is how callers learn the ephemeral port.
+//! SIGINT/SIGTERM begin a graceful shutdown: admission closes, every
+//! admitted batch drains, and a durable store is checkpointed and its
+//! lock released, so no acknowledged ingest is ever lost.
 //!
 //! Labels for `evaluate` come from a single-column CSV aligned with the
 //! data rows. When `--eps/--eta` are omitted, the Poisson procedure of the
@@ -523,6 +538,134 @@ fn cmd_recover(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Set by the signal handler; polled by the server's accept loop.
+static SERVE_SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SERVE_SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Routes SIGINT (ctrl-c) and SIGTERM into [`SERVE_SHUTDOWN`] via the
+/// libc `signal` entry point, which the platform C runtime always
+/// exports — no binding crate needed.
+fn install_shutdown_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_shutdown_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// `--eps/--eta` without a dataset to determine them from: both flags
+/// are required.
+fn explicit_constraints(args: &Args) -> Result<DistanceConstraints, CliError> {
+    let eps: f64 = args
+        .required("eps")?
+        .parse()
+        .map_err(|_| CliError::Parse("--eps: not a number".into()))?;
+    let eta: usize = args
+        .required("eta")?
+        .parse()
+        .map_err(|_| CliError::Parse("--eta: not an integer".into()))?;
+    Ok(DistanceConstraints::new(eps, eta))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    use disc::serve::{EngineBackend, Server, ServerConfig};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let max_queue: usize = args.num("max-queue", 64)?;
+    if max_queue == 0 {
+        return Err(CliError::Parse("--max-queue must be at least 1".into()));
+    }
+    let kappa: usize = args.num("kappa", 2)?;
+    let snapshot_every: u64 = args.num("snapshot-every", 0)?;
+    if snapshot_every > 0 && args.get("wal").is_none() {
+        return Err(CliError::Parse("--snapshot-every requires --wal".into()));
+    }
+    let options = StoreOptions {
+        snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+    };
+
+    let backend = match args.get("wal") {
+        Some(dir) => {
+            let path = Path::new(dir);
+            // Reopen an existing store (recovering exactly as `recover`
+            // would); only a missing one needs --eps/--eta to create.
+            match DurableEngine::open(path, stream_saver_from_config, options) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "reopened {dir}: generation {}, {} WAL records replayed",
+                        report.generation, report.replayed_records
+                    );
+                    EngineBackend::Durable(store)
+                }
+                Err(disc::persist::Error::StoreMissing { .. }) => {
+                    let c = explicit_constraints(args)?;
+                    let arity: usize = args.num("arity", 2)?;
+                    let schema = Schema::numeric(arity);
+                    let saver = SaverConfig::new(c, schema.tuple_distance(Norm::L2))
+                        .kappa(kappa.max(1))
+                        .build_approx()
+                        .map_err(|e| CliError::Validation(e.to_string()))?;
+                    let store = DurableEngine::create(
+                        path,
+                        schema,
+                        Box::new(saver),
+                        encode_stream_config(c, kappa),
+                        options,
+                    )
+                    .map_err(persist_err)?;
+                    eprintln!("created durable store in {dir}");
+                    EngineBackend::Durable(store)
+                }
+                Err(e) => return Err(persist_err(e)),
+            }
+        }
+        None => {
+            let c = explicit_constraints(args)?;
+            let arity: usize = args.num("arity", 2)?;
+            let schema = Schema::numeric(arity);
+            let saver = SaverConfig::new(c, schema.tuple_distance(Norm::L2))
+                .kappa(kappa.max(1))
+                .build_approx()
+                .map_err(|e| CliError::Validation(e.to_string()))?;
+            EngineBackend::Memory(DiscEngine::new(schema, Box::new(saver)))
+        }
+    };
+
+    install_shutdown_signals();
+    let handle = Server::start(
+        backend,
+        ServerConfig {
+            addr,
+            max_queue,
+            shutdown_flag: Some(&SERVE_SHUTDOWN),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CliError::Io(format!("binding listener: {e}")))?;
+    // First stdout line is machine-readable: callers binding port 0
+    // parse the ephemeral port from it.
+    println!("listening on {}", handle.addr());
+    let report = handle.wait();
+    println!(
+        "shutdown complete: generation {}, {} rows",
+        report.generation,
+        report.state.len()
+    );
+    match report.close_error {
+        Some(e) => Err(CliError::Io(format!("closing durable store: {e}"))),
+        None => Ok(()),
+    }
+}
+
 fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     let pred = read_labels(args.required("labels")?)?;
     let truth = read_labels(args.required("truth")?)?;
@@ -544,7 +687,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
 
 fn usage() -> CliError {
     CliError::Parse(
-        "usage: disc <generate|params|detect|repair|cluster|stream|recover|evaluate> [flags]\n\
+        "usage: disc <generate|params|detect|repair|cluster|stream|recover|serve|evaluate> [flags]\n\
          run with a subcommand; see the crate docs for the flag reference"
             .to_string(),
     )
@@ -569,6 +712,7 @@ fn main() -> ExitCode {
         Some("cluster") => cmd_cluster(&args),
         Some("stream") => cmd_stream(&args),
         Some("recover") => cmd_recover(&args),
+        Some("serve") => cmd_serve(&args),
         Some("evaluate") => cmd_evaluate(&args),
         _ => Err(usage()),
     };

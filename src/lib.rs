@@ -49,7 +49,11 @@
 //! * [`obs`] — observability: stage timers, search counters, per-run
 //!   statistics ([`core::SaveReport::stats`]) and the `--stats` JSON export;
 //! * [`persist`] — crash-safe engine state: checksummed snapshots plus a
-//!   write-ahead ingest log with deterministic recovery.
+//!   write-ahead ingest log with deterministic recovery;
+//! * [`serve`] — a concurrent multi-client TCP serving layer
+//!   (newline-delimited JSON) with single-writer batch coalescing,
+//!   snapshot reads, admission-control backpressure, and graceful
+//!   WAL-draining shutdown.
 
 pub use disc_cleaning as cleaning;
 pub use disc_clustering as clustering;
@@ -61,6 +65,7 @@ pub use disc_metrics as metrics;
 pub use disc_ml as ml;
 pub use disc_obs as obs;
 pub use disc_persist as persist;
+pub use disc_serve as serve;
 
 /// Commonly used items in one import.
 pub mod prelude {
