@@ -1,0 +1,135 @@
+//! Criterion bench for the sharded engine's query fan-out: range scans
+//! over a 1-shard vs a multi-shard [`ShardedEngine`] holding the same
+//! rows.
+//!
+//! Before timing anything, the harness asserts the claims that make the
+//! wall-clock comparison meaningful, in deterministic *work* terms:
+//!
+//! 1. **Balance** — the hash partition spreads rows evenly: the
+//!    largest shard holds less than 2× the rows of the smallest.
+//! 2. **Equivalence** — both engines answer an identical query workload
+//!    with identical results (sharding is a pure execution knob).
+//! 3. **Per-thread work** — the busiest shard of the multi-shard engine
+//!    visits strictly fewer candidate rows than the single shard does
+//!    for the same workload: the critical path per worker thread
+//!    shrinks, which is the whole point of fanning out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_core::{DiscEngine, DistanceConstraints, SaverConfig, ShardedEngine};
+use disc_data::{ClusterSpec, Dataset, ErrorInjector};
+use disc_distance::TupleDistance;
+
+// Large enough that every shard of the multi-shard engine sits well
+// above the DynamicIndex auto-index threshold (512 rows): the
+// per-thread work comparison is grid-vs-grid, not grid-vs-brute.
+const N: usize = 6000;
+const SHARDS: usize = 4;
+const QUERIES: usize = 200;
+const EPS: f64 = 2.5;
+
+fn workload() -> Dataset {
+    let mut ds = ClusterSpec::new(N, 3, 4, 17).generate();
+    ErrorInjector::new(N / 20, N / 100, 19).inject(&mut ds);
+    ds
+}
+
+fn engine_with(ds: &Dataset, shards: usize) -> ShardedEngine {
+    let saver = SaverConfig::new(
+        DistanceConstraints::new(EPS, 5),
+        TupleDistance::numeric(ds.arity()),
+    )
+    .kappa(2)
+    .build_approx()
+    .unwrap();
+    let mut engine = DiscEngine::with_shards(ds.schema().clone(), Box::new(saver), shards);
+    engine.ingest(ds.rows().to_vec()).expect("finite data");
+    engine
+}
+
+/// The fixed query workload: one ε-range scan per probe row.
+fn scan(engine: &ShardedEngine, ds: &Dataset) -> usize {
+    let mut hits = 0;
+    for row in ds.rows().iter().take(QUERIES) {
+        hits += engine.range(row, EPS).len();
+    }
+    hits
+}
+
+/// Candidate rows visited per shard since `before`, per
+/// [`ShardedEngine::shard_stats`].
+fn visited_delta(engine: &ShardedEngine, before: &[u64]) -> Vec<u64> {
+    engine
+        .shard_stats()
+        .iter()
+        .zip(before)
+        .map(|(s, b)| s.rows_visited - b)
+        .collect()
+}
+
+fn visited_now(engine: &ShardedEngine) -> Vec<u64> {
+    engine
+        .shard_stats()
+        .iter()
+        .map(|s| s.rows_visited)
+        .collect()
+}
+
+/// The pre-timing assertions: balance, equivalence, per-thread work.
+fn assert_fanout_pays(ds: &Dataset, single: &ShardedEngine, sharded: &ShardedEngine) {
+    let stats = sharded.shard_stats();
+    let (min_rows, max_rows) = stats.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+        (lo.min(s.rows), hi.max(s.rows))
+    });
+    assert!(min_rows >= 1, "every shard must own rows at N={N}");
+    assert!(
+        (max_rows as f64) < 2.0 * min_rows as f64,
+        "unbalanced partition: shard rows span {min_rows}..{max_rows} (ratio ≥ 2)"
+    );
+
+    // Identical answers, and the per-shard work for the same workload.
+    let single_before = visited_now(single);
+    let sharded_before = visited_now(sharded);
+    for row in ds.rows().iter().take(QUERIES) {
+        // Range hits are the same *set* under any shard count; the
+        // concatenation order is per-layout. k-NN merges to one order.
+        let mut a = single.range(row, EPS);
+        let mut b = sharded.range(row, EPS);
+        a.sort_unstable_by_key(|&(id, _)| id);
+        b.sort_unstable_by_key(|&(id, _)| id);
+        assert_eq!(a, b);
+        assert_eq!(single.knn(row, 5), sharded.knn(row, 5));
+    }
+    let single_total: u64 = visited_delta(single, &single_before).iter().sum();
+    let per_shard = visited_delta(sharded, &sharded_before);
+    let busiest = *per_shard.iter().max().unwrap();
+    let laziest = *per_shard.iter().min().unwrap();
+    assert!(
+        laziest >= 1 && (busiest as f64) < 2.0 * laziest as f64,
+        "unbalanced fan-out work: per-shard rows visited span {laziest}..{busiest} (ratio ≥ 2)"
+    );
+    assert!(
+        busiest < single_total,
+        "busiest shard visited {busiest} rows vs {single_total} on one shard: \
+         fan-out must shrink the per-thread critical path"
+    );
+}
+
+fn bench_sharded_scan(c: &mut Criterion) {
+    let ds = workload();
+    let single = engine_with(&ds, 1);
+    let sharded = engine_with(&ds, SHARDS);
+    assert_fanout_pays(&ds, &single, &sharded);
+
+    let mut group = c.benchmark_group("sharded_scan");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("shards", 1usize), &1usize, |b, _| {
+        b.iter(|| scan(&single, &ds))
+    });
+    group.bench_with_input(BenchmarkId::new("shards", SHARDS), &SHARDS, |b, _| {
+        b.iter(|| scan(&sharded, &ds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scan);
+criterion_main!(benches);

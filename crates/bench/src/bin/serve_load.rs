@@ -10,8 +10,12 @@
 //! machine-readable accounting line:
 //!
 //! ```text
-//! acked_batches=N acked_rows=N overloaded=K errors=0
+//! acked_batches=N acked_rows=N overloaded=K errors=0 p50_ms=M p99_ms=M
 //! ```
+//!
+//! `p50_ms`/`p99_ms` are nearest-rank percentiles of the round-trip
+//! time of every answered ingest (acked or overloaded), merged across
+//! clients; both read `nan` when no request was answered.
 //!
 //! A harness asserts the server's durability contract against it: after
 //! a graceful shutdown, a recovered store must hold exactly
@@ -55,8 +59,13 @@ fn main() -> ExitCode {
         num("seed", 7),
     );
     println!(
-        "acked_batches={} acked_rows={} overloaded={} errors={}",
-        report.acked_batches, report.acked_rows, report.overloaded, report.errors
+        "acked_batches={} acked_rows={} overloaded={} errors={} p50_ms={:.3} p99_ms={:.3}",
+        report.acked_batches,
+        report.acked_rows,
+        report.overloaded,
+        report.errors,
+        report.p50_ms().unwrap_or(f64::NAN),
+        report.p99_ms().unwrap_or(f64::NAN)
     );
     if report.errors > 0 {
         ExitCode::FAILURE

@@ -122,7 +122,7 @@ pub fn ingest_line(rows: &[Vec<Value>]) -> String {
 }
 
 /// Aggregate accounting from [`run_load`], summed over every client.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadReport {
     /// Batches acknowledged by the server.
     pub acked_batches: u64,
@@ -133,6 +133,35 @@ pub struct LoadReport {
     pub overloaded: u64,
     /// Connection failures and non-overload errors.
     pub errors: u64,
+    /// Round-trip wall time, in milliseconds, of every ingest request
+    /// the server answered (acked or overloaded), across all clients.
+    /// Unordered — concurrent clients interleave.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadReport {
+    /// The nearest-rank `p`-th percentile (0 < p ≤ 100) of the answered
+    /// request latencies; `None` when nothing was measured. NaN-free by
+    /// construction, ordered with [`f64::total_cmp`].
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Median answered-request latency in milliseconds.
+    pub fn p50_ms(&self) -> Option<f64> {
+        self.percentile_ms(50.0)
+    }
+
+    /// 99th-percentile answered-request latency in milliseconds.
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.percentile_ms(99.0)
+    }
 }
 
 /// Drives `clients` concurrent connections, each sending `batches`
@@ -166,12 +195,19 @@ pub fn run_load(
                                     ]
                                 })
                                 .collect();
-                            match conn.ingest(&rows) {
+                            let sent = std::time::Instant::now();
+                            let outcome = conn.ingest(&rows);
+                            let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+                            match outcome {
                                 Ok(IngestOutcome::Acked { .. }) => {
                                     local.acked_batches += 1;
                                     local.acked_rows += rows.len() as u64;
+                                    local.latencies_ms.push(elapsed_ms);
                                 }
-                                Ok(IngestOutcome::Overloaded) => local.overloaded += 1,
+                                Ok(IngestOutcome::Overloaded) => {
+                                    local.overloaded += 1;
+                                    local.latencies_ms.push(elapsed_ms);
+                                }
                                 Ok(IngestOutcome::Failed { .. }) | Err(_) => local.errors += 1,
                             }
                         }
@@ -183,6 +219,7 @@ pub fn run_load(
                 t.acked_rows += local.acked_rows;
                 t.overloaded += local.overloaded;
                 t.errors += local.errors;
+                t.latencies_ms.extend(local.latencies_ms);
             });
         }
     });
@@ -192,6 +229,20 @@ pub fn run_load(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let report = LoadReport {
+            latencies_ms: vec![5.0, 1.0, 3.0, 2.0, 4.0],
+            ..LoadReport::default()
+        };
+        // Nearest rank over the sorted [1, 2, 3, 4, 5]: ⌈0.5·5⌉ = 3rd
+        // and ⌈0.99·5⌉ = 5th values.
+        assert_eq!(report.p50_ms(), Some(3.0));
+        assert_eq!(report.p99_ms(), Some(5.0));
+        assert_eq!(report.percentile_ms(100.0), Some(5.0));
+        assert_eq!(LoadReport::default().p50_ms(), None);
+    }
 
     #[test]
     fn ingest_line_shape() {

@@ -1,21 +1,27 @@
 //! The incremental streaming engine: ingest micro-batches, re-save only
-//! what changed.
+//! what changed — with rows hash-partitioned across shards.
 //!
-//! [`DiscEngine`] owns the dataset, a [`DynamicIndex`] over it, and a
-//! [`NeighborCache`] of per-row ε-neighbor
-//! counts and per-inlier `δ_η` lists. Each [`DiscEngine::ingest`] call:
+//! [`ShardedEngine`] owns the dataset and hash-partitions its rows
+//! across `S` shards ([`crate::shard`]); each shard owns its own
+//! [`DynamicIndex`](disc_index::DynamicIndex) pair and [`NeighborCache`]
+//! slice. Each
+//! [`ShardedEngine::ingest`] call:
 //!
-//! 1. appends the batch and updates counts *incrementally* — one range
-//!    query per new tuple, bumping the cached count of every old row it
-//!    lands within ε of (rows untouched by any query keep their cached
-//!    count: `engine.cache_hits`);
+//! 1. appends the batch (each row to its hash-assigned shard) and
+//!    updates counts *incrementally* — one ε-range query per new tuple,
+//!    fanned out across shards on scoped threads and merged by summing
+//!    the per-shard hit counts; every old row a query lands within ε of
+//!    gets its cached count bumped (rows untouched by any query keep
+//!    their cached count: `engine.cache_hits`);
 //! 2. re-classifies only rows whose count changed — because counts never
 //!    decrease, inliers stay inliers and the only transitions are new
 //!    rows settling and old outliers being *promoted* (their adjusted
 //!    values, if any, are reverted to the original ingested values);
-//! 3. maintains the `δ_η` lists: existing inliers observe their distance
-//!    to each newly established inlier, new inliers get a fresh η-NN
-//!    query against the inlier-only index;
+//! 3. maintains the `δ_η` lists: each shard's existing inliers observe
+//!    their distance to each newly established inlier in parallel
+//!    (per-shard caches are disjoint), and new inliers get a fresh η-NN
+//!    query fanned out over the per-shard inlier indexes, merged by
+//!    `(total_cmp distance, global id)` and truncated to η;
 //! 4. computes the *dirty set* — the outliers whose save outcome could
 //!    have changed: the new outliers plus any previously skipped/failed
 //!    rows, widened to *all* current outliers iff the inlier set grew
@@ -29,42 +35,46 @@
 //! *original* ingested values (adjustments live only in the output
 //! dataset), the RSet lists inliers in ascending row order, and dirty
 //! outliers are saved in ascending row order — exactly the batch
-//! pipeline's conventions. After any sequence of ingests the engine's
-//! classification and saved dataset are identical to one batch
-//! `save_all` over the concatenated data (see the
-//! `engine_equivalence` proptest), for every worker count.
+//! pipeline's conventions. Sharding adds nothing observable: a range
+//! count is the sum of per-shard hit counts (the shards partition the
+//! rows, so hit sets union disjointly), and a merged η-NN list carries
+//! the same distance *multiset* as a single-shard query (each shard's
+//! contribution to the global top-η is contained in its local top-η).
+//! After any sequence of ingests the engine's classification and saved
+//! dataset are identical to one batch `save_all` over the concatenated
+//! data — **for every shard count and every worker count** (see the
+//! `engine_equivalence` and `sharded_equivalence` proptests).
 
 use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use disc_data::{Dataset, Schema};
 use disc_distance::Value;
-use disc_index::{DynamicIndex, DynamicNeighborIndex, NeighborIndex, NonNumericCell};
+use disc_index::{DynamicNeighborIndex, NeighborIndex, NonNumericCell};
 use disc_obs::{counters, PipelineStats, Snapshot};
 
 use crate::cache::NeighborCache;
 use crate::error::Error;
 use crate::pipeline::{save_outlier_rows, SaveReport};
+use crate::query::{Query, Response};
 use crate::rset::RSet;
 use crate::saver::Saver;
+use crate::shard::{self, EngineShard, ShardMap, ShardStats};
 
 /// A long-lived incremental DISC engine; see the [module docs](self).
-pub struct DiscEngine {
+pub struct ShardedEngine {
     saver: Box<dyn Saver>,
-    /// Original (as-ingested) values of every row. Detection, `δ_η`
-    /// maintenance, and saving always read these.
+    /// Original (as-ingested) values of every row, in global id order.
+    /// Detection, `δ_η` maintenance, and saving always read these.
     original: Vec<Vec<Value>>,
     /// The output dataset: original values with the current adjustment
     /// applied to each saved outlier.
     current: Dataset,
-    cache: NeighborCache,
-    /// All rows, original values — answers the per-new-tuple ε-range
-    /// queries of the count update.
-    full_index: DynamicIndex,
-    /// Inlier rows only, original values — answers the η-NN queries that
-    /// seed a new inlier's `δ_η` list. Insertion order is irrelevant:
-    /// only distance *values* are read from it.
-    inlier_index: DynamicIndex,
+    /// Global ↔ (shard, local) id bijection.
+    map: ShardMap,
+    /// The partitions: per-shard index pair + neighbor-cache slice.
+    shards: Vec<EngineShard>,
     inlier_count: usize,
     /// Outliers whose last save attempt was skipped (budget) or failed
     /// (panic); retried on the next ingest.
@@ -79,21 +89,31 @@ pub struct DiscEngine {
     generation: u64,
 }
 
-/// A complete, self-contained image of a [`DiscEngine`]'s logical state,
-/// produced by [`DiscEngine::export_state`] and accepted by
-/// [`DiscEngine::restore`].
+/// The sharded engine at `S = 1` behaves exactly like the original
+/// single-partition engine — and produces bit-identical results at any
+/// other `S` too — so the historical name is a plain alias.
+pub type DiscEngine = ShardedEngine;
+
+/// A complete, self-contained image of a [`ShardedEngine`]'s logical
+/// state, produced by [`ShardedEngine::export_state`] and accepted by
+/// [`ShardedEngine::restore`].
 ///
 /// The image holds everything that cannot be recomputed cheaply and
 /// deterministically: the as-ingested rows, the output rows (original
-/// values with saved adjustments applied), the neighbor-cache tables,
-/// and the pending retry set. The two dynamic indexes and the cached
-/// `RSet` are deliberately *not* part of the image — they are rebuilt on
-/// restore from the rows, which keeps the on-disk format independent of
-/// index-backend internals (backend choice affects only query cost,
+/// values with saved adjustments applied), the neighbor-cache tables
+/// (in global id order — shard-agnostic), and the pending retry set.
+/// The per-shard dynamic indexes and the cached `RSet` are deliberately
+/// *not* part of the image — they are rebuilt on restore from the rows,
+/// which keeps the on-disk format independent of index-backend
+/// internals *and of the shard count* (both affect only query cost,
 /// never query results).
+///
+/// Reads go through [`EngineState::query`]; the legacy read methods are
+/// deprecated shims over it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineState {
-    /// The engine's [generation](DiscEngine::generation) at export time.
+    /// The engine's [generation](ShardedEngine::generation) at export
+    /// time.
     pub generation: u64,
     /// Original (as-ingested) values of every row.
     pub original: Vec<Vec<Value>>,
@@ -111,8 +131,12 @@ pub struct EngineState {
 
 impl EngineState {
     /// Number of rows in the image.
+    #[deprecated(since = "0.9.0", note = "use `query(Query::Len)`")]
     pub fn len(&self) -> usize {
-        self.original.len()
+        match self.query(Query::Len) {
+            Response::Len(n) => n,
+            _ => unreachable!("Query::Len answers Response::Len"),
+        }
     }
 
     /// True when the image holds no rows.
@@ -122,40 +146,74 @@ impl EngineState {
 
     /// True when `row` was classified an inlier at export time (a `δ_η`
     /// list is cached for it). Out-of-range rows are not inliers.
+    #[deprecated(since = "0.9.0", note = "use `query(Query::IsInlier { row })`")]
     pub fn is_inlier(&self, row: usize) -> bool {
-        self.nearest.get(row).is_some_and(|n| n.is_some())
+        match self.query(Query::IsInlier { row }) {
+            Response::IsInlier(b) => b,
+            _ => unreachable!("Query::IsInlier answers Response::IsInlier"),
+        }
     }
 
     /// Cached ε-neighbor count of `row` (self-inclusive), or `None` for
     /// an out-of-range row.
+    #[deprecated(since = "0.9.0", note = "use `query(Query::NeighborCount { row })`")]
     pub fn neighbor_count(&self, row: usize) -> Option<usize> {
-        self.counts.get(row).copied()
+        match self.query(Query::NeighborCount { row }) {
+            Response::NeighborCount(c) => c,
+            _ => unreachable!("Query::NeighborCount answers Response::NeighborCount"),
+        }
     }
 
     /// Output values of `row` (original + current adjustments), or
     /// `None` for an out-of-range row.
+    #[deprecated(since = "0.9.0", note = "use `query(Query::CurrentRow { row })`")]
     pub fn current_row(&self, row: usize) -> Option<&[Value]> {
-        self.current.get(row).map(Vec::as_slice)
+        match self.query(Query::CurrentRow { row }) {
+            Response::CurrentRow(r) => r,
+            _ => unreachable!("Query::CurrentRow answers Response::CurrentRow"),
+        }
     }
 
     /// Original (as-ingested) values of `row`, or `None` for an
     /// out-of-range row.
+    #[deprecated(since = "0.9.0", note = "use `query(Query::OriginalRow { row })`")]
     pub fn original_row(&self, row: usize) -> Option<&[Value]> {
-        self.original.get(row).map(Vec::as_slice)
+        match self.query(Query::OriginalRow { row }) {
+            Response::OriginalRow(r) => r,
+            _ => unreachable!("Query::OriginalRow answers Response::OriginalRow"),
+        }
     }
 
     /// Rows classified outliers at export time, ascending.
+    #[deprecated(since = "0.9.0", note = "use `query(Query::Outliers)`")]
     pub fn outliers(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| !self.is_inlier(i)).collect()
+        match self.query(Query::Outliers) {
+            Response::Outliers(rows) => rows,
+            _ => unreachable!("Query::Outliers answers Response::Outliers"),
+        }
     }
 }
 
-impl DiscEngine {
-    /// An empty engine over `schema`, saving with `saver`.
+impl ShardedEngine {
+    /// An empty engine over `schema`, saving with `saver`, partitioned
+    /// across [`shard::default_shards`] shards.
     ///
     /// # Panics
     /// Panics if the schema arity differs from the saver's metric arity.
     pub fn new(schema: Schema, saver: Box<dyn Saver>) -> Self {
+        Self::with_shards(schema, saver, shard::default_shards())
+    }
+
+    /// An empty engine partitioned across exactly `shards` shards.
+    /// Results are bit-identical for every shard count; the count only
+    /// changes how queries parallelize.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero (resolve `0 = auto` with
+    /// [`shard::resolve_shards`] first) or if the schema arity differs
+    /// from the saver's metric arity.
+    pub fn with_shards(schema: Schema, saver: Box<dyn Saver>, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
         assert_eq!(
             schema.arity(),
             saver.distance().arity(),
@@ -164,12 +222,13 @@ impl DiscEngine {
         let eps = saver.constraints().eps;
         let eta = saver.constraints().eta;
         let dist = saver.distance().clone();
-        DiscEngine {
+        ShardedEngine {
             current: Dataset::new(schema, Vec::new()),
             original: Vec::new(),
-            cache: NeighborCache::new(eta),
-            full_index: DynamicIndex::new(dist.clone(), eps),
-            inlier_index: DynamicIndex::new(dist, eps),
+            map: ShardMap::new(shards),
+            shards: (0..shards)
+                .map(|_| EngineShard::new(dist.clone(), eps, eta))
+                .collect(),
             inlier_count: 0,
             pending: BTreeSet::new(),
             rset: None,
@@ -186,6 +245,11 @@ impl DiscEngine {
     /// True before the first tuple arrives.
     pub fn is_empty(&self) -> bool {
         self.original.is_empty()
+    }
+
+    /// Number of shards rows are partitioned across.
+    pub fn shards(&self) -> usize {
+        self.map.shards()
     }
 
     /// The saver driving detection and saving.
@@ -211,19 +275,25 @@ impl DiscEngine {
 
     /// The cached ε-neighbor count of `row` (self-inclusive).
     pub fn neighbor_count(&self, row: usize) -> usize {
-        self.cache.count(row)
+        let (s, l) = self.map.locate(row);
+        self.shards[s].cache.count(l)
     }
 
     /// True when `row` currently satisfies the distance constraints.
     pub fn is_inlier(&self, row: usize) -> bool {
-        self.cache.is_inlier(row)
+        let (s, l) = self.map.locate(row);
+        self.shards[s].cache.is_inlier(l)
+    }
+
+    /// True when `row`'s cached count meets the η threshold.
+    fn satisfies(&self, row: usize) -> bool {
+        let (s, l) = self.map.locate(row);
+        self.shards[s].cache.satisfies(l)
     }
 
     /// Rows currently classified outliers, ascending.
     pub fn outliers(&self) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&i| !self.cache.is_inlier(i))
-            .collect()
+        (0..self.len()).filter(|&i| !self.is_inlier(i)).collect()
     }
 
     /// Outliers whose last save attempt was skipped or failed; they are
@@ -238,15 +308,103 @@ impl DiscEngine {
         self.generation
     }
 
+    /// Answers one typed read against the live engine — same contract as
+    /// [`EngineState::query`] on an export, without materializing one.
+    pub fn query(&self, query: Query) -> Response<'_> {
+        match query {
+            Query::Len => Response::Len(self.len()),
+            Query::IsInlier { row } => Response::IsInlier(row < self.len() && self.is_inlier(row)),
+            Query::NeighborCount { row } => {
+                Response::NeighborCount((row < self.len()).then(|| self.neighbor_count(row)))
+            }
+            Query::CurrentRow { row } => {
+                Response::CurrentRow(self.current.rows().get(row).map(Vec::as_slice))
+            }
+            Query::OriginalRow { row } => {
+                Response::OriginalRow(self.original.get(row).map(Vec::as_slice))
+            }
+            Query::Outliers => Response::Outliers(self.outliers()),
+        }
+    }
+
+    /// ε-range query over all ingested rows (original values), fanned
+    /// out across shards and concatenated in shard order: `(global id,
+    /// distance)` pairs. The hit *set* equals a single-shard query's for
+    /// any shard count (shards partition the rows).
+    pub fn range(&self, query: &[Value], eps: f64) -> Vec<(usize, f64)> {
+        let workers = self.saver.parallelism().workers();
+        let map = &self.map;
+        let parts = shard::fanout_ref(&self.shards, workers, |s, shard| {
+            shard.range_queries.fetch_add(1, Ordering::Relaxed);
+            counters::SHARD_RANGE_QUERIES.incr();
+            shard
+                .full_index
+                .range(query, eps)
+                .into_iter()
+                .map(|(l, d)| (map.global(s, l as usize), d))
+                .collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// k-NN over all ingested rows (original values): per-shard top-k,
+    /// merged by `(total_cmp distance, global id)` and truncated to `k`
+    /// — deterministic and shard-count-independent in its distances.
+    pub fn knn(&self, query: &[Value], k: usize) -> Vec<(usize, f64)> {
+        let workers = self.saver.parallelism().workers();
+        let map = &self.map;
+        let parts = shard::fanout_ref(&self.shards, workers, |s, shard| {
+            shard
+                .full_index
+                .knn(query, k)
+                .into_iter()
+                .map(|(l, d)| (map.global(s, l as usize), d))
+                .collect::<Vec<_>>()
+        });
+        let mut merged: Vec<(usize, f64)> = parts.into_iter().flatten().collect();
+        merged.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        merged
+    }
+
+    /// Per-shard balance and effort accounting (rows owned, logical
+    /// range queries, candidate rows visited, index rebuilds).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let activity = shard.activity();
+                ShardStats {
+                    shard: s,
+                    rows: self.map.globals(s).len(),
+                    range_queries: shard.range_queries.load(Ordering::Relaxed),
+                    rows_visited: activity.rows_visited,
+                    rebuilds: activity.rebuilds,
+                }
+            })
+            .collect()
+    }
+
+    /// Flushes each shard's index-rebuild delta to `shard.rebuilds`.
+    /// Called once per ingest, after the last index mutation.
+    fn flush_shard_rebuilds(&mut self) {
+        for shard in &mut self.shards {
+            let total = shard.activity().rebuilds;
+            counters::SHARD_REBUILDS.add(total - shard.reported_rebuilds);
+            shard.reported_rebuilds = total;
+        }
+    }
+
     /// Validates a batch without mutating anything — exactly the check
-    /// [`DiscEngine::ingest`] performs before touching state. The
+    /// [`ShardedEngine::ingest`] performs before touching state. The
     /// persistence layer calls this *before* appending the batch to its
     /// write-ahead log, so a batch the engine would reject is never made
     /// durable.
     ///
     /// # Errors
-    /// Same contract as [`DiscEngine::ingest`]: a wrong-arity row or a
-    /// non-finite numeric cell.
+    /// Same contract as [`ShardedEngine::ingest`]: a wrong-arity row or
+    /// a non-finite numeric cell.
     pub fn validate_batch(&self, batch: &[Vec<Value>]) -> Result<(), Error> {
         let m = self.saver.distance().arity();
         for (i, row) in batch.iter().enumerate() {
@@ -283,27 +441,67 @@ impl DiscEngine {
         counters::ENGINE_ROWS_INGESTED.add(batch.len() as u64);
         let mut stats = PipelineStats::default();
         let constraints = self.saver.constraints();
+        let eps = constraints.eps;
+        let workers = self.saver.parallelism().workers();
         let first_new = self.original.len();
 
-        // Phase 1: append everywhere, then one ε-range query per new
-        // tuple updates every affected cached count.
+        // Phase 1: append everywhere (each row to its hash-assigned
+        // shard), then one ε-range query per new tuple — fanned out
+        // across shards, counts merged by summing per-shard hits —
+        // updates every affected cached count.
         let t_detect = Instant::now();
         for row in batch {
+            let g = self.original.len();
             self.current.push(row.clone());
             self.original.push(row.clone());
-            self.full_index.insert(row);
-            self.cache.push_row(0);
+            let (s, _) = self.map.push(g);
+            counters::SHARD_ROWS.incr();
+            self.shards[s].full_index.insert(row);
+            self.shards[s].cache.push_row(0);
         }
         let n = self.original.len();
+        let new_count = n - first_new;
+        // per_shard[s][i] = (hits in shard s for new row first_new+i,
+        //                    old global ids among them)
+        let per_shard: Vec<Vec<(usize, Vec<usize>)>> = if new_count > 0 {
+            let original = &self.original;
+            let map = &self.map;
+            shard::fanout_mut(&mut self.shards, workers, |s, shard| {
+                shard
+                    .range_queries
+                    .fetch_add(new_count as u64, Ordering::Relaxed);
+                counters::SHARD_RANGE_QUERIES.add(new_count as u64);
+                let globals = map.globals(s);
+                (first_new..n)
+                    .map(|g| {
+                        let hits = shard.full_index.range(&original[g], eps);
+                        let mut old = Vec::new();
+                        for &(l, _) in &hits {
+                            let h = globals[l as usize];
+                            if h < first_new {
+                                old.push(h);
+                            }
+                        }
+                        (hits.len(), old)
+                    })
+                    .collect()
+            })
+        } else {
+            Vec::new()
+        };
         let mut bumped: BTreeSet<usize> = BTreeSet::new();
-        for g in first_new..n {
-            let hits = self.full_index.range(&self.original[g], constraints.eps);
-            // Self-inclusive: the query row is in the index, at distance 0.
-            self.cache.set_count(g, hits.len());
-            for &(h, _) in &hits {
-                let h = h as usize;
-                if h < first_new {
-                    self.cache.bump(h);
+        for (i, g) in (first_new..n).enumerate() {
+            // Self-inclusive: the query row is in exactly one shard's
+            // index, at distance 0, so the sum counts it once.
+            let count: usize = per_shard.iter().map(|rows| rows[i].0).sum();
+            let (s, l) = self.map.locate(g);
+            self.shards[s].cache.set_count(l, count);
+        }
+        for rows in &per_shard {
+            for (_, old) in rows {
+                for &h in old {
+                    let (s, l) = self.map.locate(h);
+                    self.shards[s].cache.bump(l);
                     bumped.insert(h);
                 }
             }
@@ -315,7 +513,7 @@ impl DiscEngine {
         // rows settling into a class.
         let mut new_inliers: Vec<usize> = Vec::new();
         for &h in &bumped {
-            if !self.cache.is_inlier(h) && self.cache.satisfies(h) {
+            if !self.is_inlier(h) && self.satisfies(h) {
                 new_inliers.push(h);
                 counters::ENGINE_PROMOTIONS.incr();
                 // A promoted row is no longer saved: its adjusted values
@@ -325,7 +523,7 @@ impl DiscEngine {
             }
         }
         for g in first_new..n {
-            if self.cache.satisfies(g) {
+            if self.satisfies(g) {
                 new_inliers.push(g);
             }
         }
@@ -333,40 +531,74 @@ impl DiscEngine {
         // Phase 3: maintain the δ_η lists.
         if !new_inliers.is_empty() {
             for &i in &new_inliers {
-                self.inlier_index.insert(self.original[i].clone());
+                let (s, _) = self.map.locate(i);
+                self.shards[s].inlier_index.insert(self.original[i].clone());
+                self.shards[s].inlier_globals.push(i);
             }
-            // New inliers (promoted and fresh alike) have no list yet, so
-            // `is_inlier` here selects exactly the pre-existing inliers.
-            for j in 0..first_new {
-                if self.cache.is_inlier(j) {
-                    for &i in &new_inliers {
-                        let d = self
-                            .saver
-                            .distance()
-                            .dist(&self.original[j], &self.original[i]);
-                        self.cache.observe_inlier_distance(j, d);
+            // Each shard's pre-existing inliers observe their distance
+            // to every new inlier. New inliers (promoted and fresh
+            // alike) have no list yet, so `is_inlier` here selects
+            // exactly the pre-existing ones; per-shard caches are
+            // disjoint, so the fan-out mutates without overlap, and the
+            // observed distance multiset per row is fan-out-independent.
+            let original = &self.original;
+            let map = &self.map;
+            let dist = self.saver.distance();
+            let new_list = &new_inliers;
+            shard::fanout_mut(&mut self.shards, workers, |s, shard| {
+                let globals = map.globals(s);
+                for (l, &j) in globals.iter().enumerate().take(shard.cache.len()) {
+                    if j < first_new && shard.cache.is_inlier(l) {
+                        for &i in new_list {
+                            let d = dist.dist(&original[j], &original[i]);
+                            shard.cache.observe_inlier_distance(l, d);
+                        }
                     }
                 }
-            }
-            for &i in &new_inliers {
-                let list: Vec<f64> = self
-                    .inlier_index
-                    .knn(&self.original[i], constraints.eta)
-                    .into_iter()
-                    .map(|(_, d)| d)
-                    .collect();
-                self.cache.set_inlier_list(i, list);
+            });
+            // η-NN per new inlier: per-shard top-η against the inlier
+            // indexes, merged by (total_cmp distance, global id). Each
+            // shard's members of the global top-η are that shard's
+            // closest, hence inside its local top-η — so the merged
+            // distance multiset equals a single-shard query's.
+            let knn_parts: Vec<Vec<Vec<(f64, usize)>>> =
+                shard::fanout_mut(&mut self.shards, workers, |_, shard| {
+                    new_list
+                        .iter()
+                        .map(|&i| {
+                            shard
+                                .inlier_index
+                                .knn(&original[i], constraints.eta)
+                                .into_iter()
+                                .map(|(id, d)| (d, shard.inlier_globals[id as usize]))
+                                .collect::<Vec<(f64, usize)>>()
+                        })
+                        .collect()
+                });
+            for (offset, &i) in new_inliers.iter().enumerate() {
+                let mut candidates: Vec<(f64, usize)> = Vec::new();
+                for part in &knn_parts {
+                    candidates.extend_from_slice(&part[offset]);
+                }
+                candidates.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                candidates.truncate(constraints.eta);
+                let list: Vec<f64> = candidates.into_iter().map(|(d, _)| d).collect();
+                let (s, l) = self.map.locate(i);
+                self.shards[s].cache.set_inlier_list(l, list);
             }
             self.inlier_count += new_inliers.len();
             self.rset = None; // r grew: every cached save outcome is stale
         }
+        // All index mutations for this ingest are done; attribute their
+        // rebuilds to the shard counters.
+        self.flush_shard_rebuilds();
 
         // Phase 4: the dirty set.
         let mut dirty: BTreeSet<usize> = std::mem::take(&mut self.pending);
         if new_inliers.is_empty() {
-            dirty.extend((first_new..n).filter(|&g| !self.cache.satisfies(g)));
+            dirty.extend((first_new..n).filter(|&g| !self.satisfies(g)));
         } else {
-            dirty = (0..n).filter(|&i| !self.cache.is_inlier(i)).collect();
+            dirty = (0..n).filter(|&i| !self.is_inlier(i)).collect();
         }
         let dirty: Vec<usize> = dirty.into_iter().collect();
         counters::ENGINE_DIRTY_ROWS.add(dirty.len() as u64);
@@ -405,9 +637,10 @@ impl DiscEngine {
             let mut rows = Vec::with_capacity(self.inlier_count);
             let mut delta_eta = Vec::with_capacity(self.inlier_count);
             for i in 0..n {
-                if self.cache.is_inlier(i) {
+                if self.is_inlier(i) {
                     rows.push(self.original[i].clone());
-                    delta_eta.push(self.cache.delta_eta(i));
+                    let (s, l) = self.map.locate(i);
+                    delta_eta.push(self.shards[s].cache.delta_eta(l));
                 }
             }
             self.rset = Some(RSet::from_parts(
@@ -434,7 +667,6 @@ impl DiscEngine {
                 message: "internal invariant violated: inlier context missing after build".into(),
             });
         };
-        let workers = self.saver.parallelism().workers();
         let adjustments = save_outlier_rows(
             &*self.saver,
             r,
@@ -468,29 +700,30 @@ impl DiscEngine {
     /// Captures the engine's complete logical state; see [`EngineState`].
     /// Exported at ingest boundaries only (the engine is never observable
     /// mid-ingest), so every image satisfies the classification
-    /// invariants [`DiscEngine::restore`] checks.
+    /// invariants [`ShardedEngine::restore`] checks. The image is in
+    /// global id order — independent of the shard count.
     pub fn export_state(&self) -> EngineState {
+        let n = self.original.len();
+        let mut counts = Vec::with_capacity(n);
+        let mut nearest = Vec::with_capacity(n);
+        for g in 0..n {
+            let (s, l) = self.map.locate(g);
+            counts.push(self.shards[s].cache.count(l));
+            nearest.push(self.shards[s].cache.inlier_lists()[l].clone());
+        }
         EngineState {
             generation: self.generation,
             original: self.original.clone(),
             current: self.current.rows().to_vec(),
-            counts: self.cache.counts().to_vec(),
-            nearest: self.cache.inlier_lists().to_vec(),
+            counts,
+            nearest,
             pending: self.pending.iter().copied().collect(),
         }
     }
 
-    /// Rebuilds an engine from an exported [`EngineState`], recomputing
-    /// the two dynamic indexes from the stored rows (full index in row
-    /// order, inlier index in ascending row order — insertion order only
-    /// affects index internals, never query results) and leaving the
-    /// `RSet` to its usual lazy, deterministic rebuild.
-    ///
-    /// A restored engine is *behaviorally identical* to the engine that
-    /// exported the image: every subsequent [`DiscEngine::ingest`]
-    /// produces bit-identical reports and rows (the crash-equivalence
-    /// suite in `disc-persist` pins this across fault-injected
-    /// interruptions).
+    /// Rebuilds an engine from an exported [`EngineState`] across
+    /// [`shard::default_shards`] shards; see
+    /// [`ShardedEngine::restore_with_shards`].
     ///
     /// # Errors
     /// [`Error::State`] when the image is internally inconsistent: table
@@ -501,12 +734,43 @@ impl DiscEngine {
     ///
     /// # Panics
     /// Panics if the schema arity differs from the saver's metric arity
-    /// (same contract as [`DiscEngine::new`]).
+    /// (same contract as [`ShardedEngine::new`]).
     pub fn restore(
         schema: Schema,
         saver: Box<dyn Saver>,
         state: EngineState,
-    ) -> Result<DiscEngine, Error> {
+    ) -> Result<ShardedEngine, Error> {
+        Self::restore_with_shards(schema, saver, state, shard::default_shards())
+    }
+
+    /// Rebuilds an engine from an exported [`EngineState`], partitioned
+    /// across exactly `shards` shards — the image itself is
+    /// shard-agnostic, so any count works and produces behaviorally
+    /// identical results. Per-shard indexes are recomputed from the
+    /// stored rows (full index in global row order, inlier index in
+    /// ascending row order — insertion order only affects index
+    /// internals, never query results) and the `RSet` is left to its
+    /// usual lazy, deterministic rebuild.
+    ///
+    /// A restored engine is *behaviorally identical* to the engine that
+    /// exported the image: every subsequent [`ShardedEngine::ingest`]
+    /// produces bit-identical reports and rows (the crash-equivalence
+    /// suite in `disc-persist` pins this across fault-injected
+    /// interruptions, and `sharded_equivalence` pins it across shard
+    /// counts).
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedEngine::restore`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or if the schema arity differs from
+    /// the saver's metric arity.
+    pub fn restore_with_shards(
+        schema: Schema,
+        saver: Box<dyn Saver>,
+        state: EngineState,
+        shards: usize,
+    ) -> Result<ShardedEngine, Error> {
         let bad = |message: String| Err(Error::State { message });
         let n = state.original.len();
         if state.current.len() != n || state.counts.len() != n || state.nearest.len() != n {
@@ -518,7 +782,7 @@ impl DiscEngine {
                 state.nearest.len()
             ));
         }
-        let mut engine = DiscEngine::new(schema, saver);
+        let mut engine = ShardedEngine::with_shards(schema, saver, shards);
         let eta = engine.saver.constraints().eta;
         if let Err(e) = engine.validate_batch(&state.original) {
             return bad(format!("original rows invalid: {e}"));
@@ -562,19 +826,38 @@ impl DiscEngine {
         }
 
         for (i, row) in state.original.iter().enumerate() {
-            engine.full_index.insert(row.clone());
+            let (s, _) = engine.map.push(i);
+            counters::SHARD_ROWS.incr();
+            engine.shards[s].full_index.insert(row.clone());
             if state.nearest[i].is_some() {
-                engine.inlier_index.insert(row.clone());
+                engine.shards[s].inlier_index.insert(row.clone());
+                engine.shards[s].inlier_globals.push(i);
                 engine.inlier_count += 1;
             }
+        }
+        // Slice the global cache tables into per-shard local-id order.
+        for s in 0..engine.shards.len() {
+            let counts: Vec<usize> = engine
+                .map
+                .globals(s)
+                .iter()
+                .map(|&g| state.counts[g])
+                .collect();
+            let nearest: Vec<Option<Vec<f64>>> = engine
+                .map
+                .globals(s)
+                .iter()
+                .map(|&g| state.nearest[g].clone())
+                .collect();
+            engine.shards[s].cache = NeighborCache::from_parts(eta, counts, nearest);
         }
         engine.original = state.original;
         for row in &state.current {
             engine.current.push(row.clone());
         }
-        engine.cache = NeighborCache::from_parts(eta, state.counts, state.nearest);
         engine.pending = state.pending.into_iter().collect();
         engine.generation = state.generation;
+        engine.flush_shard_rebuilds();
         Ok(engine)
     }
 }
@@ -586,14 +869,24 @@ mod tests {
     use crate::DistanceConstraints;
     use disc_distance::TupleDistance;
 
-    fn engine(eps: f64, eta: usize) -> DiscEngine {
+    fn engine(eps: f64, eta: usize) -> ShardedEngine {
         let saver = SaverConfig::new(
             DistanceConstraints::new(eps, eta),
             TupleDistance::numeric(2),
         )
         .build_approx()
         .unwrap();
-        DiscEngine::new(Schema::numeric(2), Box::new(saver))
+        ShardedEngine::new(Schema::numeric(2), Box::new(saver))
+    }
+
+    fn engine_sharded(eps: f64, eta: usize, shards: usize) -> ShardedEngine {
+        let saver = SaverConfig::new(
+            DistanceConstraints::new(eps, eta),
+            TupleDistance::numeric(2),
+        )
+        .build_approx()
+        .unwrap();
+        ShardedEngine::with_shards(Schema::numeric(2), Box::new(saver), shards)
     }
 
     fn num(xs: &[[f64; 2]]) -> Vec<Vec<Value>> {
@@ -627,6 +920,68 @@ mod tests {
         let batch = saver.save_all(&mut ds);
         assert_eq!(report.saved, batch.saved);
         assert_eq!(eng.dataset().rows(), ds.rows());
+    }
+
+    #[test]
+    fn sharded_runs_match_single_shard_bit_for_bit() {
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        rows.push(vec![Value::Num(-20.0), Value::Num(0.4)]);
+        let mut reference = engine_sharded(0.5, 4, 1);
+        let first = reference.ingest(rows[..20].to_vec()).unwrap();
+        let second = reference.ingest(rows[20..].to_vec()).unwrap();
+        for shards in [2, 3, 7] {
+            let mut eng = engine_sharded(0.5, 4, shards);
+            assert_eq!(eng.shards(), shards);
+            assert_eq!(
+                eng.ingest(rows[..20].to_vec()).unwrap(),
+                first,
+                "S={shards}"
+            );
+            assert_eq!(
+                eng.ingest(rows[20..].to_vec()).unwrap(),
+                second,
+                "S={shards}"
+            );
+            assert_eq!(eng.dataset().rows(), reference.dataset().rows());
+            assert_eq!(eng.outliers(), reference.outliers());
+            assert_eq!(eng.export_state(), reference.export_state());
+        }
+    }
+
+    #[test]
+    fn fanout_queries_merge_deterministically() {
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        let mut reference = engine_sharded(0.5, 4, 1);
+        reference.ingest(rows.clone()).unwrap();
+        let probe = vec![Value::Num(0.5), Value::Num(0.5)];
+        let mut expected_range = reference.range(&probe, 0.7);
+        expected_range.sort_by_key(|hit| hit.0);
+        let expected_knn = reference.knn(&probe, 5);
+        for shards in [2, 3, 7] {
+            let mut eng = engine_sharded(0.5, 4, shards);
+            eng.ingest(rows.clone()).unwrap();
+            // Range hits arrive in shard order; the *set* is what's
+            // contractual, so compare sorted.
+            let mut hits = eng.range(&probe, 0.7);
+            hits.sort_by_key(|hit| hit.0);
+            assert_eq!(hits, expected_range, "S={shards}");
+            assert_eq!(eng.knn(&probe, 5), expected_knn, "S={shards}");
+        }
+    }
+
+    #[test]
+    fn shard_stats_cover_all_rows() {
+        let mut eng = engine_sharded(0.5, 4, 3);
+        eng.ingest(grid_rows()).unwrap();
+        let stats = eng.shard_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|s| s.rows).sum::<usize>(), 36);
+        assert!(stats.iter().all(|s| s.rows > 0), "{stats:?}");
+        // Every shard answered the per-new-row range sub-queries.
+        assert!(stats.iter().all(|s| s.range_queries == 36), "{stats:?}");
+        assert!(stats.iter().all(|s| s.rows_visited > 0), "{stats:?}");
     }
 
     #[test]
@@ -745,7 +1100,7 @@ mod tests {
             .build_approx()
             .unwrap();
         let mut restored =
-            DiscEngine::restore(Schema::numeric(2), Box::new(saver), state.clone()).unwrap();
+            ShardedEngine::restore(Schema::numeric(2), Box::new(saver), state.clone()).unwrap();
         assert_eq!(restored.generation(), 1);
         assert_eq!(restored.export_state(), state, "export ∘ restore = id");
         let report = restored.ingest(rows[20..].to_vec()).unwrap();
@@ -754,6 +1109,63 @@ mod tests {
         assert_eq!(restored.dataset().rows(), reference.dataset().rows());
         assert_eq!(restored.outliers(), reference.outliers());
         assert_eq!(restored.generation(), reference.generation());
+    }
+
+    #[test]
+    fn restore_with_different_shard_count_is_behaviorally_identical() {
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        rows.push(vec![Value::Num(-20.0), Value::Num(0.4)]);
+        let mut reference = engine_sharded(0.5, 4, 1);
+        reference.ingest(rows[..20].to_vec()).unwrap();
+        let state = reference.export_state();
+        let ref_report = reference.ingest(rows[20..].to_vec()).unwrap();
+        for shards in [1, 2, 5] {
+            let saver =
+                SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+                    .build_approx()
+                    .unwrap();
+            let mut restored = ShardedEngine::restore_with_shards(
+                Schema::numeric(2),
+                Box::new(saver),
+                state.clone(),
+                shards,
+            )
+            .unwrap();
+            assert_eq!(restored.export_state(), state, "S={shards}");
+            let report = restored.ingest(rows[20..].to_vec()).unwrap();
+            assert_eq!(report, ref_report, "S={shards}");
+            assert_eq!(restored.dataset().rows(), reference.dataset().rows());
+        }
+    }
+
+    #[test]
+    fn live_queries_match_exported_state() {
+        let mut rows = grid_rows();
+        rows.push(vec![Value::Num(0.5), Value::Num(30.0)]);
+        let mut eng = engine_sharded(0.5, 4, 3);
+        eng.ingest(rows).unwrap();
+        let state = eng.export_state();
+        assert_eq!(eng.query(Query::Len), state.query(Query::Len));
+        for row in [0, 17, 36, 40] {
+            assert_eq!(
+                eng.query(Query::IsInlier { row }),
+                state.query(Query::IsInlier { row })
+            );
+            assert_eq!(
+                eng.query(Query::NeighborCount { row }),
+                state.query(Query::NeighborCount { row })
+            );
+            assert_eq!(
+                eng.query(Query::CurrentRow { row }),
+                state.query(Query::CurrentRow { row })
+            );
+            assert_eq!(
+                eng.query(Query::OriginalRow { row }),
+                state.query(Query::OriginalRow { row })
+            );
+        }
+        assert_eq!(eng.query(Query::Outliers), state.query(Query::Outliers));
     }
 
     #[test]
@@ -772,21 +1184,21 @@ mod tests {
 
         let mut broken = good.clone();
         broken.counts.pop();
-        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+        let err = ShardedEngine::restore(Schema::numeric(2), fresh_saver(), broken)
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, Error::State { .. }), "{err}");
 
         let mut broken = good.clone();
         broken.nearest[0] = None; // contradicts its ≥ η count
-        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+        let err = ShardedEngine::restore(Schema::numeric(2), fresh_saver(), broken)
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, Error::State { .. }), "{err}");
 
         let mut broken = good.clone();
         broken.pending = vec![good.original.len() + 7];
-        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+        let err = ShardedEngine::restore(Schema::numeric(2), fresh_saver(), broken)
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, Error::State { .. }), "{err}");
@@ -795,12 +1207,12 @@ mod tests {
         if let Some(list) = broken.nearest[0].as_mut() {
             list.reverse(); // no longer ascending
         }
-        let err = DiscEngine::restore(Schema::numeric(2), fresh_saver(), broken)
+        let err = ShardedEngine::restore(Schema::numeric(2), fresh_saver(), broken)
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, Error::State { .. }), "{err}");
 
         // The untouched image restores cleanly.
-        assert!(DiscEngine::restore(Schema::numeric(2), fresh_saver(), good).is_ok());
+        assert!(ShardedEngine::restore(Schema::numeric(2), fresh_saver(), good).is_ok());
     }
 }

@@ -31,6 +31,16 @@
 //!   cancellation: a wall-clock deadline for whole `save_all` runs and a
 //!   deterministic per-outlier candidate cap, both degrading gracefully
 //!   into [`SaveReport::skipped`] instead of hanging or aborting;
+//! * [`engine`] + [`shard`] — the incremental streaming engine
+//!   ([`ShardedEngine`]), hash-partitioning rows across shards whose
+//!   queries fan out on scoped threads and merge deterministically:
+//!   results are bit-identical for every shard and worker count;
+//! * [`query`] — the typed [`Query`] → [`Response`] read API shared by
+//!   the live engine, exported state images, the serve protocol, and
+//!   the CLI;
+//! * [`config`] — the [`EngineConfig`] builder gathering every engine
+//!   knob (arity, ε, η, κ, shards, parallelism, budget), validated
+//!   once, with the durable byte encoding stores persist;
 //! * `fault` (only under `--cfg disc_fault`) — deterministic test-only
 //!   fault injection into the save pipeline, used to exercise the panic
 //!   isolation and deadline paths.
@@ -39,6 +49,7 @@ pub mod approx;
 pub mod bounds;
 pub mod budget;
 pub mod cache;
+pub mod config;
 pub mod constraints;
 pub mod engine;
 pub mod error;
@@ -48,15 +59,18 @@ pub mod fault;
 pub mod parallel;
 pub mod params;
 pub mod pipeline;
+pub mod query;
 pub mod rset;
 pub mod saver;
+pub mod shard;
 
 pub use approx::{Adjustment, DiscSaver};
 pub use budget::{set_global_deadline_ms, Budget, CancelToken, Cancelled};
+pub use config::EngineConfig;
 pub use constraints::{
     detect_outliers, detect_outliers_parallel, DistanceConstraints, OutlierSplit,
 };
-pub use engine::{DiscEngine, EngineState};
+pub use engine::{DiscEngine, EngineState, ShardedEngine};
 pub use error::Error;
 pub use exact::ExactSaver;
 pub use parallel::Parallelism;
@@ -65,8 +79,10 @@ pub use params::{
     poisson_p_at_least, ParamChoice, ParamConfig,
 };
 pub use pipeline::{FailedSave, PipelineError, SaveReport, SavedOutlier};
+pub use query::{Query, Response};
 pub use rset::RSet;
 pub use saver::{Saver, SaverConfig};
+pub use shard::{default_shards, resolve_shards, shard_of, ShardStats};
 
 // Observability: per-run statistics attached to `SaveReport::stats`, plus
 // the effort type returned by the savers' `*_with_effort` entry points.

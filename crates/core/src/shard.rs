@@ -1,0 +1,351 @@
+//! Hash-partitioning of rows across engine shards.
+//!
+//! The sharded engine assigns every global row id to a shard with a
+//! fixed stateless hash ([`shard_of`]), so the partition depends only on
+//! the id — never on ingest batching, worker count, or index internals.
+//! A crate-private `ShardMap` records the resulting global ↔ (shard,
+//! local) bijection; each `EngineShard` owns the per-partition index
+//! pair and neighbor cache. The `fanout_mut`/`fanout_ref` helpers
+//! scatter a closure across shards on scoped threads and gather the
+//! results *in shard order*, which is what makes merged query results
+//! deterministic for any worker count.
+
+use std::sync::atomic::AtomicU64;
+use std::time::Instant;
+
+use disc_distance::TupleDistance;
+use disc_index::{DynamicIndex, IndexActivity};
+use disc_obs::hist::SHARD_FANOUT_MICROS;
+
+use crate::cache::NeighborCache;
+
+/// SplitMix64: a fixed, high-quality 64-bit mixer. The shard of a row
+/// must never change across processes or versions (snapshots record only
+/// the shard *count*), so this is part of the on-disk contract.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The shard owning global row `global` out of `shards` partitions.
+pub fn shard_of(global: usize, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    (splitmix64(global as u64) % shards as u64) as usize
+}
+
+/// The shard count used when none is configured: the `DISC_TEST_SHARDS`
+/// environment override if it parses to a positive integer (CI runs the
+/// tier-1 suite once with `DISC_TEST_SHARDS=3`), otherwise 1.
+pub fn default_shards() -> usize {
+    std::env::var("DISC_TEST_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Resolves a requested shard count: `0` means auto — one shard per
+/// available core, capped at 8 (beyond that, fan-out overhead dominates
+/// on the workloads this engine targets). Any other value is taken as
+/// given.
+pub fn resolve_shards(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        requested
+    }
+}
+
+/// The global ↔ (shard, local) id bijection; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMap {
+    /// `locs[global] = (shard, local)`.
+    locs: Vec<(u32, u32)>,
+    /// `globals[shard][local] = global` (ascending within each shard,
+    /// because rows are pushed in global order).
+    globals: Vec<Vec<usize>>,
+}
+
+impl ShardMap {
+    pub(crate) fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
+        ShardMap {
+            locs: Vec::new(),
+            globals: vec![Vec::new(); shards],
+        }
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Assigns the next global id (must be pushed in order) and returns
+    /// its `(shard, local)` location.
+    pub(crate) fn push(&mut self, global: usize) -> (usize, usize) {
+        debug_assert_eq!(global, self.locs.len(), "rows are pushed in id order");
+        let s = shard_of(global, self.shards());
+        let l = self.globals[s].len();
+        self.globals[s].push(global);
+        self.locs.push((s as u32, l as u32));
+        (s, l)
+    }
+
+    /// The `(shard, local)` location of a previously pushed global id.
+    pub(crate) fn locate(&self, global: usize) -> (usize, usize) {
+        let (s, l) = self.locs[global];
+        (s as usize, l as usize)
+    }
+
+    /// The global id at `(shard, local)`.
+    pub(crate) fn global(&self, shard: usize, local: usize) -> usize {
+        self.globals[shard][local]
+    }
+
+    /// All global ids owned by `shard`, ascending (local id order).
+    pub(crate) fn globals(&self, shard: usize) -> &[usize] {
+        &self.globals[shard]
+    }
+}
+
+/// One partition of the sharded engine: its slice of the rows, indexed
+/// two ways, plus the per-row neighbor cache in *local* id space.
+pub(crate) struct EngineShard {
+    /// This shard's rows, original values — answers the per-new-tuple
+    /// ε-range sub-queries of the count update.
+    pub(crate) full_index: DynamicIndex,
+    /// This shard's inlier rows only — answers the η-NN sub-queries that
+    /// seed a new inlier's `δ_η` list.
+    pub(crate) inlier_index: DynamicIndex,
+    /// `inlier_globals[inlier_index id] = global id` (insertion order).
+    pub(crate) inlier_globals: Vec<usize>,
+    /// Neighbor counts and `δ_η` lists for this shard's rows, keyed by
+    /// local id.
+    pub(crate) cache: NeighborCache,
+    /// Logical range queries this shard answered (atomic so read-only
+    /// fan-outs through `&self` can record them).
+    pub(crate) range_queries: AtomicU64,
+    /// Rebuild total already flushed to `shard.rebuilds`, so each flush
+    /// adds only the delta.
+    pub(crate) reported_rebuilds: u64,
+}
+
+impl EngineShard {
+    pub(crate) fn new(dist: TupleDistance, eps: f64, eta: usize) -> Self {
+        EngineShard {
+            full_index: DynamicIndex::new(dist.clone(), eps),
+            inlier_index: DynamicIndex::new(dist, eps),
+            inlier_globals: Vec::new(),
+            cache: NeighborCache::new(eta),
+            range_queries: AtomicU64::new(0),
+            reported_rebuilds: 0,
+        }
+    }
+
+    /// Combined index activity (full + inlier index).
+    pub(crate) fn activity(&self) -> IndexActivity {
+        let full = self.full_index.activity();
+        let inlier = self.inlier_index.activity();
+        IndexActivity {
+            queries: full.queries + inlier.queries,
+            rows_visited: full.rows_visited + inlier.rows_visited,
+            rebuilds: full.rebuilds + inlier.rebuilds,
+        }
+    }
+}
+
+/// Per-shard balance and effort accounting, from
+/// [`ShardedEngine::shard_stats`](crate::ShardedEngine::shard_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id, `0..shards`.
+    pub shard: usize,
+    /// Rows this shard owns.
+    pub rows: usize,
+    /// Logical range queries this shard answered.
+    pub range_queries: u64,
+    /// Candidate rows visited by this shard's indexes.
+    pub rows_visited: u64,
+    /// Index rebuilds inside this shard.
+    pub rebuilds: u64,
+}
+
+/// Runs `f(shard_id, &mut shard)` for every shard — on scoped threads
+/// when both `workers` and the shard count exceed 1 — and returns the
+/// results in shard order. Shards are dealt round-robin to threads;
+/// since every closure runs exactly once per shard and the gather is by
+/// shard id, the result is identical for any `workers`.
+pub(crate) fn fanout_mut<R, F>(shards: &mut [EngineShard], workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut EngineShard) -> R + Sync,
+{
+    let started = Instant::now();
+    let n = shards.len();
+    let out = if workers <= 1 || n <= 1 {
+        shards
+            .iter_mut()
+            .enumerate()
+            .map(|(s, sh)| f(s, sh))
+            .collect()
+    } else {
+        let threads = workers.min(n);
+        let mut work: Vec<Vec<(usize, &mut EngineShard)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            work[s % threads].push((s, shard));
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|chunk| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(s, shard)| (s, f(s, shard)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(results) => {
+                        for (s, r) in results {
+                            slots[s] = Some(r);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every shard produces exactly one result"))
+            .collect()
+    };
+    SHARD_FANOUT_MICROS.record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    out
+}
+
+/// Read-only twin of [`fanout_mut`] for `&self` queries.
+pub(crate) fn fanout_ref<R, F>(shards: &[EngineShard], workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &EngineShard) -> R + Sync,
+{
+    let started = Instant::now();
+    let out = if workers <= 1 || shards.len() <= 1 {
+        shards.iter().enumerate().map(|(s, sh)| f(s, sh)).collect()
+    } else {
+        let threads = workers.min(shards.len());
+        let mut slots: Vec<Option<R>> = (0..shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        (t..shards.len())
+                            .step_by(threads)
+                            .map(|s| (s, f(s, &shards[s])))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(results) => {
+                        for (s, r) in results {
+                            slots[s] = Some(r);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every shard produces exactly one result"))
+            .collect()
+    };
+    SHARD_FANOUT_MICROS.record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable() {
+        // Pinned: the hash is part of the on-disk contract (snapshots
+        // record only the shard count, so the assignment itself must
+        // never drift between versions).
+        let assigned: Vec<usize> = (0..8).map(|g| shard_of(g, 3)).collect();
+        assert_eq!(assigned, vec![1, 2, 1, 0, 1, 2, 2, 0]);
+        for g in 0..1000 {
+            assert_eq!(shard_of(g, 1), 0);
+            assert!(shard_of(g, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_rows() {
+        // Not a statistical test — just a guard against a degenerate
+        // mixer leaving shards empty at realistic sizes.
+        for shards in [2, 3, 7] {
+            let mut per = vec![0usize; shards];
+            for g in 0..1000 {
+                per[shard_of(g, shards)] += 1;
+            }
+            let (min, max) = (per.iter().min().unwrap(), per.iter().max().unwrap());
+            assert!(*min > 0, "empty shard at S={shards}: {per:?}");
+            assert!(
+                (*max as f64) < 2.0 * (*min as f64),
+                "unbalanced at S={shards}: {per:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_round_trips_ids() {
+        let mut map = ShardMap::new(3);
+        for g in 0..100 {
+            let (s, l) = map.push(g);
+            assert_eq!(map.locate(g), (s, l));
+            assert_eq!(map.global(s, l), g);
+        }
+        let total: usize = (0..3).map(|s| map.globals(s).len()).sum();
+        assert_eq!(total, 100);
+        for s in 0..3 {
+            let globals = map.globals(s);
+            assert!(globals.windows(2).all(|w| w[0] < w[1]), "ascending");
+        }
+    }
+
+    #[test]
+    fn resolve_and_default_shards() {
+        assert_eq!(resolve_shards(5), 5);
+        assert!(resolve_shards(0) >= 1);
+        assert!(default_shards() >= 1);
+    }
+
+    #[test]
+    fn fanout_results_arrive_in_shard_order() {
+        let dist = TupleDistance::numeric(1);
+        let mut shards: Vec<EngineShard> = (0..5)
+            .map(|_| EngineShard::new(dist.clone(), 1.0, 2))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let ids = fanout_mut(&mut shards, workers, |s, _| s);
+            assert_eq!(ids, vec![0, 1, 2, 3, 4], "workers={workers}");
+            let ids = fanout_ref(&shards, workers, |s, _| s * 10);
+            assert_eq!(ids, vec![0, 10, 20, 30, 40], "workers={workers}");
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! [`extend`]: DynamicNeighborIndex::extend
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use disc_distance::{PackedMatrix, PackedScan, TupleDistance, Value};
 use disc_obs::counters;
@@ -81,6 +82,40 @@ enum Backend {
     },
 }
 
+/// Cumulative per-instance effort, read via [`DynamicIndex::activity`].
+///
+/// The global `index.*` counters aggregate across every index in the
+/// process; these cells attribute the same events to one instance so a
+/// sharded engine can report per-shard balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexActivity {
+    /// Range + k-NN queries answered (a grid k-NN's internal
+    /// expanding-radius probes count as range queries here too, exactly
+    /// as they do on the global counters).
+    pub queries: u64,
+    /// Candidate rows visited across all queries (same accounting as the
+    /// per-backend `*.rows_visited` counters).
+    pub rows_visited: u64,
+    /// Full structure rebuilds (upgrades, migrations, VP-tree
+    /// tail-buffer rebuilds).
+    pub rebuilds: u64,
+}
+
+/// Relaxed atomics so read-only queries (`&self`) can record effort.
+#[derive(Default)]
+struct ActivityCells {
+    queries: AtomicU64,
+    rows_visited: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+impl ActivityCells {
+    fn record_query(&self, rows_visited: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows_visited.fetch_add(rows_visited, Ordering::Relaxed);
+    }
+}
+
 /// An owned, growable neighbor index; see the [module docs](self).
 pub struct DynamicIndex {
     rows: Vec<Vec<Value>>,
@@ -91,6 +126,7 @@ pub struct DynamicIndex {
     /// across backend upgrades; `None` when the metric has no packed
     /// layout.
     packed: Option<PackedMatrix>,
+    activity: ActivityCells,
 }
 
 impl DynamicIndex {
@@ -104,6 +140,7 @@ impl DynamicIndex {
             eps_hint,
             backend: Backend::Brute,
             packed,
+            activity: ActivityCells::default(),
         }
     }
 
@@ -117,6 +154,7 @@ impl DynamicIndex {
             eps_hint,
             backend: Backend::Brute,
             packed,
+            activity: ActivityCells::default(),
         };
         if idx.rows.len() > BRUTE_MAX {
             idx.backend = idx.build_backend();
@@ -145,6 +183,16 @@ impl DynamicIndex {
             Backend::Brute => "brute",
             Backend::Grid { .. } => "grid",
             Backend::Vp { .. } => "vp",
+        }
+    }
+
+    /// Cumulative effort expended by *this instance* (the global
+    /// `index.*` counters sum the same events process-wide).
+    pub fn activity(&self) -> IndexActivity {
+        IndexActivity {
+            queries: self.activity.queries.load(Ordering::Relaxed),
+            rows_visited: self.activity.rows_visited.load(Ordering::Relaxed),
+            rebuilds: self.activity.rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -194,6 +242,7 @@ impl DynamicIndex {
                 if self.rows.len() > BRUTE_MAX {
                     self.backend = self.build_backend();
                     counters::DYNAMIC_REBUILDS.incr();
+                    self.activity.rebuilds.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Backend::Grid { .. } => {}
@@ -202,6 +251,7 @@ impl DynamicIndex {
                 if buffered > (self.rows.len() / 4).max(64) {
                     *nodes = VpNodes::build(&self.rows, &self.dist);
                     counters::DYNAMIC_REBUILDS.incr();
+                    self.activity.rebuilds.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -255,6 +305,7 @@ impl DynamicNeighborIndex for DynamicIndex {
                 nodes: VpNodes::build(&self.rows, &self.dist),
             };
             counters::DYNAMIC_REBUILDS.incr();
+            self.activity.rebuilds.fetch_add(1, Ordering::Relaxed);
         } else {
             self.maintain();
         }
@@ -273,6 +324,7 @@ impl NeighborIndex for DynamicIndex {
             Backend::Brute => {
                 counters::BRUTE_RANGE_QUERIES.incr();
                 counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
+                self.activity.record_query(self.rows.len() as u64);
                 let mut hits = Vec::new();
                 for i in 0..self.rows.len() {
                     if let Some(d) = scan.dist_within(i as u32, eps) {
@@ -296,6 +348,7 @@ impl NeighborIndex for DynamicIndex {
                     }
                 });
                 counters::GRID_ROWS_VISITED.add(visited);
+                self.activity.record_query(visited);
                 hits
             }
             Backend::Vp { nodes } => {
@@ -310,6 +363,7 @@ impl NeighborIndex for DynamicIndex {
                     }
                 }
                 counters::VPTREE_ROWS_VISITED.add(visited);
+                self.activity.record_query(visited);
                 hits
             }
         }
@@ -323,6 +377,7 @@ impl NeighborIndex for DynamicIndex {
             Backend::Brute => {
                 counters::BRUTE_KNN_QUERIES.incr();
                 counters::BRUTE_ROWS_VISITED.add(self.rows.len() as u64);
+                self.activity.record_query(self.rows.len() as u64);
                 let mut scan = self.scan(query);
                 let mut best = Vec::with_capacity(k + 1);
                 merge_knn(&mut best, k, 0..self.rows.len() as u32, &mut scan);
@@ -335,6 +390,8 @@ impl NeighborIndex for DynamicIndex {
                 ..
             } => {
                 counters::GRID_KNN_QUERIES.incr();
+                // Row visits are recorded by the internal `range` calls.
+                self.activity.record_query(0);
                 // Expanding-radius search, identical to the static grid:
                 // grow the ball until at least k hits are found *and* the
                 // k-th distance is covered by the scanned radius.
@@ -368,6 +425,7 @@ impl NeighborIndex for DynamicIndex {
                 visited += (self.rows.len() - nodes.len()) as u64;
                 merge_knn(&mut best, k, tail, &mut scan);
                 counters::VPTREE_ROWS_VISITED.add(visited);
+                self.activity.record_query(visited);
                 sort_hits(&mut best);
                 best
             }
@@ -562,6 +620,31 @@ mod tests {
         sort_hits(&mut a);
         sort_hits(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activity_attributes_effort_to_the_instance() {
+        let data = scatter(100, 2, 7);
+        let mut idx = DynamicIndex::new(TupleDistance::numeric(2), 1.0);
+        for row in &data {
+            idx.insert(row.clone());
+        }
+        assert_eq!(idx.activity(), IndexActivity::default());
+        idx.range(&[Value::Num(1.0), Value::Num(2.0)], 0.5);
+        idx.knn(&[Value::Num(1.0), Value::Num(2.0)], 3);
+        let a = idx.activity();
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.rows_visited, 200); // two brute scans over 100 rows
+        assert_eq!(a.rebuilds, 0);
+        // Crossing the brute threshold counts one rebuild on the
+        // instance, mirroring `index.dynamic.rebuilds`.
+        for row in scatter(500, 2, 9) {
+            idx.insert(row);
+        }
+        assert_eq!(idx.activity().rebuilds, 1);
+        // A second instance starts clean: effort is per-instance.
+        let other = DynamicIndex::new(TupleDistance::numeric(2), 1.0);
+        assert_eq!(other.activity(), IndexActivity::default());
     }
 
     #[test]

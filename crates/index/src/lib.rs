@@ -34,7 +34,7 @@ pub use batch::{
     count_within_batch, kth_distance_batch, parallel_map, parallel_map_catch, range_batch,
 };
 pub use brute::BruteForceIndex;
-pub use dynamic::{DynamicIndex, DynamicNeighborIndex};
+pub use dynamic::{DynamicIndex, DynamicNeighborIndex, IndexActivity};
 pub use grid::{GridIndex, NonNumericCell};
 pub use sorted::SortedColumn;
 pub use vptree::{VpNodes, VpTree};

@@ -6,6 +6,8 @@
 //! sample — which keeps the histogram deterministic and cheap enough to
 //! fill on every save.
 
+use std::sync::Mutex;
+
 /// A log₂-bucketed histogram of `u64` samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -17,19 +19,19 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (usable in `const`/`static` initializers).
+    pub const fn new() -> Self {
         Histogram {
             count: 0,
             sum: 0,
             max: 0,
             buckets: [0; 65],
         }
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
     }
 
     fn bucket_of(value: u64) -> usize {
@@ -101,6 +103,48 @@ impl Histogram {
     }
 }
 
+/// A mutex-guarded [`Histogram`] usable as a process-wide `static`
+/// (histograms are 66 words, too wide for lock-free atomics; recording
+/// is off the per-row hot path — once per fan-out, not once per row).
+///
+/// A poisoned lock is ignored: histogram state is a plain value that is
+/// never left torn by a panicking recorder.
+#[derive(Debug)]
+pub struct SharedHistogram(Mutex<Histogram>);
+
+impl SharedHistogram {
+    /// A new, empty shared histogram (usable in `static` initializers).
+    pub const fn new() -> Self {
+        SharedHistogram(Mutex::new(Histogram::new()))
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(value);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        SharedHistogram::new()
+    }
+}
+
+/// Wall-clock latency, in microseconds, of each sharded-engine fan-out
+/// (one sample per multi-shard scatter/gather, serial fan-outs
+/// included). Timings are measurements, not results: this histogram is
+/// exported by the serving layer's `stats` verb but never enters
+/// `disc-stats/1` or `SaveReport` equality.
+pub static SHARD_FANOUT_MICROS: SharedHistogram = SharedHistogram::new();
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +174,17 @@ mod tests {
         assert!((h.mean() - 2.6).abs() < 1e-12);
         let buckets: Vec<_> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn shared_histogram_records_under_lock() {
+        let h = SharedHistogram::new();
+        h.record(4);
+        h.record(9);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum(), 13);
+        assert_eq!(snap.max(), 9);
     }
 
     #[test]

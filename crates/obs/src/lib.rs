@@ -29,5 +29,5 @@ pub mod json;
 pub mod stats;
 
 pub use counters::{Counter, Gauge, Snapshot};
-pub use hist::Histogram;
+pub use hist::{Histogram, SharedHistogram};
 pub use stats::{global_json, hist_json, PipelineStats, SaveEffort, SearchTotals, Stages};

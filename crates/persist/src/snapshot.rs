@@ -8,6 +8,7 @@
 //! payload = [u32-prefixed config blob]      (opaque to this layer)
 //!           [schema]                        (binary::encode_schema)
 //!           [u64 generation]
+//!           [u32 shards]                    (engine shard count)
 //!           [rows original][rows current]   (binary::encode_rows)
 //!           [u32 n][u64 count     × n]
 //!           [u32 n][δ_η list tag  × n]      (0 = outlier, 1 + u32 k + f64 × k)
@@ -36,8 +37,10 @@ use crate::io;
 /// First 8 bytes of every snapshot file.
 pub const SNAP_MAGIC: &[u8; 8] = b"DISCSNP1";
 
-/// Current snapshot format version.
-pub const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the engine shard
+/// count after the generation; version-1 files are refused with a clear
+/// error rather than guessed at.
+pub const SNAP_VERSION: u32 = 2;
 
 /// Everything a snapshot persists: the schema, an opaque saver-config
 /// blob (the CLI stores its `(ε, η, κ, …)` knobs here so `disc recover`
@@ -48,6 +51,11 @@ pub struct SnapshotData {
     pub schema: Schema,
     /// Caller-defined saver configuration bytes, returned verbatim.
     pub config: Vec<u8>,
+    /// The shard count of the engine that wrote the snapshot. Restoring
+    /// honors it by default, so a store reopens with the same partition
+    /// layout it closed with; callers may override it (the image itself
+    /// is shard-agnostic — any count restores bit-identically).
+    pub shards: u32,
     /// The engine image (see [`EngineState`]).
     pub state: EngineState,
 }
@@ -57,6 +65,7 @@ fn encode_payload(data: &SnapshotData) -> Vec<u8> {
     binary::put_bytes(&mut out, &data.config);
     binary::encode_schema(&mut out, &data.schema);
     binary::put_u64(&mut out, data.state.generation);
+    binary::put_u32(&mut out, data.shards);
     binary::encode_rows(&mut out, &data.state.original);
     binary::encode_rows(&mut out, &data.state.current);
     binary::put_u32(&mut out, data.state.counts.len() as u32);
@@ -90,6 +99,10 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotData, String> {
         .to_vec();
     let schema = binary::decode_schema(&mut r).map_err(|e| e.to_string())?;
     let generation = r.u64("snapshot generation").map_err(|e| e.to_string())?;
+    let shards = r.u32("shard count").map_err(|e| e.to_string())?;
+    if shards < 1 {
+        return Err("shard count must be at least 1".into());
+    }
     let original = binary::decode_rows(&mut r).map_err(|e| e.to_string())?;
     let current = binary::decode_rows(&mut r).map_err(|e| e.to_string())?;
     let n = r
@@ -130,6 +143,7 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotData, String> {
     Ok(SnapshotData {
         schema,
         config,
+        shards,
         state: EngineState {
             generation,
             original,
@@ -248,6 +262,7 @@ mod tests {
         SnapshotData {
             schema: Schema::numeric(2),
             config: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            shards: 3,
             state: EngineState {
                 generation: 42,
                 original: vec![

@@ -25,7 +25,7 @@
 
 use std::path::{Path, PathBuf};
 
-use disc_core::{DiscEngine, SaveReport, Saver};
+use disc_core::{resolve_shards, DiscEngine, EngineConfig, SaveReport, Saver};
 use disc_data::Schema;
 use disc_distance::Value;
 use disc_obs::counters;
@@ -42,6 +42,12 @@ pub struct StoreOptions {
     /// generations accumulate in the log; `None` checkpoints only on
     /// explicit [`DurableEngine::checkpoint`] calls.
     pub snapshot_every: Option<u64>,
+    /// Shard count for the engine (`Some(0)` = auto, one per core). On
+    /// create, `None` means the default shard count; on open, `None`
+    /// means the count recorded in the snapshot — the engine's results
+    /// are bit-identical either way, so this only tunes parallel query
+    /// fan-out.
+    pub shards: Option<usize>,
 }
 
 /// What [`DurableEngine::open`] found and did to bring the engine back.
@@ -111,12 +117,16 @@ impl DurableEngine {
         // Creates the directory as a side effect; taken before any store
         // file exists so a concurrent creator loses cleanly.
         let lock = StoreLock::acquire(dir)?;
-        let engine = DiscEngine::new(schema.clone(), saver);
+        let engine = match options.shards {
+            Some(s) => DiscEngine::with_shards(schema.clone(), saver, resolve_shards(s)),
+            None => DiscEngine::new(schema.clone(), saver),
+        };
         snapshot::write_snapshot(
             dir,
             &SnapshotData {
                 schema: schema.clone(),
                 config: config.clone(),
+                shards: engine.shards() as u32,
                 state: engine.export_state(),
             },
         )?;
@@ -132,6 +142,32 @@ impl DurableEngine {
             poisoned: false,
             _lock: lock,
         })
+    }
+
+    /// Creates a fresh store from one validated [`EngineConfig`]: the
+    /// saver is built from it, the config blob is its durable encoding
+    /// (so `disc recover` rebuilds the same saver with no flags), and —
+    /// unless [`StoreOptions::shards`] overrides it — the engine is
+    /// partitioned across the configured shard count.
+    ///
+    /// # Errors
+    /// [`Error::Engine`] when the configuration fails validation or
+    /// mismatches `schema`; otherwise the [`DurableEngine::create`]
+    /// contract.
+    pub fn create_with_config(
+        dir: &Path,
+        schema: Schema,
+        engine_config: &EngineConfig,
+        options: StoreOptions,
+    ) -> Result<DurableEngine, Error> {
+        let saver = engine_config
+            .build_saver_for(&schema)
+            .map_err(Error::Engine)?;
+        let options = StoreOptions {
+            shards: options.shards.or(Some(engine_config.resolved_shards())),
+            ..options
+        };
+        Self::create(dir, schema, saver, engine_config.encode(), options)
     }
 
     /// Opens an existing store: loads the snapshot, rebuilds the saver
@@ -167,8 +203,16 @@ impl DurableEngine {
         let data = snapshot::read_snapshot(dir)?;
         let snapshot_generation = data.state.generation;
         let saver = make_saver(&data.schema, &data.config).map_err(Error::Engine)?;
+        // The snapshot remembers the shard count it was written with, so
+        // an unconfigured reopen keeps the store's partition layout; an
+        // explicit option re-partitions (the image is shard-agnostic).
+        let shards = options
+            .shards
+            .map(resolve_shards)
+            .unwrap_or(data.shards as usize);
         let mut engine =
-            DiscEngine::restore(data.schema.clone(), saver, data.state).map_err(Error::Engine)?;
+            DiscEngine::restore_with_shards(data.schema.clone(), saver, data.state, shards)
+                .map_err(Error::Engine)?;
 
         // A crash between the genesis snapshot and WAL creation leaves
         // no log; an empty one is equivalent.
@@ -275,6 +319,7 @@ impl DurableEngine {
         let data = SnapshotData {
             schema: self.schema.clone(),
             config: self.config.clone(),
+            shards: self.engine.shards() as u32,
             state: self.engine.export_state(),
         };
         if let Err(e) = snapshot::write_snapshot(&self.dir, &data) {
@@ -435,6 +480,7 @@ mod tests {
         let dir = temp_store("auto");
         let opts = StoreOptions {
             snapshot_every: Some(2),
+            ..StoreOptions::default()
         };
         let mut store =
             DurableEngine::create(&dir, Schema::numeric(2), saver(), Vec::new(), opts).unwrap();
@@ -448,6 +494,73 @@ mod tests {
         let (_, report) = DurableEngine::open(&dir, make_saver, opts).unwrap();
         assert_eq!(report.snapshot_generation, 4);
         assert_eq!(report.replayed_records, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_count_survives_reopen_and_can_be_overridden() {
+        let dir = temp_store("shards");
+        let mut store = DurableEngine::create(
+            &dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions {
+                shards: Some(4),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(store.engine().shards(), 4);
+        store.ingest(grid_rows()).unwrap();
+        let live_state = store.engine().export_state();
+        drop(store);
+
+        // Unconfigured reopen keeps the snapshot's shard count.
+        let (reopened, _) = DurableEngine::open(&dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(reopened.engine().shards(), 4);
+        assert_eq!(reopened.engine().export_state(), live_state);
+        drop(reopened);
+
+        // An explicit option re-partitions without changing the state.
+        let (reopened, _) = DurableEngine::open(
+            &dir,
+            make_saver,
+            StoreOptions {
+                shards: Some(1),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reopened.engine().shards(), 1);
+        assert_eq!(reopened.engine().export_state(), live_state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_with_config_round_trips_through_recovery() {
+        let dir = temp_store("withconfig");
+        let config = EngineConfig::new(2, 0.5, 4).shards(3);
+        let mut store = DurableEngine::create_with_config(
+            &dir,
+            Schema::numeric(2),
+            &config,
+            StoreOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(store.engine().shards(), 3);
+        store.ingest(grid_rows()).unwrap();
+        let live_state = store.engine().export_state();
+        drop(store);
+        // The stored blob alone rebuilds the saver.
+        let (reopened, _) = DurableEngine::open(
+            &dir,
+            |schema, blob| EngineConfig::decode(blob)?.build_saver_for(schema),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(reopened.engine().shards(), 3);
+        assert_eq!(reopened.engine().export_state(), live_state);
         std::fs::remove_dir_all(&dir).ok();
     }
 

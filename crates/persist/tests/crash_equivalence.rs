@@ -112,6 +112,7 @@ proptest! {
         let chunks = split_rows(&rows, batches, split_seed);
         let opts = StoreOptions {
             snapshot_every: (every > 0).then_some(every),
+            ..StoreOptions::default()
         };
         for workers in [1usize, 4] {
             let expected = uninterrupted(&chunks, workers, opts);
@@ -238,6 +239,7 @@ mod io_faults {
         let chunks = split_rows(&rows, 5, 77);
         let opts = StoreOptions {
             snapshot_every: Some(2),
+            ..StoreOptions::default()
         };
         let expected = uninterrupted(&chunks, workers, opts);
         for k in 0u64.. {

@@ -23,7 +23,7 @@
 //! applied), or [`KIND_IO`] (the durable backend failed; the batch must
 //! be considered not applied).
 
-use disc_core::{EngineState, SaveReport};
+use disc_core::{EngineState, Query, Response, SaveReport};
 use disc_distance::Value;
 use disc_obs::json::{push_f64, push_str_literal, Obj};
 
@@ -220,48 +220,65 @@ pub fn ingest_response(generation: u64, rows: usize, report: &SaveReport) -> Str
     o.finish()
 }
 
-/// Render a query response against an engine snapshot.
-pub fn query_response(state: &EngineState, row: usize) -> String {
-    match (state.current_row(row), state.original_row(row)) {
-        (Some(current), Some(original)) => {
-            let mut o = Obj::new();
-            o.raw("ok", "true")
-                .str("op", "query")
-                .u64("generation", state.generation)
-                .u64("row", row as u64)
-                .raw(
-                    "inlier",
-                    if state.is_inlier(row) {
-                        "true"
-                    } else {
-                        "false"
-                    },
-                )
-                .u64(
-                    "neighbor_count",
-                    state.neighbor_count(row).unwrap_or(0) as u64,
-                )
-                .raw("current", &values_array(current))
-                .raw("original", &values_array(original));
-            o.finish()
-        }
-        _ => error_response(
-            Some("query"),
-            KIND_INVALID,
-            &format!("row {row} out of range (engine holds {})", state.len()),
-        ),
+/// The number of rows in `state`, via the typed read API.
+fn state_len(state: &EngineState) -> usize {
+    match state.query(Query::Len) {
+        Response::Len(n) => n,
+        _ => unreachable!("Query::Len answers Response::Len"),
     }
+}
+
+/// Render a query response against an engine snapshot. Reads go through
+/// the typed [`Query`] API, so the wire protocol and any other consumer
+/// of engine state share one out-of-range convention.
+pub fn query_response(state: &EngineState, row: usize) -> String {
+    let (current, original) = match (
+        state.query(Query::CurrentRow { row }),
+        state.query(Query::OriginalRow { row }),
+    ) {
+        (Response::CurrentRow(Some(current)), Response::OriginalRow(Some(original))) => {
+            (current, original)
+        }
+        _ => {
+            return error_response(
+                Some("query"),
+                KIND_INVALID,
+                &format!("row {row} out of range (engine holds {})", state_len(state)),
+            )
+        }
+    };
+    let inlier = matches!(
+        state.query(Query::IsInlier { row }),
+        Response::IsInlier(true)
+    );
+    let neighbor_count = match state.query(Query::NeighborCount { row }) {
+        Response::NeighborCount(count) => count.unwrap_or(0),
+        _ => unreachable!("Query::NeighborCount answers Response::NeighborCount"),
+    };
+    let mut o = Obj::new();
+    o.raw("ok", "true")
+        .str("op", "query")
+        .u64("generation", state.generation)
+        .u64("row", row as u64)
+        .raw("inlier", if inlier { "true" } else { "false" })
+        .u64("neighbor_count", neighbor_count as u64)
+        .raw("current", &values_array(current))
+        .raw("original", &values_array(original));
+    o.finish()
 }
 
 /// Render a report (summary) response against an engine snapshot.
 pub fn report_response(state: &EngineState) -> String {
-    let outliers = state.outliers();
+    let Response::Outliers(outliers) = state.query(Query::Outliers) else {
+        unreachable!("Query::Outliers answers Response::Outliers")
+    };
+    let len = state_len(state);
     let mut o = Obj::new();
     o.raw("ok", "true")
         .str("op", "report")
         .u64("generation", state.generation)
-        .u64("rows", state.len() as u64)
-        .u64("inliers", (state.len() - outliers.len()) as u64)
+        .u64("rows", len as u64)
+        .u64("inliers", (len - outliers.len()) as u64)
         .u64("outliers", outliers.len() as u64)
         .u64("pending", state.pending.len() as u64);
     o.finish()
@@ -278,12 +295,15 @@ pub fn snapshot_response(state: &EngineState) -> String {
         rows.push_str(&values_array(row));
     }
     rows.push(']');
+    let Response::Outliers(outliers) = state.query(Query::Outliers) else {
+        unreachable!("Query::Outliers answers Response::Outliers")
+    };
     let mut o = Obj::new();
     o.raw("ok", "true")
         .str("op", "snapshot")
         .u64("generation", state.generation)
         .raw("rows", &rows)
-        .raw("outliers", &index_array(&state.outliers()))
+        .raw("outliers", &index_array(&outliers))
         .raw("pending", &index_array(&state.pending));
     o.finish()
 }

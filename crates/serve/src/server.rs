@@ -50,6 +50,7 @@ use std::time::{Duration, Instant};
 
 use disc_core::{DiscEngine, EngineState, SaveReport};
 use disc_distance::Value;
+use disc_obs::hist::SHARD_FANOUT_MICROS;
 use disc_obs::json::Obj;
 use disc_obs::{counters, global_json, hist_json, Histogram};
 use disc_persist::DurableEngine;
@@ -570,7 +571,11 @@ fn stats_response(shared: &Shared) -> String {
         .raw("query", &hist_json(&latency.query))
         .raw("report", &hist_json(&latency.report))
         .raw("stats", &hist_json(&latency.stats))
-        .raw("snapshot", &hist_json(&latency.snapshot));
+        .raw("snapshot", &hist_json(&latency.snapshot))
+        // Engine-side shard fan-out latency (process-wide, recorded by
+        // the sharded engine itself). Served here only — it never enters
+        // the pinned `disc-stats/1` document or report equality.
+        .raw("shard_fanout", &hist_json(&SHARD_FANOUT_MICROS.snapshot()));
     drop(latency);
     let mut o = Obj::new();
     o.raw("ok", "true")

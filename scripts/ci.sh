@@ -46,6 +46,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q"
 cargo test -q --offline --workspace
 
+# Second shard layout: every default-constructed engine in the suite is
+# partitioned across 3 shards. Sharding is a pure execution knob, so the
+# whole workspace must stay green with no other change.
+echo "==> cargo test -q (DISC_TEST_SHARDS=3)"
+DISC_TEST_SHARDS=3 cargo test -q --offline --workspace
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -82,7 +88,7 @@ SMOKE_DIR=$(mktemp -d)
 trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
 cargo build --release --offline --quiet -p disc -p disc-bench --bin disc --bin serve_load
 target/release/disc serve --wal "$SMOKE_DIR/store" --eps 0.5 --eta 4 \
-    --addr 127.0.0.1:0 --max-queue 32 >"$SMOKE_DIR/serve.out" 2>&1 &
+    --shards 2 --addr 127.0.0.1:0 --max-queue 32 >"$SMOKE_DIR/serve.out" 2>&1 &
 SERVE_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do

@@ -10,10 +10,12 @@
 //! disc cluster  --data data.csv [--eps E --eta H] [--algo dbscan|kmeans|
 //!               kmeans--|cckm|srem|kmc|optics] [--k K] [--out labels.csv]
 //! disc stream   --data data.csv [--out repaired.csv] [--eps E --eta H]
-//!               [--kappa K] [--batch B] [--wal DIR] [--snapshot-every N]
+//!               [--kappa K] [--batch B] [--shards S] [--wal DIR]
+//!               [--snapshot-every N]
 //! disc recover  --wal DIR [--out repaired.csv]
 //! disc serve    [--addr HOST:PORT] [--arity M] [--eps E --eta H]
-//!               [--kappa K] [--wal DIR] [--max-queue N] [--snapshot-every N]
+//!               [--kappa K] [--shards S] [--wal DIR] [--max-queue N]
+//!               [--snapshot-every N]
 //! disc evaluate --labels predicted.csv --truth truth.csv
 //! ```
 //!
@@ -27,6 +29,13 @@
 //! store after a crash, reports what was replayed (and any torn log
 //! tail that was truncated), and optionally exports the recovered
 //! dataset.
+//!
+//! `--shards S` (on `stream` and `serve`) partitions the engine's rows
+//! across `S` independently indexed shards whose queries fan out on
+//! worker threads; `0` means one shard per core. Sharding is a pure
+//! execution knob — results are bit-identical for every shard count —
+//! and a durable store remembers its count, so a reopen without the
+//! flag keeps the stored layout while a reopen with it re-partitions.
 //!
 //! `serve` exposes one engine to many clients over TCP, speaking
 //! newline-delimited JSON (see `disc_serve::protocol` for the wire
@@ -69,7 +78,6 @@ use std::process::ExitCode;
 use disc::cleaning::{DiscRepairer, Dorc, Eracer, Holistic, HoloClean, Repairer};
 use disc::clustering::Optics;
 use disc::core::ParamConfig;
-use disc::data::binary;
 use disc::data::{csv, ClusterSpec, ErrorInjector, NonFinitePolicy};
 use disc::persist::{DurableEngine, StoreOptions};
 use disc::prelude::*;
@@ -373,25 +381,32 @@ fn read_labels(path: &str) -> Result<Vec<u32>, CliError> {
         .collect()
 }
 
-/// The saver knobs persisted in a durable store's config blob, so
-/// `recover` can rebuild the exact saver with no flags.
-fn encode_stream_config(c: DistanceConstraints, kappa: usize) -> Vec<u8> {
-    let mut out = Vec::new();
-    binary::put_f64(&mut out, c.eps);
-    binary::put_u64(&mut out, c.eta as u64);
-    binary::put_u64(&mut out, kappa as u64);
-    out
+/// The optional `--shards` override: `Some(0)` requests auto (one shard
+/// per core), `None` leaves the engine/store default in charge.
+fn shards_flag(args: &Args) -> Result<Option<usize>, CliError> {
+    match args.get("shards") {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Parse(format!("--shards: cannot parse {s:?}"))),
+    }
 }
 
-fn decode_stream_config(blob: &[u8]) -> Result<(DistanceConstraints, usize), String> {
-    let mut r = binary::Reader::new(blob);
-    let eps = r.f64("config eps").map_err(|e| e.to_string())?;
-    let eta = r.u64("config eta").map_err(|e| e.to_string())? as usize;
-    let kappa = r.u64("config kappa").map_err(|e| e.to_string())? as usize;
-    if !r.is_exhausted() {
-        return Err(format!("{} trailing config bytes", r.remaining()));
+/// The full engine knob set for a streaming/serving command; persisted
+/// verbatim (via [`EngineConfig::encode`]) in a durable store's config
+/// blob so `recover` can rebuild the exact saver with no flags.
+fn stream_engine_config(
+    arity: usize,
+    c: DistanceConstraints,
+    kappa: usize,
+    shards: Option<usize>,
+) -> EngineConfig {
+    let config = EngineConfig::new(arity, c.eps, c.eta).kappa(kappa.max(1));
+    match shards {
+        Some(s) => config.shards(s),
+        None => config,
     }
-    Ok((DistanceConstraints::new(eps, eta), kappa))
 }
 
 /// Rebuilds the streaming saver from a store's schema + config blob.
@@ -399,15 +414,7 @@ fn stream_saver_from_config(
     schema: &Schema,
     config: &[u8],
 ) -> Result<Box<dyn Saver>, disc::core::Error> {
-    let (c, kappa) = decode_stream_config(config).map_err(|message| disc::core::Error::Config {
-        param: "wal-config",
-        message,
-    })?;
-    let dist = schema.tuple_distance(Norm::L2);
-    let saver = SaverConfig::new(c, dist)
-        .kappa(kappa.max(1))
-        .build_approx()?;
-    Ok(Box::new(saver))
+    EngineConfig::decode(config)?.build_saver_for(schema)
 }
 
 fn print_batch_report(i: usize, rows: usize, report: &SaveReport) {
@@ -422,9 +429,9 @@ fn print_batch_report(i: usize, rows: usize, report: &SaveReport) {
 
 fn cmd_stream(args: &Args) -> Result<(), CliError> {
     let ds = load(args.required("data")?, args)?;
-    let dist = ds.schema().tuple_distance(Norm::L2);
     let c = constraints_for(&ds, args)?;
     let kappa: usize = args.num("kappa", 2)?;
+    let shards = shards_flag(args)?;
     let batch: usize = args.num("batch", 64)?;
     if batch == 0 {
         return Err(CliError::Parse("--batch must be at least 1".into()));
@@ -433,10 +440,7 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
     if snapshot_every > 0 && args.get("wal").is_none() {
         return Err(CliError::Parse("--snapshot-every requires --wal".into()));
     }
-    let saver = SaverConfig::new(c, dist)
-        .kappa(kappa.max(1))
-        .build_approx()
-        .map_err(|e| CliError::Validation(e.to_string()))?;
+    let config = stream_engine_config(ds.schema().arity(), c, kappa, shards);
 
     let mut degraded = false;
     let engine = match args.get("wal") {
@@ -444,13 +448,13 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
             // Durable path: every batch is WAL-appended and fsynced
             // before it is applied; `disc recover --wal DIR` resumes
             // after a crash.
-            let mut store = DurableEngine::create(
+            let mut store = DurableEngine::create_with_config(
                 Path::new(dir),
                 ds.schema().clone(),
-                Box::new(saver),
-                encode_stream_config(c, kappa),
+                &config,
                 StoreOptions {
                     snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+                    shards: None,
                 },
             )
             .map_err(persist_err)?;
@@ -472,7 +476,9 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
             store.into_engine()
         }
         None => {
-            let mut engine = DiscEngine::new(ds.schema().clone(), Box::new(saver));
+            let mut engine = config
+                .build_engine(ds.schema().clone())
+                .map_err(|e| CliError::Validation(e.to_string()))?;
             for (i, chunk) in ds.rows().chunks(batch).enumerate() {
                 let report = engine
                     .ingest(chunk.to_vec())
@@ -486,8 +492,9 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
     let outliers = engine.outliers();
     let pending = engine.pending();
     println!(
-        "stream done: {} rows, {} current outliers, {} pending retries",
+        "stream done: {} rows across {} shards, {} current outliers, {} pending retries",
         engine.len(),
+        engine.shards(),
         outliers.len(),
         pending.len()
     );
@@ -585,12 +592,14 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Parse("--max-queue must be at least 1".into()));
     }
     let kappa: usize = args.num("kappa", 2)?;
+    let shards = shards_flag(args)?;
     let snapshot_every: u64 = args.num("snapshot-every", 0)?;
     if snapshot_every > 0 && args.get("wal").is_none() {
         return Err(CliError::Parse("--snapshot-every requires --wal".into()));
     }
     let options = StoreOptions {
         snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+        shards,
     };
 
     let backend = match args.get("wal") {
@@ -609,20 +618,18 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 Err(disc::persist::Error::StoreMissing { .. }) => {
                     let c = explicit_constraints(args)?;
                     let arity: usize = args.num("arity", 2)?;
-                    let schema = Schema::numeric(arity);
-                    let saver = SaverConfig::new(c, schema.tuple_distance(Norm::L2))
-                        .kappa(kappa.max(1))
-                        .build_approx()
-                        .map_err(|e| CliError::Validation(e.to_string()))?;
-                    let store = DurableEngine::create(
+                    let config = stream_engine_config(arity, c, kappa, shards);
+                    let store = DurableEngine::create_with_config(
                         path,
-                        schema,
-                        Box::new(saver),
-                        encode_stream_config(c, kappa),
+                        Schema::numeric(arity),
+                        &config,
                         options,
                     )
                     .map_err(persist_err)?;
-                    eprintln!("created durable store in {dir}");
+                    eprintln!(
+                        "created durable store in {dir} ({} shards)",
+                        store.engine().shards()
+                    );
                     EngineBackend::Durable(store)
                 }
                 Err(e) => return Err(persist_err(e)),
@@ -631,12 +638,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         None => {
             let c = explicit_constraints(args)?;
             let arity: usize = args.num("arity", 2)?;
-            let schema = Schema::numeric(arity);
-            let saver = SaverConfig::new(c, schema.tuple_distance(Norm::L2))
-                .kappa(kappa.max(1))
-                .build_approx()
+            let engine = stream_engine_config(arity, c, kappa, shards)
+                .build_engine(Schema::numeric(arity))
                 .map_err(|e| CliError::Validation(e.to_string()))?;
-            EngineBackend::Memory(DiscEngine::new(schema, Box::new(saver)))
+            EngineBackend::Memory(engine)
         }
     };
 
@@ -655,10 +660,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     // parse the ephemeral port from it.
     println!("listening on {}", handle.addr());
     let report = handle.wait();
+    let rows = match report.state.query(Query::Len) {
+        Response::Len(n) => n,
+        _ => unreachable!("Len answers Len"),
+    };
     println!(
         "shutdown complete: generation {}, {} rows",
-        report.generation,
-        report.state.len()
+        report.generation, rows
     );
     match report.close_error {
         Some(e) => Err(CliError::Io(format!("closing durable store: {e}"))),

@@ -74,8 +74,8 @@ pub mod prelude {
         Cckm, ClusteringAlgorithm, Dbscan, KMeans, KMeansMinus, Kmc, Optics, Srem,
     };
     pub use disc_core::{
-        determine_parameters, Budget, DiscEngine, DiscSaver, DistanceConstraints, Error,
-        ExactSaver, Parallelism, SaveReport, Saver, SaverConfig,
+        determine_parameters, Budget, DiscEngine, DiscSaver, DistanceConstraints, EngineConfig,
+        Error, ExactSaver, Parallelism, Query, Response, SaveReport, Saver, SaverConfig,
     };
     pub use disc_data::{Dataset, NonFinitePolicy, Schema};
     pub use disc_distance::{AttrSet, Metric, Norm, TupleDistance, Value};
