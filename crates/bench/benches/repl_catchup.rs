@@ -1,0 +1,189 @@
+//! Criterion bench for follower catch-up throughput: how fast a read
+//! replica replays a backlog of leader WAL frames into its own durable
+//! store.
+//!
+//! Setup: a leader serves `BATCHES` acked generations; a follower
+//! *template* store is bootstrapped at generation 0 and closed. Each
+//! iteration clones the template — so the follower must catch up
+//! through the full frame backlog over the wire, not shortcut through
+//! a shipped snapshot — and replays to the leader's generation.
+//!
+//! Before timing anything, the harness replays once itself, asserts
+//! the replica is bit-equal to the leader (states and generation, the
+//! replication contract), and prints the measured single-shot catch-up
+//! throughput in rows/s.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use disc_core::{DistanceConstraints, Saver, SaverConfig};
+use disc_data::Schema;
+use disc_distance::{TupleDistance, Value};
+use disc_persist::{DurableEngine, StoreOptions};
+use disc_replicate::{Follower, FollowerOptions, SaverFactory};
+use disc_serve::{EngineBackend, Server, ServerConfig};
+
+const BATCHES: u64 = 24;
+const ROWS_PER_BATCH: usize = 20;
+
+fn temp_store(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "disc_repl_catchup_bench/{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn saver() -> Box<dyn Saver> {
+    Box::new(
+        SaverConfig::new(DistanceConstraints::new(0.5, 4), TupleDistance::numeric(2))
+            .build_approx()
+            .unwrap(),
+    )
+}
+
+fn saver_factory() -> SaverFactory {
+    Box::new(|_schema: &Schema, _config: &[u8]| Ok(saver()))
+}
+
+fn follower_options() -> FollowerOptions {
+    FollowerOptions {
+        max_frames: 8, // catch-up spans several polls
+        io_timeout: Duration::from_secs(10),
+        ..FollowerOptions::default()
+    }
+}
+
+/// A flat file-by-file store clone (the store directory holds only
+/// regular files: snapshot, WAL, config).
+fn copy_store(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        assert!(entry.file_type().unwrap().is_file(), "store dir not flat");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Deterministic clustered rows (arity 2, a 6×6 grid of 0.2 steps) so
+/// ε-neighborhoods form and the apply path does real saving work.
+fn batch(b: u64) -> Vec<Vec<Value>> {
+    (0..ROWS_PER_BATCH)
+        .map(|r| {
+            let cell = b as usize * ROWS_PER_BATCH + r;
+            vec![
+                Value::Num(0.2 * ((cell % 6) as f64)),
+                Value::Num(0.2 * (((cell / 6) % 6) as f64)),
+            ]
+        })
+        .collect()
+}
+
+/// Replays until caught up; returns the number of frames applied.
+fn catch_up(follower: &mut Follower) -> u64 {
+    let mut frames = 0u64;
+    loop {
+        let round = follower.catch_up_once().unwrap();
+        frames += round.applied.len() as u64;
+        if round.caught_up {
+            return frames;
+        }
+    }
+}
+
+fn bench_repl_catchup(c: &mut Criterion) {
+    let leader_dir = temp_store("leader");
+    let template_dir = temp_store("template");
+    let store = DurableEngine::create(
+        &leader_dir,
+        Schema::numeric(2),
+        saver(),
+        Vec::new(),
+        StoreOptions {
+            snapshot_every: None, // keep every frame replayable
+            shards: None,
+        },
+    )
+    .unwrap();
+    let leader = Server::start(EngineBackend::Durable(store), ServerConfig::default()).unwrap();
+    let addr = leader.addr().to_string();
+
+    // Template replica at generation 0: clones of it must pull the
+    // whole backlog as frames.
+    drop(
+        Follower::bootstrap(
+            &template_dir,
+            addr.clone(),
+            saver_factory(),
+            follower_options(),
+        )
+        .unwrap(),
+    );
+    for b in 0..BATCHES {
+        leader.ingest(batch(b)).unwrap();
+    }
+    // Acks precede state publication; wait for the writer to publish
+    // the final generation before pinning the reference state.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while leader.snapshot().generation < BATCHES {
+        assert!(
+            Instant::now() < deadline,
+            "leader never published {BATCHES}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let leader_state = (*leader.snapshot()).clone();
+    assert_eq!(leader_state.generation, BATCHES);
+
+    // Contract + throughput preamble: one measured catch-up, bit-equal.
+    let warm_dir = temp_store("warm");
+    copy_store(&template_dir, &warm_dir);
+    let mut warm =
+        Follower::bootstrap(&warm_dir, addr.clone(), saver_factory(), follower_options()).unwrap();
+    let started = Instant::now();
+    let frames = catch_up(&mut warm);
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(frames, BATCHES, "catch-up must apply every frame");
+    assert_eq!(warm.state(), leader_state, "replica diverged from leader");
+    let rows = BATCHES * ROWS_PER_BATCH as u64;
+    eprintln!(
+        "repl_catchup: {rows} rows / {BATCHES} frames in {secs:.3}s ({:.0} rows/s)",
+        rows as f64 / secs
+    );
+    drop(warm);
+    std::fs::remove_dir_all(&warm_dir).ok();
+
+    let mut group = c.benchmark_group("repl_catchup");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("frames", BATCHES), &BATCHES, |b, _| {
+        b.iter_batched(
+            || {
+                let dir = temp_store("iter");
+                copy_store(&template_dir, &dir);
+                dir
+            },
+            |dir| {
+                let mut follower =
+                    Follower::bootstrap(&dir, addr.clone(), saver_factory(), follower_options())
+                        .unwrap();
+                let frames = catch_up(&mut follower);
+                assert_eq!(frames, BATCHES);
+                drop(follower);
+                std::fs::remove_dir_all(&dir).ok();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    leader.request_shutdown();
+    leader.wait();
+    std::fs::remove_dir_all(&leader_dir).ok();
+    std::fs::remove_dir_all(&template_dir).ok();
+}
+
+criterion_group!(benches, bench_repl_catchup);
+criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Load generator for `disc serve`.
 //!
 //! ```text
-//! serve_load --addr HOST:PORT [--clients 4] [--batches 8] [--rows 3]
-//!            [--seed 7]
+//! serve_load --addr HOST:PORT [--follower HOST:PORT] [--clients 4]
+//!            [--batches 8] [--rows 3] [--seed 7]
 //! ```
 //!
 //! Drives `--clients` concurrent connections, each sending `--batches`
@@ -15,12 +15,27 @@
 //!
 //! `p50_ms`/`p99_ms` are nearest-rank percentiles of the round-trip
 //! time of every answered ingest (acked or overloaded), merged across
-//! clients; both read `nan` when no request was answered.
+//! clients; both read `nan` when no request was answered. Every client
+//! also closes the read-your-writes loop: after its last ack it waits
+//! for the served generation to reach that ack and requires `report`,
+//! `stats`, and `snapshot` to name it.
+//!
+//! With `--follower`, every client mirrors reads to the replica at
+//! that address — timed `report`s while the stream is hot, then, after
+//! the replica applies the client's last acked generation, a
+//! byte-for-byte comparison of `report`/`snapshot` against the leader
+//! pinned at an identical generation. The accounting line gains:
+//!
+//! ```text
+//! … replica_reads=N divergence_checks=N divergent=0
+//!   replica_p50_ms=M replica_p99_ms=M
+//! ```
 //!
 //! A harness asserts the server's durability contract against it: after
 //! a graceful shutdown, a recovered store must hold exactly
-//! `acked_rows` rows. Exits 1 on any connection/protocol error, 0
-//! otherwise (overloads are expected under pressure, not errors).
+//! `acked_rows` rows. Exits 1 on any connection/protocol error or any
+//! divergent mirrored read, 0 otherwise (overloads are expected under
+//! pressure, not errors).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -46,19 +61,22 @@ fn main() -> ExitCode {
     };
     let Some(addr) = flags.get("addr") else {
         eprintln!(
-            "usage: serve_load --addr HOST:PORT [--clients N] [--batches N] [--rows N] [--seed N]"
+            "usage: serve_load --addr HOST:PORT [--follower HOST:PORT] [--clients N] \
+             [--batches N] [--rows N] [--seed N]"
         );
         return ExitCode::from(2);
     };
+    let follower = flags.get("follower").map(String::as_str);
 
     let report = run_load(
         addr,
+        follower,
         num("clients", 4) as usize,
         num("batches", 8) as usize,
         num("rows", 3) as usize,
         num("seed", 7),
     );
-    println!(
+    print!(
         "acked_batches={} acked_rows={} overloaded={} errors={} p50_ms={:.3} p99_ms={:.3}",
         report.acked_batches,
         report.acked_rows,
@@ -67,7 +85,19 @@ fn main() -> ExitCode {
         report.p50_ms().unwrap_or(f64::NAN),
         report.p99_ms().unwrap_or(f64::NAN)
     );
-    if report.errors > 0 {
+    if follower.is_some() {
+        print!(
+            " replica_reads={} divergence_checks={} divergent={} \
+             replica_p50_ms={:.3} replica_p99_ms={:.3}",
+            report.replica_reads,
+            report.divergence_checks,
+            report.divergent,
+            report.replica_p50_ms().unwrap_or(f64::NAN),
+            report.replica_p99_ms().unwrap_or(f64::NAN)
+        );
+    }
+    println!();
+    if report.errors > 0 || report.divergent > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

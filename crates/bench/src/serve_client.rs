@@ -12,6 +12,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use disc_distance::Value;
 use disc_serve::json::{self, Json};
@@ -102,6 +103,55 @@ impl ServeClient {
         })
     }
 
+    /// Sends a bare read verb (`report`, `stats`, or `snapshot`) and
+    /// returns the generation the response names plus the raw line.
+    /// Every serve read carries the generation of the published image
+    /// it describes; a response without one is a protocol error here.
+    pub fn read_at(&mut self, op: &str) -> io::Result<(u64, String)> {
+        let line = self.request(&format!(r#"{{"op":"{op}"}}"#))?;
+        let doc = json::parse(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+        })?;
+        if doc.get("ok") != Some(&Json::Bool(true)) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{op} refused: {line}"),
+            ));
+        }
+        let generation = doc
+            .get("generation")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{op} response without a generation: {line}"),
+                )
+            })?;
+        Ok((generation, line))
+    }
+
+    /// Polls `report` until the served generation reaches `generation`
+    /// or `timeout` elapses. Acks precede state publication (and a
+    /// replica applies asynchronously), so read-your-writes is a
+    /// bounded wait, not an instant assertion. Returns the generation
+    /// finally observed.
+    pub fn await_generation(&mut self, generation: u64, timeout: Duration) -> io::Result<u64> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (observed, _) = self.read_at("report")?;
+            if observed >= generation {
+                return Ok(observed);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("server stuck at generation {observed}, wanted {generation}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     /// Asks the server to begin graceful shutdown.
     pub fn shutdown(&mut self) -> io::Result<String> {
         self.request(r#"{"op":"shutdown"}"#)
@@ -137,20 +187,37 @@ pub struct LoadReport {
     /// the server answered (acked or overloaded), across all clients.
     /// Unordered — concurrent clients interleave.
     pub latencies_ms: Vec<f64>,
+    /// Reads mirrored to the follower (mirror mode only).
+    pub replica_reads: u64,
+    /// Mirrored read pairs captured at an identical generation and
+    /// compared byte for byte.
+    pub divergence_checks: u64,
+    /// Compared pairs whose response lines differed. Any nonzero value
+    /// breaks the replication contract: a replica at generation `g`
+    /// must serve the leader's exact bytes at `g`.
+    pub divergent: u64,
+    /// Round-trip wall time, in milliseconds, of every mirrored
+    /// follower read, across all clients.
+    pub replica_latencies_ms: Vec<f64>,
+}
+
+/// Nearest-rank `p`-th percentile (0 < p ≤ 100); `None` when empty.
+/// NaN-free by construction, ordered with [`f64::total_cmp`].
+fn nearest_rank(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 impl LoadReport {
-    /// The nearest-rank `p`-th percentile (0 < p ≤ 100) of the answered
-    /// request latencies; `None` when nothing was measured. NaN-free by
-    /// construction, ordered with [`f64::total_cmp`].
+    /// The nearest-rank `p`-th percentile of the answered ingest
+    /// latencies; `None` when nothing was measured.
     pub fn percentile_ms(&self, p: f64) -> Option<f64> {
-        if self.latencies_ms.is_empty() {
-            return None;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+        nearest_rank(&self.latencies_ms, p)
     }
 
     /// Median answered-request latency in milliseconds.
@@ -162,13 +229,48 @@ impl LoadReport {
     pub fn p99_ms(&self) -> Option<f64> {
         self.percentile_ms(99.0)
     }
+
+    /// The nearest-rank `p`-th percentile of the mirrored follower
+    /// read latencies; `None` outside mirror mode.
+    pub fn replica_percentile_ms(&self, p: f64) -> Option<f64> {
+        nearest_rank(&self.replica_latencies_ms, p)
+    }
+
+    /// Median mirrored follower read latency in milliseconds.
+    pub fn replica_p50_ms(&self) -> Option<f64> {
+        self.replica_percentile_ms(50.0)
+    }
+
+    /// 99th-percentile mirrored follower read latency in milliseconds.
+    pub fn replica_p99_ms(&self) -> Option<f64> {
+        self.replica_percentile_ms(99.0)
+    }
 }
+
+/// How long a post-load generation wait may take before it counts as
+/// an error: generous, because CI machines stall under parallel load.
+const CATCH_UP_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Drives `clients` concurrent connections, each sending `batches`
 /// randomized ingest bursts of 1–`max_rows` clustered rows (arity 2).
 /// Deterministic for a fixed `seed` modulo server-side interleaving.
+///
+/// After its batches, every client closes the read-your-writes loop
+/// against the leader: it waits (bounded) for the served generation to
+/// reach its last ack, then requires `stats` and `snapshot` to name a
+/// generation at least that new — a response without a generation, or
+/// behind the ack, counts as an error.
+///
+/// With `follower` set, every client additionally mirrors reads to the
+/// replica at `follower`: one timed `report` per acked batch while the
+/// load runs, then a catch-up wait to its last acked generation and a
+/// byte-for-byte `report`/`stats`/`snapshot` comparison against the
+/// leader pinned at an identical generation (`stats` compares only the
+/// generation — its counters are process-local by design). Divergent
+/// pairs are counted in [`LoadReport::divergent`].
 pub fn run_load(
     addr: &str,
+    follower: Option<&str>,
     clients: usize,
     batches: usize,
     max_rows: usize,
@@ -183,6 +285,15 @@ pub fn run_load(
                 let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9E37));
                 match ServeClient::connect(addr) {
                     Ok(mut conn) => {
+                        let mut replica = match follower.map(ServeClient::connect) {
+                            Some(Ok(replica)) => Some(replica),
+                            Some(Err(_)) => {
+                                local.errors += 1;
+                                None
+                            }
+                            None => None,
+                        };
+                        let mut last_acked = None;
                         for _ in 0..batches {
                             let size = rng.random_range(1..=max_rows.max(1));
                             let rows: Vec<Vec<Value>> = (0..size)
@@ -195,20 +306,40 @@ pub fn run_load(
                                     ]
                                 })
                                 .collect();
-                            let sent = std::time::Instant::now();
+                            let sent = Instant::now();
                             let outcome = conn.ingest(&rows);
                             let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
                             match outcome {
-                                Ok(IngestOutcome::Acked { .. }) => {
+                                Ok(IngestOutcome::Acked { generation }) => {
                                     local.acked_batches += 1;
                                     local.acked_rows += rows.len() as u64;
                                     local.latencies_ms.push(elapsed_ms);
+                                    last_acked = Some(generation);
+                                    // Mirror one read into the replica
+                                    // while the stream is hot; lag is
+                                    // fine here, divergence is judged
+                                    // after catch-up below.
+                                    if let Some(replica) = replica.as_mut() {
+                                        if timed_read(replica, "report", &mut local).is_err() {
+                                            local.errors += 1;
+                                        }
+                                    }
                                 }
                                 Ok(IngestOutcome::Overloaded) => {
                                     local.overloaded += 1;
                                     local.latencies_ms.push(elapsed_ms);
                                 }
                                 Ok(IngestOutcome::Failed { .. }) | Err(_) => local.errors += 1,
+                            }
+                        }
+                        if let Some(acked) = last_acked {
+                            if read_your_writes(&mut conn, acked).is_err() {
+                                local.errors += 1;
+                            }
+                            if let Some(replica) = replica.as_mut() {
+                                if mirror_verify(&mut conn, replica, acked, &mut local).is_err() {
+                                    local.errors += 1;
+                                }
                             }
                         }
                     }
@@ -220,10 +351,98 @@ pub fn run_load(
                 t.overloaded += local.overloaded;
                 t.errors += local.errors;
                 t.latencies_ms.extend(local.latencies_ms);
+                t.replica_reads += local.replica_reads;
+                t.divergence_checks += local.divergence_checks;
+                t.divergent += local.divergent;
+                t.replica_latencies_ms.extend(local.replica_latencies_ms);
             });
         }
     });
     totals.into_inner().unwrap()
+}
+
+/// One mirrored follower read, timed into the replica latency pool.
+fn timed_read(
+    replica: &mut ServeClient,
+    op: &str,
+    totals: &mut LoadReport,
+) -> io::Result<(u64, String)> {
+    let sent = Instant::now();
+    let read = replica.read_at(op)?;
+    totals
+        .replica_latencies_ms
+        .push(sent.elapsed().as_secs_f64() * 1e3);
+    totals.replica_reads += 1;
+    Ok(read)
+}
+
+/// The leader half of read-your-writes: wait (acks precede state
+/// publication) until the served generation reaches this client's last
+/// ack, then require every read verb to name a generation at least
+/// that new.
+fn read_your_writes(conn: &mut ServeClient, acked: u64) -> io::Result<()> {
+    conn.await_generation(acked, CATCH_UP_TIMEOUT)?;
+    for op in ["stats", "snapshot"] {
+        let (generation, line) = conn.read_at(op)?;
+        if generation < acked {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{op} went backwards: generation {generation} after ack {acked}: {line}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The replica half: wait for the follower to apply this client's last
+/// acked generation, then compare each read verb against the leader at
+/// an identical generation. Other clients may still be writing, so the
+/// pinning retries until a pair aligns; once the stream quiesces the
+/// first try aligns.
+fn mirror_verify(
+    leader: &mut ServeClient,
+    replica: &mut ServeClient,
+    acked: u64,
+    totals: &mut LoadReport,
+) -> io::Result<()> {
+    let deadline = Instant::now() + CATCH_UP_TIMEOUT;
+    loop {
+        let (generation, _) = timed_read(replica, "report", totals)?;
+        if generation >= acked {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("replica stuck at generation {generation}, wanted {acked}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for op in ["report", "stats", "snapshot"] {
+        loop {
+            let (leader_generation, leader_line) = leader.read_at(op)?;
+            let (generation, line) = timed_read(replica, op, totals)?;
+            if generation == leader_generation {
+                totals.divergence_checks += 1;
+                // `stats` counters are process-local (queue depths,
+                // latency histograms); only state-derived responses
+                // must be byte-equal at an equal generation.
+                if op != "stats" && line != leader_line {
+                    totals.divergent += 1;
+                }
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("never pinned {op} to one generation under churn"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -313,6 +313,7 @@ impl ShardedEngine {
     pub fn query(&self, query: Query) -> Response<'_> {
         match query {
             Query::Len => Response::Len(self.len()),
+            Query::Generation => Response::Generation(self.generation),
             Query::IsInlier { row } => Response::IsInlier(row < self.len() && self.is_inlier(row)),
             Query::NeighborCount { row } => {
                 Response::NeighborCount((row < self.len()).then(|| self.neighbor_count(row)))

@@ -22,6 +22,10 @@ use crate::engine::EngineState;
 pub enum Query {
     /// Number of ingested rows.
     Len,
+    /// The engine generation (successful ingests since empty). This is
+    /// the coordinate replication and read-your-writes clients key on:
+    /// two states at the same generation are bit-identical.
+    Generation,
     /// Is `row` currently classified an inlier? (Out-of-range rows are
     /// not inliers.)
     IsInlier {
@@ -55,6 +59,8 @@ pub enum Query {
 pub enum Response<'a> {
     /// Answer to [`Query::Len`].
     Len(usize),
+    /// Answer to [`Query::Generation`].
+    Generation(u64),
     /// Answer to [`Query::IsInlier`].
     IsInlier(bool),
     /// Answer to [`Query::NeighborCount`]; `None` for an out-of-range
@@ -73,6 +79,7 @@ impl EngineState {
     pub fn query(&self, query: Query) -> Response<'_> {
         match query {
             Query::Len => Response::Len(self.original.len()),
+            Query::Generation => Response::Generation(self.generation),
             Query::IsInlier { row } => {
                 Response::IsInlier(self.nearest.get(row).is_some_and(|n| n.is_some()))
             }
@@ -119,6 +126,7 @@ mod tests {
     fn queries_answer_from_the_image() {
         let state = image();
         assert_eq!(state.query(Query::Len), Response::Len(3));
+        assert_eq!(state.query(Query::Generation), Response::Generation(3));
         assert_eq!(
             state.query(Query::IsInlier { row: 0 }),
             Response::IsInlier(true)

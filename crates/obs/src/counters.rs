@@ -236,6 +236,33 @@ declare_counters! {
     /// `ingest` requests refused with a typed `overloaded` response
     /// because the bounded write queue was full (backpressure).
     SERVE_REJECTED_OVERLOAD => "serve.rejected_overloaded",
+    /// Writes refused by a follower with a typed `not_leader` response
+    /// naming the leader address.
+    SERVE_REJECTED_NOT_LEADER => "serve.rejected_not_leader",
+    /// `replicate` requests served by a leader (one per follower poll).
+    REPL_REQUESTS => "repl.requests",
+    /// WAL frames shipped to followers by a leader's `replicate`
+    /// responses.
+    REPL_FRAMES_SHIPPED => "repl.frames_shipped",
+    /// Frame payload bytes shipped to followers (pre-hex, the durable
+    /// byte count).
+    REPL_BYTES_SHIPPED => "repl.bytes_shipped",
+    /// Full snapshot images shipped to bootstrapping or fallen-behind
+    /// followers.
+    REPL_SNAPSHOTS_SHIPPED => "repl.snapshots_shipped",
+    /// Replicated frames a follower applied through its durable ingest
+    /// path (each exactly once).
+    REPL_FRAMES_APPLIED => "repl.frames_applied",
+    /// Replicated frames a follower skipped because their generation was
+    /// already durably applied (the at-most-once half of exactly-once;
+    /// expected after a resume or duplicated poll, never a data change).
+    REPL_FRAMES_SKIPPED => "repl.frames_skipped",
+    /// Snapshot images a follower installed (bootstrap or resync after
+    /// falling behind a leader checkpoint).
+    REPL_SNAPSHOTS_INSTALLED => "repl.snapshots_installed",
+    /// Follower reconnect attempts after a dropped or failed replication
+    /// link (exponential backoff governs their spacing).
+    REPL_RECONNECTS => "repl.reconnects",
 }
 
 macro_rules! declare_gauges {
@@ -254,6 +281,10 @@ declare_gauges! {
     SERVE_QUEUE_DEPTH => "serve.queue_depth",
     /// Client connections currently open against the serving layer.
     SERVE_OPEN_CONNECTIONS => "serve.open_connections",
+    /// How many generations a follower currently trails its leader
+    /// (leader generation − last durably applied generation, saturating
+    /// at zero; 0 means caught up).
+    REPL_LAG_GENERATIONS => "repl.lag_generations",
 }
 
 /// A point-in-time reading of every registered counter, in stable

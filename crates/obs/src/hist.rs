@@ -145,6 +145,14 @@ impl Default for SharedHistogram {
 /// `disc-stats/1` or `SaveReport` equality.
 pub static SHARD_FANOUT_MICROS: SharedHistogram = SharedHistogram::new();
 
+/// Wall-clock latency, in microseconds, of each replication ship cycle
+/// on a follower: one sample per non-empty `replicate` poll, covering
+/// the request round-trip plus the durable apply of every frame it
+/// carried. Same contract as [`SHARD_FANOUT_MICROS`]: exported by the
+/// serving layer's `stats`/`repl_status` verbs only, never part of
+/// `disc-stats/1` or any pinned equality.
+pub static REPL_SHIP_MICROS: SharedHistogram = SharedHistogram::new();
+
 #[cfg(test)]
 mod tests {
     use super::*;

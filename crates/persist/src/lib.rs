@@ -56,5 +56,5 @@ pub mod wal;
 pub use error::Error;
 pub use lock::StoreLock;
 pub use snapshot::{SnapshotData, SNAP_MAGIC, SNAP_VERSION};
-pub use store::{DurableEngine, RecoveryReport, StoreOptions};
-pub use wal::{TornTail, Wal, WalRecord, WAL_MAGIC};
+pub use store::{DurableEngine, RecoveryReport, ReplApply, StoreOptions};
+pub use wal::{TornTail, Wal, WalEnd, WalFrame, WalReader, WalRecord, WalTailer, WAL_MAGIC};

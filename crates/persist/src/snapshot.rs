@@ -165,9 +165,12 @@ pub fn snapshot_tmp_path(dir: &Path) -> std::path::PathBuf {
     dir.join("engine.snap.tmp")
 }
 
-/// Writes `data` atomically: stage to `engine.snap.tmp`, fsync, rename
-/// over `engine.snap`, fsync the directory.
-pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> Result<(), Error> {
+/// Encodes `data` as a complete snapshot file image (magic, version,
+/// length, checksum, payload) — the exact bytes [`write_snapshot`]
+/// stages, and the unit replication ships when a follower bootstraps:
+/// shipping the file image rather than a re-encoding means the follower
+/// installs bit-for-bit what the leader would recover from.
+pub fn snapshot_to_bytes(data: &SnapshotData) -> Vec<u8> {
     let payload = encode_payload(data);
     let mut bytes = Vec::with_capacity(20 + payload.len());
     bytes.extend_from_slice(SNAP_MAGIC);
@@ -175,7 +178,48 @@ pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> Result<(), Error> {
     binary::put_u32(&mut bytes, payload.len() as u32);
     binary::put_u32(&mut bytes, crc32(&payload));
     bytes.extend_from_slice(&payload);
+    bytes
+}
 
+/// Fully validates and decodes a snapshot file image — the inverse of
+/// [`snapshot_to_bytes`], shared by [`read_snapshot`] and the
+/// replication follower (which validates shipped bytes *before* writing
+/// them into its own store). The error is a bare detail string; callers
+/// attach path or peer context.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<SnapshotData, String> {
+    if bytes.len() < 20 {
+        return Err(format!("file is only {} bytes", bytes.len()));
+    }
+    if &bytes[..8] != SNAP_MAGIC {
+        return Err(format!("bad magic {:?}", &bytes[..8]));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != SNAP_VERSION {
+        return Err(format!(
+            "unsupported version {version} (this build reads {SNAP_VERSION})"
+        ));
+    }
+    let len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+    let crc = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
+    let payload = bytes
+        .get(20..20 + len)
+        .ok_or_else(|| format!("payload truncated: header claims {len} bytes"))?;
+    if bytes.len() != 20 + len {
+        return Err(format!(
+            "{} trailing bytes after payload",
+            bytes.len() - 20 - len
+        ));
+    }
+    if crc32(payload) != crc {
+        return Err("payload checksum mismatch".into());
+    }
+    decode_payload(payload).map_err(|e| format!("payload does not decode: {e}"))
+}
+
+/// Writes `data` atomically: stage to `engine.snap.tmp`, fsync, rename
+/// over `engine.snap`, fsync the directory.
+pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> Result<(), Error> {
+    let bytes = snapshot_to_bytes(data);
     let tmp = snapshot_tmp_path(dir);
     let mut file = OpenOptions::new()
         .write(true)
@@ -205,39 +249,61 @@ pub fn read_snapshot(dir: &Path) -> Result<SnapshotData, Error> {
         path: path.clone(),
         source: e,
     })?;
-    let corrupt = |detail: String| Error::Corrupt {
+    let data = snapshot_from_bytes(&bytes).map_err(|detail| Error::Corrupt {
         path: path.clone(),
         detail,
-    };
-    if bytes.len() < 20 {
-        return Err(corrupt(format!("file is only {} bytes", bytes.len())));
-    }
-    if &bytes[..8] != SNAP_MAGIC {
-        return Err(corrupt(format!("bad magic {:?}", &bytes[..8])));
-    }
-    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-    if version != SNAP_VERSION {
-        return Err(corrupt(format!(
-            "unsupported version {version} (this build reads {SNAP_VERSION})"
-        )));
-    }
-    let len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
-    let crc = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
-    let payload = bytes
-        .get(20..20 + len)
-        .ok_or_else(|| corrupt(format!("payload truncated: header claims {len} bytes")))?;
-    if bytes.len() != 20 + len {
-        return Err(corrupt(format!(
-            "{} trailing bytes after payload",
-            bytes.len() - 20 - len
-        )));
-    }
-    if crc32(payload) != crc {
-        return Err(corrupt("payload checksum mismatch".into()));
-    }
-    let data =
-        decode_payload(payload).map_err(|e| corrupt(format!("payload does not decode: {e}")))?;
+    })?;
     counters::SNAPSHOT_LOADS.incr();
+    Ok(data)
+}
+
+/// Reads the store's snapshot as a validated file image — what a
+/// replication leader ships to a bootstrapping follower. The bytes are
+/// fully validated first so a leader can never ship corruption, and the
+/// decoded data rides along so the caller learns the generation without
+/// decoding twice.
+pub fn read_snapshot_bytes(dir: &Path) -> Result<(Vec<u8>, SnapshotData), Error> {
+    let path = snapshot_path(dir);
+    let bytes = std::fs::read(&path).map_err(|e| Error::Io {
+        op: "read",
+        path: path.clone(),
+        source: e,
+    })?;
+    let data = snapshot_from_bytes(&bytes).map_err(|detail| Error::Corrupt {
+        path: path.clone(),
+        detail,
+    })?;
+    counters::SNAPSHOT_LOADS.incr();
+    Ok((bytes, data))
+}
+
+/// Atomically installs a pre-encoded snapshot file image into `dir` —
+/// the follower half of snapshot shipping. The bytes are validated
+/// before any byte lands on disk; the returned [`SnapshotData`] is the
+/// decoded image. Same staging protocol as [`write_snapshot`].
+pub fn install_snapshot_bytes(dir: &Path, bytes: &[u8]) -> Result<SnapshotData, Error> {
+    let tmp = snapshot_tmp_path(dir);
+    let data = snapshot_from_bytes(bytes).map_err(|detail| Error::Corrupt {
+        path: snapshot_path(dir),
+        detail,
+    })?;
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| Error::Io {
+            op: "create",
+            path: tmp.clone(),
+            source: e,
+        })?;
+    io::write_all(&mut file, bytes, &tmp)?;
+    io::fsync(&file, &tmp)?;
+    drop(file);
+    io::rename(&tmp, &snapshot_path(dir))?;
+    io::fsync_dir(dir)?;
+    counters::SNAPSHOT_WRITES.incr();
+    counters::SNAPSHOT_BYTES_WRITTEN.add(bytes.len() as u64);
     Ok(data)
 }
 
@@ -292,6 +358,40 @@ mod tests {
             "tmp file must be renamed away"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_image_roundtrips_and_installs() {
+        let data = sample();
+        let bytes = snapshot_to_bytes(&data);
+        assert_eq!(snapshot_from_bytes(&bytes).unwrap(), data);
+
+        // write_snapshot stages exactly this image.
+        let dir = temp_store("image");
+        write_snapshot(&dir, &data).unwrap();
+        let (on_disk, decoded) = read_snapshot_bytes(&dir).unwrap();
+        assert_eq!(on_disk, bytes);
+        assert_eq!(decoded, data);
+
+        // Shipping the image into another store installs it bit-exactly.
+        let dst = temp_store("install");
+        let installed = install_snapshot_bytes(&dst, &on_disk).unwrap();
+        assert_eq!(installed, data);
+        assert_eq!(read_snapshot(&dst).unwrap(), data);
+        assert_eq!(std::fs::read(snapshot_path(&dst)).unwrap(), bytes);
+
+        // A corrupted image is refused before anything lands on disk.
+        let empty = temp_store("refuse");
+        let mut bad = bytes.clone();
+        bad[24] ^= 0x01;
+        assert!(matches!(
+            install_snapshot_bytes(&empty, &bad),
+            Err(Error::Corrupt { .. })
+        ));
+        assert!(!snapshot_path(&empty).exists());
+        for dir in [dir, dst, empty] {
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

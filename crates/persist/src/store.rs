@@ -33,7 +33,7 @@ use disc_obs::counters;
 use crate::error::Error;
 use crate::lock::StoreLock;
 use crate::snapshot::{self, SnapshotData};
-use crate::wal::{TornTail, Wal};
+use crate::wal::{TornTail, Wal, WalFrame};
 
 /// Store-level knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,6 +71,32 @@ pub struct RecoveryReport {
 /// The WAL file within a store directory.
 pub fn wal_path(dir: &Path) -> PathBuf {
     dir.join("engine.wal")
+}
+
+/// The outcome of [`DurableEngine::apply_replicated`] — the follower's
+/// exactly-once contract in type form. Every shipped frame lands in
+/// exactly one arm, so a reconnect that redelivers frames (or a leader
+/// that skipped ahead) can never double-apply or silently drop a batch.
+#[derive(Debug)]
+pub enum ReplApply {
+    /// The frame continued the generation sequence and was durably
+    /// applied (WAL append + fsync, then engine ingest). Boxed: a
+    /// `SaveReport` is ~2 kB of stats, and this enum travels by value.
+    Applied(Box<SaveReport>),
+    /// The frame's generation is already part of this store's state — a
+    /// redelivery after a reconnect. Nothing was written.
+    AlreadyApplied,
+    /// The frame skips ahead of this store's generation: intermediate
+    /// frames are unavailable (the leader checkpointed past them), so
+    /// the caller must resync via
+    /// [`DurableEngine::install_snapshot`] before applying further
+    /// frames. Nothing was written.
+    Gap {
+        /// The generation this store could have applied.
+        expected: u64,
+        /// The generation the frame carried.
+        got: u64,
+    },
 }
 
 /// A [`DiscEngine`] whose state survives crashes; see the
@@ -168,6 +194,52 @@ impl DurableEngine {
             ..options
         };
         Self::create(dir, schema, saver, engine_config.encode(), options)
+    }
+
+    /// Creates a fresh store in `dir` from a shipped snapshot file image
+    /// — the follower's bootstrap. The bytes are fully validated, then
+    /// installed verbatim as `engine.snap` (so the follower's first
+    /// checkpoint base is bit-for-bit the leader's), an empty WAL is
+    /// created, and the engine is restored exactly as
+    /// [`DurableEngine::open`] would after a crash at that generation.
+    ///
+    /// Shard count follows [`StoreOptions::shards`] when set, else the
+    /// count recorded in the image — either way the restored state is
+    /// bit-identical; only query fan-out differs.
+    pub fn create_from_snapshot(
+        dir: &Path,
+        bytes: &[u8],
+        make_saver: impl FnOnce(&Schema, &[u8]) -> Result<Box<dyn Saver>, disc_core::Error>,
+        options: StoreOptions,
+    ) -> Result<DurableEngine, Error> {
+        if snapshot::snapshot_path(dir).exists() || wal_path(dir).exists() {
+            return Err(Error::StoreExists {
+                dir: dir.to_path_buf(),
+            });
+        }
+        let lock = StoreLock::acquire(dir)?;
+        let data = snapshot::install_snapshot_bytes(dir, bytes)?;
+        let saver = make_saver(&data.schema, &data.config).map_err(Error::Engine)?;
+        let shards = options
+            .shards
+            .map(resolve_shards)
+            .unwrap_or(data.shards as usize);
+        let schema = data.schema;
+        let engine = DiscEngine::restore_with_shards(schema.clone(), saver, data.state, shards)
+            .map_err(Error::Engine)?;
+        let wal = Wal::create(&wal_path(dir))?;
+        let last_snapshot = engine.generation();
+        Ok(DurableEngine {
+            engine,
+            wal,
+            dir: dir.to_path_buf(),
+            schema,
+            config: data.config,
+            snapshot_every: options.snapshot_every,
+            last_snapshot,
+            poisoned: false,
+            _lock: lock,
+        })
     }
 
     /// Opens an existing store: loads the snapshot, rebuilds the saver
@@ -307,6 +379,127 @@ impl DurableEngine {
             }
         }
         Ok(report)
+    }
+
+    /// Applies one replicated WAL frame under the exactly-once rule —
+    /// the follower's write path. A frame at or below the current
+    /// generation is a redelivery and is skipped; the frame at
+    /// `generation + 1` is decoded, validated, durably logged
+    /// (byte-for-byte the leader's frame, via
+    /// [`Wal::append_frame`]), and ingested; anything further ahead
+    /// reports a [`ReplApply::Gap`] so the caller can resync. Because
+    /// the apply path is the ordinary durable-ingest path, the
+    /// follower's state at generation `g` is bit-identical to the
+    /// leader's at `g`, and its own store is a valid resume point after
+    /// any crash.
+    ///
+    /// Auto-checkpoints under the same [`StoreOptions::snapshot_every`]
+    /// policy as [`DurableEngine::ingest`].
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] for a frame that does not decode or carries
+    /// rows the engine rejects (a correct leader never ships either);
+    /// [`Error::Io`]/[`Error::Poisoned`] with the usual poisoning
+    /// discipline.
+    pub fn apply_replicated(&mut self, frame: &WalFrame) -> Result<ReplApply, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        let expected = self.engine.generation() + 1;
+        if frame.generation < expected {
+            return Ok(ReplApply::AlreadyApplied);
+        }
+        if frame.generation > expected {
+            return Ok(ReplApply::Gap {
+                expected,
+                got: frame.generation,
+            });
+        }
+        let bad_frame = |detail: String| Error::Corrupt {
+            path: wal_path(&self.dir),
+            detail: format!("replicated frame {}: {detail}", frame.generation),
+        };
+        let record = frame.decode().map_err(bad_frame)?;
+        // Same invariant as local ingest: validate before the append so
+        // the log never holds a batch the engine rejected.
+        self.engine
+            .validate_batch(&record.rows)
+            .map_err(|e| bad_frame(format!("engine rejects rows: {e}")))?;
+        if let Err(e) = self.wal.append_frame(frame) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        let report = match self.engine.ingest(record.rows) {
+            Ok(report) => report,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(Error::Engine(e));
+            }
+        };
+        if let Some(every) = self.snapshot_every {
+            if self.engine.generation() - self.last_snapshot >= every {
+                self.checkpoint()?;
+            }
+        }
+        Ok(ReplApply::Applied(Box::new(report)))
+    }
+
+    /// Replaces this store's entire state with a shipped snapshot file
+    /// image — the follower's resync path after [`ReplApply::Gap`]. The
+    /// bytes are validated and must strictly advance the generation
+    /// (regressing would un-apply acknowledged batches); then the image
+    /// is installed atomically, the WAL is reset, and the engine is
+    /// rebuilt in place, keeping the current shard count. Returns the
+    /// new generation.
+    ///
+    /// Crash-safe like [`DurableEngine::checkpoint`]: a crash between
+    /// the snapshot install and the WAL reset leaves only records the
+    /// new snapshot already covers, which recovery skips.
+    pub fn install_snapshot(
+        &mut self,
+        bytes: &[u8],
+        make_saver: impl FnOnce(&Schema, &[u8]) -> Result<Box<dyn Saver>, disc_core::Error>,
+    ) -> Result<u64, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        let data = snapshot::snapshot_from_bytes(bytes).map_err(|detail| Error::Corrupt {
+            path: snapshot::snapshot_path(&self.dir),
+            detail,
+        })?;
+        let generation = data.state.generation;
+        if generation <= self.engine.generation() {
+            return Err(Error::Corrupt {
+                path: snapshot::snapshot_path(&self.dir),
+                detail: format!(
+                    "snapshot at generation {generation} would regress engine at {}",
+                    self.engine.generation()
+                ),
+            });
+        }
+        // Build the replacement engine before touching disk, so a saver
+        // or restore failure leaves the store untouched and unpoisoned.
+        let saver = make_saver(&data.schema, &data.config).map_err(Error::Engine)?;
+        let engine = DiscEngine::restore_with_shards(
+            data.schema.clone(),
+            saver,
+            data.state,
+            self.engine.shards(),
+        )
+        .map_err(Error::Engine)?;
+        if let Err(e) = snapshot::install_snapshot_bytes(&self.dir, bytes) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        if let Err(e) = self.wal.reset() {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.engine = engine;
+        self.schema = data.schema;
+        self.config = data.config;
+        self.last_snapshot = generation;
+        Ok(generation)
     }
 
     /// Writes a snapshot of the current state and resets the WAL. After
@@ -671,6 +864,146 @@ mod tests {
         assert_eq!(report.snapshot_generation, 1);
         assert_eq!(reopened.engine().export_state(), live_state);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn follower_bootstraps_and_applies_replicated_frames() {
+        let leader_dir = temp_store("repl-leader");
+        let follower_dir = temp_store("repl-follower");
+        let mut leader = DurableEngine::create(
+            &leader_dir,
+            Schema::numeric(2),
+            saver(),
+            b"cfg".to_vec(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let rows = grid_rows();
+        leader.ingest(rows[..12].to_vec()).unwrap();
+        leader.checkpoint().unwrap();
+
+        // Bootstrap: ship the leader's snapshot image verbatim.
+        let (bytes, _) = snapshot::read_snapshot_bytes(&leader_dir).unwrap();
+        let mut follower = DurableEngine::create_from_snapshot(
+            &follower_dir,
+            &bytes,
+            make_saver,
+            StoreOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(follower.generation(), 1);
+        assert_eq!(
+            follower.engine().export_state(),
+            leader.engine().export_state()
+        );
+
+        // Catch-up: tail the leader's log and apply each frame once.
+        leader.ingest(rows[12..24].to_vec()).unwrap();
+        leader.ingest(rows[24..].to_vec()).unwrap();
+        let mut tailer = crate::wal::WalTailer::new(&wal_path(&leader_dir));
+        let frames = tailer.poll_after(follower.generation(), 64).unwrap();
+        assert_eq!(frames.len(), 2);
+        for frame in &frames {
+            assert!(matches!(
+                follower.apply_replicated(frame).unwrap(),
+                ReplApply::Applied(_)
+            ));
+        }
+        assert_eq!(
+            follower.engine().export_state(),
+            leader.engine().export_state()
+        );
+
+        // A redelivery after a reconnect is a silent no-op…
+        assert!(matches!(
+            follower.apply_replicated(&frames[0]).unwrap(),
+            ReplApply::AlreadyApplied
+        ));
+        // …and a skipped-ahead frame demands a resync, applying nothing.
+        let ahead = WalFrame::encode(99, &rows[..1]);
+        assert!(matches!(
+            follower.apply_replicated(&ahead).unwrap(),
+            ReplApply::Gap {
+                expected: 4,
+                got: 99
+            }
+        ));
+        assert_eq!(follower.generation(), 3);
+
+        // The follower's own store is a valid resume point: reopen
+        // replays its log and lands on the leader's exact state.
+        drop(follower);
+        let (reopened, report) =
+            DurableEngine::open(&follower_dir, make_saver, StoreOptions::default()).unwrap();
+        assert_eq!(report.replayed_records, 2);
+        assert_eq!(
+            reopened.engine().export_state(),
+            leader.engine().export_state()
+        );
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn install_snapshot_resyncs_a_lagging_follower() {
+        let leader_dir = temp_store("resync-leader");
+        let follower_dir = temp_store("resync-follower");
+        let mut leader = DurableEngine::create(
+            &leader_dir,
+            Schema::numeric(2),
+            saver(),
+            Vec::new(),
+            StoreOptions::default(),
+        )
+        .unwrap();
+        let rows = grid_rows();
+        leader.ingest(rows[..12].to_vec()).unwrap();
+        leader.checkpoint().unwrap();
+        let (bytes, _) = snapshot::read_snapshot_bytes(&leader_dir).unwrap();
+        let mut follower = DurableEngine::create_from_snapshot(
+            &follower_dir,
+            &bytes,
+            make_saver,
+            StoreOptions::default(),
+        )
+        .unwrap();
+
+        // The leader moves on and checkpoints: the generation-2 frame is
+        // gone from its log, so the follower can only see generation 3.
+        leader.ingest(rows[12..24].to_vec()).unwrap();
+        leader.checkpoint().unwrap();
+        leader.ingest(rows[24..].to_vec()).unwrap();
+        let mut tailer = crate::wal::WalTailer::new(&wal_path(&leader_dir));
+        let frames = tailer.poll_after(follower.generation(), 64).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(
+            follower.apply_replicated(&frames[0]).unwrap(),
+            ReplApply::Gap {
+                expected: 2,
+                got: 3
+            }
+        ));
+
+        // Resync from the leader's current snapshot, then the pending
+        // frame continues the sequence.
+        let (bytes, data) = snapshot::read_snapshot_bytes(&leader_dir).unwrap();
+        assert_eq!(data.state.generation, 2);
+        assert_eq!(follower.install_snapshot(&bytes, make_saver).unwrap(), 2);
+        assert!(matches!(
+            follower.apply_replicated(&frames[0]).unwrap(),
+            ReplApply::Applied(_)
+        ));
+        assert_eq!(
+            follower.engine().export_state(),
+            leader.engine().export_state()
+        );
+
+        // A stale snapshot can never regress acknowledged state.
+        let err = follower.install_snapshot(&bytes, make_saver).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }), "{err}");
+        assert_eq!(follower.generation(), 3);
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Deterministic replication-link fault injection (test-only).
+//!
+//! Compiled only under `--cfg disc_fault`, like `disc_persist::fault`.
+//! [`crate::ReplClient::poll`] ticks a process-global operation counter
+//! twice — once before sending the request, once before reading the
+//! response — and an active [`LinkFaultPlan`] kills the link at a chosen
+//! tick by making that operation return an injected
+//! [`crate::PollError::Link`].
+//!
+//! Because the counter spans every link operation of a workload in
+//! order, a test can sweep `k = 0, 1, 2, …` and drop the connection at
+//! *every* send and receive boundary: [`scoped`] reports whether the
+//! fault actually fired, so the sweep stops at the first `k` past the
+//! workload's total op count. Dropping before the read is equivalent to
+//! losing the response in flight — the leader's `replicate` verb is
+//! read-only, so from either side's state the two are indistinguishable
+//! — which is how the exactly-once suite proves no frame is applied
+//! twice or skipped no matter where the link dies.
+//!
+//! The plan is process-global (no plumbing through the client API) and
+//! [`scoped`] serializes callers, so concurrent tests cannot observe
+//! each other's faults.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// A schedule: kill the link at one global link-operation tick.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFaultPlan {
+    at_op: u64,
+}
+
+impl LinkFaultPlan {
+    /// Drops the link at the `k`-th link operation (0-based) of the
+    /// scope; each poll is two operations (send, then receive).
+    pub fn drop_op(k: u64) -> Self {
+        LinkFaultPlan { at_op: k }
+    }
+}
+
+#[derive(Debug)]
+struct Active {
+    plan: LinkFaultPlan,
+    next_op: u64,
+    fired: bool,
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+static SCOPE: Mutex<()> = Mutex::new(());
+
+fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with `plan` active, returning its result and whether the
+/// fault fired. Calls are serialized process-wide; the plan is cleared
+/// afterwards even if `f` panics.
+pub fn scoped<R>(plan: LinkFaultPlan, f: impl FnOnce() -> R) -> (R, bool) {
+    let _serial = lock(&SCOPE);
+    *lock(&ACTIVE) = Some(Active {
+        plan,
+        next_op: 0,
+        fired: false,
+    });
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            *lock(&ACTIVE) = None;
+        }
+    }
+    let _clear = Clear;
+    let out = f();
+    let fired = lock(&ACTIVE).as_ref().map(|a| a.fired).unwrap_or(false);
+    (out, fired)
+}
+
+/// Ticks the global op counter; `true` means this operation must fail
+/// with an injected link error. Called by [`crate::ReplClient::poll`].
+pub(crate) fn next_op() -> bool {
+    let mut guard = lock(&ACTIVE);
+    let Some(active) = guard.as_mut() else {
+        return false;
+    };
+    let op = active.next_op;
+    active.next_op += 1;
+    if op != active.plan.at_op {
+        return false;
+    }
+    active.fired = true;
+    true
+}

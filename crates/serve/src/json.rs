@@ -67,6 +67,18 @@ impl Json {
         }
     }
 
+    /// The numeric payload as a `u64`, for numbers that hold one
+    /// exactly. Bounded by f64's exact-integer range (2⁵³), which
+    /// comfortably covers any generation a real store reaches.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
     /// The element list, for arrays.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {

@@ -25,6 +25,15 @@
 //! counters per verb, a queue-depth gauge, a rejected-request counter,
 //! and per-verb latency histograms served by the `stats` op.
 //!
+//! The serving layer is also replication's wire: a leader over a
+//! durable backend answers the `replicate` verb with checksummed WAL
+//! frames (and, when the follower cannot be continued frame-by-frame, a
+//! full snapshot image), while [`Server::start_replica`] runs the
+//! follower side — a read-only server whose state is pushed by the
+//! replication applier through a [`StatePublisher`], and whose `ingest`
+//! answers a typed `not_leader` error naming the leader. The applier
+//! itself lives in the `disc-replicate` crate.
+//!
 //! ```no_run
 //! use disc_serve::{EngineBackend, Server, ServerConfig};
 //! # fn saver() -> Box<dyn disc_core::Saver> { unimplemented!() }
@@ -39,7 +48,8 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{BadRequest, Request};
+pub use protocol::{BadRequest, ReplicateBatch, Request};
 pub use server::{
-    Acked, EngineBackend, IngestError, Server, ServerConfig, ServerHandle, ShutdownReport,
+    Acked, EngineBackend, IngestError, ReplHealth, Server, ServerConfig, ServerHandle, ServerRole,
+    ShutdownReport, StatePublisher,
 };

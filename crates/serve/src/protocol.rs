@@ -26,8 +26,14 @@
 use disc_core::{EngineState, Query, Response, SaveReport};
 use disc_distance::Value;
 use disc_obs::json::{push_f64, push_str_literal, Obj};
+use disc_persist::WalFrame;
 
 use crate::json::{self, Json};
+
+/// Frames shipped per `replicate` response when the request does not
+/// say otherwise. Bounds one response line's size; the follower polls
+/// again immediately while frames keep coming.
+pub const DEFAULT_MAX_FRAMES: usize = 256;
 
 /// The request line was not a JSON object the parser accepts.
 pub const KIND_PARSE: &str = "parse";
@@ -43,6 +49,11 @@ pub const KIND_SHUTTING_DOWN: &str = "shutting_down";
 pub const KIND_REJECTED: &str = "rejected";
 /// The durable backend failed mid-write; the batch is not acknowledged.
 pub const KIND_IO: &str = "io";
+/// This server is a read replica: writes are refused, and the error
+/// message names the leader address to retry against. Reads remain
+/// valid here — replicas answer `query`/`report`/`snapshot`/`stats`
+/// from their replicated state.
+pub const KIND_NOT_LEADER: &str = "not_leader";
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +74,21 @@ pub enum Request {
     Stats,
     /// Full current rows plus outlier and pending row indexes.
     Snapshot,
+    /// Replication pull: WAL frames after generation `from` (leader
+    /// only; followers of followers are not supported).
+    Replicate {
+        /// The requester's last durably applied generation.
+        from: u64,
+        /// Maximum frames to ship in this response.
+        max_frames: usize,
+        /// Force a snapshot image into the response regardless of
+        /// whether the log could continue from `from` — a bootstrapping
+        /// follower has no store (no schema, no config) until it
+        /// installs one.
+        need_snapshot: bool,
+    },
+    /// Replication health: role, generations, and (on a follower) lag.
+    ReplStatus,
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -76,6 +102,8 @@ impl Request {
             Request::Report => "report",
             Request::Stats => "stats",
             Request::Snapshot => "snapshot",
+            Request::Replicate { .. } => "replicate",
+            Request::ReplStatus => "repl_status",
             Request::Shutdown => "shutdown",
         }
     }
@@ -149,6 +177,30 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
         "report" => Ok(Request::Report),
         "stats" => Ok(Request::Stats),
         "snapshot" => Ok(Request::Snapshot),
+        "replicate" => {
+            let from = doc
+                .get("from")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| invalid("replicate requires an integer field 'from'"))?;
+            let max_frames = match doc.get("max_frames") {
+                None => DEFAULT_MAX_FRAMES,
+                Some(v) => v
+                    .as_usize()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| invalid("max_frames must be a positive integer"))?,
+            };
+            let need_snapshot = match doc.get("snapshot") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err(invalid("'snapshot' must be a boolean")),
+            };
+            Ok(Request::Replicate {
+                from,
+                max_frames,
+                need_snapshot,
+            })
+        }
+        "repl_status" => Ok(Request::ReplStatus),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(invalid(format!("unknown op '{other}'"))),
     }
@@ -308,6 +360,153 @@ pub fn snapshot_response(state: &EngineState) -> String {
     o.finish()
 }
 
+/// Lowercase hex encoding for binary payloads carried inside JSON.
+///
+/// Replication ships WAL payloads and snapshot images as hex strings
+/// rather than re-encoding rows as JSON numbers: the bytes (and their
+/// CRCs) survive the wire untouched, so f64 bit patterns — the currency
+/// of the engine's bit-equality contract — cannot be perturbed by a
+/// float↔decimal round trip.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+/// Inverse of [`to_hex`]; accepts upper- or lowercase digits.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd hex length {}", s.len()));
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            other => Err(format!("non-hex byte {other:#04x}")),
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// What one `replicate` response carries — the decoded form of
+/// [`replicate_response`], produced by [`parse_replicate_response`] on
+/// the follower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicateBatch {
+    /// The leader's current generation (for lag accounting).
+    pub leader_generation: u64,
+    /// A full snapshot file image, present when the leader cannot
+    /// continue the frame sequence from the requested generation (fresh
+    /// bootstrap, or a checkpoint discarded the needed frames). The
+    /// follower installs it, then applies `frames`.
+    pub snapshot: Option<Vec<u8>>,
+    /// Checksum-verified WAL frames in generation order, each
+    /// bit-identical to the leader's log record.
+    pub frames: Vec<WalFrame>,
+}
+
+/// Render a `replicate` response: leader generation, an optional
+/// snapshot image, and WAL frames — binary payloads hex-encoded (see
+/// [`to_hex`] for why).
+pub fn replicate_response(
+    leader_generation: u64,
+    snapshot: Option<&[u8]>,
+    frames: &[WalFrame],
+) -> String {
+    let mut list = String::from("[");
+    for (i, frame) in frames.iter().enumerate() {
+        if i > 0 {
+            list.push(',');
+        }
+        let mut f = Obj::new();
+        f.u64("generation", frame.generation)
+            .u64("crc", frame.crc as u64)
+            .str("payload", &to_hex(&frame.payload));
+        list.push_str(&f.finish());
+    }
+    list.push(']');
+    let mut o = Obj::new();
+    o.raw("ok", "true")
+        .str("op", "replicate")
+        .u64("generation", leader_generation);
+    if let Some(bytes) = snapshot {
+        o.str("snapshot", &to_hex(bytes));
+    }
+    o.raw("frames", &list);
+    o.finish()
+}
+
+/// Decode and re-verify a `replicate` response line. Every frame passes
+/// [`WalFrame::from_parts`] — checksum and generation peek — before the
+/// follower sees it, so a corrupted or tampered line fails here, never
+/// in the apply path.
+pub fn parse_replicate_response(line: &str) -> Result<ReplicateBatch, String> {
+    let doc = json::parse(line).map_err(|e| e.to_string())?;
+    match doc.get("ok") {
+        Some(Json::Bool(true)) => {}
+        _ => {
+            let (kind, message) = match doc.get("error") {
+                Some(err) => (
+                    err.get("kind").and_then(Json::as_str).unwrap_or("unknown"),
+                    err.get("message").and_then(Json::as_str).unwrap_or(""),
+                ),
+                None => ("unknown", "response carries no error object"),
+            };
+            return Err(format!("leader refused replicate: {kind}: {message}"));
+        }
+    }
+    let leader_generation = doc
+        .get("generation")
+        .and_then(Json::as_u64)
+        .ok_or("response missing integer 'generation'")?;
+    let snapshot = match doc.get("snapshot") {
+        None => None,
+        Some(v) => Some(from_hex(
+            v.as_str().ok_or("'snapshot' must be a hex string")?,
+        )?),
+    };
+    let frames = doc
+        .get("frames")
+        .and_then(Json::as_array)
+        .ok_or("response missing array 'frames'")?
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let generation = f
+                .get("generation")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("frame {i} missing integer 'generation'"))?;
+            let crc = f
+                .get("crc")
+                .and_then(Json::as_u64)
+                .filter(|&c| c <= u32::MAX as u64)
+                .ok_or_else(|| format!("frame {i} missing u32 'crc'"))?;
+            let payload = from_hex(
+                f.get("payload")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("frame {i} missing hex string 'payload'"))?,
+            )?;
+            WalFrame::from_parts(generation, crc as u32, payload)
+                .map_err(|e| format!("frame {i}: {e}"))
+        })
+        .collect::<Result<Vec<WalFrame>, String>>()?;
+    Ok(ReplicateBatch {
+        leader_generation,
+        snapshot,
+        frames,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,9 +536,91 @@ mod tests {
             Request::Snapshot
         );
         assert_eq!(
+            parse_request(r#"{"op":"replicate","from":7}"#).unwrap(),
+            Request::Replicate {
+                from: 7,
+                max_frames: DEFAULT_MAX_FRAMES,
+                need_snapshot: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"replicate","from":0,"max_frames":2,"snapshot":true}"#).unwrap(),
+            Request::Replicate {
+                from: 0,
+                max_frames: 2,
+                need_snapshot: true
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"repl_status"}"#).unwrap(),
+            Request::ReplStatus
+        );
+        assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn replicate_requests_are_validated() {
+        assert_eq!(
+            parse_request(r#"{"op":"replicate"}"#).unwrap_err().kind,
+            KIND_INVALID
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"replicate","from":-1}"#)
+                .unwrap_err()
+                .kind,
+            KIND_INVALID
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"replicate","from":0,"max_frames":0}"#)
+                .unwrap_err()
+                .kind,
+            KIND_INVALID
+        );
+    }
+
+    #[test]
+    fn hex_roundtrips_and_rejects_junk() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert_eq!(from_hex(&hex.to_uppercase()).unwrap(), bytes);
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "non-hex digit");
+    }
+
+    #[test]
+    fn replicate_response_roundtrips_bit_exactly() {
+        // -0.0 is the classic JSON-number casualty; hex framing must
+        // carry its bit pattern through untouched.
+        let frames = vec![
+            WalFrame::encode(4, &[vec![Value::Num(-0.0), Value::Null]]),
+            WalFrame::encode(5, &[vec![Value::Num(1.5), Value::Text("x\"y".into())]]),
+        ];
+        let snapshot = vec![0u8, 1, 254, 255];
+        let line = replicate_response(9, Some(&snapshot), &frames);
+        let batch = parse_replicate_response(&line).unwrap();
+        assert_eq!(batch.leader_generation, 9);
+        assert_eq!(batch.snapshot.as_deref(), Some(&snapshot[..]));
+        assert_eq!(batch.frames, frames);
+        let rows = batch.frames[0].decode().unwrap().rows;
+        assert_eq!(rows[0][0].as_num().unwrap().to_bits(), (-0.0f64).to_bits());
+
+        // No snapshot field when none is shipped.
+        let line = replicate_response(9, None, &frames);
+        assert_eq!(parse_replicate_response(&line).unwrap().snapshot, None);
+
+        // A flipped payload nibble is caught at parse time by the CRC.
+        let bad = line.replacen("payload\":\"0", "payload\":\"1", 1);
+        assert!(parse_replicate_response(&bad).is_err());
+
+        // A typed refusal surfaces kind and message.
+        let refusal = error_response(Some("replicate"), KIND_INVALID, "no wal");
+        let err = parse_replicate_response(&refusal).unwrap_err();
+        assert!(err.contains("invalid"), "{err}");
+        assert!(err.contains("no wal"), "{err}");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -50,12 +51,15 @@ use std::time::{Duration, Instant};
 
 use disc_core::{DiscEngine, EngineState, SaveReport};
 use disc_distance::Value;
-use disc_obs::hist::SHARD_FANOUT_MICROS;
+use disc_obs::hist::{REPL_SHIP_MICROS, SHARD_FANOUT_MICROS};
 use disc_obs::json::Obj;
 use disc_obs::{counters, global_json, hist_json, Histogram};
-use disc_persist::DurableEngine;
+use disc_persist::{snapshot, store, DurableEngine, WalTailer};
 
-use crate::protocol::{self, Request, KIND_IO, KIND_OVERLOADED, KIND_REJECTED, KIND_SHUTTING_DOWN};
+use crate::protocol::{
+    self, Request, KIND_INVALID, KIND_IO, KIND_NOT_LEADER, KIND_OVERLOADED, KIND_REJECTED,
+    KIND_SHUTTING_DOWN,
+};
 
 /// How the server stores ingested rows.
 pub enum EngineBackend {
@@ -106,6 +110,54 @@ impl EngineBackend {
             EngineBackend::Memory(_) => None,
             EngineBackend::Durable(store) => store.close().err().map(|e| e.to_string()),
         }
+    }
+
+    fn store_dir(&self) -> Option<PathBuf> {
+        match self {
+            EngineBackend::Memory(_) => None,
+            EngineBackend::Durable(store) => Some(store.dir().to_path_buf()),
+        }
+    }
+}
+
+/// Which side of replication this server is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerRole {
+    /// The single writer. Serves every verb; `replicate` ships WAL
+    /// frames when the backend is durable.
+    Leader,
+    /// A catch-up read replica: reads are served from replicated state,
+    /// writes are refused with a typed `not_leader` error naming the
+    /// leader to retry against.
+    Follower {
+        /// The leader's client address, surfaced in `not_leader` errors
+        /// and `repl_status`.
+        leader_addr: String,
+    },
+}
+
+/// A follower's replication health, published by the replication
+/// applier and served by the `repl_status` verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplHealth {
+    /// Whether the link to the leader is currently up.
+    pub connected: bool,
+    /// The leader's generation as of the last successful poll.
+    pub leader_generation: u64,
+    /// This replica's last durably applied generation.
+    pub applied_generation: u64,
+    /// Reconnect attempts that followed a broken link.
+    pub reconnects: u64,
+    /// Snapshot installs (bootstrap and gap resyncs).
+    pub snapshots_installed: u64,
+}
+
+impl ReplHealth {
+    /// Generations the replica trails the leader by (saturating; 0 when
+    /// caught up or when the leader has not been seen yet).
+    pub fn lag(&self) -> u64 {
+        self.leader_generation
+            .saturating_sub(self.applied_generation)
     }
 }
 
@@ -193,16 +245,27 @@ struct Latency {
     report: Histogram,
     stats: Histogram,
     snapshot: Histogram,
+    replicate: Histogram,
 }
 
 struct Shared {
     queue: Mutex<Queue>,
     not_empty: Condvar,
-    /// The latest published engine image; swapped whole by the writer.
+    /// The latest published engine image; swapped whole by the writer
+    /// (leader) or the replication applier (follower).
     snapshot: Mutex<Arc<EngineState>>,
     latency: Mutex<Latency>,
     shutdown: AtomicBool,
     max_queue: usize,
+    role: ServerRole,
+    /// The durable store directory, when the backend has one — the
+    /// leader's `replicate` verb reads WAL frames and snapshot images
+    /// straight from these files (both are safe to read concurrently
+    /// with the writer: appends are frame-at-a-time and the snapshot is
+    /// atomically replaced).
+    repl_source: Option<PathBuf>,
+    /// Follower replication health, published by the applier.
+    repl_health: Mutex<ReplHealth>,
 }
 
 impl Shared {
@@ -230,11 +293,22 @@ impl Shared {
     }
 
     /// Admission control: enqueue or refuse, atomically against the
-    /// writer's drain.
+    /// writer's drain. A follower has no writer — every ingest is
+    /// refused up front with the leader's address, so a job can never
+    /// sit in a queue nothing drains.
     fn enqueue(
         &self,
         rows: Vec<Vec<Value>>,
     ) -> Result<mpsc::Receiver<Result<Acked, IngestError>>, IngestError> {
+        if let ServerRole::Follower { leader_addr } = &self.role {
+            counters::SERVE_REJECTED_NOT_LEADER.incr();
+            return Err(IngestError {
+                kind: KIND_NOT_LEADER,
+                message: format!(
+                    "this server is a read replica; write to the leader at {leader_addr}"
+                ),
+            });
+        }
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.closed {
             return Err(IngestError {
@@ -277,6 +351,9 @@ impl Server {
             latency: Mutex::new(Latency::default()),
             shutdown: AtomicBool::new(false),
             max_queue: config.max_queue.max(1),
+            role: ServerRole::Leader,
+            repl_source: backend.store_dir(),
+            repl_health: Mutex::new(ReplHealth::default()),
         });
 
         let writer = {
@@ -287,9 +364,68 @@ impl Server {
                 .spawn(move || writer_loop(backend, &shared, throttle))?
         };
 
+        let (connections, accept) = Self::start_accept(listener, &shared, &config)?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            connections,
+            writer: Some(writer),
+            accept,
+        })
+    }
+
+    /// Binds a **read replica**: no writer thread, reads served from the
+    /// state the returned [`StatePublisher`] publishes, ingests refused
+    /// with `not_leader` naming `leader_addr`. The replication applier
+    /// (which owns the replica's durable store) drives the publisher and
+    /// watches [`StatePublisher::is_shutting_down`] to exit with the
+    /// server.
+    pub fn start_replica(
+        initial: EngineState,
+        leader_addr: String,
+        config: ServerConfig,
+    ) -> std::io::Result<(ServerHandle, StatePublisher)> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            not_empty: Condvar::new(),
+            snapshot: Mutex::new(Arc::new(initial)),
+            latency: Mutex::new(Latency::default()),
+            shutdown: AtomicBool::new(false),
+            max_queue: config.max_queue.max(1),
+            role: ServerRole::Follower { leader_addr },
+            repl_source: None,
+            repl_health: Mutex::new(ReplHealth::default()),
+        });
+
+        let (connections, accept) = Self::start_accept(listener, &shared, &config)?;
+        let publisher = StatePublisher {
+            shared: Arc::clone(&shared),
+        };
+        Ok((
+            ServerHandle {
+                addr,
+                shared,
+                connections,
+                writer: None,
+                accept,
+            },
+            publisher,
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn start_accept(
+        listener: TcpListener,
+        shared: &Arc<Shared>,
+        config: &ServerConfig,
+    ) -> std::io::Result<(Arc<Mutex<Vec<JoinHandle<()>>>>, JoinHandle<()>)> {
         let connections = Arc::new(Mutex::new(Vec::new()));
         let accept = {
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             let connections = Arc::clone(&connections);
             let poll = config.poll_interval;
             let flag = config.shutdown_flag;
@@ -297,14 +433,45 @@ impl Server {
                 .name("disc-serve-accept".to_string())
                 .spawn(move || accept_loop(listener, &shared, &connections, poll, flag))?
         };
+        Ok((connections, accept))
+    }
+}
 
-        Ok(ServerHandle {
-            addr,
-            shared,
-            connections,
-            writer,
-            accept,
-        })
+/// A follower server's write half: the replication applier publishes
+/// each newly applied [`EngineState`] (and its health) through this
+/// handle, exactly as the leader's writer thread publishes after each
+/// drain. Reads on the replica always see a complete image.
+pub struct StatePublisher {
+    shared: Arc<Shared>,
+}
+
+impl StatePublisher {
+    /// Publish a new engine image for readers.
+    pub fn publish(&self, state: EngineState) {
+        self.shared.publish(state);
+    }
+
+    /// Publish replication health (served by `repl_status`) and mirror
+    /// the lag into the `repl.lag_generations` gauge.
+    pub fn set_health(&self, health: ReplHealth) {
+        counters::REPL_LAG_GENERATIONS.set(health.lag());
+        *self
+            .shared
+            .repl_health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = health;
+    }
+
+    /// True once the server began shutting down (signal or `shutdown`
+    /// op) — the applier's cue to stop polling and close its store.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// Begin server shutdown from the applier side (e.g. the leader
+    /// told us to stop, or the applier hit an unrecoverable error).
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
     }
 }
 
@@ -313,7 +480,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    writer: JoinHandle<ShutdownReport>,
+    /// The single writer thread; `None` on a follower, whose state is
+    /// mutated by the replication applier instead.
+    writer: Option<JoinHandle<ShutdownReport>>,
     accept: JoinHandle<()>,
 }
 
@@ -358,10 +527,23 @@ impl ServerHandle {
         self.shared.begin_shutdown();
         // The writer drains every admitted job, replies to each, then
         // exits — joining it is the "no acknowledged ingest lost" step.
-        let report = self
-            .writer
-            .join()
-            .unwrap_or_else(|_| panic!("serve writer thread panicked"));
+        // A follower has no writer: its final state is whatever the
+        // replication applier last published (the applier durably owns
+        // the store and closes it itself).
+        let report = match self.writer {
+            Some(writer) => writer
+                .join()
+                .unwrap_or_else(|_| panic!("serve writer thread panicked")),
+            None => {
+                let state = (*self.shared.current()).clone();
+                let generation = state.generation;
+                ShutdownReport {
+                    state,
+                    generation,
+                    close_error: None,
+                }
+            }
+        };
         // Connection threads see the shutdown flag at their next poll
         // tick (all pending replies were just delivered).
         let handles: Vec<JoinHandle<()>> = {
@@ -544,6 +726,29 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
             counters::SERVE_REQUESTS_SNAPSHOT.incr();
             protocol::snapshot_response(&shared.current())
         }
+        Request::Replicate {
+            from,
+            max_frames,
+            need_snapshot,
+        } => {
+            counters::REPL_REQUESTS.incr();
+            match &shared.repl_source {
+                Some(dir) => replicate_response(shared, dir, from, max_frames, need_snapshot),
+                None => protocol::error_response(
+                    Some("replicate"),
+                    KIND_INVALID,
+                    match shared.role {
+                        ServerRole::Leader => {
+                            "replication requires a durable backend (serve with --wal)"
+                        }
+                        ServerRole::Follower { .. } => {
+                            "this server is itself a replica; replicate from the leader"
+                        }
+                    },
+                ),
+            }
+        }
+        Request::ReplStatus => repl_status_response(shared),
         Request::Shutdown => {
             shared.begin_shutdown();
             let mut o = Obj::new();
@@ -559,9 +764,116 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
         "report" => latency.report.record(micros),
         "stats" => latency.stats.record(micros),
         "snapshot" => latency.snapshot.record(micros),
+        "replicate" => latency.replicate.record(micros),
         _ => {}
     }
     response
+}
+
+/// Serve one `replicate` pull from the leader's store files. The frame
+/// plan: ship the WAL suffix continuing exactly from `from`; when the
+/// log cannot continue (a fresh follower, or a checkpoint discarded the
+/// needed frames) ship the current snapshot image plus the frames past
+/// it. Either way the follower receives a sequence it can apply
+/// exactly once.
+fn replicate_response(
+    shared: &Shared,
+    dir: &std::path::Path,
+    from: u64,
+    max_frames: usize,
+    need_snapshot: bool,
+) -> String {
+    let fail = |e: &disc_persist::Error| {
+        protocol::error_response(Some("replicate"), KIND_IO, &e.to_string())
+    };
+    let mut tailer = WalTailer::new(&store::wal_path(dir));
+    let frames = match tailer.poll_after(from, max_frames) {
+        Ok(frames) => frames,
+        Err(e) => return fail(&e),
+    };
+    let leader_generation = shared.current().generation;
+    let continues = frames.first().is_some_and(|f| f.generation == from + 1);
+    let (snapshot_bytes, frames) = if continues && !need_snapshot {
+        (None, frames)
+    } else {
+        // The log does not continue from `from`; decide via the
+        // snapshot. (Reading it is cheap at checkpoint cadence, and the
+        // atomic-rename protocol means we always see a complete image.)
+        let (bytes, data) = match snapshot::read_snapshot_bytes(dir) {
+            Ok(pair) => pair,
+            Err(e) => return fail(&e),
+        };
+        let snap_gen = data.state.generation;
+        if need_snapshot || snap_gen > from {
+            // Bootstrap or resync from the image, then the frames past
+            // it (contiguous by the WAL invariants: the log never holds
+            // a gap above the snapshot).
+            let after: Vec<_> = frames
+                .into_iter()
+                .filter(|f| f.generation > snap_gen)
+                .collect();
+            (Some(bytes), after)
+        } else if frames.is_empty() {
+            // Caught up: nothing past `from` anywhere.
+            (None, frames)
+        } else {
+            // Frames exist past `from` but neither the log nor the
+            // snapshot bridges the gap — a store no crash can produce.
+            return protocol::error_response(
+                Some("replicate"),
+                KIND_IO,
+                &format!(
+                    "store cannot continue from generation {from}: log resumes at {}, snapshot at {snap_gen}",
+                    frames[0].generation
+                ),
+            );
+        }
+    };
+    if snapshot_bytes.is_some() {
+        counters::REPL_SNAPSHOTS_SHIPPED.incr();
+    }
+    counters::REPL_FRAMES_SHIPPED.add(frames.len() as u64);
+    counters::REPL_BYTES_SHIPPED.add(
+        frames.iter().map(|f| f.payload.len() as u64).sum::<u64>()
+            + snapshot_bytes.as_ref().map_or(0, |b| b.len() as u64),
+    );
+    protocol::replicate_response(leader_generation, snapshot_bytes.as_deref(), &frames)
+}
+
+/// Render `repl_status` for either role.
+fn repl_status_response(shared: &Shared) -> String {
+    let generation = shared.current().generation;
+    let mut o = Obj::new();
+    o.raw("ok", "true").str("op", "repl_status");
+    match &shared.role {
+        ServerRole::Leader => {
+            o.str("role", "leader").u64("generation", generation).raw(
+                "replicable",
+                if shared.repl_source.is_some() {
+                    "true"
+                } else {
+                    "false"
+                },
+            );
+        }
+        ServerRole::Follower { leader_addr } => {
+            let health = shared
+                .repl_health
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            o.str("role", "follower")
+                .u64("generation", generation)
+                .str("leader", leader_addr)
+                .raw("connected", if health.connected { "true" } else { "false" })
+                .u64("leader_generation", health.leader_generation)
+                .u64("applied_generation", health.applied_generation)
+                .u64("lag", health.lag())
+                .u64("reconnects", health.reconnects)
+                .u64("snapshots_installed", health.snapshots_installed);
+        }
+    }
+    o.finish()
 }
 
 fn stats_response(shared: &Shared) -> String {
@@ -572,14 +884,22 @@ fn stats_response(shared: &Shared) -> String {
         .raw("report", &hist_json(&latency.report))
         .raw("stats", &hist_json(&latency.stats))
         .raw("snapshot", &hist_json(&latency.snapshot))
+        .raw("replicate", &hist_json(&latency.replicate))
         // Engine-side shard fan-out latency (process-wide, recorded by
         // the sharded engine itself). Served here only — it never enters
         // the pinned `disc-stats/1` document or report equality.
-        .raw("shard_fanout", &hist_json(&SHARD_FANOUT_MICROS.snapshot()));
+        .raw("shard_fanout", &hist_json(&SHARD_FANOUT_MICROS.snapshot()))
+        // Follower-side ship latency (round-trip + durable apply per
+        // non-empty replicate poll); same served-only contract.
+        .raw("repl_ship", &hist_json(&REPL_SHIP_MICROS.snapshot()));
     drop(latency);
     let mut o = Obj::new();
     o.raw("ok", "true")
         .str("op", "stats")
+        // Like every other read, stats names the generation of the
+        // published image it describes, so clients can correlate
+        // counters with a specific engine state.
+        .u64("generation", shared.current().generation)
         .u64("queue_depth", counters::SERVE_QUEUE_DEPTH.get())
         .raw("latency_micros", &lat.finish())
         .raw("process", &global_json(&[("source", "disc-serve")]));

@@ -117,6 +117,65 @@ echo "    recovered $RECOVERED rows == acked $ACKED_ROWS (no acknowledged ingest
 rm -rf "$SMOKE_DIR"
 trap - EXIT
 
+# Replication smoke: a leader and a read replica take a concurrent
+# burst with mirrored reads (serve_load --follower fails on any
+# divergent response and waits for the replica to apply every client's
+# last ack), both are SIGTERM'd, and recovering *each* store must
+# report the same acked rows — the replica is durable in its own right.
+echo "==> replication smoke"
+REPL_DIR=$(mktemp -d)
+LEADER_PID=""
+REPLICA_PID=""
+trap 'kill ${LEADER_PID:-} ${REPLICA_PID:-} 2>/dev/null || true; rm -rf "$REPL_DIR"' EXIT
+await_listen() { # OUT_FILE PID -> prints HOST:PORT
+    local out=$1 pid=$2 addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$out")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || {
+            echo "error: server exited before listening:" >&2
+            cat "$out" >&2
+            return 1
+        }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "error: server never printed its address" >&2; return 1; }
+    printf '%s' "$addr"
+}
+target/release/disc serve --wal "$REPL_DIR/leader" --eps 0.5 --eta 4 \
+    --shards 2 --snapshot-every 8 --addr 127.0.0.1:0 >"$REPL_DIR/leader.out" 2>&1 &
+LEADER_PID=$!
+LEADER_ADDR=$(await_listen "$REPL_DIR/leader.out" "$LEADER_PID")
+target/release/disc serve --wal "$REPL_DIR/replica" --replicate-from "$LEADER_ADDR" \
+    --addr 127.0.0.1:0 >"$REPL_DIR/replica.out" 2>&1 &
+REPLICA_PID=$!
+REPLICA_ADDR=$(await_listen "$REPL_DIR/replica.out" "$REPLICA_PID")
+LOAD=$(target/release/serve_load --addr "$LEADER_ADDR" --follower "$REPLICA_ADDR" \
+    --clients 6 --batches 10 --rows 4 --seed 23)
+echo "    $LOAD"
+ACKED_ROWS=$(printf '%s\n' "$LOAD" | sed -n 's/.*acked_rows=\([0-9]*\).*/\1/p')
+target/release/disc repl-status --addr "$REPLICA_ADDR" | grep -q '"role":"follower"' \
+    || { echo "error: replica repl-status did not report a follower role" >&2; exit 1; }
+kill -TERM "$REPLICA_PID" "$LEADER_PID"
+wait "$REPLICA_PID" || { echo "error: replica exited non-zero after SIGTERM" >&2; exit 1; }
+wait "$LEADER_PID" || { echo "error: leader exited non-zero after SIGTERM" >&2; exit 1; }
+LEADER_REC=$(target/release/disc recover --wal "$REPL_DIR/leader" | grep '^engine at generation')
+REPLICA_REC=$(target/release/disc recover --wal "$REPL_DIR/replica" | grep '^engine at generation')
+if [ "$LEADER_REC" != "$REPLICA_REC" ]; then
+    echo "error: recovered states diverged:" >&2
+    echo "  leader:  $LEADER_REC" >&2
+    echo "  replica: $REPLICA_REC" >&2
+    exit 1
+fi
+LEADER_ROWS=$(printf '%s\n' "$LEADER_REC" | sed -n 's/^engine at generation [0-9]*: \([0-9]*\) rows.*/\1/p')
+if [ "$LEADER_ROWS" != "$ACKED_ROWS" ]; then
+    echo "error: recovered $LEADER_ROWS rows but clients got $ACKED_ROWS acked" >&2
+    exit 1
+fi
+echo "    leader and replica both recovered: $LEADER_REC ($ACKED_ROWS acked rows)"
+rm -rf "$REPL_DIR"
+trap - EXIT
+
 if [ "$HEAVY" = 1 ]; then
     echo "==> cargo test -q (PROPTEST_CASES=512)"
     PROPTEST_CASES=512 cargo test -q --offline --workspace

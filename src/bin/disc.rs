@@ -15,7 +15,8 @@
 //! disc recover  --wal DIR [--out repaired.csv]
 //! disc serve    [--addr HOST:PORT] [--arity M] [--eps E --eta H]
 //!               [--kappa K] [--shards S] [--wal DIR] [--max-queue N]
-//!               [--snapshot-every N]
+//!               [--snapshot-every N] [--replicate-from HOST:PORT]
+//! disc repl-status --addr HOST:PORT
 //! disc evaluate --labels predicted.csv --truth truth.csv
 //! ```
 //!
@@ -49,6 +50,17 @@
 //! SIGINT/SIGTERM begin a graceful shutdown: admission closes, every
 //! admitted batch drains, and a durable store is checkpointed and its
 //! lock released, so no acknowledged ingest is ever lost.
+//!
+//! `serve --replicate-from HOST:PORT` runs a **read replica** instead:
+//! `--wal DIR` (required) is the replica's own durable store, which
+//! bootstraps from a leader snapshot and then tails the leader's WAL
+//! over its serving socket, reconnecting with exponential backoff when
+//! the link drops. Schema and saver configuration travel inside the
+//! replicated snapshot, so `--eps/--eta/--arity/--kappa` must not be
+//! given. The replica serves every read verb at the replicated state's
+//! generation; writes answer a typed `not_leader` error naming the
+//! leader. `repl-status` asks any server (`--addr`) for its replication
+//! role and, on a follower, connection state, generations, and lag.
 //!
 //! Labels for `evaluate` come from a single-column CSV aligned with the
 //! data rows. When `--eps/--eta` are omitted, the Poisson procedure of the
@@ -583,8 +595,126 @@ fn explicit_constraints(args: &Args) -> Result<DistanceConstraints, CliError> {
     Ok(DistanceConstraints::new(eps, eta))
 }
 
+/// `serve --replicate-from`: bring up a catch-up read replica over the
+/// replica's own durable store, serve reads from its replicated state,
+/// and tail the leader until shutdown.
+fn cmd_serve_replica(args: &Args, leader: &str) -> Result<(), CliError> {
+    use disc::replicate::{Follower, FollowerError, FollowerOptions};
+    use disc::serve::{Server, ServerConfig};
+
+    for flag in ["eps", "eta", "arity", "kappa"] {
+        if args.get(flag).is_some() {
+            return Err(CliError::Parse(format!(
+                "--{flag} conflicts with --replicate-from: a replica takes schema and \
+                 saver configuration from the leader's snapshot"
+            )));
+        }
+    }
+    let dir = args.get("wal").ok_or_else(|| {
+        CliError::Parse("--replicate-from requires --wal DIR (the replica's own store)".into())
+    })?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let max_queue: usize = args.num("max-queue", 64)?;
+    if max_queue == 0 {
+        return Err(CliError::Parse("--max-queue must be at least 1".into()));
+    }
+    let snapshot_every: u64 = args.num("snapshot-every", 0)?;
+    let options = FollowerOptions {
+        store: StoreOptions {
+            snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+            shards: shards_flag(args)?,
+        },
+        ..FollowerOptions::default()
+    };
+
+    install_shutdown_signals();
+    // Bootstrap, waiting for the leader: a replica is routinely started
+    // before (or restarted independently of) its leader.
+    let follower = loop {
+        match Follower::bootstrap(
+            Path::new(dir),
+            leader,
+            Box::new(stream_saver_from_config),
+            options,
+        ) {
+            Ok(f) => break f,
+            Err(FollowerError::Link(m)) => {
+                if SERVE_SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+                    return Ok(());
+                }
+                eprintln!("leader {leader} not reachable ({m}); retrying");
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+            Err(FollowerError::Store(e)) => return Err(persist_err(e)),
+            Err(e) => return Err(CliError::Io(e.to_string())),
+        }
+    };
+    eprintln!(
+        "replica store in {dir}: generation {}, replicating from {leader}",
+        follower.generation()
+    );
+
+    let (handle, publisher) = Server::start_replica(
+        follower.state(),
+        leader.to_string(),
+        ServerConfig {
+            addr,
+            max_queue,
+            shutdown_flag: Some(&SERVE_SHUTDOWN),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| CliError::Io(format!("binding listener: {e}")))?;
+    println!("listening on {}", handle.addr());
+
+    let daemon = std::thread::spawn(move || follower.run(&publisher));
+    let report = handle.wait();
+    let outcome = daemon
+        .join()
+        .map_err(|_| CliError::Io("replication thread panicked".into()))?;
+    let rows = match report.state.query(Query::Len) {
+        Response::Len(n) => n,
+        _ => unreachable!("Len answers Len"),
+    };
+    println!(
+        "shutdown complete: generation {}, {} rows",
+        report.generation, rows
+    );
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(FollowerError::Store(e)) => Err(persist_err(e)),
+        Err(e) => Err(CliError::Io(e.to_string())),
+    }
+}
+
+/// `repl-status`: one request against a running server, answer printed
+/// verbatim (one machine-readable JSON line).
+fn cmd_repl_status(args: &Args) -> Result<(), CliError> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = args.required("addr")?;
+    let mut conn = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Io(format!("connecting to {addr}: {e}")))?;
+    conn.write_all(b"{\"op\":\"repl_status\"}\n")
+        .map_err(|e| CliError::Io(format!("sending request: {e}")))?;
+    let mut line = String::new();
+    BufReader::new(conn)
+        .read_line(&mut line)
+        .map_err(|e| CliError::Io(format!("reading response: {e}")))?;
+    if line.is_empty() {
+        return Err(CliError::Io(format!("{addr} closed without answering")));
+    }
+    println!("{}", line.trim_end());
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     use disc::serve::{EngineBackend, Server, ServerConfig};
+
+    if let Some(leader) = args.get("replicate-from") {
+        let leader = leader.to_string();
+        return cmd_serve_replica(args, &leader);
+    }
 
     let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
     let max_queue: usize = args.num("max-queue", 64)?;
@@ -695,7 +825,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
 
 fn usage() -> CliError {
     CliError::Parse(
-        "usage: disc <generate|params|detect|repair|cluster|stream|recover|serve|evaluate> [flags]\n\
+        "usage: disc <generate|params|detect|repair|cluster|stream|recover|serve|repl-status|evaluate> [flags]\n\
          run with a subcommand; see the crate docs for the flag reference"
             .to_string(),
     )
@@ -721,6 +851,7 @@ fn main() -> ExitCode {
         Some("stream") => cmd_stream(&args),
         Some("recover") => cmd_recover(&args),
         Some("serve") => cmd_serve(&args),
+        Some("repl-status") => cmd_repl_status(&args),
         Some("evaluate") => cmd_evaluate(&args),
         _ => Err(usage()),
     };

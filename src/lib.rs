@@ -53,7 +53,10 @@
 //! * [`serve`] — a concurrent multi-client TCP serving layer
 //!   (newline-delimited JSON) with single-writer batch coalescing,
 //!   snapshot reads, admission-control backpressure, and graceful
-//!   WAL-draining shutdown.
+//!   WAL-draining shutdown;
+//! * [`replicate`] — leader→follower replication: WAL frames shipped
+//!   over the serving socket into catch-up read replicas that are
+//!   bit-equal to the leader at every acked generation.
 
 pub use disc_cleaning as cleaning;
 pub use disc_clustering as clustering;
@@ -65,6 +68,7 @@ pub use disc_metrics as metrics;
 pub use disc_ml as ml;
 pub use disc_obs as obs;
 pub use disc_persist as persist;
+pub use disc_replicate as replicate;
 pub use disc_serve as serve;
 
 /// Commonly used items in one import.

@@ -1,0 +1,231 @@
+//! Cross-process replication: a leader `disc serve --wal` and a
+//! follower `disc serve --replicate-from`, talking over real sockets,
+//! must converge to byte-identical served state — and both stores must
+//! recover to the same generation and dataset afterwards.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn disc_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_disc"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "disc_replication_cli/{name}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A `disc serve` child plus its parsed listening address. The stdout
+/// reader is kept open for the process's lifetime (closing it would
+/// break the server's final status prints).
+struct Serve {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+fn spawn_serve(args: &[&str]) -> Serve {
+    let mut child = disc_bin()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn disc serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    Serve {
+        child,
+        stdout,
+        addr,
+    }
+}
+
+/// One request line, one response line.
+fn request(addr: &str, line: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(conn).read_line(&mut reply).unwrap();
+    reply.trim_end().to_string()
+}
+
+/// Polls `addr` until its `report` reaches `generation` (replication is
+/// asynchronous; convergence is bounded, not instant).
+fn await_generation(addr: &str, generation: u64) {
+    let needle = format!("\"generation\":{generation}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let report = request(addr, r#"{"op":"report"}"#);
+        if report.contains(&needle) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never reached generation {generation}: {report}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn recover(store: &Path, out: &Path) -> String {
+    let output = disc_bin()
+        .args(["recover", "--wal", store.to_str().unwrap()])
+        .args(["--out", out.to_str().unwrap()])
+        .output()
+        .expect("run recover");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn leader_and_follower_converge_across_processes() {
+    let leader_store = tmp_dir("leader");
+    let follower_store = tmp_dir("follower");
+
+    let mut leader = spawn_serve(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--wal",
+        leader_store.to_str().unwrap(),
+        "--eps",
+        "0.5",
+        "--eta",
+        "3",
+        "--arity",
+        "2",
+        "--snapshot-every",
+        "2",
+    ]);
+
+    // A first burst before the follower exists: bootstrap must carry it.
+    for i in 0..4 {
+        let x = 0.1 * i as f64;
+        let ack = request(
+            &leader.addr,
+            &format!(r#"{{"op":"ingest","rows":[[{x},0.1],[{x},0.15]]}}"#),
+        );
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+    }
+
+    let leader_addr = leader.addr.clone();
+    let mut follower = spawn_serve(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--replicate-from",
+        &leader_addr,
+        "--wal",
+        follower_store.to_str().unwrap(),
+    ]);
+    await_generation(&follower.addr, 4);
+
+    // A second burst while the follower tails live.
+    for i in 0..4 {
+        let x = 0.3 + 0.1 * i as f64;
+        let ack = request(
+            &leader.addr,
+            &format!(r#"{{"op":"ingest","rows":[[{x},0.5]]}}"#),
+        );
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+    }
+    await_generation(&follower.addr, 8);
+
+    // Served state is byte-identical: same snapshot line, bit for bit.
+    let leader_snapshot = request(&leader.addr, r#"{"op":"snapshot"}"#);
+    let follower_snapshot = request(&follower.addr, r#"{"op":"snapshot"}"#);
+    assert_eq!(leader_snapshot, follower_snapshot);
+
+    // Writes to the replica are refused, naming the leader.
+    let refused = request(&follower.addr, r#"{"op":"ingest","rows":[[9,9]]}"#);
+    assert!(refused.contains("not_leader"), "{refused}");
+    assert!(refused.contains(&leader_addr), "{refused}");
+
+    // `disc repl-status` against both roles.
+    let status = |addr: &str| {
+        let out = disc_bin()
+            .args(["repl-status", "--addr", addr])
+            .output()
+            .expect("run repl-status");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let leader_status = status(&leader.addr);
+    assert!(
+        leader_status.contains(r#""role":"leader""#),
+        "{leader_status}"
+    );
+    assert!(
+        leader_status.contains(r#""replicable":true"#),
+        "{leader_status}"
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let follower_status = loop {
+        let s = status(&follower.addr);
+        if s.contains(r#""lag":0"#) || Instant::now() >= deadline {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(
+        follower_status.contains(r#""role":"follower""#),
+        "{follower_status}"
+    );
+    assert!(
+        follower_status.contains(r#""applied_generation":8"#),
+        "{follower_status}"
+    );
+    assert!(follower_status.contains(r#""lag":0"#), "{follower_status}");
+
+    // Graceful shutdown of both; both exit cleanly.
+    request(&follower.addr, r#"{"op":"shutdown"}"#);
+    request(&leader.addr, r#"{"op":"shutdown"}"#);
+    assert!(follower.child.wait().unwrap().success());
+    assert!(leader.child.wait().unwrap().success());
+    // Drain remaining stdout so nothing blocks on a full pipe.
+    let mut rest = String::new();
+    follower.stdout.read_to_string(&mut rest).ok();
+    leader.stdout.read_to_string(&mut rest).ok();
+
+    // Both stores recover to the same generation and identical datasets.
+    let leader_csv = std::env::temp_dir().join("disc_replication_cli/leader.csv");
+    let follower_csv = std::env::temp_dir().join("disc_replication_cli/follower.csv");
+    let leader_recovery = recover(&leader_store, &leader_csv);
+    let follower_recovery = recover(&follower_store, &follower_csv);
+    let engine_line = |text: &str| {
+        text.lines()
+            .find(|l| l.starts_with("engine at generation"))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no engine line in {text:?}"))
+    };
+    assert_eq!(
+        engine_line(&leader_recovery),
+        engine_line(&follower_recovery)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&leader_csv).unwrap(),
+        std::fs::read_to_string(&follower_csv).unwrap(),
+        "recovered datasets diverged"
+    );
+
+    std::fs::remove_dir_all(&leader_store).ok();
+    std::fs::remove_dir_all(&follower_store).ok();
+}
